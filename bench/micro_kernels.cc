@@ -1,0 +1,131 @@
+// Google-benchmark microbenches for the kernels underneath the paper's
+// numbers: integer codecs (Table 4's compression), alias sampling and RR
+// sampling (index construction cost), and greedy vs CELF max coverage
+// (query processing cost; DESIGN.md ablation).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "coverage/celf_greedy.h"
+#include "coverage/greedy_max_cover.h"
+#include "graph/generators.h"
+#include "propagation/rr_sampler.h"
+#include "sampling/alias_table.h"
+#include "storage/pfor_codec.h"
+
+namespace kbtim {
+namespace {
+
+std::vector<uint32_t> SortedDeltas(size_t n) {
+  Rng rng(7);
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) v = rng.NextU32Below(1u << 24);
+  std::sort(values.begin(), values.end());
+  DeltaEncode(&values);
+  return values;
+}
+
+void BM_CodecEncode(benchmark::State& state, CodecKind kind) {
+  const auto codec = MakeCodec(kind);
+  const auto values = SortedDeltas(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string buf;
+    codec->Encode(values, &buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK_CAPTURE(BM_CodecEncode, raw, CodecKind::kRaw)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecEncode, varint, CodecKind::kVarint)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecEncode, pfor, CodecKind::kPfor)->Arg(1 << 14);
+
+void BM_CodecDecode(benchmark::State& state, CodecKind kind) {
+  const auto codec = MakeCodec(kind);
+  const auto values = SortedDeltas(static_cast<size_t>(state.range(0)));
+  std::string buf;
+  codec->Encode(values, &buf);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec->Decode(buf, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes_per_int"] =
+      static_cast<double>(buf.size()) / state.range(0);
+}
+BENCHMARK_CAPTURE(BM_CodecDecode, raw, CodecKind::kRaw)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecDecode, varint, CodecKind::kVarint)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecDecode, pfor, CodecKind::kPfor)->Arg(1 << 14);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  auto table = AliasTable::FromWeights(weights);
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += table->Sample(rng);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_RrSample(benchmark::State& state, PropagationModel model) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 20000;
+  opts.avg_degree = 20.0;
+  opts.seed = 5;
+  auto sg = GenerateSocialGraph(opts);
+  const std::vector<float> weights = UniformIcProbabilities(sg->graph);
+  auto sampler = MakeRrSampler(model, sg->graph, weights);
+  Rng rng(9);
+  std::vector<VertexId> rr;
+  uint64_t total_size = 0;
+  for (auto _ : state) {
+    sampler->Sample(rng.NextU32Below(opts.num_vertices), rng, &rr);
+    total_size += rr.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["mean_rr_size"] =
+      static_cast<double>(total_size) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_RrSample, ic, PropagationModel::kIndependentCascade);
+BENCHMARK_CAPTURE(BM_RrSample, lt, PropagationModel::kLinearThreshold);
+
+RrCollection BenchSets(uint32_t num_sets, uint32_t num_vertices) {
+  Rng rng(11);
+  RrCollection sets;
+  std::vector<VertexId> members;
+  for (uint32_t i = 0; i < num_sets; ++i) {
+    members.clear();
+    const uint32_t len = 1 + rng.NextU32Below(8);
+    for (uint32_t j = 0; j < len; ++j) {
+      members.push_back(rng.NextU32Below(num_vertices));
+    }
+    sets.Add(members);
+  }
+  return sets;
+}
+
+void BM_GreedyCounting(benchmark::State& state) {
+  const auto sets = BenchSets(static_cast<uint32_t>(state.range(0)), 20000);
+  const InvertedRrIndex inverted(sets, 20000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMaxCover(sets, inverted, 50));
+  }
+}
+BENCHMARK(BM_GreedyCounting)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_GreedyCelf(benchmark::State& state) {
+  const auto sets = BenchSets(static_cast<uint32_t>(state.range(0)), 20000);
+  const InvertedRrIndex inverted(sets, 20000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CelfGreedyMaxCover(sets, inverted, 50));
+  }
+}
+BENCHMARK(BM_GreedyCelf)->Arg(1 << 16)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,45 @@
+// Table 2 reproduction: statistics of the two dataset scaling series.
+// Paper: #Users / #Edges / AveDegree for t10M..t40M and n0.2M..n1.4M; the
+// series here are the laptop-scale analogues (T10k..T40k, N20k..N140k)
+// with matching average-degree trends.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace kbtim;
+  using namespace kbtim::bench;
+  const BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Table 2: dataset statistics", flags);
+
+  TablePrinter table({"dataset", "#users", "#edges", "avg_degree",
+                      "max_in_deg", "paper_avg_deg"});
+  const double paper_news[] = {5.2, 3.1, 2.6, 2.2};
+  const double paper_twitter[] = {76.4, 56.8, 46.1, 38.9};
+
+  auto add_series = [&](std::vector<DatasetSpec> series,
+                        const double* paper_deg) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      const DatasetSpec spec = ScaleSpec(series[i], flags.scale);
+      auto dataset = BuildDataset(spec);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+        continue;
+      }
+      const DegreeStats stats = ComputeDegreeStats(dataset->graph);
+      table.AddRow({spec.name,
+                    std::to_string(dataset->graph.num_vertices()),
+                    std::to_string(dataset->graph.num_edges()),
+                    FormatDouble(stats.avg_degree, 1),
+                    std::to_string(stats.max_in_degree),
+                    FormatDouble(paper_deg[i], 1)});
+    }
+  };
+  add_series(TwitterLikeSeries(flags.topics), paper_twitter);
+  add_series(NewsLikeSeries(flags.topics), paper_news);
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: avg degree decreases with |V| within each "
+               "series; twitter-like >> news-like (paper Table 2)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 6 reproduction: number of disk I/O operations the IRR query incurs
+// as Q.k grows (one read per incrementally loaded partition plus one
+// preamble read per keyword). For contrast the RR index's I/O count is
+// printed too: constant in k (a fixed number of sequential reads per
+// keyword), which is the trade-off the paper discusses in §6.3.
+#include <iostream>
+
+#include "bench_common.h"
+#include "index/irr_index.h"
+#include "index/rr_index.h"
+
+int main(int argc, char** argv) {
+  using namespace kbtim;
+  using namespace kbtim::bench;
+  BenchFlags flags = ParseFlags(argc, argv);
+  PrintHeader("Table 6: IRR disk I/Os when varying Q.k", flags);
+
+  for (const DatasetSpec& base :
+       {DefaultNewsSpec(flags.topics), DefaultTwitterSpec(flags.topics)}) {
+    const DatasetSpec spec = ScaleSpec(base, flags.scale);
+    auto env_or = Environment::Create(spec);
+    if (!env_or.ok()) {
+      std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+      return 1;
+    }
+    auto env = std::move(*env_or);
+    IndexBuildOptions build = DefaultBuildOptions(flags);
+    IndexBuildReport report;
+    const std::string tag = spec.name + "_ic_pfor_e" +
+                            FormatDouble(flags.epsilon, 2) + "_t" +
+                            std::to_string(flags.topics);
+    auto dir = EnsureIndex(*env, build, tag, flags.no_cache, &report);
+    if (!dir.ok()) {
+      std::fprintf(stderr, "%s\n", dir.status().ToString().c_str());
+      return 1;
+    }
+    auto rr = RrIndex::Open(*dir);
+    auto irr = IrrIndex::Open(*dir);
+    if (!rr.ok() || !irr.ok()) return 1;
+
+    std::cout << "(" << spec.name << ")  |Q.T| = 5, mean over "
+              << flags.queries << " queries\n";
+    TablePrinter table({"Q.k", "IRR_IOs", "RR_IOs"});
+    for (uint32_t k = 10; k <= 50; k += 5) {
+      QueryGeneratorOptions qopts;
+      qopts.queries_per_length = flags.queries;
+      qopts.min_keywords = 5;
+      qopts.max_keywords = 5;
+      qopts.k = k;
+      qopts.seed = 600 + k;
+      auto queries = env->Queries(qopts);
+      if (!queries.ok()) return 1;
+      QueryAggregator rr_agg, irr_agg;
+      for (const Query& q : *queries) {
+        auto rr_result = rr->Query(q);
+        auto irr_result = irr->Query(q);
+        if (!rr_result.ok() || !irr_result.ok()) return 1;
+        rr_agg.Add(*rr_result);
+        irr_agg.Add(*irr_result);
+      }
+      table.AddRow({std::to_string(k),
+                    FormatDouble(irr_agg.Finish().mean_io_reads, 2),
+                    FormatDouble(rr_agg.Finish().mean_io_reads, 2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "expected shape: IRR I/Os grow with Q.k (more partitions "
+               "pulled in); RR I/Os constant (paper Table 6 + §6.3)\n";
+  return 0;
+}

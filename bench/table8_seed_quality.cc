@@ -1,0 +1,121 @@
+// Table 8 reproduction: the qualitative case study. For two ad keywords
+// ("software", "journal") the paper lists the top-8 seeds from targeted
+// WRIS under IC and LT, next to the untargeted RIS seeds. Its findings:
+//   * on the news graph, targeted seeds are visibly keyword-relevant;
+//   * RIS returns one keyword-independent list;
+//   * on the twitter graph the effect is weaker (global celebrities
+//     dominate every topic).
+// With synthetic profiles, "relevance" is measured as the fraction of
+// seeds whose profile contains the keyword, plus the mean tf mass.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sampling/ris_solver.h"
+#include "sampling/wris_solver.h"
+#include "topics/vocabulary.h"
+
+namespace {
+
+using namespace kbtim;
+using namespace kbtim::bench;
+
+std::string SeedsToString(const std::vector<VertexId>& seeds,
+                          const ProfileStore& profiles, TopicId w) {
+  std::string out;
+  for (size_t i = 0; i < std::min<size_t>(8, seeds.size()); ++i) {
+    if (!out.empty()) out += " ";
+    out += std::to_string(seeds[i]);
+    if (profiles.Tf(seeds[i], w) > 0.0f) out += "*";
+  }
+  return out;
+}
+
+double Affinity(const std::vector<VertexId>& seeds,
+                const ProfileStore& profiles, TopicId w) {
+  if (seeds.empty()) return 0.0;
+  int hits = 0;
+  for (VertexId v : seeds) {
+    if (profiles.Tf(v, w) > 0.0f) ++hits;
+  }
+  return 100.0 * hits / static_cast<double>(seeds.size());
+}
+
+int RunDataset(const DatasetSpec& spec, const BenchFlags& flags) {
+  auto env_or = Environment::Create(spec);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto env = std::move(*env_or);
+  const Vocabulary vocab = Vocabulary::Synthetic(flags.topics);
+
+  OnlineSolverOptions opts;
+  opts.epsilon = flags.epsilon;
+  opts.num_threads = flags.threads;
+
+  std::cout << "(" << spec.name
+            << ")  top-8 seeds; '*' = profile contains the keyword\n";
+  TablePrinter table({"method", "keyword", "seeds", "affinity%"});
+  for (const char* keyword : {"software", "journal"}) {
+    const TopicId w = vocab.Find(keyword);
+    if (w == kInvalidTopic ||
+        env->profiles().TopicTfSum(w) <= 0.0) {
+      continue;
+    }
+    const Query q{{w}, 8};
+    for (auto model : {PropagationModel::kIndependentCascade,
+                       PropagationModel::kLinearThreshold}) {
+      WrisSolver wris(env->graph(), env->tfidf(), model,
+                      env->weights(model), opts);
+      auto result = wris.Solve(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({std::string("WRIS(") + PropagationModelName(model) +
+                        ")",
+                    keyword,
+                    SeedsToString(result->seeds, env->profiles(), w),
+                    FormatDouble(Affinity(result->seeds, env->profiles(),
+                                          w),
+                                 0)});
+    }
+    RisSolver ris(env->graph(), PropagationModel::kIndependentCascade,
+                  env->ic_probs(), opts);
+    auto untargeted = ris.Solve(8);
+    if (!untargeted.ok()) return 1;
+    table.AddRow({"RIS", keyword,
+                  SeedsToString(untargeted->seeds, env->profiles(), w),
+                  FormatDouble(Affinity(untargeted->seeds,
+                                        env->profiles(), w),
+                               0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  bool scale_given = false;
+  for (int i = 1; i < argc; ++i) {
+    scale_given |= std::strcmp(argv[i], "--scale") == 0;
+  }
+  if (!scale_given) flags.scale = 0.5;  // online-only bench, keep it quick
+  PrintHeader("Table 8: example KB-TIM query results", flags);
+  if (RunDataset(ScaleSpec(DefaultNewsSpec(flags.topics), flags.scale),
+                 flags) != 0) {
+    return 1;
+  }
+  if (RunDataset(ScaleSpec(DefaultTwitterSpec(flags.topics), flags.scale),
+                 flags) != 0) {
+    return 1;
+  }
+  std::cout << "expected shape: WRIS rows differ per keyword with high "
+               "affinity (clearest on the news-like graph); the RIS row "
+               "is identical for both keywords with low affinity (paper "
+               "Table 8)\n";
+  return 0;
+}

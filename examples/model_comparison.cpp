@@ -1,0 +1,93 @@
+// Targeted vs untargeted seeds under IC and LT — the paper's §6.6 case
+// study (Table 8) as a runnable demo.
+//
+// For two single-keyword advertisements it prints the top seeds chosen by
+// targeted WRIS under both propagation models next to the untargeted RIS
+// seeds, along with each seed's affinity to the ad keyword. The expected
+// picture: WRIS seeds carry the keyword (or sit next to communities that
+// do), and RIS returns the same, keyword-blind list for both ads.
+#include <cstdio>
+
+#include "expr/workload.h"
+#include "sampling/ris_solver.h"
+#include "sampling/wris_solver.h"
+#include "topics/vocabulary.h"
+
+namespace {
+
+using namespace kbtim;
+
+/// Fraction of a seed list whose profile contains the keyword.
+double KeywordAffinity(const std::vector<VertexId>& seeds,
+                       const ProfileStore& profiles, TopicId w) {
+  if (seeds.empty()) return 0.0;
+  int hits = 0;
+  for (VertexId v : seeds) {
+    if (profiles.Tf(v, w) > 0.0f) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(seeds.size());
+}
+
+void PrintSeeds(const char* label, const std::vector<VertexId>& seeds,
+                const ProfileStore& profiles, TopicId w) {
+  std::printf("  %-12s", label);
+  for (size_t i = 0; i < std::min<size_t>(8, seeds.size()); ++i) {
+    std::printf(" %6u%c", seeds[i],
+                profiles.Tf(seeds[i], w) > 0.0f ? '*' : ' ');
+  }
+  std::printf("  (keyword affinity %.0f%%)\n",
+              100.0 * KeywordAffinity(seeds, profiles, w));
+}
+
+}  // namespace
+
+int main() {
+  DatasetSpec spec;
+  spec.name = "model_comparison";
+  spec.graph.num_vertices = 10000;
+  spec.graph.avg_degree = 12.0;
+  spec.graph.num_communities = 16;
+  spec.graph.seed = 11;
+  spec.profiles.num_topics = 20;
+  spec.profiles.community_affinity = 0.8;
+  spec.profiles.seed = 12;
+  auto env_or = Environment::Create(spec);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto env = std::move(*env_or);
+  const Vocabulary vocab = Vocabulary::Synthetic(20);
+
+  OnlineSolverOptions opts;
+  opts.epsilon = 0.4;
+  opts.num_threads = 2;
+
+  for (const char* keyword : {"software", "journal"}) {
+    const TopicId w = vocab.Find(keyword);
+    Query q{{w}, 8};
+    std::printf("keyword \"%s\" (topic %u), k=8; '*' marks seeds whose "
+                "profile contains the keyword\n",
+                keyword, w);
+    for (auto model : {PropagationModel::kIndependentCascade,
+                       PropagationModel::kLinearThreshold}) {
+      WrisSolver wris(env->graph(), env->tfidf(), model,
+                      env->weights(model), opts);
+      auto targeted = wris.Solve(q);
+      RisSolver ris(env->graph(), model, env->weights(model), opts);
+      auto untargeted = ris.Solve(q.k);
+      if (!targeted.ok() || !untargeted.ok()) {
+        std::fprintf(stderr, "solver failed\n");
+        return 1;
+      }
+      std::printf(" %s model:\n", PropagationModelName(model));
+      PrintSeeds("WRIS", targeted->seeds, env->profiles(), w);
+      PrintSeeds("RIS", untargeted->seeds, env->profiles(), w);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "RIS rows are identical across keywords (advertisement-blind);\n"
+      "WRIS rows change with the keyword and show higher affinity.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end KB-TIM run.
+//
+//   1. generate a synthetic social network with topic profiles,
+//   2. ask an online WRIS query for an advertisement,
+//   3. print the selected seed users and their estimated targeted reach.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "expr/workload.h"
+#include "sampling/wris_solver.h"
+#include "topics/vocabulary.h"
+
+int main() {
+  using namespace kbtim;
+
+  // A small community-structured graph with Zipfian topic profiles.
+  DatasetSpec spec;
+  spec.name = "quickstart";
+  spec.graph.num_vertices = 5000;
+  spec.graph.avg_degree = 10.0;
+  spec.graph.num_communities = 12;
+  spec.graph.seed = 42;
+  spec.profiles.num_topics = 20;
+  spec.profiles.seed = 43;
+
+  auto env_or = Environment::Create(spec);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto env = std::move(*env_or);
+  const Vocabulary vocab = Vocabulary::Synthetic(20);
+  std::printf("graph: %u users, %llu edges (avg degree %.1f)\n",
+              env->graph().num_vertices(),
+              static_cast<unsigned long long>(env->graph().num_edges()),
+              env->graph().AverageDegree());
+
+  // An advertisement about music & books, looking for 10 seed users.
+  Query ad;
+  ad.topics = {vocab.Find("music"), vocab.Find("book")};
+  ad.k = 10;
+
+  OnlineSolverOptions opts;
+  opts.epsilon = 0.3;
+  opts.num_threads = 2;
+  WrisSolver solver(env->graph(), env->tfidf(),
+                    PropagationModel::kIndependentCascade, env->ic_probs(),
+                    opts);
+  auto result = solver.Solve(ad);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nKB-TIM query {music, book}, k=10 (WRIS, IC model)\n");
+  std::printf("sampled %llu weighted RR sets in %.3f s\n",
+              static_cast<unsigned long long>(result->stats.theta),
+              result->stats.total_seconds);
+  std::printf("expected targeted influence: %.2f\n\n",
+              result->estimated_influence);
+  std::printf("%-6s %-10s %-16s %s\n", "rank", "user", "marginal gain",
+              "top interests");
+  for (size_t i = 0; i < result->seeds.size(); ++i) {
+    const VertexId seed = result->seeds[i];
+    std::string interests;
+    for (const auto& entry : env->profiles().UserProfile(seed)) {
+      if (entry.tf < 0.15f) continue;
+      if (!interests.empty()) interests += ", ";
+      interests += vocab.Name(entry.topic);
+    }
+    std::printf("%-6zu %-10u %-16.3f %s\n", i + 1, seed,
+                result->marginal_gains[i], interests.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Minimal severity-tagged logging to stderr.
+//
+// Usage: KBTIM_LOG(INFO) << "built " << n << " RR sets";
+// The global minimum severity can be raised to silence benchmark runs.
+#ifndef KBTIM_COMMON_LOGGING_H_
+#define KBTIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace kbtim {
+
+enum class LogSeverity : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity; messages below it are dropped.
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Returns the current global minimum severity.
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp and severity tag)
+/// on destruction. Not for direct use; see KBTIM_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kbtim
+
+#define KBTIM_LOG(severity)                                           \
+  ::kbtim::internal::LogMessage(::kbtim::LogSeverity::k##severity,    \
+                                __FILE__, __LINE__)                   \
+      .stream()
+
+#endif  // KBTIM_COMMON_LOGGING_H_

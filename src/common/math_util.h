@@ -1,0 +1,66 @@
+// Small numeric helpers shared by the θ-bound formulas and statistics code.
+#ifndef KBTIM_COMMON_MATH_UTIL_H_
+#define KBTIM_COMMON_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace kbtim {
+
+/// Returns ln(n choose k) computed via lgamma; exact enough for the sample
+/// size bounds (Theorems 1/2, Lemmas 3/4) where it appears inside a log term.
+/// Requires 0 <= k <= n.
+inline double LogNChooseK(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+/// Mean of a sample.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than two points.
+inline double SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+/// Linear-interpolation percentile, p in [0, 100]. Sorts a copy.
+inline double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Number of bits needed to represent v (0 -> 0 bits).
+inline uint32_t BitWidth(uint32_t v) {
+  return v == 0 ? 0u : 32u - static_cast<uint32_t>(__builtin_clz(v));
+}
+
+/// Integer ceiling division for non-negative operands.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COMMON_MATH_UTIL_H_

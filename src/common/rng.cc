@@ -1,0 +1,79 @@
+#include "common/rng.h"
+
+namespace kbtim {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint32_t Rng::NextU32Below(uint32_t n) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t m = static_cast<uint64_t>(static_cast<uint32_t>(NextU64())) * n;
+  auto lo = static_cast<uint32_t>(m);
+  if (lo < n) {
+    const uint32_t threshold = -n % n;
+    while (lo < threshold) {
+      m = static_cast<uint64_t>(static_cast<uint32_t>(NextU64())) * n;
+      lo = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+uint64_t Rng::NextU64Below(uint64_t n) {
+  // Rejection sampling over the smallest covering power-of-two range.
+  const uint64_t mask = ~uint64_t{0} >> __builtin_clzll(n | 1);
+  uint64_t draw;
+  do {
+    draw = NextU64() & mask;
+  } while (draw >= n);
+  return draw;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the parent state with the stream id through splitmix; the resulting
+  // seed re-initializes a fresh xoshiro state.
+  uint64_t mix = s_[0] ^ Rotl(s_[3], 13) ^ (stream * 0xD1342543DE82EF95ULL);
+  uint64_t sm = mix;
+  return Rng(SplitMix64(&sm));
+}
+
+}  // namespace kbtim

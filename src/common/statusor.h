@@ -1,0 +1,72 @@
+// StatusOr<T>: a value or an error Status, in the style of absl::StatusOr.
+#ifndef KBTIM_COMMON_STATUSOR_H_
+#define KBTIM_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kbtim {
+
+/// Holds either a T or a non-OK Status describing why no T is available.
+///
+/// Accessing the value of a non-OK StatusOr is a programming error and
+/// aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit conversion from an error Status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Implicit conversion from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kbtim
+
+/// Evaluates `rexpr` (a StatusOr) and either assigns its value to `lhs` or
+/// propagates the error to the caller.
+#define KBTIM_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  KBTIM_ASSIGN_OR_RETURN_IMPL_(                               \
+      KBTIM_STATUS_MACRO_CONCAT_(_kbtim_statusor, __LINE__), lhs, rexpr)
+
+#define KBTIM_ASSIGN_OR_RETURN_IMPL_(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define KBTIM_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define KBTIM_STATUS_MACRO_CONCAT_(x, y) KBTIM_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // KBTIM_COMMON_STATUSOR_H_

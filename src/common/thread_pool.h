@@ -1,0 +1,58 @@
+// Fixed-size worker pool used for parallel index construction and
+// Monte-Carlo spread evaluation (the paper built its indexes with 8 threads).
+#ifndef KBTIM_COMMON_THREAD_POOL_H_
+#define KBTIM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kbtim {
+
+/// A minimal fixed-size thread pool.
+///
+/// Tasks are plain std::function<void()>; callers coordinate results through
+/// captured state. Wait() blocks until the queue drains and all workers idle.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
+  /// pool, blocking until every chunk is done. Runs inline when n is small
+  /// or the pool has a single worker.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for benchmarks and index-construction reporting.
+#ifndef KBTIM_COMMON_TIMER_H_
+#define KBTIM_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace kbtim {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COMMON_TIMER_H_

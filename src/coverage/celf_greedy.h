@@ -1,0 +1,22 @@
+// CELF-style lazy greedy maximum coverage.
+//
+// Same output as GreedyMaxCover (identical tie-breaking toward smaller
+// vertex ids) but uses a max-heap with lazy re-evaluation, which is faster
+// when the coverage distribution is skewed — the common case on heavy-tailed
+// social graphs. Exposed separately so benchmarks can compare both
+// (DESIGN.md ablation list).
+#ifndef KBTIM_COVERAGE_CELF_GREEDY_H_
+#define KBTIM_COVERAGE_CELF_GREEDY_H_
+
+#include "coverage/greedy_max_cover.h"
+
+namespace kbtim {
+
+/// Lazy-evaluation greedy; equivalent result to GreedyMaxCover.
+MaxCoverResult CelfGreedyMaxCover(const RrCollection& sets,
+                                  const InvertedRrIndex& inverted,
+                                  uint32_t k);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COVERAGE_CELF_GREEDY_H_

@@ -1,0 +1,54 @@
+#include "coverage/greedy_max_cover.h"
+
+#include <algorithm>
+
+namespace kbtim {
+
+MaxCoverResult GreedyMaxCover(const RrCollection& sets,
+                              const InvertedRrIndex& inverted, uint32_t k) {
+  MaxCoverResult result;
+  const VertexId n = inverted.num_vertices();
+  std::vector<uint64_t> count(n);
+  for (VertexId v = 0; v < n; ++v) count[v] = inverted.ListLength(v);
+  std::vector<char> covered(sets.size(), 0);
+  std::vector<char> selected(n, 0);
+
+  for (uint32_t round = 0; round < k; ++round) {
+    VertexId best = kInvalidVertex;
+    uint64_t best_count = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (count[v] > best_count) {
+        best = v;
+        best_count = count[v];
+      }
+    }
+    if (best == kInvalidVertex) {
+      // No vertex covers anything new; fill remaining slots with the
+      // smallest unselected ids (matching Algorithm 2's behaviour of
+      // returning exactly k seeds).
+      for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
+        if (!selected[v]) {
+          selected[v] = 1;
+          result.seeds.push_back(v);
+          result.marginal_coverage.push_back(0);
+        }
+      }
+      break;
+    }
+    selected[best] = 1;
+    result.seeds.push_back(best);
+    result.marginal_coverage.push_back(best_count);
+    result.total_covered += best_count;
+    for (RrId rr : inverted.Sets(best)) {
+      if (covered[rr]) continue;
+      covered[rr] = 1;
+      for (VertexId u : sets.Set(rr)) {
+        --count[u];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,36 @@
+// Greedy maximum-coverage over RR sets (the (1 - 1/e)-approximate step of
+// the RIS framework; Vazirani's classic greedy).
+//
+// Ties are always broken toward the smaller vertex id so that every solver
+// in the library (WRIS, RR-index greedy, IRR's NRA) produces comparable
+// seed sequences — Theorem 3 equality tests rely on this.
+#ifndef KBTIM_COVERAGE_GREEDY_MAX_COVER_H_
+#define KBTIM_COVERAGE_GREEDY_MAX_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/rr_collection.h"
+
+namespace kbtim {
+
+/// Result of a greedy max-coverage run.
+struct MaxCoverResult {
+  /// Selected seeds in selection order.
+  std::vector<VertexId> seeds;
+
+  /// Marginal number of newly covered RR sets per seed, aligned with seeds.
+  std::vector<uint64_t> marginal_coverage;
+
+  /// Total RR sets covered by the full seed set.
+  uint64_t total_covered = 0;
+};
+
+/// Counting-based greedy: maintains exact marginal coverage per vertex and
+/// scans for the maximum each round.
+MaxCoverResult GreedyMaxCover(const RrCollection& sets,
+                              const InvertedRrIndex& inverted, uint32_t k);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COVERAGE_GREEDY_MAX_COVER_H_

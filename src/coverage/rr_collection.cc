@@ -1,0 +1,39 @@
+#include "coverage/rr_collection.h"
+
+namespace kbtim {
+
+void RrCollection::Reserve(size_t num_sets, size_t num_items) {
+  offsets_.reserve(num_sets + 1);
+  items_.reserve(num_items);
+}
+
+RrId RrCollection::Add(std::span<const VertexId> members) {
+  items_.insert(items_.end(), members.begin(), members.end());
+  offsets_.push_back(items_.size());
+  return static_cast<RrId>(offsets_.size() - 2);
+}
+
+void RrCollection::Append(const RrCollection& other) {
+  for (size_t i = 0; i < other.size(); ++i) {
+    Add(other.Set(static_cast<RrId>(i)));
+  }
+}
+
+InvertedRrIndex::InvertedRrIndex(const RrCollection& sets,
+                                 VertexId num_vertices) {
+  offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (VertexId v : sets.Set(static_cast<RrId>(i))) ++offsets_[v + 1];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) offsets_[v + 1] += offsets_[v];
+  ids_.resize(sets.total_items());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // Iterating sets in id order appends ascending ids per vertex.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    for (VertexId v : sets.Set(static_cast<RrId>(i))) {
+      ids_[cursor[v]++] = static_cast<RrId>(i);
+    }
+  }
+}
+
+}  // namespace kbtim

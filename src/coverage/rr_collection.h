@@ -1,0 +1,85 @@
+// In-memory store of sampled RR sets, plus its inverted index
+// (vertex -> RR-set ids), the two structures the greedy maximum-coverage
+// step operates on (paper §2.2 step 2, Algorithm 2 lines 6-14).
+#ifndef KBTIM_COVERAGE_RR_COLLECTION_H_
+#define KBTIM_COVERAGE_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Dense id of an RR set within one collection.
+using RrId = uint32_t;
+
+/// Append-only flattened storage of RR sets.
+class RrCollection {
+ public:
+  RrCollection() = default;
+
+  /// Pre-allocates for `num_sets` sets totalling `num_items` vertices.
+  void Reserve(size_t num_sets, size_t num_items);
+
+  /// Appends one RR set; returns its id. Members may be in any order.
+  RrId Add(std::span<const VertexId> members);
+
+  /// Appends all sets from `other`, preserving their relative order.
+  void Append(const RrCollection& other);
+
+  size_t size() const { return offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Total vertex occurrences across all sets.
+  uint64_t total_items() const { return items_.size(); }
+
+  /// Mean members per set (0 when empty).
+  double MeanSetSize() const {
+    return empty() ? 0.0
+                   : static_cast<double>(total_items()) /
+                         static_cast<double>(size());
+  }
+
+  /// Members of set `id`.
+  std::span<const VertexId> Set(RrId id) const {
+    return {items_.data() + offsets_[id], items_.data() + offsets_[id + 1]};
+  }
+
+ private:
+  std::vector<uint64_t> offsets_{0};
+  std::vector<VertexId> items_;
+};
+
+/// Inverted index over an RrCollection: for each vertex, the ascending list
+/// of RR-set ids containing it (the paper's L_w).
+class InvertedRrIndex {
+ public:
+  InvertedRrIndex() = default;
+
+  /// Builds the index; `num_vertices` bounds the vertex id space.
+  InvertedRrIndex(const RrCollection& sets, VertexId num_vertices);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// RR-set ids containing vertex v, ascending.
+  std::span<const RrId> Sets(VertexId v) const {
+    return {ids_.data() + offsets_[v], ids_.data() + offsets_[v + 1]};
+  }
+
+  /// Number of RR sets containing v.
+  uint64_t ListLength(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<RrId> ids_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COVERAGE_RR_COLLECTION_H_

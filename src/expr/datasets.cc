@@ -1,0 +1,71 @@
+#include "expr/datasets.h"
+
+namespace kbtim {
+namespace {
+
+DatasetSpec MakeSpec(const std::string& name, uint32_t n, double avg_degree,
+                     uint32_t num_communities, uint32_t num_topics,
+                     uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = name;
+  spec.graph.num_vertices = n;
+  spec.graph.avg_degree = avg_degree;
+  spec.graph.num_communities = num_communities;
+  spec.graph.intra_community_fraction = 0.7;
+  spec.graph.reciprocity = 0.3;
+  spec.graph.preferential_weight = 0.85;
+  spec.graph.seed = seed;
+  spec.profiles.num_topics = num_topics;
+  spec.profiles.mean_topics_per_user = 4.0;
+  spec.profiles.zipf_exponent = 1.0;
+  spec.profiles.community_affinity = 0.7;
+  spec.profiles.topics_per_community = 3;
+  spec.profiles.seed = seed ^ 0xABCDEF;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<DatasetSpec> NewsLikeSeries(uint32_t num_topics) {
+  // Average degrees follow the paper's news series exactly (Table 2).
+  return {
+      MakeSpec("N20k", 20000, 5.2, 24, num_topics, 1001),
+      MakeSpec("N60k", 60000, 3.1, 24, num_topics, 1002),
+      MakeSpec("N100k", 100000, 2.6, 24, num_topics, 1003),
+      MakeSpec("N140k", 140000, 2.2, 24, num_topics, 1004),
+  };
+}
+
+std::vector<DatasetSpec> TwitterLikeSeries(uint32_t num_topics) {
+  // Average degrees follow the paper's Twitter series (Table 2).
+  return {
+      MakeSpec("T10k", 10000, 76.4, 16, num_topics, 2001),
+      MakeSpec("T20k", 20000, 56.8, 16, num_topics, 2002),
+      MakeSpec("T30k", 30000, 46.1, 16, num_topics, 2003),
+      MakeSpec("T40k", 40000, 38.9, 16, num_topics, 2004),
+  };
+}
+
+DatasetSpec DefaultNewsSpec(uint32_t num_topics) {
+  return NewsLikeSeries(num_topics).back();
+}
+
+DatasetSpec DefaultTwitterSpec(uint32_t num_topics) {
+  return TwitterLikeSeries(num_topics).back();
+}
+
+StatusOr<Dataset> BuildDataset(const DatasetSpec& spec) {
+  KBTIM_ASSIGN_OR_RETURN(SocialGraph social, GenerateSocialGraph(spec.graph));
+  KBTIM_ASSIGN_OR_RETURN(
+      ProfileStore profiles,
+      GenerateProfiles(social.graph.num_vertices(), social.community,
+                       spec.profiles));
+  Dataset dataset;
+  dataset.name = spec.name;
+  dataset.graph = std::move(social.graph);
+  dataset.community = std::move(social.community);
+  dataset.profiles = std::move(profiles);
+  return dataset;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,55 @@
+// Dataset presets: laptop-scale analogues of the paper's Table 2 series.
+//
+// Paper (server-scale)            This repo (laptop-scale)
+//   News  n0.2M..n1.4M, deg 5.2→2.2   N20k..N140k,  deg 5.2→2.2
+//   Twitter t10M..t40M, deg 76→39     T10k..T40k,   deg 76→39
+// The average-degree trend (denser at small |V|, sparser at large |V|,
+// Twitter ≫ News) and the heavy-tailed in-degree shape (Figure 4) are
+// preserved; absolute sizes are scaled ~100-1000x down. See DESIGN.md.
+#ifndef KBTIM_EXPR_DATASETS_H_
+#define KBTIM_EXPR_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/generators.h"
+#include "topics/profile_generator.h"
+#include "topics/profile_store.h"
+
+namespace kbtim {
+
+/// A named recipe for one synthetic dataset.
+struct DatasetSpec {
+  std::string name;
+  SocialGraphOptions graph;
+  ProfileGeneratorOptions profiles;
+};
+
+/// A materialized dataset.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  std::vector<uint32_t> community;
+  ProfileStore profiles;
+};
+
+/// The news-like scaling series (sparse, shrinking average degree):
+/// N20k, N60k, N100k, N140k.
+std::vector<DatasetSpec> NewsLikeSeries(uint32_t num_topics = 30);
+
+/// The twitter-like scaling series (dense, heavy-tailed):
+/// T10k, T20k, T30k, T40k.
+std::vector<DatasetSpec> TwitterLikeSeries(uint32_t num_topics = 30);
+
+/// Default experiment datasets (the largest of each series, matching the
+/// paper's defaults).
+DatasetSpec DefaultNewsSpec(uint32_t num_topics = 30);
+DatasetSpec DefaultTwitterSpec(uint32_t num_topics = 30);
+
+/// Generates graph + communities + profiles for a spec.
+StatusOr<Dataset> BuildDataset(const DatasetSpec& spec);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_EXPR_DATASETS_H_

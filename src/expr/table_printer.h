@@ -1,0 +1,40 @@
+// Fixed-width table rendering for benchmark output, so each bench binary
+// prints rows shaped like the paper's tables/figure series.
+#ifndef KBTIM_EXPR_TABLE_PRINTER_H_
+#define KBTIM_EXPR_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kbtim {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extras are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline, one space-padded row per line.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats with fixed precision ("12.345").
+std::string FormatDouble(double v, int precision = 3);
+
+/// Human-readable byte size ("3.2 MB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Seconds with ms resolution ("0.012 s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_EXPR_TABLE_PRINTER_H_

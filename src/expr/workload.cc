@@ -1,0 +1,43 @@
+#include "expr/workload.h"
+
+namespace kbtim {
+
+StatusOr<std::unique_ptr<Environment>> Environment::Create(
+    const DatasetSpec& spec) {
+  auto env = std::unique_ptr<Environment>(new Environment());
+  KBTIM_ASSIGN_OR_RETURN(Dataset dataset, BuildDataset(spec));
+  env->dataset_ = std::make_unique<Dataset>(std::move(dataset));
+  env->tfidf_ = std::make_unique<TfIdfModel>(&env->dataset_->profiles);
+  env->ic_probs_ = UniformIcProbabilities(env->dataset_->graph);
+  Rng rng(spec.graph.seed ^ 0x17171717);
+  env->lt_weights_ = RandomLtWeights(env->dataset_->graph, rng);
+  return env;
+}
+
+StatusOr<std::vector<Query>> Environment::Queries(
+    const QueryGeneratorOptions& options) const {
+  return GenerateQueries(dataset_->profiles, options);
+}
+
+void QueryAggregator::Add(const SeedSetResult& result) {
+  sum_.mean_seconds += result.stats.total_seconds;
+  sum_.mean_rr_sets_loaded +=
+      static_cast<double>(result.stats.rr_sets_loaded);
+  sum_.mean_io_reads += static_cast<double>(result.stats.io_reads);
+  sum_.mean_influence += result.estimated_influence;
+  ++sum_.queries;
+}
+
+QueryAggregate QueryAggregator::Finish() const {
+  QueryAggregate out = sum_;
+  if (out.queries > 0) {
+    const auto n = static_cast<double>(out.queries);
+    out.mean_seconds /= n;
+    out.mean_rr_sets_loaded /= n;
+    out.mean_io_reads /= n;
+    out.mean_influence /= n;
+  }
+  return out;
+}
+
+}  // namespace kbtim

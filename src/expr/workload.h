@@ -1,0 +1,79 @@
+// Shared benchmark plumbing: a materialized experiment environment
+// (dataset + tf-idf model + propagation weights + query workload) and
+// helpers to aggregate per-query measurements, as the paper reports
+// averages over 100 queries per configuration.
+#ifndef KBTIM_EXPR_WORKLOAD_H_
+#define KBTIM_EXPR_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "expr/datasets.h"
+#include "propagation/model.h"
+#include "sampling/solver_result.h"
+#include "topics/query_generator.h"
+#include "topics/tfidf.h"
+
+namespace kbtim {
+
+/// Everything a bench needs for one dataset, with stable addresses (the
+/// TfIdfModel and solvers keep pointers into it).
+class Environment {
+ public:
+  /// Builds dataset, tf-idf model, IC probabilities and LT weights.
+  static StatusOr<std::unique_ptr<Environment>> Create(
+      const DatasetSpec& spec);
+
+  const std::string& name() const { return dataset_->name; }
+  const Graph& graph() const { return dataset_->graph; }
+  const std::vector<uint32_t>& community() const {
+    return dataset_->community;
+  }
+  const ProfileStore& profiles() const { return dataset_->profiles; }
+  const TfIdfModel& tfidf() const { return *tfidf_; }
+  const std::vector<float>& ic_probs() const { return ic_probs_; }
+  const std::vector<float>& lt_weights() const { return lt_weights_; }
+
+  /// Weights for a model.
+  const std::vector<float>& weights(PropagationModel model) const {
+    return model == PropagationModel::kIndependentCascade ? ic_probs_
+                                                          : lt_weights_;
+  }
+
+  /// Generates the default query workload (lengths 1..6).
+  StatusOr<std::vector<Query>> Queries(
+      const QueryGeneratorOptions& options) const;
+
+ private:
+  Environment() = default;
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<TfIdfModel> tfidf_;
+  std::vector<float> ic_probs_;
+  std::vector<float> lt_weights_;
+};
+
+/// Mean of per-query measurements.
+struct QueryAggregate {
+  double mean_seconds = 0.0;
+  double mean_rr_sets_loaded = 0.0;
+  double mean_io_reads = 0.0;
+  double mean_influence = 0.0;
+  uint64_t queries = 0;
+};
+
+/// Accumulates SeedSetResult stats into a QueryAggregate.
+class QueryAggregator {
+ public:
+  void Add(const SeedSetResult& result);
+  QueryAggregate Finish() const;
+
+ private:
+  QueryAggregate sum_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_EXPR_WORKLOAD_H_

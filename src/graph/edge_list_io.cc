@@ -1,0 +1,58 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+namespace kbtim {
+
+StatusOr<Graph> LoadEdgeListText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("cannot open edge list: " + path);
+  }
+  std::vector<Edge> edges;
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto intern = [&remap](uint64_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  char line[256];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    if (line[0] == '#' || line[0] == '\n' || line[0] == '\r') continue;
+    unsigned long long src = 0, dst = 0;
+    if (std::sscanf(line, "%llu %llu", &src, &dst) != 2) {
+      std::fclose(f);
+      return Status::Corruption("bad edge at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    edges.push_back({intern(src), intern(dst)});
+  }
+  std::fclose(f);
+  return Graph::FromEdges(static_cast<VertexId>(remap.size()), edges);
+}
+
+Status SaveEdgeListText(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot create edge list: " + path);
+  }
+  std::fprintf(f, "# kbtim edge list: %u vertices, %llu edges\n",
+               graph.num_vertices(),
+               static_cast<unsigned long long>(graph.num_edges()));
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.OutNeighbors(u)) {
+      std::fprintf(f, "%u %u\n", u, v);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kbtim

@@ -1,0 +1,23 @@
+// Text edge-list I/O (SNAP-compatible: one "src dst" pair per line,
+// '#'-prefixed comment lines ignored).
+#ifndef KBTIM_GRAPH_EDGE_LIST_IO_H_
+#define KBTIM_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Loads a directed graph from a SNAP-style text edge list. Vertex ids may
+/// be sparse in the file; they are remapped to dense [0, n) by first
+/// occurrence order. Returns IOError / Corruption on failure.
+StatusOr<Graph> LoadEdgeListText(const std::string& path);
+
+/// Writes `graph` as "src dst" lines with a small header comment.
+Status SaveEdgeListText(const Graph& graph, const std::string& path);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_GRAPH_EDGE_LIST_IO_H_

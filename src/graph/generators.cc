@@ -1,0 +1,146 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kbtim {
+
+StatusOr<SocialGraph> GenerateSocialGraph(const SocialGraphOptions& options) {
+  if (options.num_vertices == 0) {
+    return Status::InvalidArgument("num_vertices must be > 0");
+  }
+  if (options.avg_degree <= 0.0) {
+    return Status::InvalidArgument("avg_degree must be > 0");
+  }
+  if (options.num_communities == 0) {
+    return Status::InvalidArgument("num_communities must be >= 1");
+  }
+
+  const uint32_t n = options.num_vertices;
+  const uint32_t ncomm = std::min(options.num_communities, n);
+  Rng rng(options.seed);
+
+  std::vector<uint32_t> community(n);
+  for (uint32_t v = 0; v < n; ++v) community[v] = rng.NextU32Below(ncomm);
+
+  // Reciprocal edges inflate the edge count; compensate in the per-vertex
+  // edge budget so the realized average degree tracks options.avg_degree.
+  const double recip = std::clamp(options.reciprocity, 0.0, 1.0);
+  const double m_target = options.avg_degree / (1.0 + recip);
+  const auto m_floor = static_cast<uint32_t>(m_target);
+  const double m_frac = m_target - m_floor;
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(
+      static_cast<double>(n) * options.avg_degree * 1.1));
+
+  // Degree-proportional endpoint pools: every edge endpoint is appended, so
+  // a uniform draw from a pool is a draw proportional to (current degree).
+  std::vector<VertexId> pool_global;
+  std::vector<std::vector<VertexId>> pool_comm(ncomm);
+  std::vector<std::vector<VertexId>> members(ncomm);
+  members[community[0]].push_back(0);
+
+  auto add_edge = [&](VertexId src, VertexId dst) {
+    edges.push_back({src, dst});
+    pool_global.push_back(src);
+    pool_global.push_back(dst);
+    pool_comm[community[src]].push_back(src);
+    pool_comm[community[dst]].push_back(dst);
+  };
+
+  for (VertexId v = 1; v < n; ++v) {
+    const uint32_t budget = m_floor + (rng.Bernoulli(m_frac) ? 1u : 0u);
+    for (uint32_t j = 0; j < budget; ++j) {
+      const bool intra = rng.Bernoulli(options.intra_community_fraction);
+      const uint32_t c = community[v];
+      VertexId t = kInvalidVertex;
+
+      if (rng.Bernoulli(options.preferential_weight)) {
+        const auto& pool = (intra && !pool_comm[c].empty())
+                               ? pool_comm[c]
+                               : pool_global;
+        if (!pool.empty()) {
+          t = pool[rng.NextU64Below(pool.size())];
+        }
+      }
+      if (t == kInvalidVertex) {
+        if (intra && !members[c].empty()) {
+          t = members[c][rng.NextU64Below(members[c].size())];
+        } else {
+          t = static_cast<VertexId>(rng.NextU32Below(v));
+        }
+      }
+      if (t == v) continue;
+
+      // Random orientation keeps both in- and out-degree heavy-tailed.
+      if (rng.Bernoulli(0.5)) {
+        add_edge(v, t);
+      } else {
+        add_edge(t, v);
+      }
+      if (rng.Bernoulli(recip)) {
+        add_edge(t, v);  // duplicate reciprocal edges are deduped later
+      }
+    }
+    members[community[v]].push_back(v);
+  }
+
+  KBTIM_ASSIGN_OR_RETURN(Graph graph, Graph::FromEdges(n, edges));
+  return SocialGraph{std::move(graph), std::move(community)};
+}
+
+StatusOr<Graph> GenerateErdosRenyi(uint32_t num_vertices, double avg_degree,
+                                   uint64_t seed) {
+  if (num_vertices < 2) {
+    return Status::InvalidArgument("Erdős–Rényi needs >= 2 vertices");
+  }
+  Rng rng(seed);
+  const auto m = static_cast<uint64_t>(
+      static_cast<double>(num_vertices) * avg_degree);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    const VertexId u = rng.NextU32Below(num_vertices);
+    VertexId v = rng.NextU32Below(num_vertices);
+    while (v == u) v = rng.NextU32Below(num_vertices);
+    edges.push_back({u, v});
+  }
+  return Graph::FromEdges(num_vertices, edges);
+}
+
+Figure1Graph MakeFigure1Graph() {
+  // Reconstruction of the paper's Figure 1 from its worked examples:
+  // e->a is the single probability-1.0 edge; all others carry 0.5.
+  // Vertex ids: a=0 b=1 c=2 d=3 e=4 f=5 g=6.
+  constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6;
+  struct ProbEdge {
+    VertexId src, dst;
+    float p;
+  };
+  const ProbEdge prob_edges[] = {
+      {e, a, 1.0f}, {e, b, 0.5f}, {g, b, 0.5f}, {a, b, 0.5f},
+      {e, c, 0.5f}, {b, c, 0.5f}, {b, d, 0.5f}, {f, d, 0.5f},
+  };
+  std::vector<Edge> edges;
+  edges.reserve(std::size(prob_edges));
+  for (const auto& pe : prob_edges) edges.push_back({pe.src, pe.dst});
+  auto graph_or = Graph::FromEdges(7, edges);
+  // The static edge list above is valid by construction.
+  Graph graph = std::move(graph_or).value();
+
+  std::vector<float> probs(graph.num_edges(), 0.0f);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto [first, last] = graph.InEdgeRange(v);
+    auto in = graph.InNeighbors(v);
+    for (uint64_t i = first; i < last; ++i) {
+      const VertexId u = in[i - first];
+      for (const auto& pe : prob_edges) {
+        if (pe.src == u && pe.dst == v) probs[i] = pe.p;
+      }
+    }
+  }
+  return Figure1Graph{std::move(graph), std::move(probs)};
+}
+
+}  // namespace kbtim

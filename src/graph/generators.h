@@ -1,0 +1,76 @@
+// Synthetic social-graph generators.
+//
+// These stand in for the paper's SNAP Twitter / News datasets (see DESIGN.md,
+// substitutions table). The main generator is a directed preferential-
+// attachment process with planted communities:
+//   * in- and out-degree distributions are heavy-tailed (Figure 4's shape),
+//   * a tunable fraction of edges stays inside a vertex's community, which
+//     lets topic profiles correlate with graph structure (Table 8's
+//     "relevant communities" effect).
+#ifndef KBTIM_GRAPH_GENERATORS_H_
+#define KBTIM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Options for the preferential-attachment community generator.
+struct SocialGraphOptions {
+  /// Number of vertices; must be > 0.
+  uint32_t num_vertices = 10000;
+
+  /// Target average out-degree; each arriving vertex creates about this many
+  /// edges. Must be > 0.
+  double avg_degree = 8.0;
+
+  /// Number of planted communities (>= 1). Vertices are assigned uniformly.
+  uint32_t num_communities = 16;
+
+  /// Probability that a new edge stays inside the source's community.
+  double intra_community_fraction = 0.7;
+
+  /// Probability that a preferential edge also gets a reciprocal edge,
+  /// mimicking mutual follows. Reciprocal edges count toward avg_degree.
+  double reciprocity = 0.3;
+
+  /// Mixing weight of preferential attachment vs uniform target choice.
+  /// 1.0 = pure preferential (steepest power law), 0.0 = uniform.
+  double preferential_weight = 0.85;
+
+  /// RNG seed; equal options + seed give identical graphs.
+  uint64_t seed = 42;
+};
+
+/// A generated graph plus its planted community assignment (one label per
+/// vertex, in [0, num_communities)).
+struct SocialGraph {
+  Graph graph;
+  std::vector<uint32_t> community;
+};
+
+/// Generates a directed heavy-tailed community graph per `options`.
+StatusOr<SocialGraph> GenerateSocialGraph(const SocialGraphOptions& options);
+
+/// Generates a directed Erdős–Rényi G(n, m) graph with m ≈ n * avg_degree.
+/// Used by tests and as a no-power-law ablation baseline.
+StatusOr<Graph> GenerateErdosRenyi(uint32_t num_vertices, double avg_degree,
+                                   uint64_t seed);
+
+/// Builds the 7-vertex graph of the paper's Figure 1 (vertices a..g mapped
+/// to ids 0..6) together with its exact IC edge probabilities. Used by unit
+/// tests that check the paper's worked examples.
+struct Figure1Graph {
+  Graph graph;
+  /// Probability per in-edge, aligned with Graph::InEdgeRange indexing.
+  std::vector<float> in_edge_prob;
+};
+Figure1Graph MakeFigure1Graph();
+
+}  // namespace kbtim
+
+#endif  // KBTIM_GRAPH_GENERATORS_H_

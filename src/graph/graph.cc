@@ -1,0 +1,100 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace kbtim {
+
+StatusOr<Graph> Graph::FromEdges(VertexId num_vertices,
+                                 std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_vertices || e.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: " + std::to_string(e.src) + "->" +
+          std::to_string(e.dst) + " with num_vertices=" +
+          std::to_string(num_vertices));
+    }
+  }
+
+  // Copy, drop self-loops, sort by (src, dst), dedupe.
+  std::vector<Edge> sorted;
+  sorted.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.src != e.dst) sorted.push_back(e);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g;
+  const size_t n = num_vertices;
+  const size_t m = sorted.size();
+
+  g.out_offsets_.assign(n + 1, 0);
+  g.out_neighbors_.resize(m);
+  for (const Edge& e : sorted) ++g.out_offsets_[e.src + 1];
+  for (size_t v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+  for (size_t i = 0; i < m; ++i) g.out_neighbors_[i] = sorted[i].dst;
+
+  g.in_offsets_.assign(n + 1, 0);
+  g.in_neighbors_.resize(m);
+  for (const Edge& e : sorted) ++g.in_offsets_[e.dst + 1];
+  for (size_t v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  {
+    std::vector<uint64_t> cursor(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+    for (const Edge& e : sorted) {
+      g.in_neighbors_[cursor[e.dst]++] = e.src;
+    }
+  }
+  // Edges were sorted by (src, dst), so each in-list was appended in
+  // ascending source order already; keep the invariant explicit anyway.
+  for (size_t v = 0; v < n; ++v) {
+    auto* begin = g.in_neighbors_.data() + g.in_offsets_[v];
+    auto* end = g.in_neighbors_.data() + g.in_offsets_[v + 1];
+    if (!std::is_sorted(begin, end)) std::sort(begin, end);
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+StatusOr<Graph> Graph::FromCsr(std::vector<uint64_t> out_offsets,
+                               std::vector<VertexId> out_neighbors,
+                               std::vector<uint64_t> in_offsets,
+                               std::vector<VertexId> in_neighbors) {
+  if (out_offsets.empty() || in_offsets.empty() ||
+      out_offsets.size() != in_offsets.size()) {
+    return Status::Corruption("CSR offset arrays malformed");
+  }
+  if (out_offsets.front() != 0 || in_offsets.front() != 0 ||
+      out_offsets.back() != out_neighbors.size() ||
+      in_offsets.back() != in_neighbors.size() ||
+      out_neighbors.size() != in_neighbors.size()) {
+    return Status::Corruption("CSR arrays inconsistent with edge count");
+  }
+  if (!std::is_sorted(out_offsets.begin(), out_offsets.end()) ||
+      !std::is_sorted(in_offsets.begin(), in_offsets.end())) {
+    return Status::Corruption("CSR offsets not monotone");
+  }
+  const auto n = static_cast<VertexId>(out_offsets.size() - 1);
+  for (VertexId v : out_neighbors) {
+    if (v >= n) return Status::Corruption("out-neighbor id out of range");
+  }
+  for (VertexId v : in_neighbors) {
+    if (v >= n) return Status::Corruption("in-neighbor id out of range");
+  }
+  Graph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_neighbors_ = std::move(out_neighbors);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_neighbors_ = std::move(in_neighbors);
+  return g;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,110 @@
+// Immutable directed graph in compressed-sparse-row form.
+//
+// The graph stores both forward (out-) and reverse (in-) adjacency because
+// reverse-reachable-set sampling walks incoming edges while forward influence
+// simulation walks outgoing ones. Vertices are dense uint32 ids [0, n).
+#ifndef KBTIM_GRAPH_GRAPH_H_
+#define KBTIM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace kbtim {
+
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// A directed edge u -> v meaning "u influences v".
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable CSR digraph with both adjacency directions materialized.
+///
+/// Construction deduplicates parallel edges and drops self-loops (the IC/LT
+/// models give them no effect). Neighbor lists are sorted ascending.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph over `num_vertices` vertices from an edge list.
+  /// Fails with InvalidArgument if any endpoint is out of range.
+  static StatusOr<Graph> FromEdges(VertexId num_vertices,
+                                   std::span<const Edge> edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return out_neighbors_.size(); }
+
+  uint32_t OutDegree(VertexId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  uint32_t InDegree(VertexId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Vertices that v points at (v influences them), sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_neighbors_.data() + out_offsets_[v],
+            out_neighbors_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Vertices pointing at v (they influence v), sorted ascending.
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_neighbors_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Global index range [first, last) of v's incoming edges. Per-in-edge
+  /// attribute arrays (e.g. IC probabilities, LT weights) are aligned with
+  /// this indexing.
+  std::pair<uint64_t, uint64_t> InEdgeRange(VertexId v) const {
+    return {in_offsets_[v], in_offsets_[v + 1]};
+  }
+
+  /// Average out-degree (== average in-degree), 0 for the empty graph.
+  double AverageDegree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / num_vertices();
+  }
+
+  /// True if the edge u -> v exists (binary search over out-neighbors).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  // Raw array access for serialization; offsets have n+1 entries.
+  const std::vector<uint64_t>& out_offsets() const { return out_offsets_; }
+  const std::vector<VertexId>& out_neighbors() const { return out_neighbors_; }
+  const std::vector<uint64_t>& in_offsets() const { return in_offsets_; }
+  const std::vector<VertexId>& in_neighbors() const { return in_neighbors_; }
+
+  /// Rebuilds a graph directly from CSR arrays (used by the binary loader).
+  /// Validates shape invariants; returns Corruption on mismatch.
+  static StatusOr<Graph> FromCsr(std::vector<uint64_t> out_offsets,
+                                 std::vector<VertexId> out_neighbors,
+                                 std::vector<uint64_t> in_offsets,
+                                 std::vector<VertexId> in_neighbors);
+
+ private:
+  std::vector<uint64_t> out_offsets_;
+  std::vector<VertexId> out_neighbors_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<VertexId> in_neighbors_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_GRAPH_GRAPH_H_

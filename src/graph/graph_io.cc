@@ -1,0 +1,72 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace kbtim {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'B', 'G', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  const auto count = static_cast<uint64_t>(v.size());
+  if (std::fwrite(&count, sizeof(count), 1, f) != 1) return false;
+  if (count == 0) return true;
+  return std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1) return false;
+  // Guard against absurd allocations from corrupt headers (16 GiB cap).
+  if (count > (uint64_t{1} << 34) / sizeof(T)) return false;
+  v->resize(count);
+  if (count == 0) return true;
+  return std::fread(v->data(), sizeof(T), v->size(), f) == v->size();
+}
+
+}  // namespace
+
+Status SaveGraphBinary(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4 &&
+            std::fwrite(&kVersion, sizeof(kVersion), 1, f) == 1 &&
+            WriteVec(f, graph.out_offsets()) &&
+            WriteVec(f, graph.out_neighbors()) &&
+            WriteVec(f, graph.in_offsets()) &&
+            WriteVec(f, graph.in_neighbors());
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadGraphBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char magic[4];
+  uint32_t version = 0;
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (std::fread(&version, sizeof(version), 1, f) != 1 ||
+      version != kVersion) {
+    std::fclose(f);
+    return Status::Corruption("unsupported graph file version in " + path);
+  }
+  std::vector<uint64_t> out_offsets, in_offsets;
+  std::vector<VertexId> out_neighbors, in_neighbors;
+  const bool ok = ReadVec(f, &out_offsets) && ReadVec(f, &out_neighbors) &&
+                  ReadVec(f, &in_offsets) && ReadVec(f, &in_neighbors);
+  std::fclose(f);
+  if (!ok) return Status::Corruption("truncated graph file: " + path);
+  return Graph::FromCsr(std::move(out_offsets), std::move(out_neighbors),
+                        std::move(in_offsets), std::move(in_neighbors));
+}
+
+}  // namespace kbtim

@@ -1,0 +1,22 @@
+// Binary graph serialization (fast reload of generated datasets).
+#ifndef KBTIM_GRAPH_GRAPH_IO_H_
+#define KBTIM_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Writes `graph` in the native binary format (magic "KBGR", version 1,
+/// little-endian CSR arrays).
+Status SaveGraphBinary(const Graph& graph, const std::string& path);
+
+/// Reads a graph previously written by SaveGraphBinary. Validates the magic,
+/// version, and CSR invariants; returns Corruption on any mismatch.
+StatusOr<Graph> LoadGraphBinary(const std::string& path);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,74 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace kbtim {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return stats;
+  uint64_t isolated = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    if (graph.InDegree(v) == 0) ++isolated;
+  }
+  stats.avg_degree = graph.AverageDegree();
+  stats.frac_in_isolated =
+      static_cast<double>(isolated) / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> InDegreeHistogram(
+    const Graph& graph) {
+  std::map<uint32_t, uint64_t> hist;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ++hist[graph.InDegree(v)];
+  }
+  return {hist.begin(), hist.end()};
+}
+
+std::vector<std::pair<double, uint64_t>> LogBinnedInDegreeHistogram(
+    const Graph& graph, double base) {
+  if (base <= 1.0) base = 2.0;
+  std::map<uint32_t, uint64_t> bins;  // bin index -> count
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t d = graph.InDegree(v);
+    if (d == 0) continue;
+    const auto bin = static_cast<uint32_t>(
+        std::floor(std::log(static_cast<double>(d)) / std::log(base)));
+    ++bins[bin];
+  }
+  std::vector<std::pair<double, uint64_t>> out;
+  out.reserve(bins.size());
+  for (const auto& [bin, count] : bins) {
+    const double lo = std::pow(base, bin);
+    const double hi = std::pow(base, bin + 1);
+    out.emplace_back(std::sqrt(lo * hi), count);
+  }
+  return out;
+}
+
+double PowerLawSlope(const Graph& graph) {
+  const auto bins = LogBinnedInDegreeHistogram(graph);
+  if (bins.size() < 2) return 0.0;
+  // Least squares on (log degree, log count).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(bins.size());
+  for (const auto& [deg, count] : bins) {
+    const double x = std::log(deg);
+    const double y = std::log(static_cast<double>(count));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,44 @@
+// Degree statistics used by Table 2 (dataset summary) and Figure 4
+// (in-degree distributions).
+#ifndef KBTIM_GRAPH_STATS_H_
+#define KBTIM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Summary degree statistics of a graph.
+struct DegreeStats {
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+  double avg_degree = 0.0;
+  /// Fraction of vertices with in-degree 0.
+  double frac_in_isolated = 0.0;
+};
+
+/// Computes summary statistics in one pass.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Exact in-degree histogram: (degree, #vertices with that in-degree),
+/// ascending by degree, zero-count degrees omitted.
+std::vector<std::pair<uint32_t, uint64_t>> InDegreeHistogram(
+    const Graph& graph);
+
+/// Log-binned in-degree histogram for plotting Figure 4 on log-log axes:
+/// (representative degree = geometric bin center, #vertices in bin).
+/// `base` > 1 controls bin growth.
+std::vector<std::pair<double, uint64_t>> LogBinnedInDegreeHistogram(
+    const Graph& graph, double base = 2.0);
+
+/// Least-squares slope of log(count) vs log(degree) over the log-binned
+/// histogram; a heavy-tailed (power-law-like) graph has slope notably below
+/// -1. Returns 0 if fewer than two non-empty bins.
+double PowerLawSlope(const Graph& graph);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_GRAPH_STATS_H_

@@ -1,0 +1,398 @@
+#include "index/index_builder.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "coverage/rr_collection.h"
+#include "propagation/rr_sampler.h"
+#include "sampling/theta_bounds.h"
+#include "sampling/vertex_sampler.h"
+#include "storage/block_file.h"
+#include "storage/varint.h"
+
+namespace kbtim {
+namespace {
+
+constexpr char kRrMagic[4] = {'K', 'B', 'R', 'W'};
+constexpr char kListsMagic[4] = {'K', 'B', 'L', 'W'};
+constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutFixed64(std::string* dst, uint64_t v) {
+  dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Delta + codec encoding of an ascending id list.
+void EncodeIdList(std::vector<uint32_t> sorted, const IntCodec& codec,
+                  std::string* out) {
+  DeltaEncode(&sorted);
+  codec.Encode(sorted, out);
+}
+
+struct KeywordArtifacts {
+  IndexMeta::TopicMeta meta;
+  uint64_t rr_bytes = 0;
+  uint64_t lists_bytes = 0;
+  uint64_t irr_bytes = 0;
+  uint64_t total_set_items = 0;
+};
+
+Status WriteRrFile(const std::string& path, TopicId topic,
+                   const RrCollection& sets, CodecKind codec_kind,
+                   uint64_t* bytes_out) {
+  const auto codec = MakeCodec(codec_kind);
+  const uint64_t count = sets.size();
+  const uint64_t header_size = 4 + 4 + 8 + 1;
+  const uint64_t dir_size = (count + 1) * sizeof(uint64_t);
+
+  std::string payload;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(count + 1);
+  std::vector<uint32_t> members;
+  for (uint64_t i = 0; i < count; ++i) {
+    offsets.push_back(header_size + dir_size + payload.size());
+    const auto set = sets.Set(static_cast<RrId>(i));
+    members.assign(set.begin(), set.end());
+    EncodeIdList(std::move(members), *codec, &payload);
+    members.clear();
+  }
+  offsets.push_back(header_size + dir_size + payload.size());
+
+  std::string header;
+  header.append(kRrMagic, 4);
+  PutFixed32(&header, topic);
+  PutFixed64(&header, count);
+  header.push_back(static_cast<char>(codec_kind));
+
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_RETURN_IF_ERROR(writer->Append(header));
+  KBTIM_RETURN_IF_ERROR(writer->Append(
+      {reinterpret_cast<const char*>(offsets.data()),
+       offsets.size() * sizeof(uint64_t)}));
+  KBTIM_RETURN_IF_ERROR(writer->Append(payload));
+  *bytes_out = writer->offset();
+  return writer->Close();
+}
+
+Status WriteListsFile(const std::string& path, TopicId topic,
+                      const InvertedRrIndex& inverted, CodecKind codec_kind,
+                      uint64_t* bytes_out) {
+  const auto codec = MakeCodec(codec_kind);
+  uint64_t num_entries = 0;
+  for (VertexId v = 0; v < inverted.num_vertices(); ++v) {
+    if (inverted.ListLength(v) > 0) ++num_entries;
+  }
+  std::string payload;
+  VertexId prev = 0;
+  std::string tmp;
+  for (VertexId v = 0; v < inverted.num_vertices(); ++v) {
+    const auto list = inverted.Sets(v);
+    if (list.empty()) continue;
+    PutVarint32(&payload, v - prev);
+    prev = v;
+    tmp.clear();
+    EncodeIdList({list.begin(), list.end()}, *codec, &tmp);
+    PutVarint64(&payload, tmp.size());
+    payload += tmp;
+  }
+  std::string header;
+  header.append(kListsMagic, 4);
+  PutFixed32(&header, topic);
+  PutFixed64(&header, num_entries);
+  header.push_back(static_cast<char>(codec_kind));
+
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_RETURN_IF_ERROR(writer->Append(header));
+  KBTIM_RETURN_IF_ERROR(writer->Append(payload));
+  *bytes_out = writer->offset();
+  return writer->Close();
+}
+
+Status WriteIrrFile(const std::string& path, TopicId topic,
+                    const RrCollection& sets, const InvertedRrIndex& inverted,
+                    uint32_t partition_size, CodecKind codec_kind,
+                    uint64_t* bytes_out, uint64_t* preamble_out) {
+  const auto codec = MakeCodec(codec_kind);
+  const uint64_t theta = sets.size();
+
+  // Users with non-empty lists, ordered by (list length desc, id asc) —
+  // Algorithm 3 line 8.
+  std::vector<VertexId> users;
+  for (VertexId v = 0; v < inverted.num_vertices(); ++v) {
+    if (inverted.ListLength(v) > 0) users.push_back(v);
+  }
+  std::sort(users.begin(), users.end(), [&](VertexId a, VertexId b) {
+    const uint64_t la = inverted.ListLength(a);
+    const uint64_t lb = inverted.ListLength(b);
+    return la != lb ? la > lb : a < b;
+  });
+
+  // IP map (vertex-id order for delta coding): first occurrence == the
+  // smallest RR id in the vertex's list (lists are ascending).
+  std::string ip_buf;
+  {
+    VertexId prev = 0;
+    for (VertexId v = 0; v < inverted.num_vertices(); ++v) {
+      const auto list = inverted.Sets(v);
+      if (list.empty()) continue;
+      PutVarint32(&ip_buf, v - prev);
+      prev = v;
+      PutVarint32(&ip_buf, list.front());
+    }
+  }
+
+  // Partitions.
+  const uint32_t delta = std::max<uint32_t>(1, partition_size);
+  const uint64_t num_partitions =
+      users.empty() ? 0 : (users.size() + delta - 1) / delta;
+  std::vector<IrrPartitionInfo> dir;
+  dir.reserve(num_partitions);
+  std::string partitions;
+  std::vector<char> assigned(theta, 0);
+  std::string tmp;
+  for (uint64_t p = 0; p < num_partitions; ++p) {
+    const size_t begin = p * delta;
+    const size_t end = std::min(users.size(), begin + delta);
+    IrrPartitionInfo info;
+    info.num_users = static_cast<uint32_t>(end - begin);
+    info.max_list_len =
+        static_cast<uint32_t>(inverted.ListLength(users[begin]));
+    info.min_list_len =
+        static_cast<uint32_t>(inverted.ListLength(users[end - 1]));
+
+    std::string il;
+    std::vector<RrId> new_sets;
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId u = users[i];
+      const auto list = inverted.Sets(u);
+      PutVarint32(&il, u);
+      tmp.clear();
+      EncodeIdList({list.begin(), list.end()}, *codec, &tmp);
+      PutVarint64(&il, tmp.size());
+      il += tmp;
+      for (RrId rr : list) {
+        if (!assigned[rr]) {
+          assigned[rr] = 1;
+          new_sets.push_back(rr);
+        }
+      }
+    }
+    std::sort(new_sets.begin(), new_sets.end());
+    std::string ir;
+    PutVarint32(&ir, static_cast<uint32_t>(new_sets.size()));
+    RrId prev_rr = 0;
+    for (RrId rr : new_sets) {
+      PutVarint32(&ir, rr - prev_rr);
+      prev_rr = rr;
+      const auto members = sets.Set(rr);
+      tmp.clear();
+      EncodeIdList({members.begin(), members.end()}, *codec, &tmp);
+      PutVarint64(&ir, tmp.size());
+      ir += tmp;
+    }
+    info.num_sets = static_cast<uint32_t>(new_sets.size());
+    info.length = il.size() + ir.size();
+    info.offset = partitions.size();  // relative; rebased below
+    dir.push_back(info);
+    partitions += il;
+    partitions += ir;
+  }
+
+  // Header: magic | topic | num_users | num_partitions | delta | codec |
+  // theta (4+4+8+8+4+1+8 = 37 bytes).
+  std::string header;
+  header.append(kIrrMagic, 4);
+  PutFixed32(&header, topic);
+  PutFixed64(&header, users.size());
+  PutFixed64(&header, num_partitions);
+  PutFixed32(&header, delta);
+  header.push_back(static_cast<char>(codec_kind));
+  PutFixed64(&header, theta);
+
+  const uint64_t preamble =
+      header.size() + ip_buf.size() + dir.size() * 32;
+  std::string dir_buf;
+  dir_buf.reserve(dir.size() * 32);
+  for (auto& info : dir) {
+    info.offset += preamble;
+    PutFixed64(&dir_buf, info.offset);
+    PutFixed64(&dir_buf, info.length);
+    PutFixed32(&dir_buf, info.num_users);
+    PutFixed32(&dir_buf, info.num_sets);
+    PutFixed32(&dir_buf, info.max_list_len);
+    PutFixed32(&dir_buf, info.min_list_len);
+  }
+
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_RETURN_IF_ERROR(writer->Append(header));
+  KBTIM_RETURN_IF_ERROR(writer->Append(ip_buf));
+  KBTIM_RETURN_IF_ERROR(writer->Append(dir_buf));
+  KBTIM_RETURN_IF_ERROR(writer->Append(partitions));
+  *bytes_out = writer->offset();
+  *preamble_out = preamble;
+  return writer->Close();
+}
+
+}  // namespace
+
+IndexBuilder::IndexBuilder(const Graph& graph, const TfIdfModel& tfidf,
+                           const std::vector<float>& in_edge_weights,
+                           IndexBuildOptions options)
+    : graph_(graph),
+      tfidf_(tfidf),
+      in_edge_weights_(in_edge_weights),
+      options_(options) {}
+
+StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
+  if (!options_.build_rr && !options_.build_irr) {
+    return Status::InvalidArgument("nothing to build");
+  }
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  ::mkdir(dir.c_str(), 0755);  // EEXIST is fine; file creation will verify
+
+  WallTimer timer;
+  const ProfileStore& profiles = tfidf_.profiles();
+  const uint32_t num_topics = profiles.num_topics();
+  std::vector<KeywordArtifacts> artifacts(num_topics);
+  std::vector<Status> statuses(num_topics, Status::OK());
+
+  auto build_keyword = [&](TopicId w) {
+    KeywordArtifacts& art = artifacts[w];
+    art.meta.tf_sum = profiles.TopicTfSum(w);
+    art.meta.phi = tfidf_.PhiTopic(w);
+    if (art.meta.tf_sum <= 0.0) return;  // empty topic: θ_w = 0, no files
+
+    auto roots_or = WeightedVertexSampler::ForTopic(profiles, w);
+    if (!roots_or.ok()) {
+      statuses[w] = roots_or.status();
+      return;
+    }
+    const WeightedVertexSampler& roots = *roots_or;
+
+    // OPT^{w}_K (compact bound) or OPT^{w}_1 (conservative bound).
+    const uint32_t opt_k =
+        options_.bound == ThetaBoundKind::kCompact
+            ? std::min(options_.max_k, graph_.num_vertices())
+            : 1;
+    // Floor: sum of the top-opt_k tf values of this topic.
+    std::vector<double> tfs;
+    {
+      auto topic_tfs = profiles.TopicTfs(w);
+      tfs.assign(topic_tfs.begin(), topic_tfs.end());
+    }
+    const size_t topk = std::min<size_t>(opt_k, tfs.size());
+    std::partial_sort(tfs.begin(), tfs.begin() + topk, tfs.end(),
+                      std::greater<>());
+    double floor = 0.0;
+    for (size_t i = 0; i < topk; ++i) floor += tfs[i];
+
+    OptEstimateOptions oo = options_.opt_estimate;
+    oo.k = opt_k;
+    oo.floor = floor;
+    oo.seed = options_.seed ^ (0xC0FFEEULL + w);
+    auto sampler = MakeRrSampler(options_.model, graph_, in_edge_weights_);
+    auto opt_or = EstimateOptLowerBound(graph_, *sampler, roots, oo);
+    if (!opt_or.ok()) {
+      statuses[w] = opt_or.status();
+      return;
+    }
+    art.meta.opt_bound = *opt_or;
+
+    uint64_t theta =
+        ThetaForKeyword(options_.epsilon, art.meta.tf_sum,
+                        graph_.num_vertices(), options_.max_k, *opt_or);
+    theta = std::max<uint64_t>(theta, 1);
+    if (theta > options_.max_theta_per_keyword) {
+      KBTIM_LOG(Warning) << "keyword " << w << ": theta " << theta
+                         << " clipped to "
+                         << options_.max_theta_per_keyword;
+      theta = options_.max_theta_per_keyword;
+    }
+    art.meta.theta = theta;
+
+    // Discriminative WRIS sampling: roots ~ ps(v, w).
+    Rng rng = Rng(options_.seed).Fork(2 * w + 1);
+    RrCollection sets;
+    sets.Reserve(theta, theta * 4);
+    std::vector<VertexId> scratch;
+    for (uint64_t i = 0; i < theta; ++i) {
+      sampler->Sample(roots.Sample(rng), rng, &scratch);
+      std::sort(scratch.begin(), scratch.end());
+      sets.Add(scratch);
+    }
+    art.total_set_items = sets.total_items();
+
+    InvertedRrIndex inverted(sets, graph_.num_vertices());
+    if (options_.build_rr) {
+      statuses[w] = WriteRrFile(RrFileName(dir, w), w, sets, options_.codec,
+                                &art.rr_bytes);
+      if (!statuses[w].ok()) return;
+      statuses[w] = WriteListsFile(ListsFileName(dir, w), w, inverted,
+                                   options_.codec, &art.lists_bytes);
+      if (!statuses[w].ok()) return;
+    }
+    if (options_.build_irr) {
+      statuses[w] = WriteIrrFile(IrrFileName(dir, w), w, sets, inverted,
+                                 options_.partition_size, options_.codec,
+                                 &art.irr_bytes, &art.meta.irr_preamble);
+    }
+  };
+
+  {
+    ThreadPool pool(options_.num_threads);
+    for (TopicId w = 0; w < num_topics; ++w) {
+      pool.Submit([&, w] { build_keyword(w); });
+    }
+    pool.Wait();
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+
+  IndexMeta meta;
+  meta.model = options_.model;
+  meta.codec = options_.codec;
+  meta.bound = options_.bound;
+  meta.epsilon = options_.epsilon;
+  meta.max_k = options_.max_k;
+  meta.partition_size = options_.partition_size;
+  meta.num_vertices = graph_.num_vertices();
+  meta.num_topics = num_topics;
+  meta.has_rr = options_.build_rr;
+  meta.has_irr = options_.build_irr;
+  meta.topics.reserve(num_topics);
+  for (const auto& art : artifacts) meta.topics.push_back(art.meta);
+  KBTIM_RETURN_IF_ERROR(WriteIndexMeta(meta, MetaFileName(dir)));
+
+  IndexBuildReport report;
+  report.theta_per_topic.reserve(num_topics);
+  uint64_t total_items = 0;
+  for (const auto& art : artifacts) {
+    report.total_theta += art.meta.theta;
+    report.rr_bytes += art.rr_bytes;
+    report.lists_bytes += art.lists_bytes;
+    report.irr_bytes += art.irr_bytes;
+    report.theta_per_topic.push_back(art.meta.theta);
+    total_items += art.total_set_items;
+  }
+  report.total_bytes =
+      report.rr_bytes + report.lists_bytes + report.irr_bytes;
+  report.mean_rr_set_size =
+      report.total_theta == 0
+          ? 0.0
+          : static_cast<double>(total_items) /
+                static_cast<double>(report.total_theta);
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,400 @@
+#include "index/irr_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+#include "coverage/rr_collection.h"
+#include "storage/block_file.h"
+#include "storage/io_counter.h"
+#include "storage/varint.h"
+
+namespace kbtim {
+namespace {
+
+constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
+constexpr uint64_t kIrrHeaderSize = 4 + 4 + 8 + 8 + 4 + 1 + 8;
+
+/// Query-time state for one keyword's IRR file.
+struct KeywordState {
+  TopicId topic = kInvalidTopic;
+  uint64_t budget = 0;  // θ^Q_w
+  std::unique_ptr<RandomAccessFile> file;
+  CodecKind codec = CodecKind::kRaw;
+  uint64_t num_users = 0;
+  uint64_t num_partitions = 0;
+  uint64_t theta_w = 0;
+  std::vector<IrrPartitionInfo> directory;
+  /// IP_w: first RR-set occurrence per user.
+  std::unordered_map<VertexId, RrId> first_occurrence;
+
+  uint64_t next_partition = 0;
+  /// kb[w]: upper bound on the (unrestricted) list length of any user whose
+  /// list has not been loaded yet. 0 once all partitions are in memory.
+  uint64_t kb = 0;
+  /// Loaded inverted lists, restricted to RR ids < budget.
+  std::unordered_map<VertexId, std::vector<RrId>> lists;
+  std::vector<char> covered;
+  uint64_t rr_sets_loaded = 0;
+
+  // Eager mode only: decoded members of loaded RR sets (restricted to the
+  // budget) and incrementally maintained uncovered counts per loaded user.
+  bool eager = false;
+  std::unordered_map<RrId, std::vector<VertexId>> set_members;
+  std::unordered_map<VertexId, uint64_t> exact_count;
+
+  bool AllLoaded() const { return next_partition >= num_partitions; }
+
+  /// Exact uncovered coverage of v for this keyword, given its list is
+  /// loaded (or known absent).
+  uint64_t ExactPartial(
+      const std::unordered_map<VertexId, std::vector<RrId>>::const_iterator
+          it) const {
+    uint64_t score = 0;
+    for (RrId rr : it->second) {
+      if (!covered[rr]) ++score;
+    }
+    return score;
+  }
+};
+
+Status OpenKeyword(const std::string& path, TopicId topic,
+                   const IndexMeta::TopicMeta& tm, CodecKind codec,
+                   uint64_t budget, KeywordState* state) {
+  state->topic = topic;
+  state->budget = budget;
+  if (budget == 0) return Status::OK();
+  KBTIM_ASSIGN_OR_RETURN(state->file, RandomAccessFile::Open(path));
+  if (tm.irr_preamble < kIrrHeaderSize ||
+      tm.irr_preamble > state->file->size()) {
+    return Status::Corruption("bad IRR preamble length: " + path);
+  }
+  // Single read: header + IP map + partition directory.
+  std::string buf;
+  KBTIM_RETURN_IF_ERROR(state->file->Read(0, tm.irr_preamble, &buf));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  if (std::memcmp(p, kIrrMagic, 4) != 0) {
+    return Status::Corruption("bad IRR magic: " + path);
+  }
+  uint32_t file_topic = 0, delta = 0;
+  std::memcpy(&file_topic, p + 4, 4);
+  std::memcpy(&state->num_users, p + 8, 8);
+  std::memcpy(&state->num_partitions, p + 16, 8);
+  std::memcpy(&delta, p + 24, 4);
+  state->codec = static_cast<CodecKind>(p[28]);
+  std::memcpy(&state->theta_w, p + 29, 8);
+  p += kIrrHeaderSize;
+  if (file_topic != topic || state->codec != codec) {
+    return Status::Corruption("IRR header mismatch: " + path);
+  }
+  if (budget > state->theta_w) {
+    return Status::Corruption("IRR budget exceeds stored sets: " + path);
+  }
+
+  // IP map.
+  state->first_occurrence.reserve(state->num_users * 2);
+  VertexId prev = 0;
+  for (uint64_t i = 0; i < state->num_users; ++i) {
+    uint32_t dv = 0, first = 0;
+    p = GetVarint32(p, limit, &dv);
+    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
+    p = GetVarint32(p, limit, &first);
+    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
+    prev += dv;  // deltas accumulate from 0, so the first one is absolute
+    state->first_occurrence.emplace(prev, first);
+  }
+
+  // Partition directory (fixed 32-byte entries).
+  if (p + state->num_partitions * 32 > limit) {
+    return Status::Corruption("IRR directory truncated: " + path);
+  }
+  state->directory.resize(state->num_partitions);
+  for (auto& info : state->directory) {
+    std::memcpy(&info.offset, p, 8);
+    std::memcpy(&info.length, p + 8, 8);
+    std::memcpy(&info.num_users, p + 16, 4);
+    std::memcpy(&info.num_sets, p + 20, 4);
+    std::memcpy(&info.max_list_len, p + 24, 4);
+    std::memcpy(&info.min_list_len, p + 28, 4);
+    p += 32;
+  }
+  state->kb = state->directory.empty() ? 0 : state->directory[0].max_list_len;
+  state->covered.assign(budget, 0);
+  return Status::OK();
+}
+
+/// Loads the next partition of one keyword; appends newly seen users to
+/// *new_users. Returns false if all partitions were already loaded.
+StatusOr<bool> LoadNextPartition(KeywordState* state,
+                                 std::vector<VertexId>* new_users) {
+  if (state->budget == 0 || state->AllLoaded()) return false;
+  const IrrPartitionInfo& info = state->directory[state->next_partition];
+  std::string buf;
+  KBTIM_RETURN_IF_ERROR(state->file->Read(info.offset, info.length, &buf));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  const auto codec = MakeCodec(state->codec);
+
+  // IL^p: inverted lists.
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i < info.num_users; ++i) {
+    uint32_t v = 0;
+    uint64_t len = 0;
+    p = GetVarint32(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("IRR IL truncated");
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("IRR IL truncated");
+    }
+    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
+    p += len;
+    DeltaDecode(&ids);
+    size_t cut = ids.size();
+    while (cut > 0 && ids[cut - 1] >= state->budget) --cut;
+    auto& list = state->lists[v];
+    list.assign(ids.begin(), ids.begin() + cut);
+    if (state->eager) {
+      // Initialize the maintained uncovered count against sets already
+      // covered by earlier seeds.
+      uint64_t count = 0;
+      for (RrId id : list) {
+        if (!state->covered[id]) ++count;
+      }
+      state->exact_count[v] = count;
+    }
+    new_users->push_back(v);
+  }
+
+  // IR^p: RR sets first referenced by this partition. The lazy NRA needs
+  // only their ids (sets inside the query budget are what "RR sets loaded"
+  // measures — paper Figures 5-7) and skips the members; eager mode
+  // (Algorithm 4 lines 17-22) decodes them to push score updates.
+  uint32_t num_sets = 0;
+  p = GetVarint32(p, limit, &num_sets);
+  if (p == nullptr) return Status::Corruption("IRR IR truncated");
+  RrId rr = 0;
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    uint32_t rr_delta = 0;
+    uint64_t len = 0;
+    p = GetVarint32(p, limit, &rr_delta);
+    if (p == nullptr) return Status::Corruption("IRR IR truncated");
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("IRR IR truncated");
+    }
+    rr += rr_delta;
+    if (rr < state->budget) {
+      ++state->rr_sets_loaded;
+      if (state->eager) {
+        KBTIM_RETURN_IF_ERROR(
+            codec->Decode(std::string_view(p, len), &ids));
+        DeltaDecode(&ids);
+        state->set_members.emplace(rr, ids);
+      }
+    }
+    p += len;
+  }
+
+  ++state->next_partition;
+  state->kb = state->AllLoaded()
+                  ? 0
+                  : state->directory[state->next_partition].max_list_len;
+  return true;
+}
+
+struct PqEntry {
+  uint64_t score;
+  VertexId vertex;
+
+  bool operator<(const PqEntry& other) const {
+    if (score != other.score) return score < other.score;
+    return vertex > other.vertex;  // smaller id wins ties
+  }
+};
+
+}  // namespace
+
+StatusOr<IrrIndex> IrrIndex::Open(const std::string& dir) {
+  KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
+  if (!meta.has_irr) {
+    return Status::FailedPrecondition(
+        "index directory has no IRR structures: " + dir);
+  }
+  return IrrIndex(dir, std::move(meta));
+}
+
+StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
+                                        IrrQueryMode mode) const {
+  WallTimer total_timer;
+  const IoStats io_before = IoCounter::Snapshot();
+  KBTIM_ASSIGN_OR_RETURN(QueryBudget budget,
+                         ComputeQueryBudget(meta_, query));
+
+  WallTimer load_timer;
+  std::vector<KeywordState> keywords(budget.per_keyword.size());
+  uint64_t total_budget = 0;
+  for (size_t i = 0; i < budget.per_keyword.size(); ++i) {
+    const auto [topic, tw] = budget.per_keyword[i];
+    keywords[i].eager = mode == IrrQueryMode::kEager;
+    KBTIM_RETURN_IF_ERROR(OpenKeyword(IrrFileName(dir_, topic), topic,
+                                      meta_.topics[topic], meta_.codec, tw,
+                                      &keywords[i]));
+    total_budget += tw;
+  }
+  double load_seconds = load_timer.ElapsedSeconds();
+
+  // Upper-bound score of v: exact remaining coverage where the list is
+  // loaded (or provably 0 via IP / full load), kb[w] otherwise. Eager
+  // mode reads the incrementally maintained count; lazy mode rescans the
+  // list against the covered bitmap (§5.2).
+  auto upper_bound = [&](VertexId v, bool* complete) -> uint64_t {
+    uint64_t score = 0;
+    bool all_exact = true;
+    for (const auto& ks : keywords) {
+      if (ks.budget == 0) continue;
+      if (ks.eager) {
+        const auto ec = ks.exact_count.find(v);
+        if (ec != ks.exact_count.end()) {
+          score += ec->second;
+          continue;
+        }
+      }
+      const auto it = ks.lists.find(v);
+      if (it != ks.lists.end()) {
+        score += ks.ExactPartial(it);
+        continue;
+      }
+      const auto ip = ks.first_occurrence.find(v);
+      if (ip == ks.first_occurrence.end() || ip->second >= ks.budget ||
+          ks.AllLoaded()) {
+        continue;  // exact partial score 0
+      }
+      score += ks.kb;
+      all_exact = false;
+    }
+    if (complete != nullptr) *complete = all_exact;
+    return score;
+  };
+
+  auto kb_sum = [&]() {
+    uint64_t sum = 0;
+    for (const auto& ks : keywords) sum += ks.kb;
+    return sum;
+  };
+
+  std::priority_queue<PqEntry> pq;
+  std::unordered_set<VertexId> discovered;
+  std::vector<char> selected(meta_.num_vertices, 0);
+
+  auto load_round = [&]() -> StatusOr<bool> {
+    WallTimer t;
+    bool any = false;
+    std::vector<VertexId> new_users;
+    for (auto& ks : keywords) {
+      KBTIM_ASSIGN_OR_RETURN(bool loaded, LoadNextPartition(&ks,
+                                                            &new_users));
+      any = any || loaded;
+    }
+    for (VertexId v : new_users) {
+      if (selected[v]) continue;
+      if (discovered.insert(v).second) {
+        pq.push({upper_bound(v, nullptr), v});
+      }
+    }
+    load_seconds += t.ElapsedSeconds();
+    return any;
+  };
+
+  SeedSetResult result;
+  uint64_t total_covered = 0;
+  const double scale = budget.phi_q /
+                       static_cast<double>(std::max<uint64_t>(1,
+                                                              total_budget));
+  while (result.seeds.size() < query.k) {
+    if (pq.empty()) {
+      KBTIM_ASSIGN_OR_RETURN(bool any, load_round());
+      if (any) continue;
+      break;  // nothing left anywhere
+    }
+    const PqEntry top = pq.top();
+    if (selected[top.vertex]) {
+      pq.pop();
+      continue;
+    }
+    bool complete = false;
+    const uint64_t fresh = upper_bound(top.vertex, &complete);
+    if (fresh != top.score) {
+      // Lazy refinement: re-score only the queue head (§5.2).
+      pq.pop();
+      pq.push({fresh, top.vertex});
+      continue;
+    }
+    if (complete && fresh >= kb_sum()) {
+      // Confirmed: no loaded candidate (heap top) nor unseen user (kb sum)
+      // can beat it.
+      pq.pop();
+      selected[top.vertex] = 1;
+      result.seeds.push_back(top.vertex);
+      result.marginal_gains.push_back(static_cast<double>(fresh) * scale);
+      total_covered += fresh;
+      for (auto& ks : keywords) {
+        const auto it = ks.lists.find(top.vertex);
+        if (it == ks.lists.end()) continue;
+        for (RrId rr : it->second) {
+          if (ks.covered[rr]) continue;
+          ks.covered[rr] = 1;
+          if (!ks.eager) continue;
+          // Algorithm 4 lines 21-22: push the update to every user the
+          // newly covered set contains.
+          const auto members = ks.set_members.find(rr);
+          if (members == ks.set_members.end()) continue;
+          for (VertexId u : members->second) {
+            const auto ec = ks.exact_count.find(u);
+            if (ec != ks.exact_count.end() && ec->second > 0) {
+              --ec->second;
+            }
+          }
+        }
+      }
+      continue;
+    }
+    // Not decidable yet: bring in the next partition of every keyword.
+    KBTIM_ASSIGN_OR_RETURN(bool any, load_round());
+    if (!any && complete) {
+      // Defensive: with everything loaded kb_sum() == 0, so the condition
+      // above must hold on the next iteration.
+      continue;
+    }
+  }
+  // Pad to exactly k with the smallest unselected ids (marginal 0),
+  // mirroring Algorithm 2.
+  for (VertexId v = 0;
+       v < meta_.num_vertices && result.seeds.size() < query.k; ++v) {
+    if (!selected[v]) {
+      selected[v] = 1;
+      result.seeds.push_back(v);
+      result.marginal_gains.push_back(0.0);
+    }
+  }
+
+  result.estimated_influence = static_cast<double>(total_covered) * scale;
+  uint64_t loaded = 0;
+  for (const auto& ks : keywords) loaded += ks.rr_sets_loaded;
+  const IoStats io = IoCounter::Snapshot() - io_before;
+  result.stats.theta = budget.theta_q;
+  result.stats.rr_sets_loaded = loaded;
+  result.stats.io_reads = io.read_ops;
+  result.stats.io_bytes = io.read_bytes;
+  result.stats.sampling_seconds = load_seconds;
+  result.stats.greedy_seconds =
+      total_timer.ElapsedSeconds() - load_seconds;
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kbtim

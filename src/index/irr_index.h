@@ -1,0 +1,64 @@
+// Incremental RR index query processing (paper §5, Algorithm 4).
+//
+// Instead of loading every budgeted RR set like Algorithm 2, the IRR query
+// treats seed selection as top-k aggregation in the style of NRA [Fagin et
+// al.]: inverted-list partitions (sorted by descending list length) are
+// loaded on demand, candidates carry upper-bound scores, and a candidate is
+// confirmed as a seed only when its exact remaining coverage dominates both
+// every loaded candidate and the upper bound Σ_w kb[w] of everything unseen.
+// Score refinement is lazy (§5.2): a candidate is re-scored only when it
+// surfaces at the top of the priority queue. The IP first-occurrence map
+// zeroes the partial score of users whose first appearance lies beyond the
+// query budget θ^Q_w.
+//
+// Theorem 3: the returned seeds have exactly the same coverage scores as
+// Algorithm 2's; tests assert this.
+#ifndef KBTIM_INDEX_IRR_INDEX_H_
+#define KBTIM_INDEX_IRR_INDEX_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "index/index_format.h"
+#include "sampling/solver_result.h"
+#include "topics/query.h"
+
+namespace kbtim {
+
+/// Score-refinement strategy for the IRR query (Algorithm 4).
+enum class IrrQueryMode : uint8_t {
+  /// §5.2's lazy evaluation: a candidate is re-scored only when it
+  /// surfaces at the queue head. The paper's (and this library's) default.
+  kLazy = 0,
+  /// Algorithm 4 lines 17-22 verbatim: decode IR partitions and push
+  /// score updates to every co-occurring user the moment a set is
+  /// covered. Same results (Theorem 3 applies to both), different
+  /// CPU/memory profile.
+  kEager = 1,
+};
+
+/// Read-only handle to the IRR structures of an index directory.
+class IrrIndex {
+ public:
+  /// Opens an index directory (metadata only).
+  static StatusOr<IrrIndex> Open(const std::string& dir);
+
+  /// Answers a KB-TIM query via incremental top-k aggregation.
+  StatusOr<SeedSetResult> Query(
+      const kbtim::Query& query,
+      IrrQueryMode mode = IrrQueryMode::kLazy) const;
+
+  const IndexMeta& meta() const { return meta_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  IrrIndex(std::string dir, IndexMeta meta)
+      : dir_(std::move(dir)), meta_(std::move(meta)) {}
+
+  std::string dir_;
+  IndexMeta meta_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_INDEX_IRR_INDEX_H_

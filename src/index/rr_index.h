@@ -1,0 +1,51 @@
+// Disk-based RR index query processing (paper §4, Algorithm 2).
+//
+// A query loads, for each keyword w ∈ Q.T, the first θ^Q·p_w RR sets of
+// R_w (one contiguous read thanks to the offset directory) plus the
+// inverted lists L_w, then runs greedy maximum coverage over the merged
+// collection. Same (1 − 1/e − ε) guarantee as WRIS (Lemma 2) at a fraction
+// of the query cost, since sampling happened offline.
+#ifndef KBTIM_INDEX_RR_INDEX_H_
+#define KBTIM_INDEX_RR_INDEX_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "index/index_format.h"
+#include "sampling/solver_result.h"
+#include "topics/query.h"
+
+namespace kbtim {
+
+/// Read-only handle to a disk RR index directory.
+class RrIndex {
+ public:
+  /// Opens an index directory (reads metadata only; per-keyword files are
+  /// read at query time).
+  static StatusOr<RrIndex> Open(const std::string& dir);
+
+  /// Answers a KB-TIM query (Algorithm 2). Requires query.k <= meta().max_k.
+  StatusOr<SeedSetResult> Query(const kbtim::Query& query) const;
+
+  /// Answers a batch of queries, loading each keyword's RR prefix and
+  /// inverted lists once at the largest budget any query in the batch
+  /// needs (an ad platform answers streams of ads whose keywords overlap
+  /// heavily). Per-query results are bit-identical to Query(); the I/O
+  /// stats in each result report the shared batch totals.
+  StatusOr<std::vector<SeedSetResult>> BatchQuery(
+      std::span<const kbtim::Query> queries) const;
+
+  const IndexMeta& meta() const { return meta_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  RrIndex(std::string dir, IndexMeta meta)
+      : dir_(std::move(dir)), meta_(std::move(meta)) {}
+
+  std::string dir_;
+  IndexMeta meta_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_INDEX_RR_INDEX_H_

@@ -1,0 +1,211 @@
+#include "propagation/exact_spread.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kbtim {
+namespace {
+
+struct LiveEdge {
+  VertexId src;
+  VertexId dst;
+  double prob;
+};
+
+// Forward reachability weight from `seeds` over the live edges.
+double ReachedWeight(const Graph& graph, std::span<const VertexId> seeds,
+                     const std::vector<std::vector<VertexId>>& live_out,
+                     std::span<const double> vertex_weight,
+                     std::vector<char>* visited,
+                     std::vector<VertexId>* stack) {
+  std::fill(visited->begin(), visited->end(), 0);
+  stack->clear();
+  double total = 0.0;
+  for (VertexId s : seeds) {
+    if ((*visited)[s]) continue;
+    (*visited)[s] = 1;
+    stack->push_back(s);
+    total += vertex_weight.empty() ? 1.0 : vertex_weight[s];
+  }
+  while (!stack->empty()) {
+    const VertexId u = stack->back();
+    stack->pop_back();
+    for (VertexId v : live_out[u]) {
+      if ((*visited)[v]) continue;
+      (*visited)[v] = 1;
+      stack->push_back(v);
+      total += vertex_weight.empty() ? 1.0 : vertex_weight[v];
+    }
+  }
+  (void)graph;
+  return total;
+}
+
+StatusOr<double> ExactIc(const Graph& graph,
+                         const std::vector<float>& probs,
+                         std::span<const VertexId> seeds,
+                         std::span<const double> vertex_weight) {
+  const uint64_t m = graph.num_edges();
+  if (m > 22) {
+    return Status::InvalidArgument(
+        "exact IC spread limited to graphs with <= 22 edges");
+  }
+  std::vector<LiveEdge> edges;
+  edges.reserve(m);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto in = graph.InNeighbors(v);
+    const auto [first, last] = graph.InEdgeRange(v);
+    for (uint64_t i = first; i < last; ++i) {
+      edges.push_back({in[i - first], v, static_cast<double>(probs[i])});
+    }
+  }
+  std::vector<std::vector<VertexId>> live_out(graph.num_vertices());
+  std::vector<char> visited(graph.num_vertices(), 0);
+  std::vector<VertexId> stack;
+
+  double expectation = 0.0;
+  const uint64_t worlds = uint64_t{1} << m;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    for (auto& lo : live_out) lo.clear();
+    for (uint64_t i = 0; i < m; ++i) {
+      const bool live = (mask >> i) & 1;
+      prob *= live ? edges[i].prob : 1.0 - edges[i].prob;
+      if (prob == 0.0) break;
+      if (live) live_out[edges[i].src].push_back(edges[i].dst);
+    }
+    if (prob == 0.0) continue;
+    expectation += prob * ReachedWeight(graph, seeds, live_out,
+                                        vertex_weight, &visited, &stack);
+  }
+  return expectation;
+}
+
+StatusOr<double> ExactLt(const Graph& graph,
+                         const std::vector<float>& weights,
+                         std::span<const VertexId> seeds,
+                         std::span<const double> vertex_weight) {
+  const VertexId n = graph.num_vertices();
+  double combos = 1.0;
+  for (VertexId v = 0; v < n; ++v) {
+    combos *= static_cast<double>(graph.InDegree(v)) + 1.0;
+    if (combos > static_cast<double>(1 << 22)) {
+      return Status::InvalidArgument(
+          "exact LT spread: too many in-edge selection combinations");
+    }
+  }
+
+  std::vector<std::vector<VertexId>> live_out(n);
+  std::vector<char> visited(n, 0);
+  std::vector<VertexId> stack;
+  double expectation = 0.0;
+
+  // Depth-first enumeration over each vertex's in-edge selection
+  // (index d = InDegree(v) means "no edge selected", with residual mass).
+  std::vector<uint32_t> choice(n, 0);
+  std::vector<double> prefix_prob(n + 1, 1.0);
+  VertexId v = 0;
+  for (;;) {
+    if (v == n) {
+      if (prefix_prob[n] > 0.0) {
+        for (auto& lo : live_out) lo.clear();
+        for (VertexId x = 0; x < n; ++x) {
+          const uint32_t c = choice[x];
+          if (c < graph.InDegree(x)) {
+            live_out[graph.InNeighbors(x)[c]].push_back(x);
+          }
+        }
+        expectation +=
+            prefix_prob[n] * ReachedWeight(graph, seeds, live_out,
+                                           vertex_weight, &visited, &stack);
+      }
+      // backtrack
+      do {
+        if (v == 0) return expectation;
+        --v;
+        ++choice[v];
+      } while (choice[v] > graph.InDegree(v));
+    }
+    // compute probability of current choice at v
+    const uint32_t deg = graph.InDegree(v);
+    double p;
+    if (choice[v] < deg) {
+      p = weights[graph.InEdgeRange(v).first + choice[v]];
+    } else {
+      double sum = 0.0;
+      const auto [first, last] = graph.InEdgeRange(v);
+      for (uint64_t i = first; i < last; ++i) sum += weights[i];
+      p = std::max(0.0, 1.0 - sum);
+    }
+    prefix_prob[v + 1] = prefix_prob[v] * p;
+    ++v;
+    if (v <= n - 1) choice[v] = 0;
+    if (v == n) continue;
+  }
+}
+
+}  // namespace
+
+StatusOr<double> ExactExpectedSpread(
+    const Graph& graph, PropagationModel model,
+    const std::vector<float>& in_edge_weights,
+    std::span<const VertexId> seeds,
+    std::span<const double> vertex_weight) {
+  if (!vertex_weight.empty() && vertex_weight.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("vertex_weight size mismatch");
+  }
+  for (VertexId s : seeds) {
+    if (s >= graph.num_vertices()) {
+      return Status::InvalidArgument("seed out of range");
+    }
+  }
+  switch (model) {
+    case PropagationModel::kIndependentCascade:
+      return ExactIc(graph, in_edge_weights, seeds, vertex_weight);
+    case PropagationModel::kLinearThreshold:
+      return ExactLt(graph, in_edge_weights, seeds, vertex_weight);
+  }
+  return Status::InvalidArgument("unknown model");
+}
+
+StatusOr<ExactOptimum> ExactBestSeedSet(
+    const Graph& graph, PropagationModel model,
+    const std::vector<float>& in_edge_weights, uint32_t k,
+    std::span<const double> vertex_weight) {
+  const VertexId n = graph.num_vertices();
+  if (k == 0 || k > n) {
+    return Status::InvalidArgument("k out of range");
+  }
+  // Count C(n, k) with overflow care.
+  double count = 1.0;
+  for (uint32_t i = 0; i < k; ++i) {
+    count *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  if (count > 200000.0) {
+    return Status::InvalidArgument("too many seed-set combinations");
+  }
+
+  std::vector<VertexId> combo(k);
+  for (uint32_t i = 0; i < k; ++i) combo[i] = i;
+  ExactOptimum best;
+  best.spread = -1.0;
+  for (;;) {
+    KBTIM_ASSIGN_OR_RETURN(
+        double spread,
+        ExactExpectedSpread(graph, model, in_edge_weights, combo,
+                            vertex_weight));
+    if (spread > best.spread + 1e-12) {
+      best.spread = spread;
+      best.seeds = combo;
+    }
+    // next combination
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && combo[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++combo[i];
+    for (uint32_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+  return best;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,43 @@
+// Exact expected-spread computation by exhaustive world enumeration.
+//
+// Tractable only for tiny graphs; used by unit tests as ground truth (the
+// paper's Example 1 computes E[I({e,g})] = 4.8125 this way) and for
+// brute-forcing optimal seed sets to validate the greedy approximation.
+#ifndef KBTIM_PROPAGATION_EXACT_SPREAD_H_
+#define KBTIM_PROPAGATION_EXACT_SPREAD_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "propagation/model.h"
+
+namespace kbtim {
+
+/// Exact E[I(S)] (or E[I^Q(S)] when `vertex_weight` is non-empty, one weight
+/// per vertex) under the given model, by enumerating live-edge worlds.
+/// IC enumerates all 2^m edge subsets and requires num_edges <= 22;
+/// LT enumerates all per-vertex in-edge selections and requires the product
+/// of (InDegree + 1) to be <= 2^22. Returns InvalidArgument beyond that.
+StatusOr<double> ExactExpectedSpread(
+    const Graph& graph, PropagationModel model,
+    const std::vector<float>& in_edge_weights,
+    std::span<const VertexId> seeds,
+    std::span<const double> vertex_weight = {});
+
+/// Brute-force optimal seed set of size k (ties broken toward
+/// lexicographically smallest set). Enumerates all C(n, k) candidate sets;
+/// requires that count to be <= 200000.
+struct ExactOptimum {
+  std::vector<VertexId> seeds;
+  double spread = 0.0;
+};
+StatusOr<ExactOptimum> ExactBestSeedSet(
+    const Graph& graph, PropagationModel model,
+    const std::vector<float>& in_edge_weights, uint32_t k,
+    std::span<const double> vertex_weight = {});
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_EXACT_SPREAD_H_

@@ -1,0 +1,142 @@
+#include "propagation/forward_simulator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace kbtim {
+namespace {
+
+/// Scratch state for one simulation worker; epoch-stamped to avoid clears.
+struct SimScratch {
+  explicit SimScratch(VertexId n)
+      : active_epoch(n, 0), lt_acc(n, 0.0f), lt_threshold(n, 0.0f),
+        lt_epoch(n, 0) {}
+
+  std::vector<uint32_t> active_epoch;
+  std::vector<float> lt_acc;
+  std::vector<float> lt_threshold;
+  std::vector<uint32_t> lt_epoch;
+  std::vector<VertexId> frontier;
+  std::vector<VertexId> next;
+  uint32_t epoch = 0;
+};
+
+}  // namespace
+
+ForwardSimulator::ForwardSimulator(const Graph& graph, PropagationModel model,
+                                   const std::vector<float>& in_edge_weights)
+    : graph_(graph), model_(model), in_edge_weights_(in_edge_weights) {
+  // Re-index per-in-edge weights by out-edge position: for each edge
+  // (u -> v) stored at in-position i of v, find its out-position in u's list.
+  out_edge_weights_.assign(graph.num_edges(), 0.0f);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto in = graph.InNeighbors(v);
+    const auto [first, last] = graph.InEdgeRange(v);
+    for (uint64_t i = first; i < last; ++i) {
+      const VertexId u = in[i - first];
+      auto out = graph.OutNeighbors(u);
+      const auto it = std::lower_bound(out.begin(), out.end(), v);
+      const uint64_t base = &*out.begin() - graph.out_neighbors().data();
+      out_edge_weights_[base + static_cast<uint64_t>(it - out.begin())] =
+          in_edge_weights_[i];
+    }
+  }
+}
+
+double ForwardSimulator::EstimateSpread(
+    std::span<const VertexId> seeds,
+    const SpreadEstimateOptions& options) const {
+  return Run(seeds, nullptr, options);
+}
+
+double ForwardSimulator::EstimateWeightedSpread(
+    std::span<const VertexId> seeds, std::span<const double> vertex_weight,
+    const SpreadEstimateOptions& options) const {
+  return Run(seeds, vertex_weight.data(), options);
+}
+
+double ForwardSimulator::Run(std::span<const VertexId> seeds,
+                             const double* vertex_weight,
+                             const SpreadEstimateOptions& options) const {
+  if (seeds.empty() || options.num_simulations == 0) return 0.0;
+  const uint32_t nthreads = std::max<uint32_t>(1, options.num_threads);
+  const uint32_t sims = options.num_simulations;
+  std::vector<double> partial(nthreads, 0.0);
+  std::vector<std::thread> threads;
+
+  auto worker = [&](uint32_t tid) {
+    Rng rng = Rng(options.seed).Fork(tid + 1);
+    SimScratch scratch(graph_.num_vertices());
+    const uint32_t lo = tid * sims / nthreads;
+    const uint32_t hi = (tid + 1) * sims / nthreads;
+    double sum = 0.0;
+    for (uint32_t s = lo; s < hi; ++s) {
+      ++scratch.epoch;
+      if (scratch.epoch == 0) {
+        std::fill(scratch.active_epoch.begin(), scratch.active_epoch.end(),
+                  0);
+        std::fill(scratch.lt_epoch.begin(), scratch.lt_epoch.end(), 0);
+        scratch.epoch = 1;
+      }
+      double world = 0.0;
+      scratch.frontier.clear();
+      for (VertexId v : seeds) {
+        if (scratch.active_epoch[v] == scratch.epoch) continue;
+        scratch.active_epoch[v] = scratch.epoch;
+        scratch.frontier.push_back(v);
+        world += vertex_weight != nullptr ? vertex_weight[v] : 1.0;
+      }
+      while (!scratch.frontier.empty()) {
+        scratch.next.clear();
+        for (VertexId u : scratch.frontier) {
+          auto out = graph_.OutNeighbors(u);
+          const uint64_t base =
+              out.empty() ? 0
+                          : static_cast<uint64_t>(
+                                out.data() - graph_.out_neighbors().data());
+          for (size_t j = 0; j < out.size(); ++j) {
+            const VertexId y = out[j];
+            if (scratch.active_epoch[y] == scratch.epoch) continue;
+            const float w = out_edge_weights_[base + j];
+            bool activated = false;
+            if (model_ == PropagationModel::kIndependentCascade) {
+              activated = rng.Bernoulli(w);
+            } else {
+              // LT: lazily sample y's threshold, accumulate in-weight.
+              if (scratch.lt_epoch[y] != scratch.epoch) {
+                scratch.lt_epoch[y] = scratch.epoch;
+                scratch.lt_acc[y] = 0.0f;
+                scratch.lt_threshold[y] =
+                    static_cast<float>(rng.NextDouble());
+              }
+              scratch.lt_acc[y] += w;
+              activated = scratch.lt_acc[y] >= scratch.lt_threshold[y];
+            }
+            if (activated) {
+              scratch.active_epoch[y] = scratch.epoch;
+              scratch.next.push_back(y);
+              world += vertex_weight != nullptr ? vertex_weight[y] : 1.0;
+            }
+          }
+        }
+        scratch.frontier.swap(scratch.next);
+      }
+      sum += world;
+    }
+    partial[tid] = sum;
+  };
+
+  if (nthreads == 1) {
+    worker(0);
+  } else {
+    threads.reserve(nthreads);
+    for (uint32_t t = 0; t < nthreads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total / static_cast<double>(sims);
+}
+
+}  // namespace kbtim

@@ -1,0 +1,40 @@
+#include "propagation/ic_rr_sampler.h"
+
+namespace kbtim {
+
+IcRrSampler::IcRrSampler(const Graph& graph,
+                         const std::vector<float>& in_edge_prob)
+    : graph_(graph),
+      in_edge_prob_(in_edge_prob),
+      visited_epoch_(graph.num_vertices(), 0) {}
+
+void IcRrSampler::Sample(VertexId root, Rng& rng,
+                         std::vector<VertexId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: reset all marks once
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  queue_.clear();
+  queue_.push_back(root);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId x = queue_[head++];
+    auto in = graph_.InNeighbors(x);
+    const auto [first, last] = graph_.InEdgeRange(x);
+    for (uint64_t i = first; i < last; ++i) {
+      const VertexId u = in[i - first];
+      if (visited_epoch_[u] == epoch_) continue;
+      if (!rng.Bernoulli(in_edge_prob_[i])) continue;
+      visited_epoch_[u] = epoch_;
+      out->push_back(u);
+      queue_.push_back(u);
+    }
+  }
+}
+
+}  // namespace kbtim

@@ -1,0 +1,31 @@
+// IC-model RR sampler: reverse BFS flipping one coin per incoming edge.
+#ifndef KBTIM_PROPAGATION_IC_RR_SAMPLER_H_
+#define KBTIM_PROPAGATION_IC_RR_SAMPLER_H_
+
+#include <vector>
+
+#include "propagation/rr_sampler.h"
+
+namespace kbtim {
+
+/// Samples RR sets under independent cascade. Each incoming edge (u -> v)
+/// is live independently with its probability; the RR set is the set of
+/// vertices with a live path to the root.
+class IcRrSampler final : public RrSampler {
+ public:
+  IcRrSampler(const Graph& graph, const std::vector<float>& in_edge_prob);
+
+  void Sample(VertexId root, Rng& rng, std::vector<VertexId>* out) override;
+
+ private:
+  const Graph& graph_;
+  const std::vector<float>& in_edge_prob_;
+  // Epoch-stamped visited marks avoid O(n) clears per sample.
+  std::vector<uint32_t> visited_epoch_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_IC_RR_SAMPLER_H_

@@ -1,0 +1,47 @@
+#include "propagation/lt_rr_sampler.h"
+
+namespace kbtim {
+
+LtRrSampler::LtRrSampler(const Graph& graph,
+                         const std::vector<float>& in_edge_weights)
+    : graph_(graph),
+      in_edge_weights_(in_edge_weights),
+      visited_epoch_(graph.num_vertices(), 0) {}
+
+void LtRrSampler::Sample(VertexId root, Rng& rng,
+                         std::vector<VertexId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  VertexId x = root;
+  visited_epoch_[x] = epoch_;
+  out->push_back(x);
+  for (;;) {
+    auto in = graph_.InNeighbors(x);
+    if (in.empty()) return;
+    const auto [first, last] = graph_.InEdgeRange(x);
+    // Select one in-edge with probability equal to its weight; if weights
+    // sum to less than 1, the residual selects nothing and the walk stops.
+    const double u = rng.NextDouble();
+    double acc = 0.0;
+    VertexId next = kInvalidVertex;
+    for (uint64_t i = first; i < last; ++i) {
+      acc += in_edge_weights_[i];
+      if (u < acc) {
+        next = in[i - first];
+        break;
+      }
+    }
+    if (next == kInvalidVertex) return;     // residual mass: no selection
+    if (visited_epoch_[next] == epoch_) return;  // cycle: stop the walk
+    visited_epoch_[next] = epoch_;
+    out->push_back(next);
+    x = next;
+  }
+}
+
+}  // namespace kbtim

@@ -1,0 +1,34 @@
+// LT-model RR sampler: reverse random walk.
+//
+// Under the linear threshold model's live-edge interpretation (Kempe et al.),
+// each vertex independently selects at most one incoming edge, with edge
+// (u -> v) chosen with probability w(u -> v) (and none with the residual
+// 1 - Σw). The RR set of a root is therefore the path obtained by repeatedly
+// stepping to the selected in-neighbor until a vertex with no selection is
+// reached or the walk revisits a vertex.
+#ifndef KBTIM_PROPAGATION_LT_RR_SAMPLER_H_
+#define KBTIM_PROPAGATION_LT_RR_SAMPLER_H_
+
+#include <vector>
+
+#include "propagation/rr_sampler.h"
+
+namespace kbtim {
+
+/// Samples RR sets under linear threshold via the reverse-walk equivalence.
+class LtRrSampler final : public RrSampler {
+ public:
+  LtRrSampler(const Graph& graph, const std::vector<float>& in_edge_weights);
+
+  void Sample(VertexId root, Rng& rng, std::vector<VertexId>* out) override;
+
+ private:
+  const Graph& graph_;
+  const std::vector<float>& in_edge_weights_;
+  std::vector<uint32_t> visited_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_LT_RR_SAMPLER_H_

@@ -1,0 +1,52 @@
+#include "propagation/model.h"
+
+namespace kbtim {
+
+const char* PropagationModelName(PropagationModel model) {
+  switch (model) {
+    case PropagationModel::kIndependentCascade:
+      return "IC";
+    case PropagationModel::kLinearThreshold:
+      return "LT";
+  }
+  return "?";
+}
+
+std::vector<float> UniformIcProbabilities(const Graph& graph) {
+  std::vector<float> probs(graph.num_edges(), 0.0f);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t deg = graph.InDegree(v);
+    if (deg == 0) continue;
+    const float p = 1.0f / static_cast<float>(deg);
+    auto [first, last] = graph.InEdgeRange(v);
+    for (uint64_t i = first; i < last; ++i) probs[i] = p;
+  }
+  return probs;
+}
+
+std::vector<float> TrivalencyIcProbabilities(const Graph& graph, Rng& rng) {
+  static constexpr float kLevels[3] = {0.1f, 0.01f, 0.001f};
+  std::vector<float> probs(graph.num_edges());
+  for (auto& p : probs) p = kLevels[rng.NextU32Below(3)];
+  return probs;
+}
+
+std::vector<float> RandomLtWeights(const Graph& graph, Rng& rng) {
+  std::vector<float> weights(graph.num_edges(), 0.0f);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto [first, last] = graph.InEdgeRange(v);
+    if (first == last) continue;
+    double sum = 0.0;
+    for (uint64_t i = first; i < last; ++i) {
+      const double x = rng.NextDouble() + 1e-9;
+      weights[i] = static_cast<float>(x);
+      sum += x;
+    }
+    for (uint64_t i = first; i < last; ++i) {
+      weights[i] = static_cast<float>(weights[i] / sum);
+    }
+  }
+  return weights;
+}
+
+}  // namespace kbtim

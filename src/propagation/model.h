@@ -1,0 +1,42 @@
+// Propagation model identifiers and per-edge parameter construction.
+//
+// Influence parameters are stored per *incoming* edge, aligned with
+// Graph::InEdgeRange, because both RR-set sampling (reverse walks) and the
+// paper's IC convention p(e) = 1/N_v are naturally indexed by target vertex.
+#ifndef KBTIM_PROPAGATION_MODEL_H_
+#define KBTIM_PROPAGATION_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Supported propagation models. The RIS framework (and therefore WRIS and
+/// the indexes) supports any triggering model; IC and LT are the two the
+/// paper evaluates (§6.6).
+enum class PropagationModel : uint8_t {
+  kIndependentCascade = 0,
+  kLinearThreshold = 1,
+};
+
+/// Returns "IC" / "LT".
+const char* PropagationModelName(PropagationModel model);
+
+/// The paper's default IC weighting: every edge into v has probability
+/// 1 / InDegree(v). Returned vector is aligned with Graph::InEdgeRange.
+std::vector<float> UniformIcProbabilities(const Graph& graph);
+
+/// Trivalency IC weighting: each edge draws uniformly from {0.1, 0.01,
+/// 0.001} (a common alternative in the IM literature; used by ablations).
+std::vector<float> TrivalencyIcProbabilities(const Graph& graph, Rng& rng);
+
+/// The paper's LT weighting: each in-edge of v gets a random weight and the
+/// weights of v's in-edges are normalized to sum to 1.
+std::vector<float> RandomLtWeights(const Graph& graph, Rng& rng);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_MODEL_H_

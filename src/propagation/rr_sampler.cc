@@ -1,0 +1,20 @@
+#include "propagation/rr_sampler.h"
+
+#include "propagation/ic_rr_sampler.h"
+#include "propagation/lt_rr_sampler.h"
+
+namespace kbtim {
+
+std::unique_ptr<RrSampler> MakeRrSampler(
+    PropagationModel model, const Graph& graph,
+    const std::vector<float>& in_edge_weights) {
+  switch (model) {
+    case PropagationModel::kIndependentCascade:
+      return std::make_unique<IcRrSampler>(graph, in_edge_weights);
+    case PropagationModel::kLinearThreshold:
+      return std::make_unique<LtRrSampler>(graph, in_edge_weights);
+  }
+  return nullptr;
+}
+
+}  // namespace kbtim

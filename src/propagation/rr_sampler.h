@@ -1,0 +1,38 @@
+// Reverse-reachable (RR) set sampling (paper Definition 2).
+//
+// An RR set for root v on a random live-edge world G' contains every vertex
+// that reaches v in G'. Samplers hold per-instance scratch state and are NOT
+// thread-safe; create one per worker thread.
+#ifndef KBTIM_PROPAGATION_RR_SAMPLER_H_
+#define KBTIM_PROPAGATION_RR_SAMPLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "propagation/model.h"
+
+namespace kbtim {
+
+/// Interface for model-specific RR-set samplers.
+class RrSampler {
+ public:
+  virtual ~RrSampler() = default;
+
+  /// Clears *out and fills it with one random RR set for `root` (always
+  /// including the root itself). Order is traversal order, not sorted.
+  virtual void Sample(VertexId root, Rng& rng,
+                      std::vector<VertexId>* out) = 0;
+};
+
+/// Creates a sampler for the given model. `in_edge_weights` must be aligned
+/// with graph.InEdgeRange (IC probabilities or LT weights) and outlive the
+/// sampler, as must the graph.
+std::unique_ptr<RrSampler> MakeRrSampler(
+    PropagationModel model, const Graph& graph,
+    const std::vector<float>& in_edge_weights);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_RR_SAMPLER_H_

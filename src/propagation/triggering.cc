@@ -1,0 +1,150 @@
+#include "propagation/triggering.h"
+
+#include <algorithm>
+
+namespace kbtim {
+
+void IcTriggering::Sample(const Graph& graph, VertexId v, Rng& rng,
+                          std::vector<uint32_t>* positions) const {
+  positions->clear();
+  const auto [first, last] = graph.InEdgeRange(v);
+  for (uint64_t i = first; i < last; ++i) {
+    if (rng.Bernoulli(in_edge_prob_[i])) {
+      positions->push_back(static_cast<uint32_t>(i - first));
+    }
+  }
+}
+
+void LtTriggering::Sample(const Graph& graph, VertexId v, Rng& rng,
+                          std::vector<uint32_t>* positions) const {
+  positions->clear();
+  const auto [first, last] = graph.InEdgeRange(v);
+  if (first == last) return;
+  const double u = rng.NextDouble();
+  double acc = 0.0;
+  for (uint64_t i = first; i < last; ++i) {
+    acc += in_edge_weights_[i];
+    if (u < acc) {
+      positions->push_back(static_cast<uint32_t>(i - first));
+      return;
+    }
+  }
+  // residual mass: empty triggering set
+}
+
+void CappedIcTriggering::Sample(const Graph& graph, VertexId v, Rng& rng,
+                                std::vector<uint32_t>* positions) const {
+  positions->clear();
+  const auto [first, last] = graph.InEdgeRange(v);
+  for (uint64_t i = first; i < last; ++i) {
+    if (rng.Bernoulli(in_edge_prob_[i])) {
+      positions->push_back(static_cast<uint32_t>(i - first));
+    }
+  }
+  if (positions->size() <= cap_) return;
+  // Keep a uniformly random subset of size cap_ (partial Fisher-Yates).
+  for (uint32_t i = 0; i < cap_; ++i) {
+    const auto j = i + static_cast<uint32_t>(rng.NextU64Below(
+                           positions->size() - i));
+    std::swap((*positions)[i], (*positions)[j]);
+  }
+  positions->resize(cap_);
+  std::sort(positions->begin(), positions->end());
+}
+
+TriggeringRrSampler::TriggeringRrSampler(
+    const Graph& graph, const TriggeringDistribution& distribution)
+    : graph_(graph),
+      distribution_(distribution),
+      visited_epoch_(graph.num_vertices(), 0) {}
+
+void TriggeringRrSampler::Sample(VertexId root, Rng& rng,
+                                 std::vector<VertexId>* out) {
+  out->clear();
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(visited_epoch_.begin(), visited_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+  visited_epoch_[root] = epoch_;
+  out->push_back(root);
+  queue_.clear();
+  queue_.push_back(root);
+  size_t head = 0;
+  while (head < queue_.size()) {
+    const VertexId x = queue_[head++];
+    // Each vertex is dequeued once per sample, so its triggering set is
+    // drawn exactly once per world, as the model requires.
+    distribution_.Sample(graph_, x, rng, &positions_);
+    auto in = graph_.InNeighbors(x);
+    for (uint32_t pos : positions_) {
+      const VertexId u = in[pos];
+      if (visited_epoch_[u] == epoch_) continue;
+      visited_epoch_[u] = epoch_;
+      out->push_back(u);
+      queue_.push_back(u);
+    }
+  }
+}
+
+double EstimateTriggeringSpread(const Graph& graph,
+                                const TriggeringDistribution& distribution,
+                                std::span<const VertexId> seeds,
+                                const SpreadEstimateOptions& options,
+                                std::span<const double> vertex_weight) {
+  if (seeds.empty() || options.num_simulations == 0) return 0.0;
+  Rng rng(options.seed);
+  const VertexId n = graph.num_vertices();
+  std::vector<uint32_t> active_epoch(n, 0);
+  std::vector<uint32_t> trig_epoch(n, 0);
+  std::vector<std::vector<uint32_t>> trig_sets(n);
+  std::vector<VertexId> frontier, next;
+  uint32_t epoch = 0;
+
+  double total = 0.0;
+  for (uint32_t s = 0; s < options.num_simulations; ++s) {
+    ++epoch;
+    if (epoch == 0) {
+      std::fill(active_epoch.begin(), active_epoch.end(), 0);
+      std::fill(trig_epoch.begin(), trig_epoch.end(), 0);
+      epoch = 1;
+    }
+    double world = 0.0;
+    frontier.clear();
+    for (VertexId v : seeds) {
+      if (active_epoch[v] == epoch) continue;
+      active_epoch[v] = epoch;
+      frontier.push_back(v);
+      world += vertex_weight.empty() ? 1.0 : vertex_weight[v];
+    }
+    while (!frontier.empty()) {
+      next.clear();
+      for (VertexId u : frontier) {
+        for (VertexId y : graph.OutNeighbors(u)) {
+          if (active_epoch[y] == epoch) continue;
+          if (trig_epoch[y] != epoch) {
+            trig_epoch[y] = epoch;
+            distribution.Sample(graph, y, rng, &trig_sets[y]);
+            std::sort(trig_sets[y].begin(), trig_sets[y].end());
+          }
+          // Does u sit in y's triggering set? Map u to its in-position.
+          auto in = graph.InNeighbors(y);
+          const auto it = std::lower_bound(in.begin(), in.end(), u);
+          const auto pos = static_cast<uint32_t>(it - in.begin());
+          if (!std::binary_search(trig_sets[y].begin(), trig_sets[y].end(),
+                                  pos)) {
+            continue;
+          }
+          active_epoch[y] = epoch;
+          next.push_back(y);
+          world += vertex_weight.empty() ? 1.0 : vertex_weight[y];
+        }
+      }
+      frontier.swap(next);
+    }
+    total += world;
+  }
+  return total / static_cast<double>(options.num_simulations);
+}
+
+}  // namespace kbtim

@@ -1,0 +1,69 @@
+#include "sampling/alias_table.h"
+
+#include <cmath>
+
+namespace kbtim {
+
+StatusOr<AliasTable> AliasTable::FromWeights(
+    std::span<const double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("alias table needs at least one weight");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("alias weights must be finite and >= 0");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("alias weights must sum to > 0");
+  }
+
+  const size_t n = weights.size();
+  AliasTable table;
+  table.prob_.resize(n);
+  table.alias_.resize(n);
+
+  // Scaled weights; partition into small (< 1) and large (>= 1) stacks.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / sum;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    table.prob_[s] = scaled[s];
+    table.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers become certain draws.
+  for (uint32_t i : large) {
+    table.prob_[i] = 1.0;
+    table.alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    table.prob_[i] = 1.0;
+    table.alias_[i] = i;
+  }
+  return table;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  const auto i =
+      static_cast<uint32_t>(rng.NextU64Below(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace kbtim

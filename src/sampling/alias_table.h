@@ -1,0 +1,37 @@
+// Walker's alias method: O(n) construction, O(1) weighted sampling.
+//
+// This is the workhorse behind WRIS's ps(v, Q)-weighted root selection
+// (Eqn. 3) and the per-keyword ps(v, w) offline sampling (Eqn. 7).
+#ifndef KBTIM_SAMPLING_ALIAS_TABLE_H_
+#define KBTIM_SAMPLING_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+
+namespace kbtim {
+
+/// Immutable alias table over indices [0, n) with given nonnegative weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table. Weights must be nonnegative with a positive sum.
+  static StatusOr<AliasTable> FromWeights(std::span<const double> weights);
+
+  /// Draws an index with probability weight[i] / Σ weights.
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_ALIAS_TABLE_H_

@@ -1,0 +1,61 @@
+// Lower-bound estimation of OPT (the optimal expected weighted spread).
+//
+// The θ bounds need OPT in their denominator, and any LOWER bound keeps
+// them valid (θ only grows). The paper adopts the iterative estimation of
+// TIM [21] adapted to weighted sampling; we implement the same idea as a
+// pilot-sampling/greedy doubling scheme:
+//   1. sample a pilot batch of RR sets with the target root distribution;
+//   2. run greedy k-cover; F(S)/θ_pilot · W (W = total weight mass) is an
+//      unbiased estimate of E[I^w(S_greedy)] ≤ OPT_k;
+//   3. double the pilot size until the estimate stabilizes, then shrink it
+//      by the configured slack to absorb residual sampling noise.
+// The estimate never falls below the trivial floor Σ(top-k vertex weights),
+// which is itself a valid lower bound (seeding v yields at least weight(v)).
+#ifndef KBTIM_SAMPLING_OPT_ESTIMATOR_H_
+#define KBTIM_SAMPLING_OPT_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "propagation/rr_sampler.h"
+#include "sampling/vertex_sampler.h"
+
+namespace kbtim {
+
+/// Options for pilot-based OPT estimation.
+struct OptEstimateOptions {
+  /// Seed-set size k whose OPT_k is being bounded.
+  uint32_t k = 1;
+
+  /// Initial pilot batch size (doubled each refinement round).
+  uint64_t pilot_initial = 2048;
+
+  /// Hard cap on pilot RR sets.
+  uint64_t pilot_max = 1 << 20;
+
+  /// Relative-change threshold that ends the doubling loop.
+  double rel_tol = 0.1;
+
+  /// Safety slack: the returned bound is estimate / (1 + slack).
+  double slack = 0.25;
+
+  /// Floor on the returned bound (e.g. Σ top-k vertex weights); pass 0 to
+  /// disable.
+  double floor = 0.0;
+
+  /// RNG seed.
+  uint64_t seed = 9001;
+};
+
+/// Estimates a lower bound for OPT_k of the weighted influence objective
+/// whose root distribution is `roots` (total mass roots.total_weight()).
+/// `sampler` must match the propagation model under study.
+StatusOr<double> EstimateOptLowerBound(const Graph& graph,
+                                       RrSampler& sampler,
+                                       const WeightedVertexSampler& roots,
+                                       const OptEstimateOptions& options);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_OPT_ESTIMATOR_H_

@@ -1,0 +1,100 @@
+#include "sampling/ris_solver.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "coverage/celf_greedy.h"
+#include "coverage/rr_collection.h"
+#include "sampling/opt_estimator.h"
+#include "sampling/theta_bounds.h"
+#include "sampling/vertex_sampler.h"
+
+namespace kbtim {
+
+RisSolver::RisSolver(const Graph& graph, PropagationModel model,
+                     const std::vector<float>& in_edge_weights,
+                     OnlineSolverOptions options)
+    : graph_(graph),
+      model_(model),
+      in_edge_weights_(in_edge_weights),
+      options_(options) {}
+
+StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
+  if (k == 0 || k > graph_.num_vertices()) {
+    return Status::InvalidArgument("k out of range");
+  }
+  WallTimer total_timer;
+  KBTIM_ASSIGN_OR_RETURN(WeightedVertexSampler roots,
+                         WeightedVertexSampler::Uniform(
+                             graph_.num_vertices()));
+
+  OptEstimateOptions opt_options = options_.opt_estimate;
+  opt_options.k = k;
+  opt_options.floor = static_cast<double>(k);  // every seed influences itself
+  opt_options.seed = options_.seed ^ 0x0415EEDULL;
+  auto pilot_sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+  KBTIM_ASSIGN_OR_RETURN(
+      double opt_lb,
+      EstimateOptLowerBound(graph_, *pilot_sampler, roots, opt_options));
+
+  uint64_t theta =
+      ThetaForQuery(options_.epsilon, static_cast<double>(
+                                          graph_.num_vertices()),
+                    graph_.num_vertices(), k, opt_lb);
+  theta = std::max<uint64_t>(theta, 1);
+  if (theta > options_.max_theta) {
+    KBTIM_LOG(Warning) << "RIS theta " << theta << " clipped to "
+                       << options_.max_theta;
+    theta = options_.max_theta;
+  }
+
+  WallTimer sampling_timer;
+  const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
+  std::vector<RrCollection> partials(nthreads);
+  auto worker = [&](uint32_t tid) {
+    Rng rng = Rng(options_.seed).Fork(tid + 31);
+    auto sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+    const uint64_t lo = tid * theta / nthreads;
+    const uint64_t hi = (tid + 1) * theta / nthreads;
+    std::vector<VertexId> scratch;
+    for (uint64_t i = lo; i < hi; ++i) {
+      sampler->Sample(roots.Sample(rng), rng, &scratch);
+      partials[tid].Add(scratch);
+    }
+  };
+  if (nthreads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < nthreads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+  RrCollection sets = std::move(partials[0]);
+  for (uint32_t t = 1; t < nthreads; ++t) sets.Append(partials[t]);
+  const double sampling_seconds = sampling_timer.ElapsedSeconds();
+
+  WallTimer greedy_timer;
+  InvertedRrIndex inverted(sets, graph_.num_vertices());
+  const MaxCoverResult cover = CelfGreedyMaxCover(sets, inverted, k);
+
+  SeedSetResult result;
+  result.seeds = cover.seeds;
+  const double scale = static_cast<double>(graph_.num_vertices()) /
+                       static_cast<double>(std::max<uint64_t>(1, sets.size()));
+  for (uint64_t c : cover.marginal_coverage) {
+    result.marginal_gains.push_back(static_cast<double>(c) * scale);
+  }
+  result.estimated_influence =
+      static_cast<double>(cover.total_covered) * scale;
+  result.stats.theta = theta;
+  result.stats.rr_sets_loaded = sets.size();
+  result.stats.opt_lower_bound = opt_lb;
+  result.stats.sampling_seconds = sampling_seconds;
+  result.stats.greedy_seconds = greedy_timer.ElapsedSeconds();
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kbtim

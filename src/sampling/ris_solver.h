@@ -1,0 +1,36 @@
+// RIS: classic untargeted reverse-influence sampling (paper §2.2, the
+// Borgs et al. / TIM framework). Used as the non-target-aware comparator in
+// Table 8: it returns the same seeds regardless of the advertisement.
+#ifndef KBTIM_SAMPLING_RIS_SOLVER_H_
+#define KBTIM_SAMPLING_RIS_SOLVER_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "propagation/model.h"
+#include "sampling/solver_result.h"
+#include "sampling/wris_solver.h"
+
+namespace kbtim {
+
+/// Online uniform-RIS solver for the classic IM problem (Definition 1).
+class RisSolver {
+ public:
+  RisSolver(const Graph& graph, PropagationModel model,
+            const std::vector<float>& in_edge_weights,
+            OnlineSolverOptions options = {});
+
+  /// Finds the k most influential users (query-independent).
+  StatusOr<SeedSetResult> Solve(uint32_t k) const;
+
+ private:
+  const Graph& graph_;
+  PropagationModel model_;
+  const std::vector<float>& in_edge_weights_;
+  OnlineSolverOptions options_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_RIS_SOLVER_H_

@@ -1,0 +1,53 @@
+// Common result type returned by every KB-TIM solver (WRIS, RIS, RR index,
+// IRR index) so that benchmarks and tests can compare them uniformly.
+#ifndef KBTIM_SAMPLING_SOLVER_RESULT_H_
+#define KBTIM_SAMPLING_SOLVER_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Measurements of one Solve/Query call.
+struct SolverStats {
+  /// RR sets the theoretical bound demanded (θ or θ^Q).
+  uint64_t theta = 0;
+
+  /// RR sets actually materialized in memory (== theta for online solvers;
+  /// the incrementally loaded count for IRR — Figures 5-7's right columns).
+  uint64_t rr_sets_loaded = 0;
+
+  /// Disk read operations performed (Table 6); 0 for online solvers.
+  uint64_t io_reads = 0;
+
+  /// Bytes read from disk; 0 for online solvers.
+  uint64_t io_bytes = 0;
+
+  /// Lower bound on OPT used to size θ (online solvers only).
+  double opt_lower_bound = 0.0;
+
+  double sampling_seconds = 0.0;
+  double greedy_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// A solved seed set with its estimated (targeted) influence.
+struct SeedSetResult {
+  /// Seeds in selection order.
+  std::vector<VertexId> seeds;
+
+  /// Estimated marginal influence per seed, in expected-influence units
+  /// (coverage fraction × total weight mass), aligned with seeds.
+  std::vector<double> marginal_gains;
+
+  /// Estimated total expected influence of the seed set.
+  double estimated_influence = 0.0;
+
+  SolverStats stats;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_SOLVER_RESULT_H_

@@ -1,0 +1,61 @@
+#include "sampling/theta_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace kbtim {
+namespace {
+
+uint64_t CeilToCount(double x) {
+  if (!(x > 0.0)) return 0;
+  // Cap at 2^40 samples: beyond any practical budget, and keeps callers'
+  // size arithmetic far from overflow.
+  const double capped = std::min(x, std::ldexp(1.0, 40));
+  return static_cast<uint64_t>(std::ceil(capped));
+}
+
+}  // namespace
+
+double ThetaLogFactor(uint64_t num_vertices, uint64_t k) {
+  const uint64_t kk = std::min(k, num_vertices);
+  return std::log(static_cast<double>(std::max<uint64_t>(2, num_vertices))) +
+         LogNChooseK(num_vertices, kk) + std::log(2.0);
+}
+
+uint64_t ThetaForQuery(double epsilon, double phi_q, uint64_t num_vertices,
+                       uint64_t k, double opt) {
+  if (epsilon <= 0.0 || phi_q <= 0.0 || opt <= 0.0 || num_vertices == 0) {
+    return 0;
+  }
+  const double log_factor = ThetaLogFactor(num_vertices, k);
+  return CeilToCount((8.0 + 2.0 * epsilon) * phi_q * log_factor /
+                     (opt * epsilon * epsilon));
+}
+
+uint64_t ThetaForKeyword(double epsilon, double tf_sum_w,
+                         uint64_t num_vertices, uint64_t max_k,
+                         double opt_w) {
+  if (epsilon <= 0.0 || tf_sum_w <= 0.0 || opt_w <= 0.0 ||
+      num_vertices == 0) {
+    return 0;
+  }
+  const double log_factor = ThetaLogFactor(num_vertices, max_k);
+  return CeilToCount((8.0 + 2.0 * epsilon) * tf_sum_w * log_factor /
+                     (opt_w * epsilon * epsilon));
+}
+
+uint64_t ThetaQFromIndex(
+    std::span<const std::pair<uint64_t, double>> theta_and_pw) {
+  double best = -1.0;
+  for (const auto& [theta_w, pw] : theta_and_pw) {
+    if (pw <= 0.0) continue;
+    const double budget = static_cast<double>(theta_w) / pw;
+    if (best < 0.0 || budget < best) best = budget;
+  }
+  if (best < 0.0) return 0;
+  return static_cast<uint64_t>(best);
+}
+
+}  // namespace kbtim

@@ -1,0 +1,46 @@
+// Sample-size (θ) bounds from the paper.
+//
+//   Theorem 2 (θ for a query, online WRIS):
+//     θ  ≥ (8+2ε) · φ_Q · (ln|V| + ln C(|V|, Q.k) + ln 2) / (OPT^{Q.T}_{Q.k} · ε²)
+//   Lemma 3 (per-keyword bound with OPT^{w}_1, "θ̂_w"):
+//     θ̂_w = (8+2ε) · (Σ_v tf_{w,v}) · (ln|V| + ln C(|V|, K) + ln 2) / (OPT^{w}_1 · ε²)
+//   Lemma 4 (compact per-keyword bound with OPT^{w}_K, "θ_w"):
+//     θ_w  = (8+2ε) · (Σ_v tf_{w,v}) · (ln|V| + ln C(|V|, K) + ln 2) / (OPT^{w}_K · ε²)
+//   Eqn. 11 (query budget from an index):
+//     θ^Q = min{ θ_w / p_w : w ∈ Q.T },  θ^Q_w = θ^Q · p_w
+//
+// OPT quantities are supplied by the caller (see opt_estimator.h). All
+// bounds return ceil'd integer sample counts.
+#ifndef KBTIM_SAMPLING_THETA_BOUNDS_H_
+#define KBTIM_SAMPLING_THETA_BOUNDS_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace kbtim {
+
+/// Shared logarithmic factor ln|V| + ln C(|V|, k) + ln 2.
+double ThetaLogFactor(uint64_t num_vertices, uint64_t k);
+
+/// Theorem 2's θ for online WRIS. `phi_q` is φ_Q, `opt` is (an estimate of
+/// a lower bound on) OPT^{Q.T}_{Q.k} in the same units as φ_Q.
+uint64_t ThetaForQuery(double epsilon, double phi_q, uint64_t num_vertices,
+                       uint64_t k, double opt);
+
+/// Lemma 3 / Lemma 4 per-keyword bound. `tf_sum_w` is Σ_v tf_{w,v} and
+/// `opt_w` is OPT^{w}_1 (Lemma 3) or OPT^{w}_K (Lemma 4), measured in tf
+/// units (no idf; it cancels per the Lemma 3 proof).
+uint64_t ThetaForKeyword(double epsilon, double tf_sum_w,
+                         uint64_t num_vertices, uint64_t max_k,
+                         double opt_w);
+
+/// Eqn. 11: given per-query-keyword (θ_w, p_w) pairs, the query's total
+/// RR-set budget θ^Q = min θ_w / p_w. Entries with p_w == 0 are skipped
+/// (keyword contributes no relevance mass). Returns 0 if all are 0.
+uint64_t ThetaQFromIndex(
+    std::span<const std::pair<uint64_t, double>> theta_and_pw);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_THETA_BOUNDS_H_

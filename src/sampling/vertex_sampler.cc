@@ -1,0 +1,59 @@
+#include "sampling/vertex_sampler.h"
+
+namespace kbtim {
+
+StatusOr<WeightedVertexSampler> WeightedVertexSampler::Uniform(
+    VertexId num_vertices) {
+  if (num_vertices == 0) {
+    return Status::InvalidArgument("uniform sampler over empty vertex set");
+  }
+  WeightedVertexSampler s;
+  s.uniform_n_ = num_vertices;
+  s.total_weight_ = static_cast<double>(num_vertices);
+  return s;
+}
+
+StatusOr<WeightedVertexSampler> WeightedVertexSampler::ForQuery(
+    const TfIdfModel& model, const Query& query) {
+  const auto sparse = model.SparsePhi(query);
+  if (sparse.empty()) {
+    return Status::FailedPrecondition(
+        "no user is relevant to the query keywords");
+  }
+  WeightedVertexSampler s;
+  std::vector<double> weights;
+  weights.reserve(sparse.size());
+  s.vertices_.reserve(sparse.size());
+  for (const auto& [v, phi] : sparse) {
+    s.vertices_.push_back(v);
+    weights.push_back(phi);
+    s.total_weight_ += phi;
+  }
+  KBTIM_ASSIGN_OR_RETURN(s.alias_, AliasTable::FromWeights(weights));
+  return s;
+}
+
+StatusOr<WeightedVertexSampler> WeightedVertexSampler::ForTopic(
+    const ProfileStore& profiles, TopicId topic) {
+  if (topic >= profiles.num_topics()) {
+    return Status::InvalidArgument("topic id out of range");
+  }
+  auto users = profiles.TopicUsers(topic);
+  auto tfs = profiles.TopicTfs(topic);
+  if (users.empty()) {
+    return Status::FailedPrecondition("topic has no users");
+  }
+  WeightedVertexSampler s;
+  s.vertices_.assign(users.begin(), users.end());
+  std::vector<double> weights(tfs.begin(), tfs.end());
+  for (double w : weights) s.total_weight_ += w;
+  KBTIM_ASSIGN_OR_RETURN(s.alias_, AliasTable::FromWeights(weights));
+  return s;
+}
+
+VertexId WeightedVertexSampler::Sample(Rng& rng) const {
+  if (uniform_n_ > 0) return rng.NextU32Below(uniform_n_);
+  return vertices_[alias_.Sample(rng)];
+}
+
+}  // namespace kbtim

@@ -1,0 +1,59 @@
+// Root-vertex samplers for the three sampling regimes in the paper:
+//  * uniform            — classic RIS (Definition 2),
+//  * query-weighted     — WRIS with ps(v, Q) = φ(v, Q) / φ_Q (Eqn. 3),
+//  * keyword-weighted   — discriminative WRIS with ps(v, w) =
+//                         tf_{w,v} / Σ_v tf_{w,v} (Eqn. 7), used offline.
+#ifndef KBTIM_SAMPLING_VERTEX_SAMPLER_H_
+#define KBTIM_SAMPLING_VERTEX_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "sampling/alias_table.h"
+#include "topics/tfidf.h"
+
+namespace kbtim {
+
+/// Samples root vertices from a fixed weighted distribution over V.
+class WeightedVertexSampler {
+ public:
+  WeightedVertexSampler() = default;
+
+  /// Uniform over [0, num_vertices).
+  static StatusOr<WeightedVertexSampler> Uniform(VertexId num_vertices);
+
+  /// ps(v, Q) ∝ φ(v, Q); only users relevant to the query can be drawn.
+  /// Fails if no user carries any query keyword.
+  static StatusOr<WeightedVertexSampler> ForQuery(const TfIdfModel& model,
+                                                  const Query& query);
+
+  /// ps(v, w) ∝ tf_{w,v}; only users with the topic can be drawn.
+  /// Fails if the topic has no users.
+  static StatusOr<WeightedVertexSampler> ForTopic(
+      const ProfileStore& profiles, TopicId topic);
+
+  /// Draws one root.
+  VertexId Sample(Rng& rng) const;
+
+  /// Total weight mass of the distribution before normalization
+  /// (φ_Q for ForQuery, Σ_v tf_{w,v} for ForTopic, n for Uniform).
+  double total_weight() const { return total_weight_; }
+
+  /// Number of distinct sampleable vertices.
+  size_t support_size() const {
+    return uniform_n_ > 0 ? uniform_n_ : vertices_.size();
+  }
+
+ private:
+  // Uniform mode when uniform_n_ > 0; otherwise alias over vertices_.
+  VertexId uniform_n_ = 0;
+  std::vector<VertexId> vertices_;
+  AliasTable alias_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SAMPLING_VERTEX_SAMPLER_H_

@@ -1,0 +1,141 @@
+#include "sampling/wris_solver.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "coverage/celf_greedy.h"
+#include "coverage/rr_collection.h"
+#include "sampling/theta_bounds.h"
+#include "sampling/vertex_sampler.h"
+
+namespace kbtim {
+namespace {
+
+Status ValidateQuery(const Query& query, const Graph& graph,
+                     uint32_t num_topics) {
+  if (query.topics.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (query.k == 0 || query.k > graph.num_vertices()) {
+    return Status::InvalidArgument("query k out of range");
+  }
+  for (size_t i = 0; i < query.topics.size(); ++i) {
+    if (query.topics[i] >= num_topics) {
+      return Status::InvalidArgument("query topic id out of range");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (query.topics[j] == query.topics[i]) {
+        return Status::InvalidArgument("duplicate query keyword");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WrisSolver::WrisSolver(const Graph& graph, const TfIdfModel& tfidf,
+                       PropagationModel model,
+                       const std::vector<float>& in_edge_weights,
+                       OnlineSolverOptions options)
+    : graph_(graph),
+      tfidf_(tfidf),
+      model_(model),
+      in_edge_weights_(in_edge_weights),
+      options_(options) {}
+
+StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
+  KBTIM_RETURN_IF_ERROR(
+      ValidateQuery(query, graph_, tfidf_.profiles().num_topics()));
+  WallTimer total_timer;
+
+  KBTIM_ASSIGN_OR_RETURN(WeightedVertexSampler roots,
+                         WeightedVertexSampler::ForQuery(tfidf_, query));
+  const double phi_q = roots.total_weight();
+
+  // OPT lower-bound floor: the top-k relevance weights (seeding a user v
+  // always contributes at least φ(v, Q)).
+  auto sparse = tfidf_.SparsePhi(query);
+  std::vector<double> phis;
+  phis.reserve(sparse.size());
+  for (const auto& [v, phi] : sparse) phis.push_back(phi);
+  const size_t topk = std::min<size_t>(query.k, phis.size());
+  std::partial_sort(phis.begin(), phis.begin() + topk, phis.end(),
+                    std::greater<>());
+  double floor = 0.0;
+  for (size_t i = 0; i < topk; ++i) floor += phis[i];
+
+  OptEstimateOptions opt_options = options_.opt_estimate;
+  opt_options.k = query.k;
+  opt_options.floor = floor;
+  opt_options.seed = options_.seed ^ 0x5EEDF00DULL;
+  auto pilot_sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+  KBTIM_ASSIGN_OR_RETURN(
+      double opt_lb,
+      EstimateOptLowerBound(graph_, *pilot_sampler, roots, opt_options));
+
+  uint64_t theta = ThetaForQuery(options_.epsilon, phi_q,
+                                 graph_.num_vertices(), query.k, opt_lb);
+  theta = std::max<uint64_t>(theta, 1);
+  if (theta > options_.max_theta) {
+    KBTIM_LOG(Warning) << "WRIS theta " << theta << " clipped to "
+                       << options_.max_theta
+                       << "; the (1-1/e-eps) bound no longer applies";
+    theta = options_.max_theta;
+  }
+
+  // Parallel weighted sampling.
+  WallTimer sampling_timer;
+  const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
+  std::vector<RrCollection> partials(nthreads);
+  auto worker = [&](uint32_t tid) {
+    Rng rng = Rng(options_.seed).Fork(tid + 17);
+    auto sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+    const uint64_t lo = tid * theta / nthreads;
+    const uint64_t hi = (tid + 1) * theta / nthreads;
+    std::vector<VertexId> scratch;
+    partials[tid].Reserve(hi - lo, (hi - lo) * 4);
+    for (uint64_t i = lo; i < hi; ++i) {
+      sampler->Sample(roots.Sample(rng), rng, &scratch);
+      partials[tid].Add(scratch);
+    }
+  };
+  if (nthreads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (uint32_t t = 0; t < nthreads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+  }
+  RrCollection sets = std::move(partials[0]);
+  for (uint32_t t = 1; t < nthreads; ++t) sets.Append(partials[t]);
+  const double sampling_seconds = sampling_timer.ElapsedSeconds();
+
+  WallTimer greedy_timer;
+  InvertedRrIndex inverted(sets, graph_.num_vertices());
+  const MaxCoverResult cover = CelfGreedyMaxCover(sets, inverted, query.k);
+  const double greedy_seconds = greedy_timer.ElapsedSeconds();
+
+  SeedSetResult result;
+  result.seeds = cover.seeds;
+  const double scale =
+      phi_q / static_cast<double>(std::max<uint64_t>(1, sets.size()));
+  result.marginal_gains.reserve(cover.marginal_coverage.size());
+  for (uint64_t c : cover.marginal_coverage) {
+    result.marginal_gains.push_back(static_cast<double>(c) * scale);
+  }
+  result.estimated_influence =
+      static_cast<double>(cover.total_covered) * scale;
+  result.stats.theta = theta;
+  result.stats.rr_sets_loaded = sets.size();
+  result.stats.opt_lower_bound = opt_lb;
+  result.stats.sampling_seconds = sampling_seconds;
+  result.stats.greedy_seconds = greedy_seconds;
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace kbtim

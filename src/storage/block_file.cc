@@ -1,0 +1,79 @@
+#include "storage/block_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "storage/io_counter.h"
+
+namespace kbtim {
+
+StatusOr<std::unique_ptr<FileWriter>> FileWriter::Create(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  return std::unique_ptr<FileWriter>(new FileWriter(path, f));
+}
+
+FileWriter::~FileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWriter::Append(std::string_view data) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer closed: " + path_);
+  }
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    return Status::IOError("short write: " + path_);
+  }
+  offset_ += data.size();
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("close failed: " + path_);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat failed: " + path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(path, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n,
+                              std::string* out) const {
+  if (offset + n > size_) {
+    return Status::OutOfRange("read past EOF: " + path_);
+  }
+  out->resize(n);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, out->data() + done, n - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) return Status::IOError("pread failed: " + path_);
+    if (got == 0) return Status::IOError("unexpected EOF: " + path_);
+    done += static_cast<size_t>(got);
+  }
+  IoCounter::RecordRead(n);
+  return Status::OK();
+}
+
+}  // namespace kbtim

@@ -1,0 +1,72 @@
+// Counted file I/O primitives for the disk-based indexes.
+#ifndef KBTIM_STORAGE_BLOCK_FILE_H_
+#define KBTIM_STORAGE_BLOCK_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace kbtim {
+
+/// Sequential append-only writer.
+class FileWriter {
+ public:
+  /// Creates (truncates) the file.
+  static StatusOr<std::unique_ptr<FileWriter>> Create(
+      const std::string& path);
+
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Appends bytes.
+  Status Append(std::string_view data);
+
+  /// Current file offset (== bytes written).
+  uint64_t offset() const { return offset_; }
+
+  /// Flushes and closes; further Appends fail.
+  Status Close();
+
+ private:
+  FileWriter(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t offset_ = 0;
+};
+
+/// Positional reader; every Read records one I/O op in IoCounter.
+class RandomAccessFile {
+ public:
+  /// Opens an existing file.
+  static StatusOr<std::unique_ptr<RandomAccessFile>> Open(
+      const std::string& path);
+
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  /// Reads exactly n bytes at `offset` into *out (resized). Returns
+  /// IOError / OutOfRange on short reads.
+  Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_STORAGE_BLOCK_FILE_H_

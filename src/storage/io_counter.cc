@@ -1,0 +1,28 @@
+#include "storage/io_counter.h"
+
+#include <atomic>
+
+namespace kbtim {
+namespace {
+
+std::atomic<uint64_t> g_read_ops{0};
+std::atomic<uint64_t> g_read_bytes{0};
+
+}  // namespace
+
+void IoCounter::RecordRead(uint64_t bytes) {
+  g_read_ops.fetch_add(1, std::memory_order_relaxed);
+  g_read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+IoStats IoCounter::Snapshot() {
+  return {g_read_ops.load(std::memory_order_relaxed),
+          g_read_bytes.load(std::memory_order_relaxed)};
+}
+
+void IoCounter::Reset() {
+  g_read_ops.store(0, std::memory_order_relaxed);
+  g_read_bytes.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace kbtim

@@ -1,0 +1,39 @@
+// Global disk-I/O accounting.
+//
+// The paper reports the number of I/O operations per query (Table 6) and
+// the number of RR sets loaded (Figures 5-7). All index reads go through
+// RandomAccessFile, which records one read operation plus the byte count
+// here; benchmarks snapshot/reset around each query.
+#ifndef KBTIM_STORAGE_IO_COUNTER_H_
+#define KBTIM_STORAGE_IO_COUNTER_H_
+
+#include <cstdint>
+
+namespace kbtim {
+
+/// A snapshot of I/O counters.
+struct IoStats {
+  uint64_t read_ops = 0;
+  uint64_t read_bytes = 0;
+
+  IoStats operator-(const IoStats& other) const {
+    return {read_ops - other.read_ops, read_bytes - other.read_bytes};
+  }
+};
+
+/// Process-wide atomic I/O counters.
+class IoCounter {
+ public:
+  /// Records one read operation of `bytes` bytes.
+  static void RecordRead(uint64_t bytes);
+
+  /// Current totals.
+  static IoStats Snapshot();
+
+  /// Zeroes the counters.
+  static void Reset();
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_STORAGE_IO_COUNTER_H_

@@ -1,0 +1,91 @@
+// Integer-sequence codecs for the on-disk RR / inverted-list payloads.
+//
+// The paper compresses its indexes with FastPFOR (as shipped in Lucene
+// 4.6); we implement the same codec family from scratch:
+//  * RawCodec    — little-endian u32s, the "uncompressed" mode of Table 4;
+//  * VarintCodec — LEB128 per value (fallback / tiny lists);
+//  * PforCodec   — patched frame-of-reference: 128-value blocks, per-block
+//    bit width chosen by exhaustive cost search, out-of-range values stored
+//    as (position, overflow) exception pairs.
+// Sorted id lists should be delta-encoded first (DeltaEncode/DeltaDecode);
+// the index layer does this for inverted lists and sorted RR sets.
+#ifndef KBTIM_STORAGE_PFOR_CODEC_H_
+#define KBTIM_STORAGE_PFOR_CODEC_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kbtim {
+
+/// Abstract reversible u32-sequence codec.
+class IntCodec {
+ public:
+  virtual ~IntCodec() = default;
+
+  /// Appends the encoding of `values` to *out (self-delimiting).
+  virtual void Encode(std::span<const uint32_t> values,
+                      std::string* out) const = 0;
+
+  /// Decodes a full buffer previously produced by Encode into *out
+  /// (cleared first). Returns Corruption on malformed input.
+  virtual Status Decode(std::string_view data,
+                        std::vector<uint32_t>* out) const = 0;
+
+  /// Stable codec name ("raw", "varint", "pfor").
+  virtual const char* Name() const = 0;
+};
+
+/// Identity coding: 4 bytes per value.
+class RawCodec final : public IntCodec {
+ public:
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override;
+  Status Decode(std::string_view data,
+                std::vector<uint32_t>* out) const override;
+  const char* Name() const override { return "raw"; }
+};
+
+/// LEB128 per value.
+class VarintCodec final : public IntCodec {
+ public:
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override;
+  Status Decode(std::string_view data,
+                std::vector<uint32_t>* out) const override;
+  const char* Name() const override { return "varint"; }
+};
+
+/// Patched frame-of-reference with 128-value blocks.
+class PforCodec final : public IntCodec {
+ public:
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override;
+  Status Decode(std::string_view data,
+                std::vector<uint32_t>* out) const override;
+  const char* Name() const override { return "pfor"; }
+
+  /// Values per block.
+  static constexpr size_t kBlockSize = 128;
+};
+
+/// Codec selection for index files.
+enum class CodecKind : uint8_t { kRaw = 0, kVarint = 1, kPfor = 2 };
+
+/// Factory; never returns null.
+std::unique_ptr<IntCodec> MakeCodec(CodecKind kind);
+
+/// In-place delta coding of a non-decreasing sequence: {a0, a1, ...} ->
+/// {a0, a1-a0, ...}. Inputs must be sorted ascending.
+void DeltaEncode(std::vector<uint32_t>* values);
+
+/// Inverse of DeltaEncode.
+void DeltaDecode(std::vector<uint32_t>* values);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_STORAGE_PFOR_CODEC_H_

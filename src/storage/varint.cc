@@ -1,0 +1,62 @@
+#include "storage/varint.h"
+
+namespace kbtim {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+const char* GetVarint32(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && p < limit; shift += 7) {
+    const auto byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    } else {
+      if (shift == 28 && byte > 0x0F) return nullptr;  // overflow
+      result |= static_cast<uint32_t>(byte) << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const auto byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    } else {
+      if (shift == 63 && byte > 0x01) return nullptr;  // overflow
+      result |= static_cast<uint64_t>(byte) << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,28 @@
+// LEB128 variable-length integer coding (RocksDB/LevelDB-style API).
+#ifndef KBTIM_STORAGE_VARINT_H_
+#define KBTIM_STORAGE_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kbtim {
+
+/// Appends v to *dst using 1-5 bytes.
+void PutVarint32(std::string* dst, uint32_t v);
+
+/// Appends v to *dst using 1-10 bytes.
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint32 from [p, limit). Returns the pointer just past the
+/// value, or nullptr if the input is truncated or malformed.
+const char* GetVarint32(const char* p, const char* limit, uint32_t* value);
+
+/// Parses a varint64 from [p, limit); same contract as GetVarint32.
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value);
+
+/// Encoded size in bytes of v as a varint.
+size_t VarintLength(uint64_t v);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_STORAGE_VARINT_H_

@@ -1,0 +1,113 @@
+#include "topics/profile_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace kbtim {
+namespace {
+
+// Draws an index in [0, weights_cdf.size()) by inverse-CDF lookup.
+uint32_t SampleCdf(const std::vector<double>& cdf, Rng& rng) {
+  const double u = rng.NextDouble() * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<uint32_t>(
+      std::min<size_t>(cdf.size() - 1,
+                       static_cast<size_t>(it - cdf.begin())));
+}
+
+}  // namespace
+
+StatusOr<ProfileStore> GenerateProfiles(
+    uint32_t num_users, const std::vector<uint32_t>& community,
+    const ProfileGeneratorOptions& options) {
+  if (options.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be > 0");
+  }
+  if (options.mean_topics_per_user < 1.0) {
+    return Status::InvalidArgument("mean_topics_per_user must be >= 1");
+  }
+  if (!community.empty() && community.size() != num_users) {
+    return Status::InvalidArgument(
+        "community labels must be empty or one per user");
+  }
+
+  Rng rng(options.seed);
+  const uint32_t t = options.num_topics;
+
+  // Global Zipf popularity CDF over topic ids (topic 0 most popular).
+  std::vector<double> zipf_cdf(t);
+  double acc = 0.0;
+  for (uint32_t w = 0; w < t; ++w) {
+    acc += 1.0 / std::pow(static_cast<double>(w + 1), options.zipf_exponent);
+    zipf_cdf[w] = acc;
+  }
+
+  // Preferred topics per community, themselves drawn by popularity so that
+  // popular topics span several communities.
+  uint32_t ncomm = 0;
+  for (uint32_t c : community) ncomm = std::max(ncomm, c + 1);
+  std::vector<std::vector<TopicId>> preferred(ncomm);
+  for (uint32_t c = 0; c < ncomm; ++c) {
+    std::unordered_set<TopicId> chosen;
+    const uint32_t want = std::max<uint32_t>(1, options.topics_per_community);
+    while (chosen.size() < std::min(want, t)) {
+      chosen.insert(SampleCdf(zipf_cdf, rng));
+    }
+    preferred[c].assign(chosen.begin(), chosen.end());
+  }
+
+  const double extra_mean = options.mean_topics_per_user - 1.0;
+  std::vector<ProfileTriplet> triplets;
+  triplets.reserve(static_cast<size_t>(
+      static_cast<double>(num_users) * options.mean_topics_per_user));
+
+  std::vector<TopicId> user_topics;
+  std::vector<double> weights;
+  for (VertexId v = 0; v < num_users; ++v) {
+    // Topic count: 1 + geometric-ish extra draws around the requested mean.
+    uint32_t count = 1;
+    while (extra_mean > 0.0 &&
+           rng.Bernoulli(extra_mean / (1.0 + extra_mean)) &&
+           count < 4 * options.mean_topics_per_user + 4) {
+      ++count;
+    }
+    count = std::min(count, t);
+
+    user_topics.clear();
+    std::unordered_set<TopicId> seen;
+    uint32_t attempts = 0;
+    while (user_topics.size() < count && attempts < 20 * count) {
+      ++attempts;
+      TopicId w;
+      const bool use_community = !community.empty() && ncomm > 0 &&
+                                 rng.Bernoulli(options.community_affinity);
+      if (use_community) {
+        const auto& pref = preferred[community[v]];
+        w = pref[rng.NextU64Below(pref.size())];
+      } else {
+        w = SampleCdf(zipf_cdf, rng);
+      }
+      if (seen.insert(w).second) user_topics.push_back(w);
+    }
+
+    // Exponential weights normalized to sum 1, matching the paper's
+    // per-user preference vectors (Figure 1 profiles sum to 1).
+    weights.clear();
+    double wsum = 0.0;
+    for (size_t i = 0; i < user_topics.size(); ++i) {
+      const double x = -std::log(1.0 - rng.NextDouble());
+      weights.push_back(x);
+      wsum += x;
+    }
+    for (size_t i = 0; i < user_topics.size(); ++i) {
+      const auto tf = static_cast<float>(weights[i] / wsum);
+      if (tf > 0.0f) {
+        triplets.push_back({v, user_topics[i], tf});
+      }
+    }
+  }
+  return ProfileStore::FromTriplets(num_users, t, triplets);
+}
+
+}  // namespace kbtim

@@ -1,0 +1,54 @@
+// Synthetic user-profile generator (substitute for the paper's LDA topics
+// inferred from tweets / news text; see DESIGN.md).
+//
+// Properties matched to the paper's setting:
+//  * profiles are sparse (a handful of topics per user) and per-user tf
+//    weights sum to 1, like the Figure 1 examples;
+//  * topic popularity is Zipfian (few popular topics, long tail);
+//  * topics correlate with planted graph communities, so a targeted query
+//    concentrates influence mass inside topic-relevant regions (the effect
+//    Table 8 demonstrates qualitatively).
+#ifndef KBTIM_TOPICS_PROFILE_GENERATOR_H_
+#define KBTIM_TOPICS_PROFILE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "topics/profile_store.h"
+
+namespace kbtim {
+
+/// Options for the synthetic profile generator.
+struct ProfileGeneratorOptions {
+  /// Size of the topic space T.
+  uint32_t num_topics = 50;
+
+  /// Mean number of distinct topics per user (at least 1 is assigned).
+  double mean_topics_per_user = 4.0;
+
+  /// Zipf exponent of global topic popularity (topic 0 most popular).
+  double zipf_exponent = 1.0;
+
+  /// Probability that a user's topic is drawn from the preferred topics of
+  /// the user's community instead of the global Zipf distribution.
+  double community_affinity = 0.7;
+
+  /// Number of preferred topics per community.
+  uint32_t topics_per_community = 3;
+
+  /// RNG seed.
+  uint64_t seed = 7;
+};
+
+/// Generates profiles for `num_users` users. `community` may be empty (no
+/// structure) or hold one label per user (as produced by
+/// GenerateSocialGraph), in which case topic choice is community-biased.
+StatusOr<ProfileStore> GenerateProfiles(
+    uint32_t num_users, const std::vector<uint32_t>& community,
+    const ProfileGeneratorOptions& options);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_PROFILE_GENERATOR_H_

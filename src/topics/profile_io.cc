@@ -1,0 +1,96 @@
+#include "topics/profile_io.h"
+
+#include <cstring>
+
+#include "storage/block_file.h"
+#include "storage/varint.h"
+
+namespace kbtim {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'B', 'P', 'R'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveProfilesBinary(const ProfileStore& profiles,
+                          const std::string& path) {
+  std::string buf;
+  buf.append(kMagic, 4);
+  buf.append(reinterpret_cast<const char*>(&kVersion), 4);
+  const uint32_t num_users = profiles.num_users();
+  const uint32_t num_topics = profiles.num_topics();
+  buf.append(reinterpret_cast<const char*>(&num_users), 4);
+  buf.append(reinterpret_cast<const char*>(&num_topics), 4);
+  PutVarint64(&buf, profiles.num_entries());
+  for (VertexId v = 0; v < num_users; ++v) {
+    const auto row = profiles.UserProfile(v);
+    PutVarint32(&buf, static_cast<uint32_t>(row.size()));
+    TopicId prev = 0;
+    for (const auto& entry : row) {
+      PutVarint32(&buf, entry.topic - prev);  // rows are topic-ascending
+      prev = entry.topic;
+      buf.append(reinterpret_cast<const char*>(&entry.tf),
+                 sizeof(entry.tf));
+    }
+  }
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_RETURN_IF_ERROR(writer->Append(buf));
+  return writer->Close();
+}
+
+StatusOr<ProfileStore> LoadProfilesBinary(const std::string& path) {
+  KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
+  std::string buf;
+  KBTIM_RETURN_IF_ERROR(file->Read(0, file->size(), &buf));
+  if (buf.size() < 16 || std::memcmp(buf.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad profile file magic: " + path);
+  }
+  uint32_t version = 0, num_users = 0, num_topics = 0;
+  std::memcpy(&version, buf.data() + 4, 4);
+  std::memcpy(&num_users, buf.data() + 8, 4);
+  std::memcpy(&num_topics, buf.data() + 12, 4);
+  if (version != kVersion) {
+    return Status::Corruption("unsupported profile file version: " + path);
+  }
+  const char* p = buf.data() + 16;
+  const char* limit = buf.data() + buf.size();
+  uint64_t num_entries = 0;
+  p = GetVarint64(p, limit, &num_entries);
+  if (p == nullptr) return Status::Corruption("truncated header: " + path);
+
+  std::vector<ProfileTriplet> triplets;
+  triplets.reserve(num_entries);
+  for (VertexId v = 0; v < num_users; ++v) {
+    uint32_t row_len = 0;
+    p = GetVarint32(p, limit, &row_len);
+    if (p == nullptr) return Status::Corruption("truncated row: " + path);
+    TopicId topic = 0;
+    for (uint32_t i = 0; i < row_len; ++i) {
+      uint32_t delta = 0;
+      p = GetVarint32(p, limit, &delta);
+      if (p == nullptr || p + sizeof(float) > limit) {
+        return Status::Corruption("truncated entry: " + path);
+      }
+      topic += delta;
+      float tf = 0;
+      std::memcpy(&tf, p, sizeof(tf));
+      p += sizeof(tf);
+      triplets.push_back({v, topic, tf});
+    }
+  }
+  if (triplets.size() != num_entries) {
+    return Status::Corruption("entry count mismatch: " + path);
+  }
+  if (p != limit) {
+    return Status::Corruption("trailing bytes: " + path);
+  }
+  auto store = ProfileStore::FromTriplets(num_users, num_topics, triplets);
+  if (!store.ok()) {
+    return Status::Corruption("invalid profile data in " + path + ": " +
+                              store.status().message());
+  }
+  return store;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,25 @@
+// Binary serialization of user-topic profiles, so generated datasets can
+// be persisted next to the graph (graph.bin + profiles.bin) and reloaded
+// without regeneration.
+#ifndef KBTIM_TOPICS_PROFILE_IO_H_
+#define KBTIM_TOPICS_PROFILE_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "topics/profile_store.h"
+
+namespace kbtim {
+
+/// Writes the store in the native binary format (magic "KBPR", version 1,
+/// varint-delta row encoding).
+Status SaveProfilesBinary(const ProfileStore& profiles,
+                          const std::string& path);
+
+/// Reads a store written by SaveProfilesBinary. Returns Corruption on any
+/// structural mismatch.
+StatusOr<ProfileStore> LoadProfilesBinary(const std::string& path);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_PROFILE_IO_H_

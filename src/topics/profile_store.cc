@@ -1,0 +1,81 @@
+#include "topics/profile_store.h"
+
+#include <algorithm>
+#include <string>
+
+namespace kbtim {
+
+StatusOr<ProfileStore> ProfileStore::FromTriplets(
+    uint32_t num_users, uint32_t num_topics,
+    std::span<const ProfileTriplet> triplets) {
+  for (const auto& t : triplets) {
+    if (t.user >= num_users) {
+      return Status::InvalidArgument("profile user id out of range: " +
+                                     std::to_string(t.user));
+    }
+    if (t.topic >= num_topics) {
+      return Status::InvalidArgument("profile topic id out of range: " +
+                                     std::to_string(t.topic));
+    }
+    if (!(t.tf > 0.0f)) {
+      return Status::InvalidArgument("profile tf must be > 0");
+    }
+  }
+  std::vector<ProfileTriplet> sorted(triplets.begin(), triplets.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProfileTriplet& a, const ProfileTriplet& b) {
+              return a.user != b.user ? a.user < b.user : a.topic < b.topic;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].user == sorted[i - 1].user &&
+        sorted[i].topic == sorted[i - 1].topic) {
+      return Status::InvalidArgument(
+          "duplicate (user, topic) profile entry for user " +
+          std::to_string(sorted[i].user));
+    }
+  }
+
+  ProfileStore store;
+  store.num_topics_ = num_topics;
+
+  store.row_offsets_.assign(num_users + 1, 0);
+  store.row_entries_.resize(sorted.size());
+  for (const auto& t : sorted) ++store.row_offsets_[t.user + 1];
+  for (uint32_t v = 0; v < num_users; ++v) {
+    store.row_offsets_[v + 1] += store.row_offsets_[v];
+  }
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    store.row_entries_[i] = {sorted[i].topic, sorted[i].tf};
+  }
+
+  store.col_offsets_.assign(num_topics + 1, 0);
+  store.col_users_.resize(sorted.size());
+  store.col_tfs_.resize(sorted.size());
+  store.topic_tf_sum_.assign(num_topics, 0.0);
+  for (const auto& t : sorted) ++store.col_offsets_[t.topic + 1];
+  for (uint32_t w = 0; w < num_topics; ++w) {
+    store.col_offsets_[w + 1] += store.col_offsets_[w];
+  }
+  {
+    std::vector<uint64_t> cursor(store.col_offsets_.begin(),
+                                 store.col_offsets_.end() - 1);
+    for (const auto& t : sorted) {
+      const uint64_t at = cursor[t.topic]++;
+      store.col_users_[at] = t.user;
+      store.col_tfs_[at] = t.tf;
+      store.topic_tf_sum_[t.topic] += t.tf;
+    }
+  }
+  return store;
+}
+
+float ProfileStore::Tf(VertexId v, TopicId w) const {
+  auto row = UserProfile(v);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), w,
+      [](const ProfileEntry& e, TopicId topic) { return e.topic < topic; });
+  if (it != row.end() && it->topic == w) return it->tf;
+  return 0.0f;
+}
+
+}  // namespace kbtim

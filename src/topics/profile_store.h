@@ -1,0 +1,95 @@
+// Sparse user-topic preference matrix (the tf part of the tf-idf model).
+//
+// Stored twice for the two access patterns the algorithms need:
+//  * row-major (user -> [(topic, tf)...])      for φ(v, Q) scoring, and
+//  * column-major (topic -> users + tfs)       for per-keyword offline
+//    sampling with ps(v, w) = tf_{w,v} / Σ_v tf_{w,v} (Eqn. 7).
+#ifndef KBTIM_TOPICS_PROFILE_STORE_H_
+#define KBTIM_TOPICS_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "topics/vocabulary.h"
+
+namespace kbtim {
+
+/// One nonzero entry of a user profile.
+struct ProfileEntry {
+  TopicId topic;
+  float tf;
+
+  friend bool operator==(const ProfileEntry&, const ProfileEntry&) = default;
+};
+
+/// A (user, topic, tf) triplet used to build a ProfileStore.
+struct ProfileTriplet {
+  VertexId user;
+  TopicId topic;
+  float tf;
+};
+
+/// Immutable sparse user x topic matrix with both orientations materialized.
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Builds from triplets. Rejects out-of-range ids, non-positive tf, and
+  /// duplicate (user, topic) pairs.
+  static StatusOr<ProfileStore> FromTriplets(
+      uint32_t num_users, uint32_t num_topics,
+      std::span<const ProfileTriplet> triplets);
+
+  uint32_t num_users() const {
+    return static_cast<uint32_t>(row_offsets_.empty()
+                                     ? 0
+                                     : row_offsets_.size() - 1);
+  }
+  uint32_t num_topics() const { return num_topics_; }
+  uint64_t num_entries() const { return row_entries_.size(); }
+
+  /// The nonzero (topic, tf) entries of user v, sorted by topic id.
+  std::span<const ProfileEntry> UserProfile(VertexId v) const {
+    return {row_entries_.data() + row_offsets_[v],
+            row_entries_.data() + row_offsets_[v + 1]};
+  }
+
+  /// tf_{w,v}; 0 if the user has no preference for the topic.
+  float Tf(VertexId v, TopicId w) const;
+
+  /// Users with nonzero tf for topic w, ascending by id.
+  std::span<const VertexId> TopicUsers(TopicId w) const {
+    return {col_users_.data() + col_offsets_[w],
+            col_users_.data() + col_offsets_[w + 1]};
+  }
+
+  /// tf values aligned with TopicUsers(w).
+  std::span<const float> TopicTfs(TopicId w) const {
+    return {col_tfs_.data() + col_offsets_[w],
+            col_tfs_.data() + col_offsets_[w + 1]};
+  }
+
+  /// Σ_v tf_{w,v} (the mass that Lemma 3/4's θ bounds multiply by).
+  double TopicTfSum(TopicId w) const { return topic_tf_sum_[w]; }
+
+  /// Document frequency: number of users with tf_{w,v} > 0.
+  uint64_t TopicDf(TopicId w) const {
+    return col_offsets_[w + 1] - col_offsets_[w];
+  }
+
+ private:
+  uint32_t num_topics_ = 0;
+  std::vector<uint64_t> row_offsets_;
+  std::vector<ProfileEntry> row_entries_;
+  std::vector<uint64_t> col_offsets_;
+  std::vector<VertexId> col_users_;
+  std::vector<float> col_tfs_;
+  std::vector<double> topic_tf_sum_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_PROFILE_STORE_H_

@@ -1,0 +1,24 @@
+// KB-TIM query (paper Definition 3): an advertisement keyword set Q.T plus
+// the number of seed users Q.k.
+#ifndef KBTIM_TOPICS_QUERY_H_
+#define KBTIM_TOPICS_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topics/vocabulary.h"
+
+namespace kbtim {
+
+/// A KB-TIM query Q = (Q.T, Q.k).
+struct Query {
+  /// Advertisement keywords (distinct topic ids).
+  std::vector<TopicId> topics;
+
+  /// Seed-set size.
+  uint32_t k = 1;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_QUERY_H_

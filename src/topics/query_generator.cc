@@ -1,0 +1,59 @@
+#include "topics/query_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace kbtim {
+
+StatusOr<std::vector<Query>> GenerateQueries(
+    const ProfileStore& profiles, const QueryGeneratorOptions& options) {
+  if (options.min_keywords == 0 ||
+      options.min_keywords > options.max_keywords) {
+    return Status::InvalidArgument("invalid keyword count range");
+  }
+  const uint32_t t = profiles.num_topics();
+  uint32_t usable = 0;
+  for (TopicId w = 0; w < t; ++w) {
+    if (profiles.TopicTfSum(w) > 0.0) ++usable;
+  }
+  if (usable < options.max_keywords) {
+    return Status::FailedPrecondition(
+        "not enough non-empty topics for the requested query length");
+  }
+
+  std::vector<double> cdf(t);
+  double acc = 0.0;
+  for (TopicId w = 0; w < t; ++w) {
+    acc += profiles.TopicTfSum(w);
+    cdf[w] = acc;
+  }
+
+  Rng rng(options.seed);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(options.queries_per_length) *
+                  (options.max_keywords - options.min_keywords + 1));
+  for (uint32_t len = options.min_keywords; len <= options.max_keywords;
+       ++len) {
+    for (uint32_t q = 0; q < options.queries_per_length; ++q) {
+      std::unordered_set<TopicId> chosen;
+      while (chosen.size() < len) {
+        const double u = rng.NextDouble() * cdf.back();
+        const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+        const auto w = static_cast<TopicId>(
+            std::min<size_t>(cdf.size() - 1,
+                             static_cast<size_t>(it - cdf.begin())));
+        if (profiles.TopicTfSum(w) > 0.0) chosen.insert(w);
+      }
+      Query query;
+      query.topics.assign(chosen.begin(), chosen.end());
+      std::sort(query.topics.begin(), query.topics.end());
+      query.k = options.k;
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,40 @@
+// Synthetic keyword-query workload (substitute for the paper's AOL query
+// log: 100 real queries per keyword-count 1..6, filtered to the topic
+// vocabulary).
+#ifndef KBTIM_TOPICS_QUERY_GENERATOR_H_
+#define KBTIM_TOPICS_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "topics/profile_store.h"
+#include "topics/query.h"
+
+namespace kbtim {
+
+/// Options for the query-workload generator.
+struct QueryGeneratorOptions {
+  /// Number of queries to generate per keyword count.
+  uint32_t queries_per_length = 20;
+
+  /// Smallest and largest keyword count (inclusive); the paper used 1..6.
+  uint32_t min_keywords = 1;
+  uint32_t max_keywords = 6;
+
+  /// Seed-set size attached to every query.
+  uint32_t k = 30;
+
+  /// RNG seed.
+  uint64_t seed = 11;
+};
+
+/// Generates queries whose keywords are drawn (without replacement within a
+/// query) proportionally to each topic's total tf mass, mimicking the skew
+/// of a real ad-keyword workload. Queries are ordered by keyword count.
+StatusOr<std::vector<Query>> GenerateQueries(
+    const ProfileStore& profiles, const QueryGeneratorOptions& options);
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_QUERY_GENERATOR_H_

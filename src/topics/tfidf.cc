@@ -1,0 +1,64 @@
+#include "topics/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kbtim {
+
+TfIdfModel::TfIdfModel(const ProfileStore* profiles) : profiles_(profiles) {
+  const uint32_t t = profiles_->num_topics();
+  const double n = profiles_->num_users();
+  idf_.resize(t);
+  phi_topic_.resize(t);
+  for (TopicId w = 0; w < t; ++w) {
+    const auto df = static_cast<double>(profiles_->TopicDf(w));
+    idf_[w] = df > 0 ? std::log(1.0 + n / df) : 0.0;
+    phi_topic_[w] = idf_[w] * profiles_->TopicTfSum(w);
+  }
+}
+
+double TfIdfModel::Phi(VertexId v, const Query& query) const {
+  double phi = 0.0;
+  for (TopicId w : query.topics) {
+    const float tf = profiles_->Tf(v, w);
+    if (tf > 0.0f) phi += static_cast<double>(tf) * idf_[w];
+  }
+  return phi;
+}
+
+double TfIdfModel::PhiQ(const Query& query) const {
+  double sum = 0.0;
+  for (TopicId w : query.topics) sum += phi_topic_[w];
+  return sum;
+}
+
+double TfIdfModel::Pw(TopicId w, const Query& query) const {
+  const double phi_q = PhiQ(query);
+  return phi_q > 0.0 ? phi_topic_[w] / phi_q : 0.0;
+}
+
+std::vector<std::pair<VertexId, double>> TfIdfModel::SparsePhi(
+    const Query& query) const {
+  // Merge the per-keyword postings; accumulate idf-weighted tf per user.
+  std::vector<std::pair<VertexId, double>> acc;
+  for (TopicId w : query.topics) {
+    auto users = profiles_->TopicUsers(w);
+    auto tfs = profiles_->TopicTfs(w);
+    for (size_t i = 0; i < users.size(); ++i) {
+      acc.emplace_back(users[i], static_cast<double>(tfs[i]) * idf_[w]);
+    }
+  }
+  std::sort(acc.begin(), acc.end());
+  std::vector<std::pair<VertexId, double>> out;
+  out.reserve(acc.size());
+  for (const auto& [user, phi] : acc) {
+    if (!out.empty() && out.back().first == user) {
+      out.back().second += phi;
+    } else {
+      out.emplace_back(user, phi);
+    }
+  }
+  return out;
+}
+
+}  // namespace kbtim

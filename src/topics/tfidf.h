@@ -1,0 +1,59 @@
+// tf-idf relevance model (paper Eqn. 1):
+//   φ(v, Q) = Σ_{w ∈ Q.T} tf_{w,v} · idf_w
+// plus the derived per-topic aggregates the θ bounds and the discriminative
+// sampling decomposition (Eqn. 7) need:
+//   φ_w  = idf_w · Σ_v tf_{w,v}
+//   φ_Q  = Σ_{w ∈ Q.T} φ_w
+//   p_w  = φ_w / φ_Q
+#ifndef KBTIM_TOPICS_TFIDF_H_
+#define KBTIM_TOPICS_TFIDF_H_
+
+#include <span>
+#include <vector>
+
+#include "topics/profile_store.h"
+#include "topics/query.h"
+
+namespace kbtim {
+
+/// Immutable tf-idf scoring model over a ProfileStore.
+///
+/// idf_w = ln(1 + N / df_w) where N is the number of users and df_w the
+/// number of users with tf_{w,v} > 0; topics nobody mentions get idf 0 so
+/// they contribute nothing (the paper considers users without any query
+/// keyword "not impacted").
+class TfIdfModel {
+ public:
+  explicit TfIdfModel(const ProfileStore* profiles);
+
+  const ProfileStore& profiles() const { return *profiles_; }
+
+  /// idf_w.
+  double Idf(TopicId w) const { return idf_[w]; }
+
+  /// φ(v, Q): relevance of user v to the query's keyword set.
+  double Phi(VertexId v, const Query& query) const;
+
+  /// φ_w = idf_w · Σ_v tf_{w,v}.
+  double PhiTopic(TopicId w) const { return phi_topic_[w]; }
+
+  /// φ_Q = Σ_{w ∈ Q.T} φ_w.
+  double PhiQ(const Query& query) const;
+
+  /// p_w = φ_w / φ_Q: the share of RR samples keyword w contributes to a
+  /// query's sample budget (Lemma 2). Returns 0 if φ_Q is 0.
+  double Pw(TopicId w, const Query& query) const;
+
+  /// Scores every user against the query; only users carrying at least one
+  /// query keyword appear (sparse result, (user, φ) pairs ascending by user).
+  std::vector<std::pair<VertexId, double>> SparsePhi(const Query& query) const;
+
+ private:
+  const ProfileStore* profiles_;
+  std::vector<double> idf_;
+  std::vector<double> phi_topic_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_TFIDF_H_

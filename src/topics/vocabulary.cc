@@ -1,0 +1,50 @@
+#include "topics/vocabulary.h"
+
+#include <unordered_set>
+
+namespace kbtim {
+namespace {
+
+// Seed names echo the paper's running examples and §6.6 case study.
+const char* const kSeedNames[] = {
+    "music",    "book",     "sport",   "car",      "travel",  "software",
+    "journal",  "movie",    "food",    "fashion",  "finance", "health",
+    "games",    "politics", "science", "art",      "photo",   "fitness",
+    "pets",     "education"};
+
+}  // namespace
+
+StatusOr<Vocabulary> Vocabulary::FromNames(std::vector<std::string> names) {
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names) {
+    if (!seen.insert(n).second) {
+      return Status::InvalidArgument("duplicate topic name: " + n);
+    }
+  }
+  Vocabulary v;
+  v.names_ = std::move(names);
+  return v;
+}
+
+Vocabulary Vocabulary::Synthetic(uint32_t num_topics) {
+  Vocabulary v;
+  v.names_.reserve(num_topics);
+  const uint32_t seeded = std::size(kSeedNames);
+  for (uint32_t i = 0; i < num_topics; ++i) {
+    if (i < seeded) {
+      v.names_.emplace_back(kSeedNames[i]);
+    } else {
+      v.names_.push_back("topic_" + std::to_string(i));
+    }
+  }
+  return v;
+}
+
+TopicId Vocabulary::Find(const std::string& name) const {
+  for (TopicId i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return kInvalidTopic;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,48 @@
+// Topic vocabulary: maps dense topic ids to human-readable names.
+//
+// The paper extracts 200 latent topics per dataset; here topics are synthetic
+// but named, so example programs and Table-8-style output stay readable.
+#ifndef KBTIM_TOPICS_VOCABULARY_H_
+#define KBTIM_TOPICS_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace kbtim {
+
+using TopicId = uint32_t;
+
+/// Sentinel for "no topic".
+inline constexpr TopicId kInvalidTopic = static_cast<TopicId>(-1);
+
+/// An immutable id <-> name mapping for the topic space T.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Builds a vocabulary from explicit names. Names must be unique.
+  static StatusOr<Vocabulary> FromNames(std::vector<std::string> names);
+
+  /// Builds a synthetic vocabulary of `num_topics` topics. The first topics
+  /// reuse a list of realistic ad keywords ("music", "software", ...);
+  /// the remainder are generated ("topic_42").
+  static Vocabulary Synthetic(uint32_t num_topics);
+
+  uint32_t num_topics() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// Name of a topic id; id must be < num_topics().
+  const std::string& Name(TopicId id) const { return names_[id]; }
+
+  /// Id for a name, or kInvalidTopic if absent.
+  TopicId Find(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_TOPICS_VOCABULARY_H_

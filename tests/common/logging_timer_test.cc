@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace kbtim {
+namespace {
+
+TEST(LoggingTest, SeverityThresholdRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(LogSeverity::kDebug);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kDebug);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, MacroStreamsWithoutCrashing) {
+  const LogSeverity original = MinLogSeverity();
+  // Below-threshold messages are dropped; above-threshold ones print.
+  SetMinLogSeverity(LogSeverity::kError);
+  KBTIM_LOG(Info) << "suppressed " << 42;
+  KBTIM_LOG(Error) << "visible " << 3.14;
+  SetMinLogSeverity(original);
+}
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 50);
+}
+
+TEST(WallTimerTest, ResetRestartsTheClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace kbtim

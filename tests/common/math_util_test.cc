@@ -1,0 +1,61 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kbtim {
+namespace {
+
+TEST(MathUtilTest, LogNChooseKMatchesSmallExactValues) {
+  EXPECT_NEAR(LogNChooseK(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogNChooseK(10, 3), std::log(120.0), 1e-9);
+  EXPECT_NEAR(LogNChooseK(52, 5), std::log(2598960.0), 1e-6);
+  EXPECT_DOUBLE_EQ(LogNChooseK(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogNChooseK(7, 7), 0.0);
+}
+
+TEST(MathUtilTest, LogNChooseKIsSymmetric) {
+  for (uint64_t n : {10ULL, 100ULL, 100000ULL}) {
+    for (uint64_t k : {1ULL, 3ULL, 7ULL}) {
+      EXPECT_NEAR(LogNChooseK(n, k), LogNChooseK(n, n - k), 1e-6);
+    }
+  }
+}
+
+TEST(MathUtilTest, MeanAndVariance) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({4.0}), 0.0);
+}
+
+TEST(MathUtilTest, Percentile) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(MathUtilTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 0u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(3), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(~0u), 32u);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace kbtim

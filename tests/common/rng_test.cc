@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace kbtim {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  // With 1e5 draws the extremes should approach the interval ends.
+  EXPECT_LT(min, 0.001);
+  EXPECT_GT(max, 0.999);
+}
+
+TEST(RngTest, NextU32BelowIsUnbiasedish) {
+  Rng rng(99);
+  constexpr uint32_t kBuckets = 7;
+  constexpr int kDraws = 140000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextU32Below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected))
+        << "bucket " << b;
+  }
+}
+
+TEST(RngTest, NextU64BelowStaysInRange) {
+  Rng rng(5);
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 1000ULL, (1ULL << 40) + 17}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.NextU64Below(n), n);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(31);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.NextU64() == f2.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministicAndDoesNotAdvanceParent) {
+  Rng p1(42), p2(42);
+  Rng f1 = p1.Fork(9);
+  Rng f2 = p2.Fork(9);
+  EXPECT_EQ(f1.NextU64(), f2.NextU64());
+  EXPECT_EQ(p1.NextU64(), p2.NextU64());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,74 @@
+#include "coverage/rr_collection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kbtim {
+namespace {
+
+TEST(RrCollectionTest, AddAndRead) {
+  RrCollection sets;
+  EXPECT_TRUE(sets.empty());
+  const std::vector<VertexId> s0 = {1, 2, 3};
+  const std::vector<VertexId> s1 = {2};
+  EXPECT_EQ(sets.Add(s0), 0u);
+  EXPECT_EQ(sets.Add(s1), 1u);
+  EXPECT_EQ(sets.Add({}), 2u);
+  EXPECT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets.total_items(), 4u);
+  EXPECT_NEAR(sets.MeanSetSize(), 4.0 / 3.0, 1e-12);
+  auto got0 = sets.Set(0);
+  EXPECT_EQ(std::vector<VertexId>(got0.begin(), got0.end()), s0);
+  EXPECT_TRUE(sets.Set(2).empty());
+}
+
+TEST(RrCollectionTest, AppendPreservesOrder) {
+  RrCollection a, b;
+  a.Add(std::vector<VertexId>{0});
+  b.Add(std::vector<VertexId>{1, 2});
+  b.Add(std::vector<VertexId>{3});
+  a.Append(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.Set(1).size(), 2u);
+  EXPECT_EQ(a.Set(2)[0], 3u);
+}
+
+TEST(InvertedRrIndexTest, ListsMatchMembership) {
+  RrCollection sets;
+  sets.Add(std::vector<VertexId>{0, 2});     // rr0
+  sets.Add(std::vector<VertexId>{1, 2});     // rr1
+  sets.Add(std::vector<VertexId>{2});        // rr2
+  const InvertedRrIndex inv(sets, 4);
+  EXPECT_EQ(inv.num_vertices(), 4u);
+  auto l2 = inv.Sets(2);
+  EXPECT_EQ(std::vector<RrId>(l2.begin(), l2.end()),
+            (std::vector<RrId>{0, 1, 2}));
+  EXPECT_EQ(inv.ListLength(0), 1u);
+  EXPECT_EQ(inv.ListLength(3), 0u);
+  EXPECT_TRUE(inv.Sets(3).empty());
+}
+
+TEST(InvertedRrIndexTest, ListsAreAscending) {
+  RrCollection sets;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<VertexId> members;
+    const int len = 1 + rng.NextU32Below(5);
+    for (int j = 0; j < len; ++j) members.push_back(rng.NextU32Below(20));
+    sets.Add(members);
+  }
+  const InvertedRrIndex inv(sets, 20);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < 20; ++v) {
+    auto list = inv.Sets(v);
+    for (size_t i = 1; i < list.size(); ++i) {
+      ASSERT_LE(list[i - 1], list[i]);
+    }
+    total += list.size();
+  }
+  EXPECT_EQ(total, sets.total_items());
+}
+
+}  // namespace
+}  // namespace kbtim

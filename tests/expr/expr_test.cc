@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "expr/datasets.h"
+#include "expr/table_printer.h"
+#include "expr/workload.h"
+
+namespace kbtim {
+namespace {
+
+TEST(DatasetsTest, SeriesMirrorPaperTable2Trends) {
+  const auto news = NewsLikeSeries();
+  const auto twitter = TwitterLikeSeries();
+  ASSERT_EQ(news.size(), 4u);
+  ASSERT_EQ(twitter.size(), 4u);
+  // Vertex counts grow; average-degree targets shrink within each series.
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(news[i].graph.num_vertices, news[i - 1].graph.num_vertices);
+    EXPECT_LT(news[i].graph.avg_degree, news[i - 1].graph.avg_degree);
+    EXPECT_GT(twitter[i].graph.num_vertices,
+              twitter[i - 1].graph.num_vertices);
+    EXPECT_LT(twitter[i].graph.avg_degree,
+              twitter[i - 1].graph.avg_degree);
+  }
+  // Twitter-like is much denser than news-like at every step.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(twitter[i].graph.avg_degree, 5 * news[i].graph.avg_degree);
+  }
+  EXPECT_EQ(DefaultNewsSpec().name, news.back().name);
+  EXPECT_EQ(DefaultTwitterSpec().name, twitter.back().name);
+}
+
+TEST(DatasetsTest, BuildDatasetProducesConsistentPieces) {
+  DatasetSpec spec = NewsLikeSeries(12)[0];
+  spec.graph.num_vertices = 3000;
+  auto dataset = BuildDataset(spec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.num_vertices(), 3000u);
+  EXPECT_EQ(dataset->community.size(), 3000u);
+  EXPECT_EQ(dataset->profiles.num_users(), 3000u);
+  EXPECT_EQ(dataset->profiles.num_topics(), 12u);
+}
+
+TEST(EnvironmentTest, CreatesAllDerivedState) {
+  DatasetSpec spec = NewsLikeSeries(10)[0];
+  spec.graph.num_vertices = 2000;
+  auto env = Environment::Create(spec);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ((*env)->graph().num_vertices(), 2000u);
+  EXPECT_EQ((*env)->ic_probs().size(), (*env)->graph().num_edges());
+  EXPECT_EQ((*env)->lt_weights().size(), (*env)->graph().num_edges());
+  // LT weights of each vertex's in-edges sum to ~1.
+  const Graph& g = (*env)->graph();
+  for (VertexId v = 0; v < 50; ++v) {
+    auto [first, last] = g.InEdgeRange(v);
+    if (first == last) continue;
+    double sum = 0.0;
+    for (uint64_t i = first; i < last; ++i) {
+      sum += (*env)->lt_weights()[i];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+  // Queries come back non-empty and valid.
+  QueryGeneratorOptions qopts;
+  qopts.queries_per_length = 2;
+  qopts.max_keywords = 3;
+  auto queries = (*env)->Queries(qopts);
+  ASSERT_TRUE(queries.ok());
+  EXPECT_EQ(queries->size(), 6u);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPadsMissingCells) {
+  TablePrinter table({"aa", "bbbb"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"333"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("aa"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // Header, underline, two rows.
+  int lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3u << 20), "3.0 MB");
+  EXPECT_EQ(FormatSeconds(0.0125), "0.013 s");
+}
+
+TEST(QueryAggregatorTest, ComputesMeans) {
+  QueryAggregator agg;
+  SeedSetResult a, b;
+  a.stats.total_seconds = 1.0;
+  a.stats.rr_sets_loaded = 100;
+  a.stats.io_reads = 4;
+  a.estimated_influence = 10.0;
+  b.stats.total_seconds = 3.0;
+  b.stats.rr_sets_loaded = 300;
+  b.stats.io_reads = 8;
+  b.estimated_influence = 30.0;
+  agg.Add(a);
+  agg.Add(b);
+  const QueryAggregate out = agg.Finish();
+  EXPECT_EQ(out.queries, 2u);
+  EXPECT_DOUBLE_EQ(out.mean_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(out.mean_rr_sets_loaded, 200.0);
+  EXPECT_DOUBLE_EQ(out.mean_io_reads, 6.0);
+  EXPECT_DOUBLE_EQ(out.mean_influence, 20.0);
+}
+
+TEST(QueryAggregatorTest, EmptyAggregateIsZero) {
+  QueryAggregator agg;
+  const QueryAggregate out = agg.Finish();
+  EXPECT_EQ(out.queries, 0u);
+  EXPECT_DOUBLE_EQ(out.mean_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace kbtim

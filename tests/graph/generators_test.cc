@@ -1,0 +1,138 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace kbtim {
+namespace {
+
+TEST(SocialGraphTest, RespectsSizeAndApproximateDensity) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 5000;
+  opts.avg_degree = 8.0;
+  opts.seed = 3;
+  auto sg = GenerateSocialGraph(opts);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(sg->graph.num_vertices(), 5000u);
+  // Dedup of reciprocal duplicates loses a few edges; allow 25% slack.
+  EXPECT_GT(sg->graph.AverageDegree(), 0.75 * opts.avg_degree);
+  EXPECT_LT(sg->graph.AverageDegree(), 1.25 * opts.avg_degree);
+}
+
+TEST(SocialGraphTest, CommunityLabelsInRange) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 1000;
+  opts.num_communities = 7;
+  opts.seed = 4;
+  auto sg = GenerateSocialGraph(opts);
+  ASSERT_TRUE(sg.ok());
+  ASSERT_EQ(sg->community.size(), 1000u);
+  for (uint32_t c : sg->community) EXPECT_LT(c, 7u);
+}
+
+TEST(SocialGraphTest, DeterministicForEqualSeeds) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 800;
+  opts.seed = 99;
+  auto a = GenerateSocialGraph(opts);
+  auto b = GenerateSocialGraph(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  EXPECT_EQ(a->community, b->community);
+  for (VertexId v = 0; v < 800; ++v) {
+    auto na = a->graph.OutNeighbors(v);
+    auto nb = b->graph.OutNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(na.begin(), na.end()),
+              std::vector<VertexId>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(SocialGraphTest, HeavyTailedInDegree) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 20000;
+  opts.avg_degree = 10.0;
+  opts.seed = 5;
+  auto sg = GenerateSocialGraph(opts);
+  ASSERT_TRUE(sg.ok());
+  const DegreeStats stats = ComputeDegreeStats(sg->graph);
+  // A heavy-tailed graph has hubs far above the mean...
+  EXPECT_GT(stats.max_in_degree, 20 * stats.avg_degree);
+  // ...and a log-log histogram with clearly negative slope (Figure 4).
+  // Random edge orientation dilutes the in-degree tail relative to a pure
+  // Yule process, so the binned slope lands around -0.6.
+  EXPECT_LT(PowerLawSlope(sg->graph), -0.5);
+}
+
+TEST(SocialGraphTest, IntraCommunityFractionBiasesEdges) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 4000;
+  opts.num_communities = 8;
+  opts.intra_community_fraction = 0.9;
+  opts.seed = 6;
+  auto sg = GenerateSocialGraph(opts);
+  ASSERT_TRUE(sg.ok());
+  uint64_t intra = 0, total = 0;
+  for (VertexId u = 0; u < sg->graph.num_vertices(); ++u) {
+    for (VertexId v : sg->graph.OutNeighbors(u)) {
+      ++total;
+      if (sg->community[u] == sg->community[v]) ++intra;
+    }
+  }
+  // Uniform assignment would give ~1/8 = 12.5% intra edges.
+  EXPECT_GT(static_cast<double>(intra) / total, 0.5);
+}
+
+TEST(SocialGraphTest, RejectsBadOptions) {
+  SocialGraphOptions opts;
+  opts.num_vertices = 0;
+  EXPECT_FALSE(GenerateSocialGraph(opts).ok());
+  opts.num_vertices = 10;
+  opts.avg_degree = 0;
+  EXPECT_FALSE(GenerateSocialGraph(opts).ok());
+  opts.avg_degree = 2;
+  opts.num_communities = 0;
+  EXPECT_FALSE(GenerateSocialGraph(opts).ok());
+}
+
+TEST(ErdosRenyiTest, ApproximateDensityAndRange) {
+  auto g = GenerateErdosRenyi(2000, 5.0, 8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 2000u);
+  EXPECT_GT(g->AverageDegree(), 4.5);
+  EXPECT_LE(g->AverageDegree(), 5.0);
+}
+
+TEST(ErdosRenyiTest, RejectsTinyGraph) {
+  EXPECT_FALSE(GenerateErdosRenyi(1, 1.0, 1).ok());
+}
+
+TEST(Figure1Test, StructureMatchesReconstruction) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6;
+  EXPECT_EQ(fig.graph.num_vertices(), 7u);
+  EXPECT_EQ(fig.graph.num_edges(), 8u);
+  EXPECT_TRUE(fig.graph.HasEdge(e, a));
+  EXPECT_TRUE(fig.graph.HasEdge(e, b));
+  EXPECT_TRUE(fig.graph.HasEdge(g, b));
+  EXPECT_TRUE(fig.graph.HasEdge(a, b));
+  EXPECT_TRUE(fig.graph.HasEdge(e, c));
+  EXPECT_TRUE(fig.graph.HasEdge(b, c));
+  EXPECT_TRUE(fig.graph.HasEdge(b, d));
+  EXPECT_TRUE(fig.graph.HasEdge(f, d));
+  ASSERT_EQ(fig.in_edge_prob.size(), fig.graph.num_edges());
+  // Exactly one certain edge (e -> a); everything else 0.5.
+  int ones = 0;
+  for (float p : fig.in_edge_prob) {
+    if (p == 1.0f) {
+      ++ones;
+    } else {
+      EXPECT_FLOAT_EQ(p, 0.5f);
+    }
+  }
+  EXPECT_EQ(ones, 1);
+}
+
+}  // namespace
+}  // namespace kbtim

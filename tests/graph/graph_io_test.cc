@@ -1,0 +1,109 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/edge_list_io.h"
+#include "graph/generators.h"
+
+namespace kbtim {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kbtim_graph_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(GraphIoTest, BinaryRoundTrip) {
+  auto g = GenerateErdosRenyi(500, 4.0, 7);
+  ASSERT_TRUE(g.ok());
+  const std::string path = Path("g.bin");
+  ASSERT_TRUE(SaveGraphBinary(*g, path).ok());
+  auto loaded = LoadGraphBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    auto a = g->OutNeighbors(v);
+    auto b = loaded->OutNeighbors(v);
+    ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()));
+  }
+}
+
+TEST_F(GraphIoTest, LoadRejectsBadMagic) {
+  const std::string path = Path("bad.bin");
+  std::ofstream(path) << "not a graph";
+  auto loaded = LoadGraphBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, LoadRejectsTruncatedFile) {
+  auto g = GenerateErdosRenyi(100, 3.0, 9);
+  ASSERT_TRUE(g.ok());
+  const std::string path = Path("trunc.bin");
+  ASSERT_TRUE(SaveGraphBinary(*g, path).ok());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full / 2);
+  auto loaded = LoadGraphBinary(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(GraphIoTest, LoadMissingFileIsIOError) {
+  auto loaded = LoadGraphBinary(Path("nope.bin"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(GraphIoTest, EdgeListTextRoundTrip) {
+  auto g = GenerateErdosRenyi(200, 3.0, 11);
+  ASSERT_TRUE(g.ok());
+  const std::string path = Path("g.txt");
+  ASSERT_TRUE(SaveEdgeListText(*g, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  // Vertex ids are remapped by first occurrence, so compare counts only.
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  EXPECT_LE(loaded->num_vertices(), g->num_vertices());
+}
+
+TEST_F(GraphIoTest, EdgeListParsesSnapStyleComments) {
+  const std::string path = Path("snap.txt");
+  std::ofstream(path) << "# Directed graph\n"
+                      << "# Nodes: 3 Edges: 2\n"
+                      << "10 20\n"
+                      << "20 30\n";
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));  // 10 -> 20 remapped
+  EXPECT_TRUE(loaded->HasEdge(1, 2));  // 20 -> 30 remapped
+}
+
+TEST_F(GraphIoTest, EdgeListRejectsGarbageLines) {
+  const std::string path = Path("garbage.txt");
+  std::ofstream(path) << "1 2\nhello world\n";
+  auto loaded = LoadEdgeListText(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,121 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kbtim {
+namespace {
+
+std::vector<Edge> DiamondEdges() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  return {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+}
+
+TEST(GraphTest, BasicConstruction) {
+  auto g = Graph::FromEdges(4, DiamondEdges());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 4u);
+  EXPECT_EQ(g->num_edges(), 4u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(0), 0u);
+  EXPECT_EQ(g->InDegree(3), 2u);
+  EXPECT_EQ(g->OutDegree(3), 0u);
+  EXPECT_DOUBLE_EQ(g->AverageDegree(), 1.0);
+}
+
+TEST(GraphTest, NeighborListsAreSorted) {
+  auto g = Graph::FromEdges(5, std::vector<Edge>{
+                                   {0, 4}, {0, 1}, {0, 3}, {2, 0}, {1, 0}});
+  ASSERT_TRUE(g.ok());
+  auto out0 = g->OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(out0.begin(), out0.end()),
+            (std::vector<VertexId>{1, 3, 4}));
+  auto in0 = g->InNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(in0.begin(), in0.end()),
+            (std::vector<VertexId>{1, 2}));
+}
+
+TEST(GraphTest, DropsSelfLoopsAndDuplicates) {
+  auto g = Graph::FromEdges(
+      3, std::vector<Edge>{{0, 1}, {0, 1}, {1, 1}, {1, 2}, {1, 2}, {2, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_FALSE(g->HasEdge(1, 1));
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 2}});
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_edges(), 0u);
+  EXPECT_TRUE(g->OutNeighbors(1).empty());
+}
+
+TEST(GraphTest, InEdgeRangeAlignsWithInNeighbors) {
+  auto g = Graph::FromEdges(4, DiamondEdges());
+  ASSERT_TRUE(g.ok());
+  uint64_t total = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    auto [first, last] = g->InEdgeRange(v);
+    EXPECT_EQ(last - first, g->InDegree(v));
+    EXPECT_EQ(first, total);
+    total = last;
+  }
+  EXPECT_EQ(total, g->num_edges());
+}
+
+TEST(GraphTest, HasEdgeHandlesOutOfRange) {
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->HasEdge(5, 0));
+  EXPECT_FALSE(g->HasEdge(0, 5));
+}
+
+TEST(GraphTest, FromCsrRoundTrip) {
+  auto g = Graph::FromEdges(4, DiamondEdges());
+  ASSERT_TRUE(g.ok());
+  auto g2 = Graph::FromCsr(g->out_offsets(), g->out_neighbors(),
+                           g->in_offsets(), g->in_neighbors());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g2->OutDegree(v), g->OutDegree(v));
+    EXPECT_EQ(g2->InDegree(v), g->InDegree(v));
+  }
+}
+
+TEST(GraphTest, FromCsrRejectsInconsistentArrays) {
+  auto g = Graph::FromEdges(4, DiamondEdges());
+  ASSERT_TRUE(g.ok());
+  // Neighbor id out of range.
+  auto bad_neighbors = g->out_neighbors();
+  bad_neighbors[0] = 99;
+  auto r1 = Graph::FromCsr(g->out_offsets(), bad_neighbors, g->in_offsets(),
+                           g->in_neighbors());
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kCorruption);
+  // Mismatched edge counts.
+  auto short_in = g->in_neighbors();
+  short_in.pop_back();
+  auto r2 = Graph::FromCsr(g->out_offsets(), g->out_neighbors(),
+                           g->in_offsets(), short_in);
+  EXPECT_FALSE(r2.ok());
+  // Non-monotone offsets.
+  auto bad_offsets = g->out_offsets();
+  std::swap(bad_offsets[1], bad_offsets[2]);
+  auto r3 = Graph::FromCsr(bad_offsets, g->out_neighbors(), g->in_offsets(),
+                           g->in_neighbors());
+  EXPECT_FALSE(r3.ok());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,74 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kbtim {
+namespace {
+
+Graph StarGraph(uint32_t leaves) {
+  // leaves vertices all pointing at vertex 0.
+  std::vector<Edge> edges;
+  for (uint32_t i = 1; i <= leaves; ++i) edges.push_back({i, 0});
+  auto g = Graph::FromEdges(leaves + 1, edges);
+  return std::move(g).value();
+}
+
+TEST(StatsTest, DegreeStatsOnStar) {
+  const Graph g = StarGraph(9);
+  const DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.max_in_degree, 9u);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_NEAR(s.avg_degree, 0.9, 1e-9);
+  EXPECT_NEAR(s.frac_in_isolated, 0.9, 1e-9);
+}
+
+TEST(StatsTest, InDegreeHistogramExact) {
+  const Graph g = StarGraph(4);
+  const auto hist = InDegreeHistogram(g);
+  // 4 leaves with in-degree 0, one hub with in-degree 4.
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::pair<uint32_t, uint64_t>{0, 4}));
+  EXPECT_EQ(hist[1], (std::pair<uint32_t, uint64_t>{4, 1}));
+}
+
+TEST(StatsTest, LogBinnedHistogramSkipsZeroDegrees) {
+  const Graph g = StarGraph(8);
+  const auto bins = LogBinnedInDegreeHistogram(g);
+  ASSERT_EQ(bins.size(), 1u);  // one vertex with in-degree 8 -> bin [8,16)
+  EXPECT_EQ(bins[0].second, 1u);
+  EXPECT_GE(bins[0].first, 8.0);
+  EXPECT_LE(bins[0].first, 16.0);
+}
+
+TEST(StatsTest, EmptyGraphStats) {
+  auto g = Graph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  const DegreeStats s = ComputeDegreeStats(*g);
+  EXPECT_EQ(s.max_in_degree, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(PowerLawSlope(*g), 0.0);
+}
+
+TEST(StatsTest, PowerLawSlopeNegativeForSkewedGraph) {
+  // Hand-build a graph whose in-degree histogram decays: many degree-1,
+  // fewer degree-4, one degree-16 vertex.
+  std::vector<Edge> edges;
+  VertexId next = 3;  // vertices 0,1,2 are targets
+  auto add_sources = [&](VertexId target, uint32_t count) {
+    for (uint32_t i = 0; i < count; ++i) edges.push_back({next++, target});
+  };
+  add_sources(0, 16);
+  add_sources(1, 4);
+  add_sources(2, 4);
+  const uint32_t n = next + 40;  // plus degree-0 padding
+  // Give 30 of the padding vertices in-degree 1.
+  for (uint32_t i = 0; i < 30; ++i) {
+    edges.push_back({0, next + i});
+  }
+  auto g = Graph::FromEdges(n, edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LT(PowerLawSlope(*g), -0.5);
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <unistd.h>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "index/index_verifier.h"
+#include "index/rr_index.h"
+#include "propagation/forward_simulator.h"
+#include "sampling/wris_solver.h"
+
+namespace kbtim {
+namespace {
+
+/// Small end-to-end build fixture shared by the query tests. Builds one
+/// dataset and one index directory for the whole suite (expensive setup).
+class IndexBuildQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("kbtim_index_" + std::to_string(::getpid())))
+            .string());
+    std::filesystem::create_directories(*dir_);
+
+    DatasetSpec spec;
+    spec.name = "test";
+    spec.graph.num_vertices = 2000;
+    spec.graph.avg_degree = 6.0;
+    spec.graph.num_communities = 8;
+    spec.graph.seed = 77;
+    spec.profiles.num_topics = 8;
+    spec.profiles.seed = 78;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = env->release();
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.4;
+    opts.max_k = 20;
+    opts.codec = CodecKind::kPfor;
+    opts.partition_size = 50;
+    opts.num_threads = 2;
+    opts.seed = 99;
+    opts.max_theta_per_keyword = 40000;
+    opts.opt_estimate.pilot_initial = 1024;
+    IndexBuilder builder(env_->graph(), env_->tfidf(), env_->ic_probs(),
+                         opts);
+    auto report = builder.Build(*dir_);
+    ASSERT_TRUE(report.ok()) << report.status();
+    report_ = new IndexBuildReport(*report);
+  }
+
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete env_;
+    delete report_;
+    delete dir_;
+    env_ = nullptr;
+    report_ = nullptr;
+    dir_ = nullptr;
+  }
+
+  static std::string* dir_;
+  static Environment* env_;
+  static IndexBuildReport* report_;
+};
+
+std::string* IndexBuildQueryTest::dir_ = nullptr;
+Environment* IndexBuildQueryTest::env_ = nullptr;
+IndexBuildReport* IndexBuildQueryTest::report_ = nullptr;
+
+TEST_F(IndexBuildQueryTest, ReportIsConsistent) {
+  EXPECT_GT(report_->total_theta, 0u);
+  EXPECT_GT(report_->mean_rr_set_size, 1.0);
+  EXPECT_GT(report_->rr_bytes, 0u);
+  EXPECT_GT(report_->lists_bytes, 0u);
+  EXPECT_GT(report_->irr_bytes, 0u);
+  EXPECT_EQ(report_->total_bytes,
+            report_->rr_bytes + report_->lists_bytes + report_->irr_bytes);
+  ASSERT_EQ(report_->theta_per_topic.size(), 8u);
+  uint64_t sum = 0;
+  for (uint64_t t : report_->theta_per_topic) sum += t;
+  EXPECT_EQ(sum, report_->total_theta);
+}
+
+TEST_F(IndexBuildQueryTest, MetaMatchesBuildOptions) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  const IndexMeta& meta = index->meta();
+  EXPECT_EQ(meta.num_vertices, 2000u);
+  EXPECT_EQ(meta.num_topics, 8u);
+  EXPECT_DOUBLE_EQ(meta.epsilon, 0.4);
+  EXPECT_EQ(meta.max_k, 20u);
+  EXPECT_TRUE(meta.has_rr);
+  EXPECT_TRUE(meta.has_irr);
+  for (TopicId w = 0; w < 8; ++w) {
+    EXPECT_EQ(meta.topics[w].theta, report_->theta_per_topic[w]);
+    EXPECT_NEAR(meta.topics[w].tf_sum, env_->profiles().TopicTfSum(w),
+                1e-6);
+  }
+}
+
+TEST_F(IndexBuildQueryTest, BudgetsFollowLemma2Proportions) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  const Query q{{0, 1, 2}, 10};
+  auto budget = ComputeQueryBudget(index->meta(), q);
+  ASSERT_TRUE(budget.ok());
+  double phi_q = 0.0;
+  for (TopicId w : q.topics) phi_q += index->meta().topics[w].phi;
+  for (const auto& [topic, tw] : budget->per_keyword) {
+    const double pw = index->meta().topics[topic].phi / phi_q;
+    // θ^Q_w = ⌊θ^Q · p_w⌋ (within 1 for rounding), and ≤ θ_w.
+    EXPECT_NEAR(static_cast<double>(tw),
+                static_cast<double>(budget->theta_q) * pw, 1.5);
+    EXPECT_LE(tw, index->meta().topics[topic].theta);
+  }
+}
+
+TEST_F(IndexBuildQueryTest, QueryReturnsExactlyKSeeds) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  for (uint32_t k : {1u, 5u, 20u}) {
+    auto result = index->Query(Query{{0, 1}, k});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->seeds.size(), k);
+    EXPECT_EQ(result->marginal_gains.size(), k);
+    // Seeds are distinct.
+    std::set<VertexId> unique(result->seeds.begin(), result->seeds.end());
+    EXPECT_EQ(unique.size(), k);
+    EXPECT_GT(result->estimated_influence, 0.0);
+    EXPECT_GT(result->stats.io_reads, 0u);
+    EXPECT_GT(result->stats.rr_sets_loaded, 0u);
+  }
+}
+
+TEST_F(IndexBuildQueryTest, QueryIsDeterministic) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  const Query q{{1, 3}, 8};
+  auto a = index->Query(q);
+  auto b = index->Query(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->seeds, b->seeds);
+  EXPECT_DOUBLE_EQ(a->estimated_influence, b->estimated_influence);
+}
+
+TEST_F(IndexBuildQueryTest, IndexSeedsMatchWrisQualityUnderSimulation) {
+  // Table 7's finding: offline-sampled indexes lose nothing in influence
+  // spread vs online WRIS. Compare actual simulated targeted spread.
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  const Query q{{0, 2}, 10};
+
+  OnlineSolverOptions wopts;
+  wopts.epsilon = 0.4;
+  wopts.seed = 5;
+  wopts.opt_estimate.pilot_initial = 1024;
+  WrisSolver wris(env_->graph(), env_->tfidf(),
+                  PropagationModel::kIndependentCascade, env_->ic_probs(),
+                  wopts);
+  auto wris_result = wris.Solve(q);
+  ASSERT_TRUE(wris_result.ok());
+  auto rr_result = index->Query(q);
+  ASSERT_TRUE(rr_result.ok());
+
+  std::vector<double> phi(env_->graph().num_vertices(), 0.0);
+  for (VertexId v = 0; v < phi.size(); ++v) {
+    phi[v] = env_->tfidf().Phi(v, q);
+  }
+  ForwardSimulator sim(env_->graph(),
+                       PropagationModel::kIndependentCascade,
+                       env_->ic_probs());
+  SpreadEstimateOptions sopts;
+  sopts.num_simulations = 4000;
+  sopts.seed = 6;
+  const double wris_spread =
+      sim.EstimateWeightedSpread(wris_result->seeds, phi, sopts);
+  const double rr_spread =
+      sim.EstimateWeightedSpread(rr_result->seeds, phi, sopts);
+  EXPECT_NEAR(rr_spread, wris_spread, 0.15 * std::max(wris_spread, 1.0));
+}
+
+TEST_F(IndexBuildQueryTest, BatchQueryMatchesIndividualQueries) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  const std::vector<Query> batch = {
+      {{0, 1}, 5}, {{1, 2}, 10}, {{0, 1}, 20}, {{3}, 8}};
+  auto batch_results = index->BatchQuery(batch);
+  ASSERT_TRUE(batch_results.ok()) << batch_results.status();
+  ASSERT_EQ(batch_results->size(), batch.size());
+
+  uint64_t individual_reads = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto single = index->Query(batch[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch_results)[i].seeds, single->seeds) << "query " << i;
+    EXPECT_DOUBLE_EQ((*batch_results)[i].estimated_influence,
+                     single->estimated_influence)
+        << "query " << i;
+    individual_reads += single->stats.io_reads;
+  }
+  // Shared loading: the batch reads strictly less than four separate
+  // queries whose keywords overlap.
+  EXPECT_LT((*batch_results)[0].stats.io_reads, individual_reads);
+}
+
+TEST_F(IndexBuildQueryTest, EmptyBatchIsAllowed) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  auto results = index->BatchQuery({});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST_F(IndexBuildQueryTest, FreshlyBuiltIndexPassesVerification) {
+  auto verification = VerifyIndex(*dir_);
+  ASSERT_TRUE(verification.ok()) << verification.status();
+  EXPECT_EQ(verification->topics_checked, 8u);
+}
+
+TEST_F(IndexBuildQueryTest, RejectsInvalidQueries) {
+  auto index = RrIndex::Open(*dir_);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->Query(Query{{0}, 0}).ok());
+  EXPECT_FALSE(index->Query(Query{{0}, 21}).ok());  // k > K = 20
+  EXPECT_FALSE(index->Query(Query{{99}, 5}).ok());
+  EXPECT_FALSE(index->Query(Query{{}, 5}).ok());
+}
+
+TEST_F(IndexBuildQueryTest, BuilderValidatesOptions) {
+  IndexBuildOptions opts;
+  opts.build_rr = false;
+  opts.build_irr = false;
+  IndexBuilder b1(env_->graph(), env_->tfidf(), env_->ic_probs(), opts);
+  EXPECT_FALSE(b1.Build(*dir_ + "_x").ok());
+  IndexBuildOptions opts2;
+  opts2.epsilon = 0.0;
+  IndexBuilder b2(env_->graph(), env_->tfidf(), env_->ic_probs(), opts2);
+  EXPECT_FALSE(b2.Build(*dir_ + "_y").ok());
+}
+
+}  // namespace
+}  // namespace kbtim

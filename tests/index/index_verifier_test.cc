@@ -1,0 +1,130 @@
+// The verifier must pass a freshly built index and catch every class of
+// mangling a disk can inflict on it.
+#include "index/index_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+
+namespace kbtim {
+namespace {
+
+class IndexVerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_verify_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "verify";
+    spec.graph.num_vertices = 800;
+    spec.graph.avg_degree = 5.0;
+    spec.graph.seed = 21;
+    spec.profiles.num_topics = 5;
+    spec.profiles.seed = 22;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 10;
+    opts.seed = 23;
+    opts.max_theta_per_keyword = 8000;
+    opts.opt_estimate.pilot_initial = 256;
+    IndexBuilder builder(env_->graph(), env_->tfidf(), env_->ic_probs(),
+                         opts);
+    ASSERT_TRUE(builder.Build(dir_).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void FlipByteAt(const std::string& path, uint64_t offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(IndexVerifierTest, FreshIndexPasses) {
+  auto result = VerifyIndex(dir_);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->topics_checked, 5u);
+  EXPECT_GT(result->rr_sets_checked, 0u);
+  EXPECT_GT(result->inverted_entries_checked, 0u);
+  EXPECT_GT(result->partitions_checked, 0u);
+}
+
+TEST_F(IndexVerifierTest, DetectsTruncatedRrFile) {
+  const std::string path = RrFileName(dir_, 0);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 7);
+  auto result = VerifyIndex(dir_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(IndexVerifierTest, DetectsPayloadBitFlipInRrFile) {
+  const std::string path = RrFileName(dir_, 1);
+  const auto size = std::filesystem::file_size(path);
+  FlipByteAt(path, size - 3);  // inside the last encoded set
+  auto result = VerifyIndex(dir_);
+  // Either the codec rejects the bytes or the membership cross-check with
+  // the inverted lists fires; both must surface as corruption.
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IndexVerifierTest, DetectsListsMangling) {
+  const std::string path = ListsFileName(dir_, 2);
+  const auto size = std::filesystem::file_size(path);
+  FlipByteAt(path, size / 2);
+  auto result = VerifyIndex(dir_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IndexVerifierTest, DetectsIrrMangling) {
+  const std::string path = IrrFileName(dir_, 0);
+  const auto size = std::filesystem::file_size(path);
+  FlipByteAt(path, size - 5);
+  auto result = VerifyIndex(dir_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(IndexVerifierTest, DetectsCrossFileInconsistency) {
+  // Swap two topics' RR files: each parses fine in isolation, but topic
+  // ids in the headers no longer match the file names.
+  const std::string a = RrFileName(dir_, 0);
+  const std::string b = RrFileName(dir_, 1);
+  const std::string tmp = dir_ + "/swap.tmp";
+  std::filesystem::rename(a, tmp);
+  std::filesystem::rename(b, a);
+  std::filesystem::rename(tmp, b);
+  auto result = VerifyIndex(dir_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCorruption());
+}
+
+TEST_F(IndexVerifierTest, MissingMetaIsNotCorruptionButIOError) {
+  std::filesystem::remove(MetaFileName(dir_));
+  auto result = VerifyIndex(dir_);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,105 @@
+// Edge case: topics with zero relevance mass. The builder must emit no
+// files for them (θ_w = 0), single-keyword queries on them must fail
+// cleanly, and mixed queries must fall back to the keywords that do have
+// mass (their p_w = 0 budget contributes nothing — Eqn. 11 skips them).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "graph/generators.h"
+#include "index/index_builder.h"
+#include "index/irr_index.h"
+#include "index/rr_index.h"
+#include "topics/tfidf.h"
+
+namespace kbtim {
+namespace {
+
+class ZeroMassTopicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_zeromass_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    auto graph = GenerateErdosRenyi(400, 4.0, 3);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<Graph>(std::move(*graph));
+    probs_ = UniformIcProbabilities(*graph_);
+
+    // Three topics; topic 1 has no users at all.
+    std::vector<ProfileTriplet> triplets;
+    Rng rng(5);
+    for (VertexId v = 0; v < 400; ++v) {
+      triplets.push_back({v, rng.Bernoulli(0.5) ? 0u : 2u, 1.0f});
+    }
+    auto profiles = ProfileStore::FromTriplets(400, 3, triplets);
+    ASSERT_TRUE(profiles.ok());
+    profiles_ = std::make_unique<ProfileStore>(std::move(*profiles));
+    tfidf_ = std::make_unique<TfIdfModel>(profiles_.get());
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 10;
+    opts.seed = 6;
+    opts.max_theta_per_keyword = 5000;
+    opts.opt_estimate.pilot_initial = 256;
+    IndexBuilder builder(*graph_, *tfidf_, probs_, opts);
+    auto report = builder.Build(dir_);
+    ASSERT_TRUE(report.ok()) << report.status();
+    ASSERT_EQ(report->theta_per_topic.size(), 3u);
+    EXPECT_GT(report->theta_per_topic[0], 0u);
+    EXPECT_EQ(report->theta_per_topic[1], 0u);
+    EXPECT_GT(report->theta_per_topic[2], 0u);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<Graph> graph_;
+  std::vector<float> probs_;
+  std::unique_ptr<ProfileStore> profiles_;
+  std::unique_ptr<TfIdfModel> tfidf_;
+};
+
+TEST_F(ZeroMassTopicTest, NoFilesWrittenForEmptyTopic) {
+  EXPECT_FALSE(std::filesystem::exists(RrFileName(dir_, 1)));
+  EXPECT_FALSE(std::filesystem::exists(ListsFileName(dir_, 1)));
+  EXPECT_FALSE(std::filesystem::exists(IrrFileName(dir_, 1)));
+  EXPECT_TRUE(std::filesystem::exists(RrFileName(dir_, 0)));
+}
+
+TEST_F(ZeroMassTopicTest, PureEmptyTopicQueryFailsCleanly) {
+  auto rr = RrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok());
+  auto result = rr->Query(Query{{1}, 5});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ZeroMassTopicTest, MixedQueryUsesOnlyKeywordsWithMass) {
+  auto rr = RrIndex::Open(dir_);
+  auto irr = IrrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok());
+  ASSERT_TRUE(irr.ok());
+  const Query mixed{{0, 1}, 5};
+  auto rr_mixed = rr->Query(mixed);
+  ASSERT_TRUE(rr_mixed.ok()) << rr_mixed.status();
+  EXPECT_EQ(rr_mixed->seeds.size(), 5u);
+  // Identical to querying topic 0 alone: topic 1 contributes no mass.
+  auto rr_single = rr->Query(Query{{0}, 5});
+  ASSERT_TRUE(rr_single.ok());
+  EXPECT_EQ(rr_mixed->seeds, rr_single->seeds);
+  EXPECT_DOUBLE_EQ(rr_mixed->estimated_influence,
+                   rr_single->estimated_influence);
+  // IRR agrees with RR on the mixed query (Theorem 3 still applies).
+  auto irr_mixed = irr->Query(mixed);
+  ASSERT_TRUE(irr_mixed.ok()) << irr_mixed.status();
+  EXPECT_DOUBLE_EQ(irr_mixed->estimated_influence,
+                   rr_mixed->estimated_influence);
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,146 @@
+#include "propagation/exact_spread.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kbtim {
+namespace {
+
+TEST(ExactSpreadTest, SingleEdgeChainIc) {
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> probs = {0.5f};
+  auto spread = ExactExpectedSpread(
+      *g, PropagationModel::kIndependentCascade, probs,
+      std::vector<VertexId>{0});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.5, 1e-12);
+}
+
+TEST(ExactSpreadTest, PaperTwoParentActivation) {
+  // The paper's §2.1 example: p({e,g} -> b) = 1 - (1-0.5)(1-0.5) = 0.75
+  // when b's only parents are e and g.  (b=0, e=1, g=2)
+  auto g = Graph::FromEdges(3, std::vector<Edge>{{1, 0}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> probs = {0.5f, 0.5f};
+  auto spread = ExactExpectedSpread(
+      *g, PropagationModel::kIndependentCascade, probs,
+      std::vector<VertexId>{1, 2});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 2.0 + 0.75, 1e-12);
+}
+
+TEST(ExactSpreadTest, WeightedSpreadUsesVertexWeights) {
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> probs = {0.25f};
+  const std::vector<double> weight = {10.0, 4.0};
+  auto spread = ExactExpectedSpread(
+      *g, PropagationModel::kIndependentCascade, probs,
+      std::vector<VertexId>{0}, weight);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 10.0 + 0.25 * 4.0, 1e-12);
+}
+
+TEST(ExactSpreadTest, LtChainMatchesHandComputation) {
+  // 0 -> 1 with weight 0.7 (residual 0.3 picks nothing).
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> weights = {0.7f};
+  auto spread = ExactExpectedSpread(
+      *g, PropagationModel::kLinearThreshold, weights,
+      std::vector<VertexId>{0});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.7, 1e-6);
+}
+
+TEST(ExactSpreadTest, LtTwoParentsIsAdditive) {
+  // Under LT, activation probability from fully active parents adds:
+  // p(b active) = w(e->b) + w(g->b) = 0.6.    (b=0, e=1, g=2)
+  auto g = Graph::FromEdges(3, std::vector<Edge>{{1, 0}, {2, 0}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> weights = {0.3f, 0.3f};
+  auto spread = ExactExpectedSpread(
+      *g, PropagationModel::kLinearThreshold, weights,
+      std::vector<VertexId>{1, 2});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 2.0 + 0.6, 1e-6);
+}
+
+TEST(ExactSpreadTest, SeedsAlwaysCountFully) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto spread = ExactExpectedSpread(
+      fig.graph, PropagationModel::kIndependentCascade, fig.in_edge_prob,
+      std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 7.0, 1e-9);
+}
+
+TEST(ExactSpreadTest, Figure1CertainEdgePropagates) {
+  // e -> a has probability 1.0, so seeding e always reaches a.
+  const Figure1Graph fig = MakeFigure1Graph();
+  std::vector<double> only_a(7, 0.0);
+  only_a[0] = 1.0;
+  auto spread = ExactExpectedSpread(
+      fig.graph, PropagationModel::kIndependentCascade, fig.in_edge_prob,
+      std::vector<VertexId>{4}, only_a);
+  ASSERT_TRUE(spread.ok());
+  EXPECT_NEAR(*spread, 1.0, 1e-12);
+}
+
+TEST(ExactSpreadTest, RejectsOversizedInstances) {
+  auto big = GenerateErdosRenyi(100, 2.0, 3);
+  ASSERT_TRUE(big.ok());
+  std::vector<float> probs(big->num_edges(), 0.1f);
+  auto spread = ExactExpectedSpread(
+      *big, PropagationModel::kIndependentCascade, probs,
+      std::vector<VertexId>{0});
+  EXPECT_FALSE(spread.ok());
+  EXPECT_EQ(spread.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExactSpreadTest, RejectsBadSeedsAndWeights) {
+  auto g = Graph::FromEdges(2, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> probs = {0.5f};
+  EXPECT_FALSE(ExactExpectedSpread(*g,
+                                   PropagationModel::kIndependentCascade,
+                                   probs, std::vector<VertexId>{9})
+                   .ok());
+  const std::vector<double> short_weights = {1.0};
+  EXPECT_FALSE(ExactExpectedSpread(
+                   *g, PropagationModel::kIndependentCascade, probs,
+                   std::vector<VertexId>{0}, short_weights)
+                   .ok());
+}
+
+TEST(ExactBestSeedSetTest, FindsBruteForceOptimum) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto best = ExactBestSeedSet(
+      fig.graph, PropagationModel::kIndependentCascade, fig.in_edge_prob, 2);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->seeds.size(), 2u);
+  // The optimum must not be beaten by any candidate pair.
+  for (VertexId i = 0; i < 7; ++i) {
+    for (VertexId j = i + 1; j < 7; ++j) {
+      auto s = ExactExpectedSpread(
+          fig.graph, PropagationModel::kIndependentCascade,
+          fig.in_edge_prob, std::vector<VertexId>{i, j});
+      ASSERT_TRUE(s.ok());
+      EXPECT_LE(*s, best->spread + 1e-9);
+    }
+  }
+}
+
+TEST(ExactBestSeedSetTest, RejectsHugeCombinationCounts) {
+  auto big = GenerateErdosRenyi(200, 1.0, 3);
+  ASSERT_TRUE(big.ok());
+  std::vector<float> probs(big->num_edges(), 0.1f);
+  auto best = ExactBestSeedSet(
+      *big, PropagationModel::kIndependentCascade, probs, 10);
+  EXPECT_FALSE(best.ok());
+}
+
+}  // namespace
+}  // namespace kbtim

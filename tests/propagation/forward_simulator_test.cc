@@ -1,0 +1,96 @@
+#include "propagation/forward_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "propagation/exact_spread.h"
+
+namespace kbtim {
+namespace {
+
+TEST(ForwardSimulatorTest, IcMatchesExactEnumerationOnFigure1) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<VertexId> seeds = {4, 6};  // e, g
+  auto exact = ExactExpectedSpread(fig.graph,
+                                   PropagationModel::kIndependentCascade,
+                                   fig.in_edge_prob, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  ForwardSimulator sim(fig.graph, PropagationModel::kIndependentCascade,
+                       fig.in_edge_prob);
+  SpreadEstimateOptions opts;
+  opts.num_simulations = 200000;
+  opts.seed = 1;
+  EXPECT_NEAR(sim.EstimateSpread(seeds, opts), *exact, 0.02);
+}
+
+TEST(ForwardSimulatorTest, LtMatchesExactEnumerationOnFigure1) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<float> weights = UniformIcProbabilities(fig.graph);
+  const std::vector<VertexId> seeds = {4, 6};
+  auto exact = ExactExpectedSpread(fig.graph,
+                                   PropagationModel::kLinearThreshold,
+                                   weights, seeds);
+  ASSERT_TRUE(exact.ok());
+
+  ForwardSimulator sim(fig.graph, PropagationModel::kLinearThreshold,
+                       weights);
+  SpreadEstimateOptions opts;
+  opts.num_simulations = 200000;
+  opts.seed = 2;
+  EXPECT_NEAR(sim.EstimateSpread(seeds, opts), *exact, 0.02);
+}
+
+TEST(ForwardSimulatorTest, WeightedSpreadMatchesExact) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<VertexId> seeds = {1, 4};  // b, e
+  const std::vector<double> phi = {0.5, 0.3, 0.6, 0.5, 0.0, 0.0, 0.0};
+  auto exact = ExactExpectedSpread(fig.graph,
+                                   PropagationModel::kIndependentCascade,
+                                   fig.in_edge_prob, seeds, phi);
+  ASSERT_TRUE(exact.ok());
+
+  ForwardSimulator sim(fig.graph, PropagationModel::kIndependentCascade,
+                       fig.in_edge_prob);
+  SpreadEstimateOptions opts;
+  opts.num_simulations = 200000;
+  opts.seed = 3;
+  EXPECT_NEAR(sim.EstimateWeightedSpread(seeds, phi, opts), *exact, 0.02);
+}
+
+TEST(ForwardSimulatorTest, MultiThreadedEstimateAgrees) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<VertexId> seeds = {4};
+  ForwardSimulator sim(fig.graph, PropagationModel::kIndependentCascade,
+                       fig.in_edge_prob);
+  SpreadEstimateOptions single;
+  single.num_simulations = 100000;
+  single.seed = 4;
+  SpreadEstimateOptions multi = single;
+  multi.num_threads = 4;
+  EXPECT_NEAR(sim.EstimateSpread(seeds, single),
+              sim.EstimateSpread(seeds, multi), 0.05);
+}
+
+TEST(ForwardSimulatorTest, EmptySeedsGiveZero) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  ForwardSimulator sim(fig.graph, PropagationModel::kIndependentCascade,
+                       fig.in_edge_prob);
+  SpreadEstimateOptions opts;
+  EXPECT_DOUBLE_EQ(sim.EstimateSpread({}, opts), 0.0);
+}
+
+TEST(ForwardSimulatorTest, SeedsCountThemselvesExactlyOnce) {
+  auto g = Graph::FromEdges(3, {});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> no_weights;
+  ForwardSimulator sim(*g, PropagationModel::kIndependentCascade,
+                       no_weights);
+  SpreadEstimateOptions opts;
+  opts.num_simulations = 10;
+  const std::vector<VertexId> seeds = {0, 2};
+  EXPECT_DOUBLE_EQ(sim.EstimateSpread(seeds, opts), 2.0);
+}
+
+}  // namespace
+}  // namespace kbtim

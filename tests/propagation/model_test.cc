@@ -1,0 +1,81 @@
+#include "propagation/model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace kbtim {
+namespace {
+
+TEST(ModelTest, NamesAreStable) {
+  EXPECT_STREQ(PropagationModelName(PropagationModel::kIndependentCascade),
+               "IC");
+  EXPECT_STREQ(PropagationModelName(PropagationModel::kLinearThreshold),
+               "LT");
+}
+
+TEST(ModelTest, UniformIcIsOneOverInDegree) {
+  auto g = GenerateErdosRenyi(500, 4.0, 3);
+  ASSERT_TRUE(g.ok());
+  const auto probs = UniformIcProbabilities(*g);
+  ASSERT_EQ(probs.size(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    const uint32_t deg = g->InDegree(v);
+    auto [first, last] = g->InEdgeRange(v);
+    for (uint64_t i = first; i < last; ++i) {
+      ASSERT_FLOAT_EQ(probs[i], 1.0f / static_cast<float>(deg));
+    }
+  }
+}
+
+TEST(ModelTest, RandomLtWeightsNormalizePerVertex) {
+  auto g = GenerateErdosRenyi(500, 4.0, 5);
+  ASSERT_TRUE(g.ok());
+  Rng rng(9);
+  const auto weights = RandomLtWeights(*g, rng);
+  ASSERT_EQ(weights.size(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    auto [first, last] = g->InEdgeRange(v);
+    if (first == last) continue;
+    double sum = 0.0;
+    for (uint64_t i = first; i < last; ++i) {
+      ASSERT_GT(weights[i], 0.0f);
+      sum += weights[i];
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-4) << "vertex " << v;
+  }
+}
+
+TEST(ModelTest, TrivalencyDrawsFromThreeLevels) {
+  auto g = GenerateErdosRenyi(300, 5.0, 7);
+  ASSERT_TRUE(g.ok());
+  Rng rng(11);
+  const auto probs = TrivalencyIcProbabilities(*g, rng);
+  ASSERT_EQ(probs.size(), g->num_edges());
+  int level_counts[3] = {0, 0, 0};
+  for (float p : probs) {
+    if (p == 0.1f) {
+      ++level_counts[0];
+    } else if (p == 0.01f) {
+      ++level_counts[1];
+    } else {
+      ASSERT_FLOAT_EQ(p, 0.001f);
+      ++level_counts[2];
+    }
+  }
+  // All three levels should be used with roughly equal frequency.
+  const auto m = static_cast<double>(g->num_edges());
+  for (int c : level_counts) {
+    EXPECT_NEAR(static_cast<double>(c) / m, 1.0 / 3.0, 0.1);
+  }
+}
+
+TEST(ModelTest, RandomLtWeightsAreDeterministicPerRng) {
+  auto g = GenerateErdosRenyi(100, 3.0, 13);
+  ASSERT_TRUE(g.ok());
+  Rng r1(5), r2(5);
+  EXPECT_EQ(RandomLtWeights(*g, r1), RandomLtWeights(*g, r2));
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,154 @@
+#include "propagation/rr_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "propagation/exact_spread.h"
+
+namespace kbtim {
+namespace {
+
+constexpr VertexId a = 0, b = 1, e = 4;
+
+TEST(IcRrSamplerTest, RootAlwaysIncludedAndNoDuplicates) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  Rng rng(1);
+  std::vector<VertexId> rr;
+  for (int i = 0; i < 500; ++i) {
+    sampler->Sample(b, rng, &rr);
+    ASSERT_FALSE(rr.empty());
+    EXPECT_EQ(rr.front(), b);
+    std::set<VertexId> unique(rr.begin(), rr.end());
+    EXPECT_EQ(unique.size(), rr.size());
+  }
+}
+
+TEST(IcRrSamplerTest, CertainEdgeAlwaysTraversed) {
+  // e -> a has probability 1, so every RR set of a contains e.
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  Rng rng(2);
+  std::vector<VertexId> rr;
+  for (int i = 0; i < 200; ++i) {
+    sampler->Sample(a, rng, &rr);
+    EXPECT_NE(std::find(rr.begin(), rr.end(), e), rr.end());
+  }
+}
+
+TEST(IcRrSamplerTest, MembershipFrequencyMatchesReachProbability) {
+  // P(e ∈ RR(b)) equals the probability that e reaches b over live edges:
+  // direct e->b (0.5) or e->a (1.0) then a->b (0.5): 1-(0.5·0.5) = 0.75.
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  Rng rng(3);
+  std::vector<VertexId> rr;
+  constexpr int kSamples = 40000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(b, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), e) != rr.end()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.75, 0.01);
+}
+
+TEST(IcRrSamplerTest, MeanRrSizeMatchesExactSingleSeedSpreads) {
+  // E[|RR(v)|] = Σ_u p(u reaches v) = Σ_u E[I({u}) activates v]; summing
+  // over uniformly random roots: E[|RR|] = (1/n) Σ_v Σ_u p({u}->v)
+  //                                      = (1/n) Σ_u E[I({u})].
+  const Figure1Graph fig = MakeFigure1Graph();
+  double sum_spread = 0.0;
+  for (VertexId u = 0; u < 7; ++u) {
+    auto s = ExactExpectedSpread(fig.graph,
+                                 PropagationModel::kIndependentCascade,
+                                 fig.in_edge_prob, std::vector<VertexId>{u});
+    ASSERT_TRUE(s.ok());
+    sum_spread += *s;
+  }
+  const double expected_mean = sum_spread / 7.0;
+
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  Rng rng(4);
+  std::vector<VertexId> rr;
+  constexpr int kSamples = 60000;
+  uint64_t total = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(rng.NextU32Below(7), rng, &rr);
+    total += rr.size();
+  }
+  EXPECT_NEAR(static_cast<double>(total) / kSamples, expected_mean, 0.03);
+}
+
+TEST(LtRrSamplerTest, WalkIsAPathWithRoot) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  // Reuse uniform 1/indeg weights as LT weights (they sum to 1 per vertex).
+  const std::vector<float> weights = UniformIcProbabilities(fig.graph);
+  auto sampler = MakeRrSampler(PropagationModel::kLinearThreshold,
+                               fig.graph, weights);
+  Rng rng(5);
+  std::vector<VertexId> rr;
+  for (int i = 0; i < 500; ++i) {
+    sampler->Sample(b, rng, &rr);
+    ASSERT_FALSE(rr.empty());
+    EXPECT_EQ(rr.front(), b);
+    std::set<VertexId> unique(rr.begin(), rr.end());
+    EXPECT_EQ(unique.size(), rr.size());
+  }
+}
+
+TEST(LtRrSamplerTest, SelectionFrequencyMatchesWeights) {
+  // From root b (parents a, e, g with weight 1/3 each): e appears in RR(b)
+  // if e is picked directly (1/3) or a is picked (1/3, then a's only
+  // parent e always follows): P = 2/3.
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<float> weights = UniformIcProbabilities(fig.graph);
+  auto sampler = MakeRrSampler(PropagationModel::kLinearThreshold,
+                               fig.graph, weights);
+  Rng rng(6);
+  std::vector<VertexId> rr;
+  constexpr int kSamples = 40000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(b, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), e) != rr.end()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 2.0 / 3.0, 0.01);
+}
+
+TEST(RrSamplerTest, IsolatedVertexYieldsSingleton) {
+  auto g = Graph::FromEdges(3, std::vector<Edge>{{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<float> probs(g->num_edges(), 0.5f);
+  for (auto model : {PropagationModel::kIndependentCascade,
+                     PropagationModel::kLinearThreshold}) {
+    auto sampler = MakeRrSampler(model, *g, probs);
+    Rng rng(7);
+    std::vector<VertexId> rr;
+    sampler->Sample(2, rng, &rr);
+    EXPECT_EQ(rr, std::vector<VertexId>{2});
+  }
+}
+
+TEST(RrSamplerTest, DeterministicGivenRngState) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto s1 = MakeRrSampler(PropagationModel::kIndependentCascade, fig.graph,
+                          fig.in_edge_prob);
+  auto s2 = MakeRrSampler(PropagationModel::kIndependentCascade, fig.graph,
+                          fig.in_edge_prob);
+  Rng r1(8), r2(8);
+  std::vector<VertexId> rr1, rr2;
+  for (int i = 0; i < 100; ++i) {
+    s1->Sample(b, r1, &rr1);
+    s2->Sample(b, r2, &rr2);
+    ASSERT_EQ(rr1, rr2);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

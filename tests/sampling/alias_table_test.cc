@@ -1,0 +1,65 @@
+#include "sampling/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kbtim {
+namespace {
+
+TEST(AliasTableTest, SamplesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(1);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[table->Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, expected, 0.01)
+        << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  auto table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t s = table->Sample(rng);
+    ASSERT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasTableTest, SingleElement) {
+  auto table = AliasTable::FromWeights(std::vector<double>{42.0});
+  ASSERT_TRUE(table.ok());
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table->Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  const std::vector<double> weights = {1e-9, 1.0};
+  auto table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(4);
+  int zero_draws = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table->Sample(rng) == 0) ++zero_draws;
+  }
+  EXPECT_LT(zero_draws, 10);
+}
+
+TEST(AliasTableTest, RejectsInvalidWeights) {
+  EXPECT_FALSE(AliasTable::FromWeights({}).ok());
+  EXPECT_FALSE(AliasTable::FromWeights(std::vector<double>{0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasTable::FromWeights(std::vector<double>{1.0, -1.0}).ok());
+  EXPECT_FALSE(
+      AliasTable::FromWeights(std::vector<double>{1.0, std::nan("")}).ok());
+}
+
+}  // namespace
+}  // namespace kbtim

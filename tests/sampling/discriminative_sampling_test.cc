@@ -1,0 +1,105 @@
+// Eqn. 7 / Lemma 2 as statistical properties: the discriminative
+// per-keyword sampling scheme ps(v,w) mixed with weights p_w reproduces
+// the query-level WRIS distribution ps(v,Q), which is what lets the index
+// pre-sample per keyword offline without losing Theorem 2's guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "sampling/vertex_sampler.h"
+#include "testing/fixtures.h"
+
+namespace kbtim {
+namespace {
+
+using testing::kBook;
+using testing::kCar;
+using testing::kMusic;
+
+class DiscriminativeSamplingTest : public ::testing::Test {
+ protected:
+  DiscriminativeSamplingTest()
+      : profiles_(testing::MakeFigure1Profiles()), model_(&profiles_) {}
+
+  ProfileStore profiles_;
+  TfIdfModel model_;
+};
+
+TEST_F(DiscriminativeSamplingTest, Eqn7MixtureDecompositionIsExact) {
+  // ps(v,Q) = Σ_w ps(v,w) · p_w, checked algebraically per vertex.
+  const Query q{{kMusic, kBook, kCar}, 2};
+  const double phi_q = model_.PhiQ(q);
+  for (VertexId v = 0; v < profiles_.num_users(); ++v) {
+    double mixture = 0.0;
+    for (TopicId w : q.topics) {
+      const double tf_sum = profiles_.TopicTfSum(w);
+      if (tf_sum <= 0.0) continue;
+      const double ps_vw = profiles_.Tf(v, w) / tf_sum;
+      mixture += ps_vw * model_.Pw(w, q);
+    }
+    const double ps_vq = model_.Phi(v, q) / phi_q;
+    EXPECT_NEAR(mixture, ps_vq, 1e-9) << "vertex " << v;
+  }
+}
+
+TEST_F(DiscriminativeSamplingTest, MixtureSamplingMatchesQuerySampling) {
+  // Draw roots two ways — (a) directly with ps(v,Q), (b) keyword-first
+  // with p_w then ps(v,w) — and compare empirical distributions.
+  const Query q{{kMusic, kBook}, 2};
+  auto query_sampler = WeightedVertexSampler::ForQuery(model_, q);
+  ASSERT_TRUE(query_sampler.ok());
+  std::vector<WeightedVertexSampler> keyword_samplers;
+  std::vector<double> pw;
+  for (TopicId w : q.topics) {
+    auto s = WeightedVertexSampler::ForTopic(profiles_, w);
+    ASSERT_TRUE(s.ok());
+    keyword_samplers.push_back(std::move(*s));
+    pw.push_back(model_.Pw(w, q));
+  }
+
+  constexpr int kDraws = 300000;
+  Rng rng(17);
+  std::vector<int> direct(profiles_.num_users(), 0);
+  std::vector<int> mixture(profiles_.num_users(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++direct[query_sampler->Sample(rng)];
+    // keyword-first draw
+    const double u = rng.NextDouble();
+    size_t pick = pw.size() - 1;
+    double acc = 0.0;
+    for (size_t j = 0; j < pw.size(); ++j) {
+      acc += pw[j];
+      if (u < acc) {
+        pick = j;
+        break;
+      }
+    }
+    ++mixture[keyword_samplers[pick].Sample(rng)];
+  }
+  for (VertexId v = 0; v < profiles_.num_users(); ++v) {
+    const double fa = static_cast<double>(direct[v]) / kDraws;
+    const double fb = static_cast<double>(mixture[v]) / kDraws;
+    EXPECT_NEAR(fa, fb, 0.01) << "vertex " << v;
+    // And both match the analytic ps(v,Q).
+    EXPECT_NEAR(fa, model_.Phi(v, q) / model_.PhiQ(q), 0.01);
+  }
+}
+
+TEST_F(DiscriminativeSamplingTest, PwWeightsSumToOneAndOrderByMass) {
+  const Query q{{kMusic, kBook, kCar}, 2};
+  double sum = 0.0;
+  for (TopicId w : q.topics) sum += model_.Pw(w, q);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // book has the largest φ_w in this fixture (high tf mass), so its p_w
+  // should dominate music's and car's... verify ordering matches φ.
+  std::vector<std::pair<double, TopicId>> order;
+  for (TopicId w : q.topics) order.emplace_back(model_.PhiTopic(w), w);
+  for (const auto& [phi, w] : order) {
+    EXPECT_NEAR(model_.Pw(w, q), phi / model_.PhiQ(q), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,85 @@
+#include "sampling/opt_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "propagation/exact_spread.h"
+#include "testing/fixtures.h"
+
+namespace kbtim {
+namespace {
+
+TEST(OptEstimatorTest, LowerBoundsTrueOptimumOnFigure1) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto roots = WeightedVertexSampler::Uniform(7);
+  ASSERT_TRUE(roots.ok());
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  auto best = ExactBestSeedSet(
+      fig.graph, PropagationModel::kIndependentCascade, fig.in_edge_prob, 2);
+  ASSERT_TRUE(best.ok());
+
+  OptEstimateOptions opts;
+  opts.k = 2;
+  opts.pilot_initial = 4096;
+  opts.seed = 1;
+  auto estimate = EstimateOptLowerBound(fig.graph, *sampler, *roots, opts);
+  ASSERT_TRUE(estimate.ok());
+  // A valid lower bound (allowing the configured slack plus MC noise).
+  EXPECT_LE(*estimate, best->spread * 1.05);
+  // And not uselessly small: within ~3x of the optimum on this toy graph.
+  EXPECT_GE(*estimate, best->spread / 3.0);
+}
+
+TEST(OptEstimatorTest, RespectsFloor) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto roots = WeightedVertexSampler::Uniform(7);
+  ASSERT_TRUE(roots.ok());
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  OptEstimateOptions opts;
+  opts.k = 2;
+  opts.pilot_initial = 256;
+  opts.floor = 2.0;  // k seeds always influence themselves
+  opts.seed = 2;
+  auto estimate = EstimateOptLowerBound(fig.graph, *sampler, *roots, opts);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(*estimate, 2.0);
+}
+
+TEST(OptEstimatorTest, WeightedRootsUseWeightMass) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const ProfileStore profiles = testing::MakeFigure1Profiles();
+  auto roots = WeightedVertexSampler::ForTopic(profiles, testing::kMusic);
+  ASSERT_TRUE(roots.ok());
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  OptEstimateOptions opts;
+  opts.k = 2;
+  opts.pilot_initial = 4096;
+  opts.seed = 3;
+  auto estimate = EstimateOptLowerBound(fig.graph, *sampler, *roots, opts);
+  ASSERT_TRUE(estimate.ok());
+  // Bounded by the total music tf mass (1.9) and positive.
+  EXPECT_GT(*estimate, 0.0);
+  EXPECT_LE(*estimate, 1.9 + 1e-9);
+}
+
+TEST(OptEstimatorTest, RejectsBadOptions) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  auto roots = WeightedVertexSampler::Uniform(7);
+  ASSERT_TRUE(roots.ok());
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  OptEstimateOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(
+      EstimateOptLowerBound(fig.graph, *sampler, *roots, opts).ok());
+  opts.k = 1;
+  opts.pilot_initial = 0;
+  EXPECT_FALSE(
+      EstimateOptLowerBound(fig.graph, *sampler, *roots, opts).ok());
+}
+
+}  // namespace
+}  // namespace kbtim

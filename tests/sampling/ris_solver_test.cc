@@ -1,0 +1,76 @@
+#include "sampling/ris_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "propagation/exact_spread.h"
+
+namespace kbtim {
+namespace {
+
+OnlineSolverOptions FastOptions() {
+  OnlineSolverOptions opts;
+  opts.epsilon = 0.2;
+  opts.seed = 21;
+  opts.max_theta = 200000;
+  opts.opt_estimate.pilot_initial = 4096;
+  return opts;
+}
+
+TEST(RisSolverTest, NearOptimalPlainInfluenceOnFigure1) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  RisSolver solver(fig.graph, PropagationModel::kIndependentCascade,
+                   fig.in_edge_prob, FastOptions());
+  auto result = solver.Solve(2);
+  ASSERT_TRUE(result.ok());
+  auto best = ExactBestSeedSet(
+      fig.graph, PropagationModel::kIndependentCascade, fig.in_edge_prob, 2);
+  ASSERT_TRUE(best.ok());
+  auto got = ExactExpectedSpread(fig.graph,
+                                 PropagationModel::kIndependentCascade,
+                                 fig.in_edge_prob, result->seeds);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE(*got, 0.85 * best->spread);
+  EXPECT_NEAR(result->estimated_influence, *got,
+              0.05 * std::max(1.0, *got));
+}
+
+TEST(RisSolverTest, QueryIndependenceReturnsSameSeeds) {
+  // RIS has no notion of keywords: repeated solves give identical output
+  // (the Table 8 observation that untargeted IM cannot adapt to ads).
+  const Figure1Graph fig = MakeFigure1Graph();
+  RisSolver solver(fig.graph, PropagationModel::kIndependentCascade,
+                   fig.in_edge_prob, FastOptions());
+  auto a = solver.Solve(3);
+  auto b = solver.Solve(3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->seeds, b->seeds);
+}
+
+TEST(RisSolverTest, RejectsBadK) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  RisSolver solver(fig.graph, PropagationModel::kIndependentCascade,
+                   fig.in_edge_prob, FastOptions());
+  EXPECT_FALSE(solver.Solve(0).ok());
+  EXPECT_FALSE(solver.Solve(100).ok());
+}
+
+TEST(RisSolverTest, LinearThresholdModel) {
+  const Figure1Graph fig = MakeFigure1Graph();
+  const std::vector<float> lt = UniformIcProbabilities(fig.graph);
+  RisSolver solver(fig.graph, PropagationModel::kLinearThreshold, lt,
+                   FastOptions());
+  auto result = solver.Solve(2);
+  ASSERT_TRUE(result.ok());
+  auto best = ExactBestSeedSet(fig.graph,
+                               PropagationModel::kLinearThreshold, lt, 2);
+  ASSERT_TRUE(best.ok());
+  auto got = ExactExpectedSpread(
+      fig.graph, PropagationModel::kLinearThreshold, lt, result->seeds);
+  ASSERT_TRUE(got.ok());
+  EXPECT_GE(*got, 0.85 * best->spread);
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,74 @@
+#include "sampling/theta_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace kbtim {
+namespace {
+
+TEST(ThetaBoundsTest, ThetaForQueryMatchesClosedForm) {
+  const double eps = 0.1;
+  const double phi_q = 1000.0;
+  const uint64_t n = 10000;
+  const uint64_t k = 10;
+  const double opt = 50.0;
+  const double expected =
+      (8.0 + 2.0 * eps) * phi_q *
+      (std::log(static_cast<double>(n)) + LogNChooseK(n, k) +
+       std::log(2.0)) /
+      (opt * eps * eps);
+  EXPECT_EQ(ThetaForQuery(eps, phi_q, n, k, opt),
+            static_cast<uint64_t>(std::ceil(expected)));
+}
+
+TEST(ThetaBoundsTest, ThetaShrinksWithLargerEpsilonAndOpt) {
+  const uint64_t base = ThetaForQuery(0.1, 100, 1000, 5, 10);
+  EXPECT_GT(base, ThetaForQuery(0.2, 100, 1000, 5, 10));
+  EXPECT_GT(base, ThetaForQuery(0.1, 100, 1000, 5, 20));
+  EXPECT_LT(base, ThetaForQuery(0.1, 200, 1000, 5, 10));
+}
+
+TEST(ThetaBoundsTest, DegenerateInputsGiveZero) {
+  EXPECT_EQ(ThetaForQuery(0.0, 100, 1000, 5, 10), 0u);
+  EXPECT_EQ(ThetaForQuery(0.1, 0, 1000, 5, 10), 0u);
+  EXPECT_EQ(ThetaForQuery(0.1, 100, 1000, 5, 0), 0u);
+  EXPECT_EQ(ThetaForQuery(0.1, 100, 0, 5, 10), 0u);
+  EXPECT_EQ(ThetaForKeyword(0.1, 0, 1000, 100, 10), 0u);
+}
+
+TEST(ThetaBoundsTest, KeywordBoundScalesLikeQueryBound) {
+  // ThetaForKeyword is the same formula with tf mass and per-keyword OPT.
+  EXPECT_EQ(ThetaForKeyword(0.2, 500, 10000, 100, 25),
+            ThetaForQuery(0.2, 500, 10000, 100, 25));
+}
+
+TEST(ThetaBoundsTest, ThetaQFromIndexReproducesExample5Ratios) {
+  // Paper Example 5: θ_music = 9, θ_book = 6, RR-set ratio music:book = 9:4
+  // (p_music = 9/13, p_book = 4/13) -> θ^Q = min(13, 19.5) = 13.
+  const std::vector<std::pair<uint64_t, double>> entries = {
+      {9, 9.0 / 13.0},
+      {6, 4.0 / 13.0},
+  };
+  EXPECT_EQ(ThetaQFromIndex(entries), 13u);
+}
+
+TEST(ThetaBoundsTest, ThetaQSkipsZeroMassKeywords) {
+  const std::vector<std::pair<uint64_t, double>> entries = {
+      {100, 0.0},
+      {50, 1.0},
+  };
+  EXPECT_EQ(ThetaQFromIndex(entries), 50u);
+  const std::vector<std::pair<uint64_t, double>> all_zero = {{10, 0.0}};
+  EXPECT_EQ(ThetaQFromIndex(all_zero), 0u);
+}
+
+TEST(ThetaBoundsTest, LogFactorMonotoneInK) {
+  EXPECT_LT(ThetaLogFactor(100000, 10), ThetaLogFactor(100000, 100));
+  // ln C(n,k) <= ln C(n, K) drives Lemma 3's K-vs-Q.k argument.
+}
+
+}  // namespace
+}  // namespace kbtim

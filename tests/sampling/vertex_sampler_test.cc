@@ -1,0 +1,75 @@
+#include "sampling/vertex_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/fixtures.h"
+
+namespace kbtim {
+namespace {
+
+using testing::kCar;
+using testing::kMusic;
+
+TEST(VertexSamplerTest, UniformCoversAllVertices) {
+  auto sampler = WeightedVertexSampler::Uniform(5);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler->total_weight(), 5.0);
+  Rng rng(1);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[sampler->Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(VertexSamplerTest, ForTopicSamplesProportionalToTf) {
+  const ProfileStore profiles = testing::MakeFigure1Profiles();
+  auto sampler = WeightedVertexSampler::ForTopic(profiles, kMusic);
+  ASSERT_TRUE(sampler.ok());
+  // music mass: a=.5 b=.3 c=.6 d=.5, total 1.9.
+  EXPECT_NEAR(sampler->total_weight(), 1.9, 1e-6);
+  EXPECT_EQ(sampler->support_size(), 4u);
+  Rng rng(2);
+  std::vector<int> counts(7, 0);
+  constexpr int kDraws = 190000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler->Sample(rng)];
+  EXPECT_EQ(counts[4], 0);  // e has no music
+  EXPECT_NEAR(counts[0], kDraws * 0.5 / 1.9, 1500);
+  EXPECT_NEAR(counts[2], kDraws * 0.6 / 1.9, 1500);
+}
+
+TEST(VertexSamplerTest, ForQueryUsesPhiWeights) {
+  const ProfileStore profiles = testing::MakeFigure1Profiles();
+  const TfIdfModel model(&profiles);
+  const Query q{{kMusic, kCar}, 2};
+  auto sampler = WeightedVertexSampler::ForQuery(model, q);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_NEAR(sampler->total_weight(), model.PhiQ(q), 1e-9);
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler->Sample(rng)];
+  // Only users with music or car can be drawn: a,b,c,d,e (not f, g).
+  EXPECT_EQ(counts[5], 0);
+  EXPECT_EQ(counts[6], 0);
+  for (VertexId v : {0u, 1u, 2u, 3u, 4u}) {
+    const double expect = model.Phi(v, q) / model.PhiQ(q);
+    EXPECT_NEAR(static_cast<double>(counts[v]) / kDraws, expect, 0.01)
+        << "user " << v;
+  }
+}
+
+TEST(VertexSamplerTest, ErrorsOnEmptySupport) {
+  EXPECT_FALSE(WeightedVertexSampler::Uniform(0).ok());
+  const ProfileStore profiles = testing::MakeFigure1Profiles();
+  EXPECT_FALSE(WeightedVertexSampler::ForTopic(profiles, 99).ok());
+  auto empty_store = ProfileStore::FromTriplets(3, 2, {});
+  ASSERT_TRUE(empty_store.ok());
+  EXPECT_FALSE(WeightedVertexSampler::ForTopic(*empty_store, 0).ok());
+  const TfIdfModel model(&*empty_store);
+  EXPECT_FALSE(
+      WeightedVertexSampler::ForQuery(model, Query{{0}, 1}).ok());
+}
+
+}  // namespace
+}  // namespace kbtim

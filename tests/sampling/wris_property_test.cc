@@ -1,0 +1,99 @@
+// Property sweep for the WRIS solver on random tiny graphs where the exact
+// targeted spread is computable by enumeration:
+//   1. the Lemma-1 estimator tracks the true expected spread of the seeds,
+//   2. the returned seeds stay within the greedy approximation band of the
+//      brute-force optimum.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "propagation/exact_spread.h"
+#include "sampling/wris_solver.h"
+#include "topics/profile_generator.h"
+
+namespace kbtim {
+namespace {
+
+struct PropertyCase {
+  uint64_t seed;
+  uint32_t num_vertices;
+  double avg_degree;
+  uint32_t num_topics;
+};
+
+class WrisPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(WrisPropertyTest, EstimatorTracksExactSpreadAndNearOptimal) {
+  const PropertyCase& c = GetParam();
+  // Tiny graph: keep edges <= 20 so exact IC enumeration is feasible.
+  SocialGraphOptions gopts;
+  gopts.num_vertices = c.num_vertices;
+  gopts.avg_degree = c.avg_degree;
+  gopts.num_communities = 2;
+  gopts.seed = c.seed;
+  auto sg = GenerateSocialGraph(gopts);
+  ASSERT_TRUE(sg.ok());
+  if (sg->graph.num_edges() > 20 || sg->graph.num_edges() == 0) {
+    GTEST_SKIP() << "edge count " << sg->graph.num_edges()
+                 << " outside enumeration budget";
+  }
+  const std::vector<float> probs = UniformIcProbabilities(sg->graph);
+
+  ProfileGeneratorOptions popts;
+  popts.num_topics = c.num_topics;
+  popts.mean_topics_per_user = 2.0;
+  popts.seed = c.seed + 1;
+  auto profiles = GenerateProfiles(c.num_vertices, sg->community, popts);
+  ASSERT_TRUE(profiles.ok());
+  const TfIdfModel model(&*profiles);
+
+  // Pick the most popular topic so the query has relevance mass.
+  TopicId best_topic = 0;
+  for (TopicId w = 1; w < c.num_topics; ++w) {
+    if (profiles->TopicTfSum(w) > profiles->TopicTfSum(best_topic)) {
+      best_topic = w;
+    }
+  }
+  const Query q{{best_topic}, 2};
+  std::vector<double> phi(c.num_vertices, 0.0);
+  for (VertexId v = 0; v < c.num_vertices; ++v) phi[v] = model.Phi(v, q);
+
+  OnlineSolverOptions opts;
+  opts.epsilon = 0.2;
+  opts.seed = c.seed + 2;
+  opts.max_theta = 300000;
+  opts.opt_estimate.pilot_initial = 4096;
+  WrisSolver solver(sg->graph, model,
+                    PropagationModel::kIndependentCascade, probs, opts);
+  auto result = solver.Solve(q);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  auto exact = ExactExpectedSpread(sg->graph,
+                                   PropagationModel::kIndependentCascade,
+                                   probs, result->seeds, phi);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  // Lemma 1: the coverage-based estimate converges to the true spread.
+  EXPECT_NEAR(result->estimated_influence, *exact,
+              0.1 * std::max(0.5, *exact));
+
+  auto best = ExactBestSeedSet(sg->graph,
+                               PropagationModel::kIndependentCascade,
+                               probs, 2, phi);
+  ASSERT_TRUE(best.ok());
+  // Far above the worst-case (1 - 1/e - ε) ≈ 0.43 band on toy instances.
+  EXPECT_GE(*exact, 0.7 * best->spread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTinyGraphs, WrisPropertyTest,
+    ::testing::Values(PropertyCase{101, 10, 1.5, 3},
+                      PropertyCase{202, 12, 1.2, 4},
+                      PropertyCase{303, 9, 1.8, 3},
+                      PropertyCase{404, 14, 1.0, 5},
+                      PropertyCase{505, 11, 1.4, 2},
+                      PropertyCase{606, 13, 1.1, 4}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,71 @@
+#include "storage/bitpacking.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kbtim {
+namespace {
+
+class BitWidthSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitWidthSweep, RoundTripRandomValues) {
+  const uint32_t bits = GetParam();
+  const uint32_t mask =
+      bits >= 32 ? ~0u : ((bits == 0) ? 0u : ((1u << bits) - 1));
+  Rng rng(bits + 1);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{128}, size_t{1000}}) {
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextU64()) & mask;
+    }
+    std::string packed;
+    BitPack(values.data(), n, bits, &packed);
+    EXPECT_EQ(packed.size(), BitPackedSize(n, bits));
+    std::vector<uint32_t> out(n, 0xDEADBEEF);
+    const size_t used =
+        BitUnpack(packed.data(), packed.size(), n, bits, out.data());
+    if (bits == 0) {
+      for (uint32_t v : out) EXPECT_EQ(v, 0u);
+    } else {
+      EXPECT_EQ(used, packed.size());
+      EXPECT_EQ(out, values);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitWidthSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 7u, 8u, 9u,
+                                           13u, 16u, 21u, 24u, 31u, 32u));
+
+TEST(BitPackingTest, ValuesAreMaskedToWidth) {
+  const std::vector<uint32_t> values = {0xFF, 0x100, 0x3};
+  std::string packed;
+  BitPack(values.data(), values.size(), 4, &packed);
+  std::vector<uint32_t> out(values.size());
+  BitUnpack(packed.data(), packed.size(), values.size(), 4, out.data());
+  EXPECT_EQ(out, (std::vector<uint32_t>{0xF, 0x0, 0x3}));
+}
+
+TEST(BitPackingTest, UnpackDetectsShortBuffer) {
+  const std::vector<uint32_t> values(100, 5);
+  std::string packed;
+  BitPack(values.data(), values.size(), 9, &packed);
+  std::vector<uint32_t> out(values.size());
+  EXPECT_EQ(BitUnpack(packed.data(), packed.size() - 1, values.size(), 9,
+                      out.data()),
+            0u);
+}
+
+TEST(BitPackingTest, PackedSizeFormula) {
+  EXPECT_EQ(BitPackedSize(0, 7), 0u);
+  EXPECT_EQ(BitPackedSize(8, 1), 1u);
+  EXPECT_EQ(BitPackedSize(9, 1), 2u);
+  EXPECT_EQ(BitPackedSize(128, 32), 512u);
+  EXPECT_EQ(BitPackedSize(3, 5), 2u);  // 15 bits -> 2 bytes
+}
+
+}  // namespace
+}  // namespace kbtim

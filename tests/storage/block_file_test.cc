@@ -1,0 +1,106 @@
+#include "storage/block_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "storage/io_counter.h"
+
+namespace kbtim {
+namespace {
+
+class BlockFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kbtim_block_file_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(BlockFileTest, WriteThenReadBack) {
+  const std::string path = Path("f.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("hello ").ok());
+    ASSERT_TRUE((*writer)->Append("world").ok());
+    EXPECT_EQ((*writer)->offset(), 11u);
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->size(), 11u);
+  std::string out;
+  ASSERT_TRUE((*file)->Read(6, 5, &out).ok());
+  EXPECT_EQ(out, "world");
+  ASSERT_TRUE((*file)->Read(0, 11, &out).ok());
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST_F(BlockFileTest, ReadPastEofFails) {
+  const std::string path = Path("g.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("abc").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  const Status s = (*file)->Read(2, 5, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BlockFileTest, OpenMissingFileFails) {
+  auto file = RandomAccessFile::Open(Path("missing.dat"));
+  EXPECT_FALSE(file.ok());
+  EXPECT_TRUE(file.status().IsIOError());
+}
+
+TEST_F(BlockFileTest, AppendAfterCloseFails) {
+  auto writer = FileWriter::Create(Path("h.dat"));
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_FALSE((*writer)->Append("x").ok());
+}
+
+TEST_F(BlockFileTest, ReadsAreCounted) {
+  const std::string path = Path("i.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(std::string(1000, 'x')).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  IoCounter::Reset();
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 400, &out).ok());
+  ASSERT_TRUE((*file)->Read(400, 600, &out).ok());
+  const IoStats stats = IoCounter::Snapshot();
+  EXPECT_EQ(stats.read_ops, 2u);
+  EXPECT_EQ(stats.read_bytes, 1000u);
+}
+
+TEST_F(BlockFileTest, EmptyAppendIsAllowed) {
+  auto writer = FileWriter::Create(Path("j.dat"));
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE((*writer)->Append("").ok());
+  EXPECT_EQ((*writer)->offset(), 0u);
+  EXPECT_TRUE((*writer)->Close().ok());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,87 @@
+#include "storage/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace kbtim {
+namespace {
+
+TEST(VarintTest, RoundTrip32Boundaries) {
+  const std::vector<uint32_t> values = {
+      0, 1, 127, 128, 16383, 16384, 2097151, 2097152,
+      268435455, 268435456, std::numeric_limits<uint32_t>::max()};
+  std::string buf;
+  for (uint32_t v : values) PutVarint32(&buf, v);
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  for (uint32_t expected : values) {
+    uint32_t got = 0;
+    p = GetVarint32(p, limit, &got);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(p, limit);
+}
+
+TEST(VarintTest, RoundTrip64Boundaries) {
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, (1ULL << 35) - 1, 1ULL << 35,
+      std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  for (uint64_t expected : values) {
+    uint64_t got = 0;
+    p = GetVarint64(p, limit, &got);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(VarintTest, EncodedLengths) {
+  EXPECT_EQ(VarintLength(0), 1u);
+  EXPECT_EQ(VarintLength(127), 1u);
+  EXPECT_EQ(VarintLength(128), 2u);
+  EXPECT_EQ(VarintLength(16383), 2u);
+  EXPECT_EQ(VarintLength(16384), 3u);
+  EXPECT_EQ(VarintLength(std::numeric_limits<uint64_t>::max()), 10u);
+  std::string buf;
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, TruncatedInputReturnsNull) {
+  std::string buf;
+  PutVarint32(&buf, 1u << 30);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    uint32_t v = 0;
+    EXPECT_EQ(GetVarint32(buf.data(), buf.data() + cut, &v), nullptr)
+        << "cut at " << cut;
+  }
+}
+
+TEST(VarintTest, Overflow32IsRejected) {
+  // Encode 2^35 as varint64; parsing as varint32 must fail.
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 35);
+  uint32_t v = 0;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + buf.size(), &v), nullptr);
+}
+
+TEST(VarintTest, ExhaustiveSmallRange) {
+  for (uint32_t v = 0; v < 1000; ++v) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v));
+    uint32_t got = 0;
+    ASSERT_NE(GetVarint32(buf.data(), buf.data() + buf.size(), &got),
+              nullptr);
+    ASSERT_EQ(got, v);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

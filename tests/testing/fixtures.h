@@ -1,0 +1,41 @@
+// Shared test fixtures: the paper's Figure-1 worked example (graph,
+// profiles) and small random dataset helpers.
+#ifndef KBTIM_TESTS_TESTING_FIXTURES_H_
+#define KBTIM_TESTS_TESTING_FIXTURES_H_
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "topics/profile_store.h"
+
+namespace kbtim {
+namespace testing {
+
+// Topic ids in the Figure-1 profile fixture (matching the synthetic
+// vocabulary's leading names).
+inline constexpr TopicId kMusic = 0;
+inline constexpr TopicId kBook = 1;
+inline constexpr TopicId kSport = 2;
+inline constexpr TopicId kCar = 3;
+inline constexpr TopicId kTravel = 4;
+
+/// Profiles of the Figure-1 users a..g (ids 0..6); each sums to 1,
+/// mirroring the paper's per-user preference vectors.
+inline ProfileStore MakeFigure1Profiles() {
+  constexpr VertexId a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6;
+  const std::vector<ProfileTriplet> triplets = {
+      {a, kMusic, 0.5f}, {a, kBook, 0.3f},   {a, kCar, 0.2f},
+      {b, kMusic, 0.3f}, {b, kBook, 0.3f},   {b, kSport, 0.4f},
+      {c, kMusic, 0.6f}, {c, kBook, 0.2f},   {c, kSport, 0.1f},
+      {c, kCar, 0.1f},   {d, kMusic, 0.5f},  {d, kBook, 0.5f},
+      {e, kCar, 1.0f},   {f, kSport, 0.2f},  {f, kBook, 0.2f},
+      {f, kTravel, 0.6f}, {g, kBook, 1.0f},
+  };
+  auto store = ProfileStore::FromTriplets(7, 5, triplets);
+  return std::move(store).value();
+}
+
+}  // namespace testing
+}  // namespace kbtim
+
+#endif  // KBTIM_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,102 @@
+#include "topics/profile_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kbtim {
+namespace {
+
+TEST(ProfileGeneratorTest, PerUserWeightsSumToOne) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 20;
+  opts.seed = 1;
+  auto store = GenerateProfiles(2000, {}, opts);
+  ASSERT_TRUE(store.ok());
+  for (VertexId v = 0; v < store->num_users(); ++v) {
+    const auto row = store->UserProfile(v);
+    ASSERT_FALSE(row.empty()) << "user " << v << " has no topics";
+    double sum = 0.0;
+    for (const auto& e : row) sum += e.tf;
+    ASSERT_NEAR(sum, 1.0, 1e-4) << "user " << v;
+  }
+}
+
+TEST(ProfileGeneratorTest, MeanTopicsPerUserIsClose) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 40;
+  opts.mean_topics_per_user = 4.0;
+  opts.seed = 2;
+  auto store = GenerateProfiles(5000, {}, opts);
+  ASSERT_TRUE(store.ok());
+  const double mean =
+      static_cast<double>(store->num_entries()) / store->num_users();
+  EXPECT_NEAR(mean, 4.0, 0.5);
+}
+
+TEST(ProfileGeneratorTest, ZipfPopularitySkew) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 30;
+  opts.zipf_exponent = 1.0;
+  opts.seed = 3;
+  auto store = GenerateProfiles(10000, {}, opts);
+  ASSERT_TRUE(store.ok());
+  // Topic 0 (most popular) should have far more mass than topic 29.
+  EXPECT_GT(store->TopicTfSum(0), 4 * store->TopicTfSum(29));
+}
+
+TEST(ProfileGeneratorTest, DeterministicForEqualSeeds) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 10;
+  opts.seed = 4;
+  auto a = GenerateProfiles(500, {}, opts);
+  auto b = GenerateProfiles(500, {}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_entries(), b->num_entries());
+  for (VertexId v = 0; v < 500; ++v) {
+    auto ra = a->UserProfile(v);
+    auto rb = b->UserProfile(v);
+    ASSERT_EQ(std::vector<ProfileEntry>(ra.begin(), ra.end()),
+              std::vector<ProfileEntry>(rb.begin(), rb.end()));
+  }
+}
+
+TEST(ProfileGeneratorTest, CommunityAffinityConcentratesTopics) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 40;
+  opts.community_affinity = 0.95;
+  opts.topics_per_community = 2;
+  opts.seed = 5;
+  // Two communities.
+  std::vector<uint32_t> community(4000);
+  for (size_t i = 0; i < community.size(); ++i) community[i] = i % 2;
+  auto store = GenerateProfiles(4000, community, opts);
+  ASSERT_TRUE(store.ok());
+  // With strong affinity and 2 preferred topics per community, a handful of
+  // topics should hold most of the total mass.
+  std::vector<double> sums;
+  double total = 0.0;
+  for (TopicId w = 0; w < opts.num_topics; ++w) {
+    sums.push_back(store->TopicTfSum(w));
+    total += sums.back();
+  }
+  std::sort(sums.rbegin(), sums.rend());
+  const double top4 = sums[0] + sums[1] + sums[2] + sums[3];
+  EXPECT_GT(top4 / total, 0.6);
+}
+
+TEST(ProfileGeneratorTest, RejectsBadOptions) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 0;
+  EXPECT_FALSE(GenerateProfiles(10, {}, opts).ok());
+  opts.num_topics = 5;
+  opts.mean_topics_per_user = 0.5;
+  EXPECT_FALSE(GenerateProfiles(10, {}, opts).ok());
+  opts.mean_topics_per_user = 2;
+  EXPECT_FALSE(
+      GenerateProfiles(10, std::vector<uint32_t>(3, 0), opts).ok());
+}
+
+}  // namespace
+}  // namespace kbtim

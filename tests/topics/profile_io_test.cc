@@ -1,0 +1,99 @@
+#include "topics/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "testing/fixtures.h"
+#include "topics/profile_generator.h"
+
+namespace kbtim {
+namespace {
+
+class ProfileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kbtim_profile_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+void ExpectEqualStores(const ProfileStore& a, const ProfileStore& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_topics(), b.num_topics());
+  ASSERT_EQ(a.num_entries(), b.num_entries());
+  for (VertexId v = 0; v < a.num_users(); ++v) {
+    const auto ra = a.UserProfile(v);
+    const auto rb = b.UserProfile(v);
+    ASSERT_EQ(std::vector<ProfileEntry>(ra.begin(), ra.end()),
+              std::vector<ProfileEntry>(rb.begin(), rb.end()))
+        << "user " << v;
+  }
+  for (TopicId w = 0; w < a.num_topics(); ++w) {
+    ASSERT_NEAR(a.TopicTfSum(w), b.TopicTfSum(w), 1e-9);
+  }
+}
+
+TEST_F(ProfileIoTest, Figure1RoundTrip) {
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  const std::string path = Path("fig1.bin");
+  ASSERT_TRUE(SaveProfilesBinary(store, path).ok());
+  auto loaded = LoadProfilesBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectEqualStores(store, *loaded);
+}
+
+TEST_F(ProfileIoTest, GeneratedRoundTrip) {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 25;
+  opts.seed = 77;
+  auto store = GenerateProfiles(5000, {}, opts);
+  ASSERT_TRUE(store.ok());
+  const std::string path = Path("gen.bin");
+  ASSERT_TRUE(SaveProfilesBinary(*store, path).ok());
+  auto loaded = LoadProfilesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectEqualStores(*store, *loaded);
+}
+
+TEST_F(ProfileIoTest, EmptyStoreRoundTrip) {
+  auto store = ProfileStore::FromTriplets(10, 3, {});
+  ASSERT_TRUE(store.ok());
+  const std::string path = Path("empty.bin");
+  ASSERT_TRUE(SaveProfilesBinary(*store, path).ok());
+  auto loaded = LoadProfilesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_users(), 10u);
+  EXPECT_EQ(loaded->num_topics(), 3u);
+  EXPECT_EQ(loaded->num_entries(), 0u);
+}
+
+TEST_F(ProfileIoTest, RejectsGarbageAndTruncation) {
+  const std::string garbage = Path("garbage.bin");
+  std::ofstream(garbage) << "this is not a profile store";
+  EXPECT_TRUE(LoadProfilesBinary(garbage).status().IsCorruption());
+
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  const std::string path = Path("trunc.bin");
+  ASSERT_TRUE(SaveProfilesBinary(store, path).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 3);
+  EXPECT_TRUE(LoadProfilesBinary(path).status().IsCorruption());
+}
+
+TEST_F(ProfileIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadProfilesBinary(Path("nope.bin")).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,0 +1,93 @@
+#include "topics/profile_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace kbtim {
+namespace {
+
+using testing::kBook;
+using testing::kCar;
+using testing::kMusic;
+using testing::kTravel;
+
+TEST(ProfileStoreTest, Figure1FixtureBasics) {
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  EXPECT_EQ(store.num_users(), 7u);
+  EXPECT_EQ(store.num_topics(), 5u);
+  EXPECT_EQ(store.num_entries(), 17u);
+  EXPECT_FLOAT_EQ(store.Tf(0, kMusic), 0.5f);  // user a
+  EXPECT_FLOAT_EQ(store.Tf(2, kMusic), 0.6f);  // user c
+  EXPECT_FLOAT_EQ(store.Tf(4, kCar), 1.0f);    // user e
+  EXPECT_FLOAT_EQ(store.Tf(4, kMusic), 0.0f);  // absent entry
+}
+
+TEST(ProfileStoreTest, UserProfilesSumToOne) {
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  for (VertexId v = 0; v < store.num_users(); ++v) {
+    double sum = 0.0;
+    for (const auto& e : store.UserProfile(v)) sum += e.tf;
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "user " << v;
+  }
+}
+
+TEST(ProfileStoreTest, TopicPostingsMatchRows) {
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  auto users = store.TopicUsers(kMusic);
+  auto tfs = store.TopicTfs(kMusic);
+  ASSERT_EQ(users.size(), 4u);  // a, b, c, d
+  ASSERT_EQ(tfs.size(), 4u);
+  EXPECT_EQ(std::vector<VertexId>(users.begin(), users.end()),
+            (std::vector<VertexId>{0, 1, 2, 3}));
+  for (size_t i = 0; i < users.size(); ++i) {
+    EXPECT_FLOAT_EQ(tfs[i], store.Tf(users[i], kMusic));
+  }
+  EXPECT_NEAR(store.TopicTfSum(kMusic), 0.5 + 0.3 + 0.6 + 0.5, 1e-6);
+  EXPECT_EQ(store.TopicDf(kMusic), 4u);
+  EXPECT_EQ(store.TopicDf(kTravel), 1u);
+}
+
+TEST(ProfileStoreTest, RowsSortedByTopic) {
+  const ProfileStore store = testing::MakeFigure1Profiles();
+  for (VertexId v = 0; v < store.num_users(); ++v) {
+    const auto row = store.UserProfile(v);
+    for (size_t i = 1; i < row.size(); ++i) {
+      EXPECT_LT(row[i - 1].topic, row[i].topic);
+    }
+  }
+}
+
+TEST(ProfileStoreTest, RejectsDuplicates) {
+  const std::vector<ProfileTriplet> dup = {{0, 1, 0.5f}, {0, 1, 0.5f}};
+  auto store = ProfileStore::FromTriplets(2, 2, dup);
+  EXPECT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProfileStoreTest, RejectsOutOfRangeAndNonPositive) {
+  EXPECT_FALSE(ProfileStore::FromTriplets(
+                   1, 1, std::vector<ProfileTriplet>{{1, 0, 0.5f}})
+                   .ok());
+  EXPECT_FALSE(ProfileStore::FromTriplets(
+                   1, 1, std::vector<ProfileTriplet>{{0, 1, 0.5f}})
+                   .ok());
+  EXPECT_FALSE(ProfileStore::FromTriplets(
+                   1, 1, std::vector<ProfileTriplet>{{0, 0, 0.0f}})
+                   .ok());
+  EXPECT_FALSE(ProfileStore::FromTriplets(
+                   1, 1, std::vector<ProfileTriplet>{{0, 0, -1.0f}})
+                   .ok());
+}
+
+TEST(ProfileStoreTest, EmptyStore) {
+  auto store = ProfileStore::FromTriplets(3, 2, {});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_entries(), 0u);
+  EXPECT_TRUE(store->UserProfile(0).empty());
+  EXPECT_TRUE(store->TopicUsers(1).empty());
+  EXPECT_DOUBLE_EQ(store->TopicTfSum(0), 0.0);
+}
+
+}  // namespace
+}  // namespace kbtim

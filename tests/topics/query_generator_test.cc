@@ -1,0 +1,110 @@
+#include "topics/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topics/profile_generator.h"
+
+namespace kbtim {
+namespace {
+
+ProfileStore MakeStore() {
+  ProfileGeneratorOptions opts;
+  opts.num_topics = 25;
+  opts.seed = 42;
+  auto store = GenerateProfiles(3000, {}, opts);
+  return std::move(store).value();
+}
+
+TEST(QueryGeneratorTest, ProducesRequestedShape) {
+  const ProfileStore store = MakeStore();
+  QueryGeneratorOptions opts;
+  opts.queries_per_length = 10;
+  opts.min_keywords = 1;
+  opts.max_keywords = 6;
+  opts.k = 15;
+  auto queries = GenerateQueries(store, opts);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 60u);
+  size_t idx = 0;
+  for (uint32_t len = 1; len <= 6; ++len) {
+    for (uint32_t i = 0; i < 10; ++i, ++idx) {
+      const Query& q = (*queries)[idx];
+      EXPECT_EQ(q.topics.size(), len);
+      EXPECT_EQ(q.k, 15u);
+      // Keywords distinct and sorted.
+      std::set<TopicId> unique(q.topics.begin(), q.topics.end());
+      EXPECT_EQ(unique.size(), len);
+      EXPECT_TRUE(std::is_sorted(q.topics.begin(), q.topics.end()));
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, OnlyUsesNonEmptyTopics) {
+  const ProfileStore store = MakeStore();
+  QueryGeneratorOptions opts;
+  opts.queries_per_length = 20;
+  auto queries = GenerateQueries(store, opts);
+  ASSERT_TRUE(queries.ok());
+  for (const Query& q : *queries) {
+    for (TopicId w : q.topics) {
+      EXPECT_GT(store.TopicTfSum(w), 0.0);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicForEqualSeeds) {
+  const ProfileStore store = MakeStore();
+  QueryGeneratorOptions opts;
+  opts.seed = 5;
+  auto a = GenerateQueries(store, opts);
+  auto b = GenerateQueries(store, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].topics, (*b)[i].topics);
+  }
+}
+
+TEST(QueryGeneratorTest, PopularTopicsAppearMoreOften) {
+  const ProfileStore store = MakeStore();
+  QueryGeneratorOptions opts;
+  opts.queries_per_length = 200;
+  opts.min_keywords = 1;
+  opts.max_keywords = 1;
+  opts.seed = 6;
+  auto queries = GenerateQueries(store, opts);
+  ASSERT_TRUE(queries.ok());
+  size_t topic0 = 0, topic_last = 0;
+  for (const Query& q : *queries) {
+    if (q.topics[0] == 0) ++topic0;
+    if (q.topics[0] == store.num_topics() - 1) ++topic_last;
+  }
+  EXPECT_GT(topic0, topic_last);  // Zipf-popular topic drawn more often
+}
+
+TEST(QueryGeneratorTest, RejectsBadRanges) {
+  const ProfileStore store = MakeStore();
+  QueryGeneratorOptions opts;
+  opts.min_keywords = 0;
+  EXPECT_FALSE(GenerateQueries(store, opts).ok());
+  opts.min_keywords = 4;
+  opts.max_keywords = 2;
+  EXPECT_FALSE(GenerateQueries(store, opts).ok());
+}
+
+TEST(QueryGeneratorTest, FailsWhenTooFewTopics) {
+  auto tiny = ProfileStore::FromTriplets(
+      2, 2, std::vector<ProfileTriplet>{{0, 0, 1.0f}});
+  ASSERT_TRUE(tiny.ok());
+  QueryGeneratorOptions opts;
+  opts.max_keywords = 4;
+  auto queries = GenerateQueries(*tiny, opts);
+  EXPECT_FALSE(queries.ok());
+  EXPECT_EQ(queries.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace kbtim

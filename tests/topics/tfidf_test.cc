@@ -1,0 +1,93 @@
+#include "topics/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/fixtures.h"
+
+namespace kbtim {
+namespace {
+
+using testing::kBook;
+using testing::kCar;
+using testing::kMusic;
+using testing::kSport;
+
+class TfIdfTest : public ::testing::Test {
+ protected:
+  TfIdfTest() : profiles_(testing::MakeFigure1Profiles()),
+                model_(&profiles_) {}
+
+  ProfileStore profiles_;
+  TfIdfModel model_;
+};
+
+TEST_F(TfIdfTest, IdfReflectsDocumentFrequency) {
+  // music: df=4 of 7 users; car: df=3; rarer topics get larger idf.
+  EXPECT_GT(model_.Idf(kCar), model_.Idf(kMusic));
+  EXPECT_NEAR(model_.Idf(kMusic), std::log(1.0 + 7.0 / 4.0), 1e-9);
+}
+
+TEST_F(TfIdfTest, IdfZeroForEmptyTopic) {
+  // Build a store with an unused topic.
+  auto store = ProfileStore::FromTriplets(
+      2, 3, std::vector<ProfileTriplet>{{0, 0, 1.0f}, {1, 1, 1.0f}});
+  ASSERT_TRUE(store.ok());
+  TfIdfModel model(&*store);
+  EXPECT_DOUBLE_EQ(model.Idf(2), 0.0);
+  EXPECT_DOUBLE_EQ(model.PhiTopic(2), 0.0);
+}
+
+TEST_F(TfIdfTest, PhiMatchesHandComputation) {
+  const Query q{{kMusic, kBook}, 2};
+  // φ(a, Q) = tf(a,music)·idf(music) + tf(a,book)·idf(book).
+  const double expected = 0.5 * model_.Idf(kMusic) + 0.3 * model_.Idf(kBook);
+  EXPECT_NEAR(model_.Phi(0, q), expected, 1e-6);  // tf stored as float
+  // User e has neither keyword.
+  EXPECT_DOUBLE_EQ(model_.Phi(4, q), 0.0);
+}
+
+TEST_F(TfIdfTest, PhiQEqualsSumOverUsers) {
+  const Query q{{kMusic, kSport}, 2};
+  double sum = 0.0;
+  for (VertexId v = 0; v < profiles_.num_users(); ++v) {
+    sum += model_.Phi(v, q);
+  }
+  EXPECT_NEAR(model_.PhiQ(q), sum, 1e-9);
+}
+
+TEST_F(TfIdfTest, PwSumsToOneOverQueryKeywords) {
+  const Query q{{kMusic, kBook, kCar}, 2};
+  double sum = 0.0;
+  for (TopicId w : q.topics) sum += model_.Pw(w, q);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(TfIdfTest, SparsePhiMatchesDenseScores) {
+  const Query q{{kMusic, kCar}, 2};
+  const auto sparse = model_.SparsePhi(q);
+  // Every listed user matches the dense score; every unlisted user is 0.
+  std::vector<double> dense(profiles_.num_users(), 0.0);
+  for (const auto& [v, phi] : sparse) dense[v] = phi;
+  for (VertexId v = 0; v < profiles_.num_users(); ++v) {
+    EXPECT_NEAR(dense[v], model_.Phi(v, q), 1e-9) << "user " << v;
+  }
+  // Sorted ascending, no duplicates.
+  for (size_t i = 1; i < sparse.size(); ++i) {
+    EXPECT_LT(sparse[i - 1].first, sparse[i].first);
+  }
+}
+
+TEST_F(TfIdfTest, Example3ShapeOptimalMusicSeedsDifferFromPlainIm) {
+  // The paper's Example 3 point: targeted relevance concentrates on users
+  // who carry the keyword. For "music", users e, f, g contribute zero.
+  const Query q{{kMusic}, 2};
+  EXPECT_DOUBLE_EQ(model_.Phi(4, q), 0.0);
+  EXPECT_DOUBLE_EQ(model_.Phi(5, q), 0.0);
+  EXPECT_DOUBLE_EQ(model_.Phi(6, q), 0.0);
+  EXPECT_GT(model_.Phi(2, q), 0.0);
+}
+
+}  // namespace
+}  // namespace kbtim

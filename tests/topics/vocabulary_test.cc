@@ -1,0 +1,47 @@
+#include "topics/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace kbtim {
+namespace {
+
+TEST(VocabularyTest, SyntheticUsesSeedNamesThenGenerated) {
+  const Vocabulary v = Vocabulary::Synthetic(25);
+  EXPECT_EQ(v.num_topics(), 25u);
+  EXPECT_EQ(v.Name(0), "music");
+  EXPECT_EQ(v.Name(1), "book");
+  EXPECT_EQ(v.Name(5), "software");
+  EXPECT_EQ(v.Name(6), "journal");
+  EXPECT_EQ(v.Name(24), "topic_24");
+}
+
+TEST(VocabularyTest, FindByName) {
+  const Vocabulary v = Vocabulary::Synthetic(10);
+  EXPECT_EQ(v.Find("music"), 0u);
+  EXPECT_EQ(v.Find("travel"), 4u);
+  EXPECT_EQ(v.Find("does-not-exist"), kInvalidTopic);
+}
+
+TEST(VocabularyTest, FromNamesRejectsDuplicates) {
+  auto v = Vocabulary::FromNames({"a", "b", "a"});
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VocabularyTest, FromNamesPreservesOrder) {
+  auto v = Vocabulary::FromNames({"x", "y", "z"});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->num_topics(), 3u);
+  EXPECT_EQ(v->Name(1), "y");
+  EXPECT_EQ(v->Find("z"), 2u);
+}
+
+TEST(VocabularyTest, SmallSyntheticVocabulary) {
+  const Vocabulary v = Vocabulary::Synthetic(2);
+  EXPECT_EQ(v.num_topics(), 2u);
+  EXPECT_EQ(v.Name(0), "music");
+  EXPECT_EQ(v.Name(1), "book");
+}
+
+}  // namespace
+}  // namespace kbtim
