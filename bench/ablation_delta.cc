@@ -54,10 +54,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
     }
-    auto irr = IrrIndex::Open(dir);
-    if (!irr.ok()) return 1;
     QueryAggregator agg;
     for (const Query& q : *queries) {
+      // Fresh handle per query: the δ ablation compares COLD per-query
+      // I/O (warm-path numbers come from bench/warm_cold_query.cc).
+      auto irr = IrrIndex::Open(dir);
+      if (!irr.ok()) return 1;
       auto result = irr->Query(q);
       if (!result.ok()) return 1;
       agg.Add(*result);

@@ -1,10 +1,15 @@
 // Google-benchmark microbenches for the kernels underneath the paper's
 // numbers: integer codecs (Table 4's compression), alias sampling and RR
-// sampling (index construction cost), and greedy vs CELF max coverage
-// (query processing cost; DESIGN.md ablation).
+// sampling (index construction cost), greedy vs CELF max coverage
+// (query processing cost; DESIGN.md ablation), mmap vs pread index reads,
+// and flat open-addressing vs unordered_map inverted-list lookup (the two
+// warm-query-engine kernels).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
 
 #include "common/rng.h"
 #include "coverage/celf_greedy.h"
@@ -12,6 +17,7 @@
 #include "graph/generators.h"
 #include "propagation/rr_sampler.h"
 #include "sampling/alias_table.h"
+#include "storage/block_file.h"
 #include "storage/pfor_codec.h"
 
 namespace kbtim {
@@ -126,6 +132,157 @@ void BM_GreedyCelf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyCelf)->Arg(1 << 16)->Arg(1 << 18);
+
+// ---- mmap vs pread (the RandomAccessFile zero-copy path) ------------------
+
+class TempIndexFile {
+ public:
+  explicit TempIndexFile(size_t bytes) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("kbtim_bench_io_" + std::to_string(bytes) + ".dat"))
+                .string();
+    auto writer = FileWriter::Create(path_).value();
+    Rng rng(13);
+    std::string chunk(1 << 16, '\0');
+    for (size_t written = 0; written < bytes; written += chunk.size()) {
+      for (auto& c : chunk) c = static_cast<char>(rng.NextU32Below(256));
+      (void)writer->Append(chunk);
+    }
+    (void)writer->Close();
+  }
+  ~TempIndexFile() { std::filesystem::remove(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void BM_ReadPread(benchmark::State& state) {
+  const size_t block = static_cast<size_t>(state.range(0));
+  TempIndexFile file(64 << 20);
+  auto raf = RandomAccessFile::Open(file.path(), /*prefer_mmap=*/false).value();
+  Rng rng(17);
+  std::string buf;
+  uint64_t sink = 0;
+  const uint64_t span = raf->size() - block;
+  for (auto _ : state) {
+    const uint64_t off = rng.NextU32Below(static_cast<uint32_t>(span));
+    (void)raf->Read(off, block, &buf);
+    sink += static_cast<uint8_t>(buf[0]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() * block);
+}
+BENCHMARK(BM_ReadPread)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ReadMmapView(benchmark::State& state) {
+  const size_t block = static_cast<size_t>(state.range(0));
+  TempIndexFile file(64 << 20);
+  auto raf = RandomAccessFile::Open(file.path(), /*prefer_mmap=*/true).value();
+  if (!raf->mmapped()) {
+    state.SkipWithError("mmap unavailable on this filesystem");
+    return;
+  }
+  Rng rng(17);
+  uint64_t sink = 0;
+  const uint64_t span = raf->size() - block;
+  for (auto _ : state) {
+    const uint64_t off = rng.NextU32Below(static_cast<uint32_t>(span));
+    auto view = raf->ReadView(off, block);
+    sink += static_cast<uint8_t>((*view)[0]);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetBytesProcessed(state.iterations() * block);
+}
+BENCHMARK(BM_ReadMmapView)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+// ---- flat open-addressing vs unordered_map list lookup --------------------
+// Mirrors the IRR query's hot loop: look up a vertex's inverted list and
+// scan it against a covered bitmap (irr_index.cc's FlatListTable vs the
+// seed implementation's std::unordered_map<VertexId, std::vector<RrId>>).
+
+struct ListFixture {
+  std::vector<VertexId> vertices;       // inserted keys
+  std::vector<VertexId> probes;         // lookup order (hit-heavy)
+  std::vector<RrId> ids;                // flattened lists
+  std::vector<uint32_t> offsets{0};
+  std::vector<char> covered;
+
+  explicit ListFixture(uint32_t num_users) {
+    Rng rng(23);
+    covered.assign(1 << 16, 0);
+    for (uint32_t i = 0; i < num_users; ++i) {
+      vertices.push_back(i * 7 + 3);  // sparse non-contiguous ids
+      const uint32_t len = 1 + rng.NextU32Below(16);
+      for (uint32_t j = 0; j < len; ++j) {
+        ids.push_back(rng.NextU32Below(1 << 16));
+      }
+      offsets.push_back(static_cast<uint32_t>(ids.size()));
+    }
+    for (uint32_t i = 0; i < 4 * num_users; ++i) {
+      probes.push_back(vertices[rng.NextU32Below(num_users)]);
+    }
+  }
+};
+
+void BM_ListLookupHash(benchmark::State& state) {
+  const ListFixture fx(static_cast<uint32_t>(state.range(0)));
+  std::unordered_map<VertexId, std::vector<RrId>> lists;
+  for (size_t i = 0; i < fx.vertices.size(); ++i) {
+    lists.emplace(fx.vertices[i],
+                  std::vector<RrId>(fx.ids.begin() + fx.offsets[i],
+                                    fx.ids.begin() + fx.offsets[i + 1]));
+  }
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (VertexId v : fx.probes) {
+      const auto it = lists.find(v);
+      for (RrId rr : it->second) {
+        if (!fx.covered[rr]) ++sink;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * fx.probes.size());
+}
+BENCHMARK(BM_ListLookupHash)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ListLookupFlat(benchmark::State& state) {
+  const ListFixture fx(static_cast<uint32_t>(state.range(0)));
+  // Open-addressing table of spans into the flattened ids (the
+  // FlatListTable layout).
+  struct Slot {
+    VertexId vertex = kInvalidVertex;
+    const RrId* begin = nullptr;
+    const RrId* end = nullptr;
+  };
+  size_t cap = 16;
+  while (cap < 2 * fx.vertices.size()) cap <<= 1;
+  const size_t mask = cap - 1;
+  std::vector<Slot> slots(cap);
+  auto hash = [](VertexId v) {
+    return static_cast<size_t>((uint64_t{v} * 0x9E3779B97F4A7C15ull) >> 29);
+  };
+  for (size_t i = 0; i < fx.vertices.size(); ++i) {
+    size_t s = hash(fx.vertices[i]) & mask;
+    while (slots[s].vertex != kInvalidVertex) s = (s + 1) & mask;
+    slots[s] = {fx.vertices[i], fx.ids.data() + fx.offsets[i],
+                fx.ids.data() + fx.offsets[i + 1]};
+  }
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (VertexId v : fx.probes) {
+      size_t s = hash(v) & mask;
+      while (slots[s].vertex != v) s = (s + 1) & mask;
+      for (const RrId* p = slots[s].begin; p != slots[s].end; ++p) {
+        if (!fx.covered[*p]) ++sink;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * fx.probes.size());
+}
+BENCHMARK(BM_ListLookupFlat)->Arg(1 << 10)->Arg(1 << 14);
 
 }  // namespace
 }  // namespace kbtim

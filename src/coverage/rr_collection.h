@@ -29,6 +29,13 @@ class RrCollection {
   /// Appends all sets from `other`, preserving their relative order.
   void Append(const RrCollection& other);
 
+  /// Removes every set but keeps the allocated capacity, so a reused
+  /// collection reaches zero steady-state allocation across queries.
+  void Clear() {
+    offsets_.resize(1);
+    items_.clear();
+  }
+
   size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
 

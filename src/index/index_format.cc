@@ -122,27 +122,13 @@ StatusOr<IndexMeta> ReadIndexMeta(const std::string& path) {
 
 StatusOr<QueryBudget> ComputeQueryBudget(const IndexMeta& meta,
                                          const Query& query) {
-  if (query.topics.empty()) {
-    return Status::InvalidArgument("query has no keywords");
-  }
-  if (query.k == 0) {
-    return Status::InvalidArgument("query k must be >= 1");
-  }
+  KBTIM_RETURN_IF_ERROR(ValidateQueryShape(query, meta.num_topics));
   if (query.k > meta.max_k) {
     return Status::FailedPrecondition(
         "query k exceeds the K the index was built for");
   }
   double phi_q = 0.0;
-  for (size_t i = 0; i < query.topics.size(); ++i) {
-    const TopicId w = query.topics[i];
-    if (w >= meta.num_topics) {
-      return Status::InvalidArgument("query topic id out of range");
-    }
-    for (size_t j = 0; j < i; ++j) {
-      if (query.topics[j] == w) {
-        return Status::InvalidArgument("duplicate query keyword");
-      }
-    }
+  for (TopicId w : query.topics) {
     phi_q += meta.topics[w].phi;
   }
   if (phi_q <= 0.0) {

@@ -4,206 +4,226 @@
 #include <cstring>
 #include <memory>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/timer.h"
 #include "coverage/rr_collection.h"
-#include "storage/block_file.h"
 #include "storage/io_counter.h"
-#include "storage/varint.h"
 
 namespace kbtim {
 namespace {
 
-constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
-constexpr uint64_t kIrrHeaderSize = 4 + 4 + 8 + 8 + 4 + 1 + 8;
+/// Open-addressing vertex -> (list span, maintained exact count) table.
+/// Capacity is reserved per partition-load round (load factor <= 0.5, so
+/// NRA early termination on a huge keyword never pays for users it didn't
+/// load), and the lookup loops themselves never rehash or allocate. Spans
+/// point into cached partition blocks pinned by the owning KeywordState.
+class FlatListTable {
+ public:
+  struct Slot {
+    VertexId vertex = kInvalidVertex;
+    const RrId* begin = nullptr;
+    const RrId* end = nullptr;
+    uint64_t exact = 0;  // eager mode's maintained uncovered count
+  };
 
-/// Query-time state for one keyword's IRR file.
+  /// Caps the table at `max_inserts` distinct vertices (the preamble's
+  /// user count); a corrupt index naming more users fails cleanly
+  /// instead of looping (every probe sequence stays finite).
+  void Init(uint64_t max_inserts) {
+    limit_ = max_inserts;
+    inserted_ = 0;
+    mask_ = 0;
+    slots_.clear();
+  }
+
+  /// Ensures capacity for `extra` more inserts, rehashing if needed.
+  /// Called once per partition load — never from a lookup path. Any Slot*
+  /// obtained before this call is invalidated.
+  void Reserve(uint64_t extra) {
+    const uint64_t want = inserted_ + extra;
+    if (!slots_.empty() && 2 * want <= slots_.size()) return;
+    size_t cap = 16;
+    while (cap < 2 * (want + 1)) cap <<= 1;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& s : old) {
+      if (s.vertex == kInvalidVertex) continue;
+      size_t i = Hash(s.vertex) & mask_;
+      while (slots_[i].vertex != kInvalidVertex) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  /// Returns null when the insert cap is exceeded (corrupt index).
+  /// Requires a prior Reserve covering this insert.
+  Slot* Insert(VertexId v) {
+    size_t i = Hash(v) & mask_;
+    while (slots_[i].vertex != kInvalidVertex) {
+      if (slots_[i].vertex == v) return &slots_[i];
+      i = (i + 1) & mask_;
+    }
+    if (inserted_ == limit_) return nullptr;
+    ++inserted_;
+    slots_[i].vertex = v;
+    return &slots_[i];
+  }
+
+  const Slot* Find(VertexId v) const {
+    if (slots_.empty()) return nullptr;
+    size_t i = Hash(v) & mask_;
+    while (slots_[i].vertex != kInvalidVertex) {
+      if (slots_[i].vertex == v) return &slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  Slot* Find(VertexId v) {
+    return const_cast<Slot*>(std::as_const(*this).Find(v));
+  }
+
+ private:
+  static size_t Hash(VertexId v) {
+    uint64_t x = uint64_t{v} * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x >> 29);
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  uint64_t limit_ = 0;
+  uint64_t inserted_ = 0;
+};
+
+/// Query-time state for one keyword, backed by the shared cache.
 struct KeywordState {
   TopicId topic = kInvalidTopic;
   uint64_t budget = 0;  // θ^Q_w
-  std::unique_ptr<RandomAccessFile> file;
-  CodecKind codec = CodecKind::kRaw;
-  uint64_t num_users = 0;
-  uint64_t num_partitions = 0;
-  uint64_t theta_w = 0;
-  std::vector<IrrPartitionInfo> directory;
-  /// IP_w: first RR-set occurrence per user.
-  std::unordered_map<VertexId, RrId> first_occurrence;
+  std::shared_ptr<const IrrKeywordEntry> entry;
 
   uint64_t next_partition = 0;
   /// kb[w]: upper bound on the (unrestricted) list length of any user whose
   /// list has not been loaded yet. 0 once all partitions are in memory.
   uint64_t kb = 0;
-  /// Loaded inverted lists, restricted to RR ids < budget.
-  std::unordered_map<VertexId, std::vector<RrId>> lists;
+  /// Loaded inverted lists (budget-restricted spans into cached blocks).
+  FlatListTable lists;
   std::vector<char> covered;
   uint64_t rr_sets_loaded = 0;
-
-  // Eager mode only: decoded members of loaded RR sets (restricted to the
-  // budget) and incrementally maintained uncovered counts per loaded user.
   bool eager = false;
-  std::unordered_map<RrId, std::vector<VertexId>> set_members;
-  std::unordered_map<VertexId, uint64_t> exact_count;
 
-  bool AllLoaded() const { return next_partition >= num_partitions; }
+  /// Cached blocks the list spans point into, with the prefix of each
+  /// block's (ascending) set_ids that falls inside the query budget.
+  struct PinnedBlock {
+    std::shared_ptr<const IrrPartitionBlock> block;
+    size_t in_budget = 0;
+  };
+  std::vector<PinnedBlock> pinned;
 
-  /// Exact uncovered coverage of v for this keyword, given its list is
-  /// loaded (or known absent).
-  uint64_t ExactPartial(
-      const std::unordered_map<VertexId, std::vector<RrId>>::const_iterator
-          it) const {
+  bool AllLoaded() const {
+    return entry == nullptr || next_partition >= entry->num_partitions;
+  }
+
+  /// Members of covered set `rr` if its partition is loaded (eager mode's
+  /// Algorithm 4 lines 21-22); empty otherwise. Each set id lives in
+  /// exactly one partition, found by binary search over the few pinned
+  /// blocks — no budget-sized per-query array.
+  std::span<const VertexId> FindSetMembers(RrId rr) const {
+    for (const PinnedBlock& pb : pinned) {
+      const auto& ids = pb.block->set_ids;
+      const auto end = ids.begin() + pb.in_budget;
+      const auto it = std::lower_bound(ids.begin(), end, rr);
+      if (it != end && *it == rr) {
+        return pb.block->SetMembers(
+            static_cast<size_t>(it - ids.begin()));
+      }
+    }
+    return {};
+  }
+
+  /// Exact uncovered coverage of a loaded slot for this keyword.
+  uint64_t ExactPartial(const FlatListTable::Slot& slot) const {
     uint64_t score = 0;
-    for (RrId rr : it->second) {
-      if (!covered[rr]) ++score;
+    for (const RrId* p = slot.begin; p != slot.end; ++p) {
+      if (!covered[*p]) ++score;
     }
     return score;
   }
 };
 
-Status OpenKeyword(const std::string& path, TopicId topic,
-                   const IndexMeta::TopicMeta& tm, CodecKind codec,
-                   uint64_t budget, KeywordState* state) {
+Status OpenKeyword(KeywordCache& cache, TopicId topic, uint64_t budget,
+                   bool eager, KeywordState* state) {
   state->topic = topic;
   state->budget = budget;
+  state->eager = eager;
   if (budget == 0) return Status::OK();
-  KBTIM_ASSIGN_OR_RETURN(state->file, RandomAccessFile::Open(path));
-  if (tm.irr_preamble < kIrrHeaderSize ||
-      tm.irr_preamble > state->file->size()) {
-    return Status::Corruption("bad IRR preamble length: " + path);
+  KBTIM_ASSIGN_OR_RETURN(state->entry, cache.GetIrrKeyword(topic));
+  if (budget > state->entry->theta_w) {
+    return Status::Corruption("IRR budget exceeds stored sets: " +
+                              IrrFileName(cache.dir(), topic));
   }
-  // Single read: header + IP map + partition directory.
-  std::string buf;
-  KBTIM_RETURN_IF_ERROR(state->file->Read(0, tm.irr_preamble, &buf));
-  const char* p = buf.data();
-  const char* limit = buf.data() + buf.size();
-  if (std::memcmp(p, kIrrMagic, 4) != 0) {
-    return Status::Corruption("bad IRR magic: " + path);
-  }
-  uint32_t file_topic = 0, delta = 0;
-  std::memcpy(&file_topic, p + 4, 4);
-  std::memcpy(&state->num_users, p + 8, 8);
-  std::memcpy(&state->num_partitions, p + 16, 8);
-  std::memcpy(&delta, p + 24, 4);
-  state->codec = static_cast<CodecKind>(p[28]);
-  std::memcpy(&state->theta_w, p + 29, 8);
-  p += kIrrHeaderSize;
-  if (file_topic != topic || state->codec != codec) {
-    return Status::Corruption("IRR header mismatch: " + path);
-  }
-  if (budget > state->theta_w) {
-    return Status::Corruption("IRR budget exceeds stored sets: " + path);
-  }
-
-  // IP map.
-  state->first_occurrence.reserve(state->num_users * 2);
-  VertexId prev = 0;
-  for (uint64_t i = 0; i < state->num_users; ++i) {
-    uint32_t dv = 0, first = 0;
-    p = GetVarint32(p, limit, &dv);
-    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
-    p = GetVarint32(p, limit, &first);
-    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
-    prev += dv;  // deltas accumulate from 0, so the first one is absolute
-    state->first_occurrence.emplace(prev, first);
-  }
-
-  // Partition directory (fixed 32-byte entries).
-  if (p + state->num_partitions * 32 > limit) {
-    return Status::Corruption("IRR directory truncated: " + path);
-  }
-  state->directory.resize(state->num_partitions);
-  for (auto& info : state->directory) {
-    std::memcpy(&info.offset, p, 8);
-    std::memcpy(&info.length, p + 8, 8);
-    std::memcpy(&info.num_users, p + 16, 4);
-    std::memcpy(&info.num_sets, p + 20, 4);
-    std::memcpy(&info.max_list_len, p + 24, 4);
-    std::memcpy(&info.min_list_len, p + 28, 4);
-    p += 32;
-  }
-  state->kb = state->directory.empty() ? 0 : state->directory[0].max_list_len;
+  state->kb = state->entry->directory.empty()
+                  ? 0
+                  : state->entry->directory[0].max_list_len;
   state->covered.assign(budget, 0);
+  state->lists.Init(state->entry->num_users);
   return Status::OK();
 }
 
-/// Loads the next partition of one keyword; appends newly seen users to
-/// *new_users. Returns false if all partitions were already loaded.
-StatusOr<bool> LoadNextPartition(KeywordState* state,
+/// Brings in the next partition of one keyword (cache-served); appends
+/// newly seen users to *new_users. Returns false when all partitions were
+/// already loaded.
+StatusOr<bool> LoadNextPartition(KeywordCache& cache, KeywordState* state,
                                  std::vector<VertexId>* new_users) {
   if (state->budget == 0 || state->AllLoaded()) return false;
-  const IrrPartitionInfo& info = state->directory[state->next_partition];
-  std::string buf;
-  KBTIM_RETURN_IF_ERROR(state->file->Read(info.offset, info.length, &buf));
-  const char* p = buf.data();
-  const char* limit = buf.data() + buf.size();
-  const auto codec = MakeCodec(state->codec);
+  KBTIM_ASSIGN_OR_RETURN(
+      std::shared_ptr<const IrrPartitionBlock> block,
+      cache.GetIrrPartition(*state->entry, state->next_partition));
 
-  // IL^p: inverted lists.
-  std::vector<uint32_t> ids;
-  for (uint32_t i = 0; i < info.num_users; ++i) {
-    uint32_t v = 0;
-    uint64_t len = 0;
-    p = GetVarint32(p, limit, &v);
-    if (p == nullptr) return Status::Corruption("IRR IL truncated");
-    p = GetVarint64(p, limit, &len);
-    if (p == nullptr || p + len > limit) {
-      return Status::Corruption("IRR IL truncated");
+  // IL^p: restrict each cached (unrestricted, ascending) list to the
+  // query budget once, storing the span.
+  state->lists.Reserve(block->users.size());
+  for (size_t i = 0; i < block->users.size(); ++i) {
+    const VertexId v = block->users[i];
+    const std::span<const RrId> full = block->ListOf(i);
+    const RrId* end =
+        std::lower_bound(full.data(), full.data() + full.size(),
+                         static_cast<RrId>(state->budget));
+    FlatListTable::Slot* slot = state->lists.Insert(v);
+    if (slot == nullptr) {
+      return Status::Corruption(
+          "IRR partitions name more users than the preamble");
     }
-    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
-    p += len;
-    DeltaDecode(&ids);
-    size_t cut = ids.size();
-    while (cut > 0 && ids[cut - 1] >= state->budget) --cut;
-    auto& list = state->lists[v];
-    list.assign(ids.begin(), ids.begin() + cut);
+    slot->begin = full.data();
+    slot->end = end;
     if (state->eager) {
       // Initialize the maintained uncovered count against sets already
       // covered by earlier seeds.
       uint64_t count = 0;
-      for (RrId id : list) {
-        if (!state->covered[id]) ++count;
+      for (const RrId* p = slot->begin; p != slot->end; ++p) {
+        if (!state->covered[*p]) ++count;
       }
-      state->exact_count[v] = count;
+      slot->exact = count;
     }
     new_users->push_back(v);
   }
 
-  // IR^p: RR sets first referenced by this partition. The lazy NRA needs
-  // only their ids (sets inside the query budget are what "RR sets loaded"
-  // measures — paper Figures 5-7) and skips the members; eager mode
-  // (Algorithm 4 lines 17-22) decodes them to push score updates.
-  uint32_t num_sets = 0;
-  p = GetVarint32(p, limit, &num_sets);
-  if (p == nullptr) return Status::Corruption("IRR IR truncated");
-  RrId rr = 0;
-  for (uint32_t s = 0; s < num_sets; ++s) {
-    uint32_t rr_delta = 0;
-    uint64_t len = 0;
-    p = GetVarint32(p, limit, &rr_delta);
-    if (p == nullptr) return Status::Corruption("IRR IR truncated");
-    p = GetVarint64(p, limit, &len);
-    if (p == nullptr || p + len > limit) {
-      return Status::Corruption("IRR IR truncated");
-    }
-    rr += rr_delta;
-    if (rr < state->budget) {
-      ++state->rr_sets_loaded;
-      if (state->eager) {
-        KBTIM_RETURN_IF_ERROR(
-            codec->Decode(std::string_view(p, len), &ids));
-        DeltaDecode(&ids);
-        state->set_members.emplace(rr, ids);
-      }
-    }
-    p += len;
-  }
+  // IR^p: RR-set ids ascend within a partition, so the budget restriction
+  // is a prefix. "RR sets loaded" (paper Figures 5-7) counts sets inside
+  // the query budget whether they came from disk or from cache.
+  const auto& ids = block->set_ids;
+  const size_t in_budget = static_cast<size_t>(
+      std::lower_bound(ids.begin(), ids.end(),
+                       static_cast<RrId>(state->budget)) -
+      ids.begin());
+  state->rr_sets_loaded += in_budget;
 
+  state->pinned.push_back({std::move(block), in_budget});
   ++state->next_partition;
-  state->kb = state->AllLoaded()
-                  ? 0
-                  : state->directory[state->next_partition].max_list_len;
+  state->kb =
+      state->AllLoaded()
+          ? 0
+          : state->entry->directory[state->next_partition].max_list_len;
   return true;
 }
 
@@ -219,30 +239,36 @@ struct PqEntry {
 
 }  // namespace
 
-StatusOr<IrrIndex> IrrIndex::Open(const std::string& dir) {
-  KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
-  if (!meta.has_irr) {
+StatusOr<IrrIndex> IrrIndex::Open(const std::string& dir,
+                                  KeywordCacheOptions cache_options) {
+  KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<KeywordCache> cache,
+                         KeywordCache::Create(dir, cache_options));
+  return Open(std::move(cache));
+}
+
+StatusOr<IrrIndex> IrrIndex::Open(std::shared_ptr<KeywordCache> cache) {
+  if (!cache->meta().has_irr) {
     return Status::FailedPrecondition(
-        "index directory has no IRR structures: " + dir);
+        "index directory has no IRR structures: " + cache->dir());
   }
-  return IrrIndex(dir, std::move(meta));
+  return IrrIndex(std::move(cache));
 }
 
 StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
                                         IrrQueryMode mode) const {
   WallTimer total_timer;
   const IoStats io_before = IoCounter::Snapshot();
+  const KeywordCacheStats cache_before = cache_->stats();
   KBTIM_ASSIGN_OR_RETURN(QueryBudget budget,
-                         ComputeQueryBudget(meta_, query));
+                         ComputeQueryBudget(meta(), query));
 
   WallTimer load_timer;
   std::vector<KeywordState> keywords(budget.per_keyword.size());
   uint64_t total_budget = 0;
   for (size_t i = 0; i < budget.per_keyword.size(); ++i) {
     const auto [topic, tw] = budget.per_keyword[i];
-    keywords[i].eager = mode == IrrQueryMode::kEager;
-    KBTIM_RETURN_IF_ERROR(OpenKeyword(IrrFileName(dir_, topic), topic,
-                                      meta_.topics[topic], meta_.codec, tw,
+    KBTIM_RETURN_IF_ERROR(OpenKeyword(*cache_, topic, tw,
+                                      mode == IrrQueryMode::kEager,
                                       &keywords[i]));
     total_budget += tw;
   }
@@ -251,26 +277,19 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
   // Upper-bound score of v: exact remaining coverage where the list is
   // loaded (or provably 0 via IP / full load), kb[w] otherwise. Eager
   // mode reads the incrementally maintained count; lazy mode rescans the
-  // list against the covered bitmap (§5.2).
+  // list span against the covered bitmap (§5.2).
   auto upper_bound = [&](VertexId v, bool* complete) -> uint64_t {
     uint64_t score = 0;
     bool all_exact = true;
     for (const auto& ks : keywords) {
       if (ks.budget == 0) continue;
-      if (ks.eager) {
-        const auto ec = ks.exact_count.find(v);
-        if (ec != ks.exact_count.end()) {
-          score += ec->second;
-          continue;
-        }
-      }
-      const auto it = ks.lists.find(v);
-      if (it != ks.lists.end()) {
-        score += ks.ExactPartial(it);
+      const FlatListTable::Slot* slot = ks.lists.Find(v);
+      if (slot != nullptr) {
+        score += ks.eager ? slot->exact : ks.ExactPartial(*slot);
         continue;
       }
-      const auto ip = ks.first_occurrence.find(v);
-      if (ip == ks.first_occurrence.end() || ip->second >= ks.budget ||
+      RrId first = 0;
+      if (!ks.entry->FirstOccurrence(v, &first) || first >= ks.budget ||
           ks.AllLoaded()) {
         continue;  // exact partial score 0
       }
@@ -289,15 +308,15 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
 
   std::priority_queue<PqEntry> pq;
   std::unordered_set<VertexId> discovered;
-  std::vector<char> selected(meta_.num_vertices, 0);
+  std::vector<char> selected(meta().num_vertices, 0);
 
   auto load_round = [&]() -> StatusOr<bool> {
     WallTimer t;
     bool any = false;
     std::vector<VertexId> new_users;
     for (auto& ks : keywords) {
-      KBTIM_ASSIGN_OR_RETURN(bool loaded, LoadNextPartition(&ks,
-                                                            &new_users));
+      KBTIM_ASSIGN_OR_RETURN(bool loaded,
+                             LoadNextPartition(*cache_, &ks, &new_users));
       any = any || loaded;
     }
     for (VertexId v : new_users) {
@@ -343,21 +362,19 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
       result.marginal_gains.push_back(static_cast<double>(fresh) * scale);
       total_covered += fresh;
       for (auto& ks : keywords) {
-        const auto it = ks.lists.find(top.vertex);
-        if (it == ks.lists.end()) continue;
-        for (RrId rr : it->second) {
+        if (ks.budget == 0) continue;
+        const FlatListTable::Slot* slot = ks.lists.Find(top.vertex);
+        if (slot == nullptr) continue;
+        for (const RrId* p = slot->begin; p != slot->end; ++p) {
+          const RrId rr = *p;
           if (ks.covered[rr]) continue;
           ks.covered[rr] = 1;
           if (!ks.eager) continue;
           // Algorithm 4 lines 21-22: push the update to every user the
           // newly covered set contains.
-          const auto members = ks.set_members.find(rr);
-          if (members == ks.set_members.end()) continue;
-          for (VertexId u : members->second) {
-            const auto ec = ks.exact_count.find(u);
-            if (ec != ks.exact_count.end() && ec->second > 0) {
-              --ec->second;
-            }
+          for (VertexId u : ks.FindSetMembers(rr)) {
+            FlatListTable::Slot* other = ks.lists.Find(u);
+            if (other != nullptr && other->exact > 0) --other->exact;
           }
         }
       }
@@ -374,7 +391,7 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
   // Pad to exactly k with the smallest unselected ids (marginal 0),
   // mirroring Algorithm 2.
   for (VertexId v = 0;
-       v < meta_.num_vertices && result.seeds.size() < query.k; ++v) {
+       v < meta().num_vertices && result.seeds.size() < query.k; ++v) {
     if (!selected[v]) {
       selected[v] = 1;
       result.seeds.push_back(v);
@@ -386,10 +403,14 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
   uint64_t loaded = 0;
   for (const auto& ks : keywords) loaded += ks.rr_sets_loaded;
   const IoStats io = IoCounter::Snapshot() - io_before;
+  const KeywordCacheStats cache_after = cache_->stats();
   result.stats.theta = budget.theta_q;
   result.stats.rr_sets_loaded = loaded;
   result.stats.io_reads = io.read_ops;
   result.stats.io_bytes = io.read_bytes;
+  result.stats.cache_hits = cache_after.hits - cache_before.hits;
+  result.stats.cache_misses = cache_after.misses - cache_before.misses;
+  result.stats.cache_bytes = cache_after.bytes_cached;
   result.stats.sampling_seconds = load_seconds;
   result.stats.greedy_seconds =
       total_timer.ElapsedSeconds() - load_seconds;

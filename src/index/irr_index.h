@@ -11,15 +11,22 @@
 // zeroes the partial score of users whose first appearance lies beyond the
 // query budget θ^Q_w.
 //
+// Warm path: every IrrIndex consults a KeywordCache (shared by all copies
+// of the handle, and shareable with an RrIndex over the same directory).
+// Repeated queries re-read no preambles, and no bytes at all once the
+// touched partitions are resident in the block cache.
+//
 // Theorem 3: the returned seeds have exactly the same coverage scores as
-// Algorithm 2's; tests assert this.
+// Algorithm 2's; tests assert this, including through the cache.
 #ifndef KBTIM_INDEX_IRR_INDEX_H_
 #define KBTIM_INDEX_IRR_INDEX_H_
 
+#include <memory>
 #include <string>
 
 #include "common/statusor.h"
 #include "index/index_format.h"
+#include "index/keyword_cache.h"
 #include "sampling/solver_result.h"
 #include "topics/query.h"
 
@@ -30,33 +37,38 @@ enum class IrrQueryMode : uint8_t {
   /// §5.2's lazy evaluation: a candidate is re-scored only when it
   /// surfaces at the queue head. The paper's (and this library's) default.
   kLazy = 0,
-  /// Algorithm 4 lines 17-22 verbatim: decode IR partitions and push
-  /// score updates to every co-occurring user the moment a set is
-  /// covered. Same results (Theorem 3 applies to both), different
-  /// CPU/memory profile.
+  /// Algorithm 4 lines 17-22 verbatim: push score updates to every
+  /// co-occurring user the moment a set is covered. Same results
+  /// (Theorem 3 applies to both), different CPU/memory profile.
   kEager = 1,
 };
 
 /// Read-only handle to the IRR structures of an index directory.
 class IrrIndex {
  public:
-  /// Opens an index directory (metadata only).
-  static StatusOr<IrrIndex> Open(const std::string& dir);
+  /// Opens an index directory with a fresh KeywordCache.
+  static StatusOr<IrrIndex> Open(const std::string& dir,
+                                 KeywordCacheOptions cache_options = {});
+
+  /// Attaches to an existing cache (e.g. one shared with an RrIndex).
+  static StatusOr<IrrIndex> Open(std::shared_ptr<KeywordCache> cache);
 
   /// Answers a KB-TIM query via incremental top-k aggregation.
   StatusOr<SeedSetResult> Query(
       const kbtim::Query& query,
       IrrQueryMode mode = IrrQueryMode::kLazy) const;
 
-  const IndexMeta& meta() const { return meta_; }
-  const std::string& dir() const { return dir_; }
+  const IndexMeta& meta() const { return cache_->meta(); }
+  const std::string& dir() const { return cache_->dir(); }
+
+  /// The warm-path cache backing this handle.
+  const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
 
  private:
-  IrrIndex(std::string dir, IndexMeta meta)
-      : dir_(std::move(dir)), meta_(std::move(meta)) {}
+  explicit IrrIndex(std::shared_ptr<KeywordCache> cache)
+      : cache_(std::move(cache)) {}
 
-  std::string dir_;
-  IndexMeta meta_;
+  std::shared_ptr<KeywordCache> cache_;
 };
 
 }  // namespace kbtim

@@ -1,0 +1,505 @@
+#include "index/keyword_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "storage/varint.h"
+
+namespace kbtim {
+namespace {
+
+constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
+constexpr uint64_t kIrrHeaderSize = 4 + 4 + 8 + 8 + 4 + 1 + 8;
+constexpr char kRrMagic[4] = {'K', 'B', 'R', 'W'};
+constexpr char kListsMagic[4] = {'K', 'B', 'L', 'W'};
+constexpr uint64_t kRrHeaderSize = 4 + 4 + 8 + 1;
+constexpr uint64_t kListsHeaderSize = 4 + 4 + 8 + 1;
+
+template <typename T>
+uint64_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+bool IrrKeywordEntry::FirstOccurrence(VertexId v, RrId* first) const {
+  const auto it = std::lower_bound(ip_vertex.begin(), ip_vertex.end(), v);
+  if (it == ip_vertex.end() || *it != v) return false;
+  *first = ip_first[static_cast<size_t>(it - ip_vertex.begin())];
+  return true;
+}
+
+std::span<const RrId> RrKeywordBlock::ListOf(VertexId v,
+                                             uint64_t query_budget) const {
+  const auto it =
+      std::lower_bound(list_vertex.begin(), list_vertex.end(), v);
+  if (it == list_vertex.end() || *it != v) return {};
+  const size_t idx = static_cast<size_t>(it - list_vertex.begin());
+  const RrId* begin = list_ids.data() + list_offsets[idx];
+  const RrId* end = list_ids.data() + list_offsets[idx + 1];
+  if (query_budget < loaded_budget) {
+    end = std::lower_bound(begin, end, static_cast<RrId>(query_budget));
+  }
+  return {begin, end};
+}
+
+StatusOr<std::shared_ptr<KeywordCache>> KeywordCache::Create(
+    const std::string& dir, KeywordCacheOptions options) {
+  KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
+  return std::shared_ptr<KeywordCache>(
+      new KeywordCache(dir, std::move(meta), options));
+}
+
+KeywordCacheStats KeywordCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void KeywordCache::DropBlocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.clear();
+  lru_.clear();
+  stats_.bytes_cached = 0;
+}
+
+void KeywordCache::TouchLocked(BlockSlot& slot) {
+  lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+}
+
+void KeywordCache::EvictToFitLocked(uint64_t incoming_bytes) {
+  // Callers insert only absent keys, so the incoming block is never a
+  // candidate victim here.
+  while (!lru_.empty() &&
+         stats_.bytes_cached + incoming_bytes > options_.block_cache_bytes) {
+    const auto it = blocks_.find(lru_.back());
+    stats_.bytes_cached -= it->second.bytes;
+    ++stats_.evictions;
+    blocks_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void KeywordCache::InsertBlockLocked(const BlockKey& key,
+                                     std::shared_ptr<const void> block,
+                                     uint64_t bytes) {
+  EvictToFitLocked(bytes);
+  lru_.push_front(key);
+  blocks_.emplace(key, BlockSlot{std::move(block), bytes, lru_.begin()});
+  stats_.bytes_cached += bytes;
+}
+
+void KeywordCache::EraseBlockLocked(const BlockKey& key) {
+  const auto it = blocks_.find(key);
+  if (it == blocks_.end()) return;
+  stats_.bytes_cached -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  blocks_.erase(it);
+}
+
+std::shared_ptr<const void> KeywordCache::InsertBlock(
+    const BlockKey& key, std::shared_ptr<const void> block, uint64_t bytes) {
+  if (options_.block_cache_bytes == 0) return block;  // caching disabled
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = blocks_.find(key);
+  if (it != blocks_.end()) {
+    // Another thread decoded the same block first; keep theirs.
+    TouchLocked(it->second);
+    return it->second.block;
+  }
+  InsertBlockLocked(key, block, bytes);
+  return block;
+}
+
+// ---- IRR side -------------------------------------------------------------
+
+StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::GetIrrKeyword(
+    TopicId topic) {
+  if (topic >= meta_.num_topics) {
+    return Status::InvalidArgument("topic id out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = irr_entries_.find(topic);
+    if (it != irr_entries_.end()) return it->second;
+  }
+  // Parse outside the lock so a cold preamble never stalls warm queries.
+  KBTIM_ASSIGN_OR_RETURN(auto entry, LoadIrrEntry(topic));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = irr_entries_.emplace(topic, entry);
+  if (inserted) ++stats_.preamble_loads;
+  return it->second;  // the first loader's entry if we raced
+}
+
+StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::LoadIrrEntry(
+    TopicId topic) {
+  const std::string path = IrrFileName(dir_, topic);
+  const IndexMeta::TopicMeta& tm = meta_.topics[topic];
+  auto entry = std::make_shared<IrrKeywordEntry>();
+  entry->topic = topic;
+  KBTIM_ASSIGN_OR_RETURN(entry->file,
+                         RandomAccessFile::Open(path, options_.use_mmap));
+  if (tm.irr_preamble < kIrrHeaderSize ||
+      tm.irr_preamble > entry->file->size()) {
+    return Status::Corruption("bad IRR preamble length: " + path);
+  }
+  // Single logical read: header + IP map + partition directory.
+  std::string scratch;
+  KBTIM_ASSIGN_OR_RETURN(std::string_view buf,
+                         entry->file->ReadOrCopy(0, tm.irr_preamble,
+                                                 &scratch));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  if (std::memcmp(p, kIrrMagic, 4) != 0) {
+    return Status::Corruption("bad IRR magic: " + path);
+  }
+  uint32_t file_topic = 0, delta = 0;
+  std::memcpy(&file_topic, p + 4, 4);
+  std::memcpy(&entry->num_users, p + 8, 8);
+  std::memcpy(&entry->num_partitions, p + 16, 8);
+  std::memcpy(&delta, p + 24, 4);
+  entry->codec = static_cast<CodecKind>(p[28]);
+  std::memcpy(&entry->theta_w, p + 29, 8);
+  p += kIrrHeaderSize;
+  if (file_topic != topic || entry->codec != meta_.codec) {
+    return Status::Corruption("IRR header mismatch: " + path);
+  }
+
+  // Bound the raw counts against the preamble size before trusting them:
+  // each IP entry is >= 2 varint bytes and each directory entry 32 bytes,
+  // so corrupt huge counts fail here instead of overflowing / OOMing.
+  const uint64_t remaining = static_cast<uint64_t>(limit - p);
+  if (entry->num_users > remaining / 2 ||
+      entry->num_partitions > remaining / 32) {
+    return Status::Corruption("IRR preamble counts exceed file: " + path);
+  }
+
+  // IP map: vertex deltas accumulate from 0, so the keys arrive (and are
+  // stored) in ascending order — binary-search ready.
+  entry->ip_vertex.reserve(entry->num_users);
+  entry->ip_first.reserve(entry->num_users);
+  VertexId prev = 0;
+  for (uint64_t i = 0; i < entry->num_users; ++i) {
+    uint32_t dv = 0, first = 0;
+    p = GetVarint32(p, limit, &dv);
+    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
+    p = GetVarint32(p, limit, &first);
+    if (p == nullptr) return Status::Corruption("IRR IP truncated: " + path);
+    prev += dv;
+    entry->ip_vertex.push_back(prev);
+    entry->ip_first.push_back(first);
+  }
+
+  // Partition directory (fixed 32-byte entries; num_partitions already
+  // bounded above, so the multiply cannot wrap).
+  if (entry->num_partitions * 32 > static_cast<uint64_t>(limit - p)) {
+    return Status::Corruption("IRR directory truncated: " + path);
+  }
+  entry->directory.resize(entry->num_partitions);
+  for (auto& info : entry->directory) {
+    std::memcpy(&info.offset, p, 8);
+    std::memcpy(&info.length, p + 8, 8);
+    std::memcpy(&info.num_users, p + 16, 4);
+    std::memcpy(&info.num_sets, p + 20, 4);
+    std::memcpy(&info.max_list_len, p + 24, 4);
+    std::memcpy(&info.min_list_len, p + 28, 4);
+    p += 32;
+  }
+  return std::shared_ptr<const IrrKeywordEntry>(std::move(entry));
+}
+
+StatusOr<std::shared_ptr<const IrrPartitionBlock>>
+KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
+                              uint64_t partition) {
+  if (partition >= entry.num_partitions) {
+    return Status::InvalidArgument("IRR partition out of range");
+  }
+  const BlockKey key{entry.topic, partition};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+      ++stats_.hits;
+      TouchLocked(it->second);
+      return std::static_pointer_cast<const IrrPartitionBlock>(
+          it->second.block);
+    }
+    ++stats_.misses;
+  }
+
+  // Decode outside the lock; the immutable entry pins the file handle.
+  const IrrPartitionInfo& info = entry.directory[partition];
+  std::string scratch;
+  KBTIM_ASSIGN_OR_RETURN(
+      std::string_view buf,
+      entry.file->ReadOrCopy(info.offset, info.length, &scratch));
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  const auto codec = MakeCodec(entry.codec);
+  auto block = std::make_shared<IrrPartitionBlock>();
+
+  // IL^p: inverted lists, kept unrestricted (queries budget-slice them).
+  std::vector<uint32_t> ids;
+  block->users.reserve(info.num_users);
+  block->list_offsets.reserve(info.num_users + 1);
+  block->list_offsets.push_back(0);
+  for (uint32_t i = 0; i < info.num_users; ++i) {
+    uint32_t v = 0;
+    uint64_t len = 0;
+    p = GetVarint32(p, limit, &v);
+    if (p == nullptr) return Status::Corruption("IRR IL truncated");
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("IRR IL truncated");
+    }
+    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
+    p += len;
+    DeltaDecode(&ids);
+    block->users.push_back(v);
+    block->list_ids.insert(block->list_ids.end(), ids.begin(), ids.end());
+    block->list_offsets.push_back(
+        static_cast<uint32_t>(block->list_ids.size()));
+  }
+
+  // IR^p: the RR sets first referenced by this partition, ids ascending.
+  // Members are always decoded so one cached block serves both the lazy
+  // and the eager query mode (the decode cost amortizes across queries).
+  uint32_t num_sets = 0;
+  p = GetVarint32(p, limit, &num_sets);
+  if (p == nullptr) return Status::Corruption("IRR IR truncated");
+  block->set_ids.reserve(num_sets);
+  block->set_offsets.reserve(num_sets + 1);
+  block->set_offsets.push_back(0);
+  RrId rr = 0;
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    uint32_t rr_delta = 0;
+    uint64_t len = 0;
+    p = GetVarint32(p, limit, &rr_delta);
+    if (p == nullptr) return Status::Corruption("IRR IR truncated");
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("IRR IR truncated");
+    }
+    rr += rr_delta;
+    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
+    p += len;
+    DeltaDecode(&ids);
+    block->set_ids.push_back(rr);
+    block->set_members.insert(block->set_members.end(), ids.begin(),
+                              ids.end());
+    block->set_offsets.push_back(
+        static_cast<uint32_t>(block->set_members.size()));
+  }
+
+  block->bytes = VectorBytes(block->users) +
+                 VectorBytes(block->list_offsets) +
+                 VectorBytes(block->list_ids) + VectorBytes(block->set_ids) +
+                 VectorBytes(block->set_offsets) +
+                 VectorBytes(block->set_members);
+  return std::static_pointer_cast<const IrrPartitionBlock>(
+      InsertBlock(key, block, block->bytes));
+}
+
+// ---- RR side --------------------------------------------------------------
+
+Status KeywordCache::EnsureRrEntryLocked(TopicId topic,
+                                         RrKeywordEntry** out) {
+  const auto it = rr_entries_.find(topic);
+  if (it != rr_entries_.end()) {
+    *out = &it->second;
+    return Status::OK();
+  }
+  const std::string path = RrFileName(dir_, topic);
+  RrKeywordEntry entry;
+  entry.topic = topic;
+  KBTIM_ASSIGN_OR_RETURN(entry.rr_file,
+                         RandomAccessFile::Open(path, options_.use_mmap));
+  KBTIM_ASSIGN_OR_RETURN(
+      entry.lists_file,
+      RandomAccessFile::Open(ListsFileName(dir_, topic), options_.use_mmap));
+  ++stats_.preamble_loads;
+  *out = &rr_entries_.emplace(topic, std::move(entry)).first->second;
+  return Status::OK();
+}
+
+Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
+                                       uint64_t budget) {
+  const std::string& path = entry->rr_file->path();
+  if (entry->offsets.empty()) {
+    // First touch: header + the needed directory prefix in one read.
+    const uint64_t dir_prefix = (budget + 1) * sizeof(uint64_t);
+    std::string scratch;
+    KBTIM_ASSIGN_OR_RETURN(
+        std::string_view head,
+        entry->rr_file->ReadOrCopy(0, kRrHeaderSize + dir_prefix, &scratch));
+    if (std::memcmp(head.data(), kRrMagic, 4) != 0) {
+      return Status::Corruption("bad RR file magic: " + path);
+    }
+    uint32_t file_topic = 0;
+    std::memcpy(&file_topic, head.data() + 4, 4);
+    std::memcpy(&entry->count, head.data() + 8, 8);
+    const auto file_codec = static_cast<CodecKind>(head[16]);
+    if (file_topic != entry->topic || file_codec != meta_.codec) {
+      return Status::Corruption("RR file header mismatch: " + path);
+    }
+    if (budget > entry->count) {
+      return Status::Corruption("RR budget exceeds stored sets: " + path);
+    }
+    entry->offsets.resize(budget + 1);
+    std::memcpy(entry->offsets.data(), head.data() + kRrHeaderSize,
+                dir_prefix);
+    return Status::OK();
+  }
+  if (budget > entry->count) {
+    return Status::Corruption("RR budget exceeds stored sets: " + path);
+  }
+  if (entry->offsets.size() >= budget + 1) return Status::OK();
+  // Read only the missing directory tail.
+  const uint64_t have = entry->offsets.size();
+  const uint64_t need = budget + 1 - have;
+  std::string scratch;
+  KBTIM_ASSIGN_OR_RETURN(
+      std::string_view tail,
+      entry->rr_file->ReadOrCopy(kRrHeaderSize + have * sizeof(uint64_t),
+                                 need * sizeof(uint64_t), &scratch));
+  entry->offsets.resize(budget + 1);
+  std::memcpy(entry->offsets.data() + have, tail.data(), tail.size());
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
+    TopicId topic, uint64_t min_budget) {
+  if (topic >= meta_.num_topics) {
+    return Status::InvalidArgument("topic id out of range");
+  }
+  if (min_budget == 0) {
+    return Status::InvalidArgument("RR keyword budget must be positive");
+  }
+  const BlockKey key{topic, kRrBlockSlot};
+  RandomAccessFile* rr_file = nullptr;
+  RandomAccessFile* lists_file = nullptr;
+  std::vector<uint64_t> offsets;  // local copy of entries [0, min_budget]
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = blocks_.find(key);
+    if (it != blocks_.end()) {
+      auto block =
+          std::static_pointer_cast<const RrKeywordBlock>(it->second.block);
+      if (block->loaded_budget >= min_budget) {
+        ++stats_.hits;
+        TouchLocked(it->second);
+        return block;
+      }
+      // Budget grew past the cached prefix: re-decode below (the smaller
+      // block keeps serving other readers until the new one lands).
+    }
+    ++stats_.misses;
+    // Entry bookkeeping (handles + the small offset directory) stays
+    // under the lock; the expensive payload reads/decodes run outside it
+    // so a cold keyword never stalls warm queries on other topics.
+    RrKeywordEntry* entry = nullptr;
+    KBTIM_RETURN_IF_ERROR(EnsureRrEntryLocked(topic, &entry));
+    KBTIM_RETURN_IF_ERROR(ExtendRrDirectory(entry, min_budget));
+    // Entries are never erased and unordered_map values are
+    // pointer-stable, so the raw handles stay valid unlocked.
+    rr_file = entry->rr_file.get();
+    lists_file = entry->lists_file.get();
+    offsets.assign(entry->offsets.begin(),
+                   entry->offsets.begin() + min_budget + 1);
+  }
+
+  auto block = std::make_shared<RrKeywordBlock>();
+  block->loaded_budget = min_budget;
+
+  // One contiguous read of the payload prefix.
+  const uint64_t base = offsets[0];
+  std::string scratch;
+  KBTIM_ASSIGN_OR_RETURN(
+      std::string_view payload,
+      rr_file->ReadOrCopy(base, offsets[min_budget] - base, &scratch));
+  const auto codec = MakeCodec(meta_.codec);
+  std::vector<uint32_t> members;
+  block->set_offsets.reserve(min_budget + 1);
+  for (uint64_t i = 0; i < min_budget; ++i) {
+    const uint64_t begin = offsets[i] - base;
+    const uint64_t end = offsets[i + 1] - base;
+    KBTIM_RETURN_IF_ERROR(codec->Decode(
+        std::string_view(payload.data() + begin, end - begin), &members));
+    DeltaDecode(&members);
+    block->set_items.insert(block->set_items.end(), members.begin(),
+                            members.end());
+    block->set_offsets.push_back(block->set_items.size());
+  }
+
+  // Inverted lists, restricted to RR ids < loaded_budget.
+  const std::string& lists_path = lists_file->path();
+  std::string lists_scratch;
+  KBTIM_ASSIGN_OR_RETURN(
+      std::string_view buf,
+      lists_file->ReadOrCopy(0, lists_file->size(), &lists_scratch));
+  if (buf.size() < kListsHeaderSize ||
+      std::memcmp(buf.data(), kListsMagic, 4) != 0) {
+    return Status::Corruption("bad lists file magic: " + lists_path);
+  }
+  uint32_t file_topic = 0;
+  uint64_t num_entries = 0;
+  std::memcpy(&file_topic, buf.data() + 4, 4);
+  std::memcpy(&num_entries, buf.data() + 8, 8);
+  const auto file_codec = static_cast<CodecKind>(buf[16]);
+  if (file_topic != topic || file_codec != meta_.codec) {
+    return Status::Corruption("lists file header mismatch: " + lists_path);
+  }
+  const char* p = buf.data() + kListsHeaderSize;
+  const char* limit = buf.data() + buf.size();
+  VertexId prev = 0;
+  std::vector<uint32_t> ids;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    uint32_t delta_v = 0;
+    uint64_t len = 0;
+    p = GetVarint32(p, limit, &delta_v);
+    if (p == nullptr) {
+      return Status::Corruption("lists truncated: " + lists_path);
+    }
+    p = GetVarint64(p, limit, &len);
+    if (p == nullptr || p + len > limit) {
+      return Status::Corruption("lists truncated: " + lists_path);
+    }
+    const VertexId v = prev + delta_v;
+    prev = v;
+    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
+    p += len;
+    DeltaDecode(&ids);
+    // Keep ids inside the loaded budget (ids are ascending).
+    size_t cut = ids.size();
+    while (cut > 0 && ids[cut - 1] >= min_budget) --cut;
+    if (cut == 0) continue;
+    block->list_vertex.push_back(v);
+    block->list_ids.insert(block->list_ids.end(), ids.begin(),
+                           ids.begin() + cut);
+    block->list_offsets.push_back(block->list_ids.size());
+  }
+
+  block->bytes = VectorBytes(block->set_offsets) +
+                 VectorBytes(block->set_items) +
+                 VectorBytes(block->list_vertex) +
+                 VectorBytes(block->list_offsets) +
+                 VectorBytes(block->list_ids);
+  if (options_.block_cache_bytes == 0) {
+    return std::shared_ptr<const RrKeywordBlock>(std::move(block));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = blocks_.find(key);
+  if (it != blocks_.end()) {
+    auto existing =
+        std::static_pointer_cast<const RrKeywordBlock>(it->second.block);
+    if (existing->loaded_budget >= min_budget) {
+      // A concurrent loader landed an equal-or-larger prefix; keep it.
+      TouchLocked(it->second);
+      return existing;
+    }
+    EraseBlockLocked(key);
+  }
+  InsertBlockLocked(key, block, block->bytes);
+  return std::shared_ptr<const RrKeywordBlock>(std::move(block));
+}
+
+}  // namespace kbtim

@@ -1,0 +1,255 @@
+// Persistent per-keyword cache: the warm path of the query engine.
+//
+// The paper's real-time claim (§5, Table 6) is about per-query index I/O,
+// but an ad platform answers a *stream* of overlapping queries against one
+// index directory. Everything that does not depend on the query budget is
+// amortizable: open file handles, the parsed IRR preamble (IP
+// first-occurrence map + partition directory), the RR offset directory,
+// and the decoded partition payloads themselves. This cache holds all of
+// it per (index directory, topic) so that a repeated query performs zero
+// preamble re-reads — and zero reads at all once the touched partitions
+// fit the block cache.
+//
+// Sizing knobs (KeywordCacheOptions):
+//   * block_cache_bytes — upper bound on the decoded bytes resident in the
+//     LRU block cache (IRR partitions + RR payload prefixes). Entries
+//     (file handles, preambles, directories) are NOT charged against it:
+//     they are small, persistent, and amortize across every query. Set to
+//     0 to disable block caching entirely (every query re-decodes, but
+//     still reuses handles and preambles). A single block larger than the
+//     bound is still admitted — the bound is enforced by evicting other
+//     blocks, never by refusing to serve a query.
+//   * use_mmap — map index files read-only so preamble and partition
+//     parses are zero-copy (RandomAccessFile::ReadView). Logical reads
+//     are still counted by IoCounter either way, so Table-6 style
+//     benchmarks keep measuring the logical access pattern.
+//
+// Thread safety: all public methods are safe to call concurrently; blocks
+// are returned as shared_ptr<const ...> so eviction never invalidates a
+// block an in-flight query still pins. Concurrent misses on the same block
+// may decode it twice; one result wins, both callers get a valid block.
+#ifndef KBTIM_INDEX_KEYWORD_CACHE_H_
+#define KBTIM_INDEX_KEYWORD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "coverage/rr_collection.h"
+#include "index/index_format.h"
+#include "storage/block_file.h"
+
+namespace kbtim {
+
+/// Cache sizing/behavior knobs (see file comment for details).
+struct KeywordCacheOptions {
+  /// LRU bound on decoded block bytes (0 disables block caching).
+  uint64_t block_cache_bytes = uint64_t{256} << 20;
+
+  /// Map index files for zero-copy parses; falls back to pread copies.
+  bool use_mmap = true;
+};
+
+/// Point-in-time cache counters (monotonic except bytes_cached).
+struct KeywordCacheStats {
+  /// Block-cache lookups served without touching the file.
+  uint64_t hits = 0;
+  /// Block-cache lookups that had to read + decode.
+  uint64_t misses = 0;
+  /// Keyword preambles/directories parsed (once per topic when warm).
+  uint64_t preamble_loads = 0;
+  /// Blocks dropped to respect block_cache_bytes.
+  uint64_t evictions = 0;
+  /// Decoded bytes currently resident in the block cache.
+  uint64_t bytes_cached = 0;
+};
+
+/// Parsed preamble of one keyword's irr_<w>.dat: header fields, the IP
+/// first-occurrence map as vertex-sorted parallel arrays (binary-search
+/// lookup), and the partition directory. Immutable once built.
+struct IrrKeywordEntry {
+  TopicId topic = kInvalidTopic;
+  std::unique_ptr<RandomAccessFile> file;
+  CodecKind codec = CodecKind::kRaw;
+  uint64_t num_users = 0;
+  uint64_t num_partitions = 0;
+  uint64_t theta_w = 0;
+  std::vector<IrrPartitionInfo> directory;
+
+  /// IP_w as flat sorted arrays: ip_vertex ascending, ip_first aligned.
+  std::vector<VertexId> ip_vertex;
+  std::vector<RrId> ip_first;
+
+  /// First RR-set occurrence of v, or >= theta_w sentinel when absent.
+  /// Returns false when v has no list at all for this keyword.
+  bool FirstOccurrence(VertexId v, RrId* first) const;
+};
+
+/// One decoded IRR partition, budget-unrestricted so any query budget
+/// <= theta_w is served from the same block (queries restrict the
+/// ascending RR-id lists with a binary search).
+struct IrrPartitionBlock {
+  /// IL^p users in stored (descending list length) order.
+  std::vector<VertexId> users;
+  std::vector<uint32_t> list_offsets;  // users.size() + 1
+  std::vector<RrId> list_ids;          // ascending within each list
+
+  /// IR^p RR sets first referenced by this partition, ids ascending.
+  std::vector<RrId> set_ids;
+  std::vector<uint32_t> set_offsets;  // set_ids.size() + 1
+  std::vector<VertexId> set_members;
+
+  /// Inverted list of users[i] (full, unrestricted).
+  std::span<const RrId> ListOf(size_t i) const {
+    return {list_ids.data() + list_offsets[i],
+            list_ids.data() + list_offsets[i + 1]};
+  }
+
+  /// Members of set_ids[s].
+  std::span<const VertexId> SetMembers(size_t s) const {
+    return {set_members.data() + set_offsets[s],
+            set_members.data() + set_offsets[s + 1]};
+  }
+
+  /// Decoded footprint charged against block_cache_bytes.
+  uint64_t bytes = 0;
+};
+
+/// Decoded prefix of one keyword's R_w + L_w at `loaded_budget` RR sets
+/// (the largest budget any query has needed so far). Serves every query
+/// budget <= loaded_budget; a larger budget re-decodes and replaces it.
+struct RrKeywordBlock {
+  uint64_t loaded_budget = 0;
+
+  // RR-set prefix [0, loaded_budget), members flattened.
+  std::vector<uint64_t> set_offsets{0};
+  std::vector<VertexId> set_items;
+
+  // Inverted lists restricted to RR ids < loaded_budget, keyed by
+  // ascending vertex id for binary-search lookup.
+  std::vector<VertexId> list_vertex;
+  std::vector<uint64_t> list_offsets{0};
+  std::vector<RrId> list_ids;
+
+  uint64_t bytes = 0;
+
+  std::span<const VertexId> SetMembers(RrId rr) const {
+    return {set_items.data() + set_offsets[rr],
+            set_items.data() + set_offsets[rr + 1]};
+  }
+
+  /// Inverted list of v restricted to RR ids < query_budget (<= loaded).
+  std::span<const RrId> ListOf(VertexId v, uint64_t query_budget) const;
+};
+
+/// Shared warm-path state for one index directory. Create once, share
+/// across IrrIndex / RrIndex handles and across threads.
+class KeywordCache {
+ public:
+  /// Reads the directory's metadata and constructs an empty cache.
+  static StatusOr<std::shared_ptr<KeywordCache>> Create(
+      const std::string& dir, KeywordCacheOptions options = {});
+
+  const IndexMeta& meta() const { return meta_; }
+  const std::string& dir() const { return dir_; }
+  const KeywordCacheOptions& options() const { return options_; }
+
+  /// The parsed IRR preamble of `topic` (opened + parsed on first use).
+  StatusOr<std::shared_ptr<const IrrKeywordEntry>> GetIrrKeyword(
+      TopicId topic);
+
+  /// Decoded partition `partition` of `entry`'s keyword, from cache or
+  /// disk. The returned block stays valid while the caller holds it.
+  StatusOr<std::shared_ptr<const IrrPartitionBlock>> GetIrrPartition(
+      const IrrKeywordEntry& entry, uint64_t partition);
+
+  /// Decoded R_w prefix + inverted lists of `topic` covering at least
+  /// `min_budget` RR sets.
+  StatusOr<std::shared_ptr<const RrKeywordBlock>> GetRrKeyword(
+      TopicId topic, uint64_t min_budget);
+
+  /// Current counters.
+  KeywordCacheStats stats() const;
+
+  /// Drops every cached block (entries/handles survive). Mainly for tests
+  /// and for benchmarks that need a cold block cache.
+  void DropBlocks();
+
+ private:
+  /// Mutable per-topic RR state: file handles plus the offset-directory
+  /// prefix read so far (extended on demand, never shrunk).
+  struct RrKeywordEntry {
+    TopicId topic = kInvalidTopic;
+    std::unique_ptr<RandomAccessFile> rr_file;
+    std::unique_ptr<RandomAccessFile> lists_file;
+    uint64_t count = 0;  // θ_w stored in the file
+    std::vector<uint64_t> offsets;  // directory prefix, offsets[0..n]
+  };
+
+  /// Key of a block in the LRU: IRR partitions use (topic, partition);
+  /// RR payloads use (topic, kRrBlockSlot).
+  static constexpr uint64_t kRrBlockSlot = ~uint64_t{0};
+
+  struct BlockKey {
+    TopicId topic;
+    uint64_t slot;
+    bool operator==(const BlockKey&) const = default;
+  };
+  struct BlockKeyHash {
+    size_t operator()(const BlockKey& k) const {
+      return std::hash<uint64_t>()((uint64_t{k.topic} << 32) ^
+                                   (k.slot * 0x9E3779B97F4A7C15ull));
+    }
+  };
+  struct BlockSlot {
+    std::shared_ptr<const void> block;
+    uint64_t bytes = 0;
+    std::list<BlockKey>::iterator lru_pos;
+  };
+
+  KeywordCache(std::string dir, IndexMeta meta, KeywordCacheOptions options)
+      : dir_(std::move(dir)),
+        meta_(std::move(meta)),
+        options_(options) {}
+
+  /// Inserts (or refreshes) a block under the LRU byte bound; returns the
+  /// resident block for `key` (the existing one if another thread won).
+  std::shared_ptr<const void> InsertBlock(const BlockKey& key,
+                                          std::shared_ptr<const void> block,
+                                          uint64_t bytes);
+  /// Evicts to fit, then records the block under `key`. mu_ must be held
+  /// and `key` must not be present.
+  void InsertBlockLocked(const BlockKey& key,
+                         std::shared_ptr<const void> block, uint64_t bytes);
+  /// Removes `key`'s block (if present), fixing byte accounting. mu_ held.
+  void EraseBlockLocked(const BlockKey& key);
+  void TouchLocked(BlockSlot& slot);
+  void EvictToFitLocked(uint64_t incoming_bytes);
+
+  StatusOr<std::shared_ptr<const IrrKeywordEntry>> LoadIrrEntry(
+      TopicId topic);
+  Status EnsureRrEntryLocked(TopicId topic, RrKeywordEntry** entry);
+  Status ExtendRrDirectory(RrKeywordEntry* entry, uint64_t budget);
+
+  const std::string dir_;
+  const IndexMeta meta_;
+  const KeywordCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TopicId, std::shared_ptr<const IrrKeywordEntry>>
+      irr_entries_;
+  std::unordered_map<TopicId, RrKeywordEntry> rr_entries_;
+  std::unordered_map<BlockKey, BlockSlot, BlockKeyHash> blocks_;
+  std::list<BlockKey> lru_;  // front = most recently used
+  KeywordCacheStats stats_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_INDEX_KEYWORD_CACHE_H_

@@ -1,164 +1,24 @@
 #include "index/rr_index.h"
 
 #include <algorithm>
-#include <cstring>
 #include <unordered_map>
 
 #include "common/timer.h"
 #include "coverage/rr_collection.h"
-#include "storage/block_file.h"
 #include "storage/io_counter.h"
-#include "storage/varint.h"
 
 namespace kbtim {
 namespace {
 
-constexpr char kRrMagic[4] = {'K', 'B', 'R', 'W'};
-constexpr char kListsMagic[4] = {'K', 'B', 'L', 'W'};
-constexpr uint64_t kRrHeaderSize = 4 + 4 + 8 + 1;
-constexpr uint64_t kListsHeaderSize = 4 + 4 + 8 + 1;
-
-/// Per-keyword data loaded once per batch, at the largest budget any query
-/// in the batch requires.
-struct LoadedKeyword {
-  TopicId topic = kInvalidTopic;
-  uint64_t loaded_budget = 0;  // max θ^Q_w across the batch
-
-  // Loaded RR-set prefix [0, loaded_budget): members flattened.
-  std::vector<uint64_t> set_offsets{0};
-  std::vector<VertexId> set_items;
-
-  // Inverted lists restricted to RR ids < loaded_budget, keyed by
-  // ascending vertex id for binary-search lookup.
-  std::vector<VertexId> list_vertex;
-  std::vector<uint64_t> list_offsets{0};
-  std::vector<RrId> list_ids;
-
-  std::span<const VertexId> SetMembers(RrId rr) const {
-    return {set_items.data() + set_offsets[rr],
-            set_items.data() + set_offsets[rr + 1]};
-  }
-
-  /// Inverted list of v restricted to RR ids < query_budget (<= loaded).
-  std::span<const RrId> ListOf(VertexId v, uint64_t query_budget) const {
-    const auto it =
-        std::lower_bound(list_vertex.begin(), list_vertex.end(), v);
-    if (it == list_vertex.end() || *it != v) return {};
-    const size_t idx = static_cast<size_t>(it - list_vertex.begin());
-    const RrId* begin = list_ids.data() + list_offsets[idx];
-    const RrId* end = list_ids.data() + list_offsets[idx + 1];
-    if (query_budget < loaded_budget) {
-      end = std::lower_bound(begin, end,
-                             static_cast<RrId>(query_budget));
-    }
-    return {begin, end};
-  }
-};
-
-Status LoadRrPrefix(const std::string& path, TopicId topic,
-                    CodecKind codec_kind, uint64_t budget,
-                    LoadedKeyword* out) {
-  if (budget == 0) return Status::OK();
-  KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
-  // One read: header + the first (budget+1) directory offsets.
-  const uint64_t dir_prefix = (budget + 1) * sizeof(uint64_t);
-  std::string head;
-  KBTIM_RETURN_IF_ERROR(file->Read(0, kRrHeaderSize + dir_prefix, &head));
-  if (std::memcmp(head.data(), kRrMagic, 4) != 0) {
-    return Status::Corruption("bad RR file magic: " + path);
-  }
-  uint32_t file_topic = 0;
-  uint64_t count = 0;
-  std::memcpy(&file_topic, head.data() + 4, 4);
-  std::memcpy(&count, head.data() + 8, 8);
-  const auto file_codec = static_cast<CodecKind>(head[16]);
-  if (file_topic != topic || file_codec != codec_kind) {
-    return Status::Corruption("RR file header mismatch: " + path);
-  }
-  if (budget > count) {
-    return Status::Corruption("RR budget exceeds stored sets: " + path);
-  }
-  std::vector<uint64_t> offsets(budget + 1);
-  std::memcpy(offsets.data(), head.data() + kRrHeaderSize, dir_prefix);
-
-  // One contiguous read of the payload prefix.
-  std::string payload;
-  KBTIM_RETURN_IF_ERROR(
-      file->Read(offsets[0], offsets[budget] - offsets[0], &payload));
-
-  const auto codec = MakeCodec(codec_kind);
-  std::vector<uint32_t> members;
-  out->set_offsets.reserve(budget + 1);
-  for (uint64_t i = 0; i < budget; ++i) {
-    const uint64_t begin = offsets[i] - offsets[0];
-    const uint64_t end = offsets[i + 1] - offsets[0];
-    KBTIM_RETURN_IF_ERROR(codec->Decode(
-        std::string_view(payload.data() + begin, end - begin), &members));
-    DeltaDecode(&members);
-    out->set_items.insert(out->set_items.end(), members.begin(),
-                          members.end());
-    out->set_offsets.push_back(out->set_items.size());
-  }
-  return Status::OK();
-}
-
-Status LoadLists(const std::string& path, TopicId topic,
-                 CodecKind codec_kind, uint64_t budget, LoadedKeyword* out) {
-  if (budget == 0) return Status::OK();
-  KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
-  std::string buf;
-  KBTIM_RETURN_IF_ERROR(file->Read(0, file->size(), &buf));
-  if (buf.size() < kListsHeaderSize ||
-      std::memcmp(buf.data(), kListsMagic, 4) != 0) {
-    return Status::Corruption("bad lists file magic: " + path);
-  }
-  uint32_t file_topic = 0;
-  uint64_t num_entries = 0;
-  std::memcpy(&file_topic, buf.data() + 4, 4);
-  std::memcpy(&num_entries, buf.data() + 8, 8);
-  const auto file_codec = static_cast<CodecKind>(buf[16]);
-  if (file_topic != topic || file_codec != codec_kind) {
-    return Status::Corruption("lists file header mismatch: " + path);
-  }
-  const auto codec = MakeCodec(codec_kind);
-  const char* p = buf.data() + kListsHeaderSize;
-  const char* limit = buf.data() + buf.size();
-  VertexId prev = 0;
-  std::vector<uint32_t> ids;
-  for (uint64_t e = 0; e < num_entries; ++e) {
-    uint32_t delta_v = 0;
-    uint64_t len = 0;
-    p = GetVarint32(p, limit, &delta_v);
-    if (p == nullptr) return Status::Corruption("lists truncated: " + path);
-    p = GetVarint64(p, limit, &len);
-    if (p == nullptr || p + len > limit) {
-      return Status::Corruption("lists truncated: " + path);
-    }
-    const VertexId v = prev + delta_v;
-    prev = v;
-    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
-    p += len;
-    DeltaDecode(&ids);
-    // Keep ids inside the loaded budget (ids are ascending).
-    size_t cut = ids.size();
-    while (cut > 0 && ids[cut - 1] >= budget) --cut;
-    if (cut == 0) continue;
-    out->list_vertex.push_back(v);
-    out->list_ids.insert(out->list_ids.end(), ids.begin(),
-                         ids.begin() + cut);
-    out->list_offsets.push_back(out->list_ids.size());
-  }
-  return Status::OK();
-}
-
-/// Algorithm 2's greedy on one query, over the shared loaded keywords.
+/// Algorithm 2's greedy on one query, over the cached keyword blocks.
 SeedSetResult RunGreedy(
     const kbtim::Query& query, const QueryBudget& budget,
-    const std::unordered_map<TopicId, LoadedKeyword>& loaded,
+    const std::unordered_map<TopicId,
+                             std::shared_ptr<const RrKeywordBlock>>& loaded,
     VertexId num_vertices) {
   // Per-query coverage bitmaps sized to the query budget.
   struct QueryKeyword {
-    const LoadedKeyword* data;
+    const RrKeywordBlock* data;
     uint64_t budget;
     std::vector<char> covered;
   };
@@ -168,7 +28,7 @@ SeedSetResult RunGreedy(
     if (tw == 0) continue;
     const auto it = loaded.find(topic);
     QueryKeyword qk;
-    qk.data = &it->second;
+    qk.data = it->second.get();
     qk.budget = tw;
     qk.covered.assign(tw, 0);
     keywords.push_back(std::move(qk));
@@ -177,7 +37,7 @@ SeedSetResult RunGreedy(
 
   std::vector<uint64_t> count(num_vertices, 0);
   for (const auto& qk : keywords) {
-    const LoadedKeyword& kw = *qk.data;
+    const RrKeywordBlock& kw = *qk.data;
     for (size_t i = 0; i + 1 < kw.list_offsets.size(); ++i) {
       const RrId* begin = kw.list_ids.data() + kw.list_offsets[i];
       const RrId* end = kw.list_ids.data() + kw.list_offsets[i + 1];
@@ -238,13 +98,19 @@ SeedSetResult RunGreedy(
 
 }  // namespace
 
-StatusOr<RrIndex> RrIndex::Open(const std::string& dir) {
-  KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
-  if (!meta.has_rr) {
+StatusOr<RrIndex> RrIndex::Open(const std::string& dir,
+                                KeywordCacheOptions cache_options) {
+  KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<KeywordCache> cache,
+                         KeywordCache::Create(dir, cache_options));
+  return Open(std::move(cache));
+}
+
+StatusOr<RrIndex> RrIndex::Open(std::shared_ptr<KeywordCache> cache) {
+  if (!cache->meta().has_rr) {
     return Status::FailedPrecondition(
-        "index directory has no RR structures: " + dir);
+        "index directory has no RR structures: " + cache->dir());
   }
-  return RrIndex(dir, std::move(meta));
+  return RrIndex(std::move(cache));
 }
 
 StatusOr<SeedSetResult> RrIndex::Query(const kbtim::Query& query) const {
@@ -258,6 +124,7 @@ StatusOr<std::vector<SeedSetResult>> RrIndex::BatchQuery(
   if (queries.empty()) return std::vector<SeedSetResult>{};
   WallTimer total_timer;
   const IoStats io_before = IoCounter::Snapshot();
+  const KeywordCacheStats cache_before = cache_->stats();
 
   // Budgets per query, plus the max budget per keyword across the batch.
   std::vector<QueryBudget> budgets;
@@ -265,7 +132,7 @@ StatusOr<std::vector<SeedSetResult>> RrIndex::BatchQuery(
   std::unordered_map<TopicId, uint64_t> max_budget;
   for (const auto& query : queries) {
     KBTIM_ASSIGN_OR_RETURN(QueryBudget budget,
-                           ComputeQueryBudget(meta_, query));
+                           ComputeQueryBudget(meta(), query));
     for (const auto& [topic, tw] : budget.per_keyword) {
       auto& cur = max_budget[topic];
       cur = std::max(cur, tw);
@@ -273,33 +140,32 @@ StatusOr<std::vector<SeedSetResult>> RrIndex::BatchQuery(
     budgets.push_back(std::move(budget));
   }
 
-  // Load every referenced keyword once, at its batch-max budget.
+  // Fetch every referenced keyword once at its batch-max budget; the cache
+  // serves warm keywords without touching the files.
   WallTimer load_timer;
-  std::unordered_map<TopicId, LoadedKeyword> loaded;
+  std::unordered_map<TopicId, std::shared_ptr<const RrKeywordBlock>> loaded;
   loaded.reserve(max_budget.size() * 2);
   for (const auto& [topic, budget] : max_budget) {
-    LoadedKeyword kw;
-    kw.topic = topic;
-    kw.loaded_budget = budget;
-    if (budget > 0) {
-      KBTIM_RETURN_IF_ERROR(LoadRrPrefix(RrFileName(dir_, topic), topic,
-                                         meta_.codec, budget, &kw));
-      KBTIM_RETURN_IF_ERROR(LoadLists(ListsFileName(dir_, topic), topic,
-                                      meta_.codec, budget, &kw));
-    }
-    loaded.emplace(topic, std::move(kw));
+    if (budget == 0) continue;
+    KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<const RrKeywordBlock> block,
+                           cache_->GetRrKeyword(topic, budget));
+    loaded.emplace(topic, std::move(block));
   }
   const double load_seconds = load_timer.ElapsedSeconds();
   const IoStats io = IoCounter::Snapshot() - io_before;
+  const KeywordCacheStats cache_after = cache_->stats();
 
   std::vector<SeedSetResult> results;
   results.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     WallTimer greedy_timer;
     SeedSetResult result = RunGreedy(queries[i], budgets[i], loaded,
-                                     meta_.num_vertices);
+                                     meta().num_vertices);
     result.stats.io_reads = io.read_ops;
     result.stats.io_bytes = io.read_bytes;
+    result.stats.cache_hits = cache_after.hits - cache_before.hits;
+    result.stats.cache_misses = cache_after.misses - cache_before.misses;
+    result.stats.cache_bytes = cache_after.bytes_cached;
     result.stats.sampling_seconds = load_seconds;
     result.stats.greedy_seconds = greedy_timer.ElapsedSeconds();
     result.stats.total_seconds = total_timer.ElapsedSeconds();

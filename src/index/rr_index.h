@@ -8,10 +8,12 @@
 #ifndef KBTIM_INDEX_RR_INDEX_H_
 #define KBTIM_INDEX_RR_INDEX_H_
 
+#include <memory>
 #include <string>
 
 #include "common/statusor.h"
 #include "index/index_format.h"
+#include "index/keyword_cache.h"
 #include "sampling/solver_result.h"
 #include "topics/query.h"
 
@@ -20,9 +22,14 @@ namespace kbtim {
 /// Read-only handle to a disk RR index directory.
 class RrIndex {
  public:
-  /// Opens an index directory (reads metadata only; per-keyword files are
-  /// read at query time).
-  static StatusOr<RrIndex> Open(const std::string& dir);
+  /// Opens an index directory with a fresh KeywordCache (reads metadata
+  /// only; per-keyword files are read at query time, then served warm
+  /// from the cache).
+  static StatusOr<RrIndex> Open(const std::string& dir,
+                                KeywordCacheOptions cache_options = {});
+
+  /// Attaches to an existing cache (e.g. one shared with an IrrIndex).
+  static StatusOr<RrIndex> Open(std::shared_ptr<KeywordCache> cache);
 
   /// Answers a KB-TIM query (Algorithm 2). Requires query.k <= meta().max_k.
   StatusOr<SeedSetResult> Query(const kbtim::Query& query) const;
@@ -35,15 +42,17 @@ class RrIndex {
   StatusOr<std::vector<SeedSetResult>> BatchQuery(
       std::span<const kbtim::Query> queries) const;
 
-  const IndexMeta& meta() const { return meta_; }
-  const std::string& dir() const { return dir_; }
+  const IndexMeta& meta() const { return cache_->meta(); }
+  const std::string& dir() const { return cache_->dir(); }
+
+  /// The warm-path cache backing this handle.
+  const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
 
  private:
-  RrIndex(std::string dir, IndexMeta meta)
-      : dir_(std::move(dir)), meta_(std::move(meta)) {}
+  explicit RrIndex(std::shared_ptr<KeywordCache> cache)
+      : cache_(std::move(cache)) {}
 
-  std::string dir_;
-  IndexMeta meta_;
+  std::shared_ptr<KeywordCache> cache_;
 };
 
 }  // namespace kbtim

@@ -28,6 +28,14 @@ struct SolverStats {
   /// Lower bound on OPT used to size θ (online solvers only).
   double opt_lower_bound = 0.0;
 
+  /// KeywordCache block hits/misses this query (index solvers only; a
+  /// fully warm query has misses == 0 and io_reads == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  /// Decoded bytes resident in the keyword cache after the query.
+  uint64_t cache_bytes = 0;
+
   double sampling_seconds = 0.0;
   double greedy_seconds = 0.0;
   double total_seconds = 0.0;

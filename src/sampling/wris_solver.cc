@@ -1,12 +1,10 @@
 #include "sampling/wris_solver.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/timer.h"
 #include "coverage/celf_greedy.h"
-#include "coverage/rr_collection.h"
 #include "sampling/theta_bounds.h"
 #include "sampling/vertex_sampler.h"
 
@@ -15,21 +13,9 @@ namespace {
 
 Status ValidateQuery(const Query& query, const Graph& graph,
                      uint32_t num_topics) {
-  if (query.topics.empty()) {
-    return Status::InvalidArgument("query has no keywords");
-  }
-  if (query.k == 0 || query.k > graph.num_vertices()) {
+  KBTIM_RETURN_IF_ERROR(ValidateQueryShape(query, num_topics));
+  if (query.k > graph.num_vertices()) {
     return Status::InvalidArgument("query k out of range");
-  }
-  for (size_t i = 0; i < query.topics.size(); ++i) {
-    if (query.topics[i] >= num_topics) {
-      return Status::InvalidArgument("query topic id out of range");
-    }
-    for (size_t j = 0; j < i; ++j) {
-      if (query.topics[j] == query.topics[i]) {
-        return Status::InvalidArgument("duplicate query keyword");
-      }
-    }
   }
   return Status::OK();
 }
@@ -44,11 +30,24 @@ WrisSolver::WrisSolver(const Graph& graph, const TfIdfModel& tfidf,
       tfidf_(tfidf),
       model_(model),
       in_edge_weights_(in_edge_weights),
-      options_(options) {}
+      options_(options) {
+  const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
+  slots_.resize(nthreads);
+  if (nthreads > 1) pool_ = std::make_unique<ThreadPool>(nthreads);
+}
+
+RrSampler& WrisSolver::SlotSampler(uint32_t tid) const {
+  SamplerSlot& slot = slots_[tid];
+  if (slot.sampler == nullptr) {
+    slot.sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+  }
+  return *slot.sampler;
+}
 
 StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   KBTIM_RETURN_IF_ERROR(
       ValidateQuery(query, graph_, tfidf_.profiles().num_topics()));
+  std::lock_guard<std::mutex> solve_lock(solve_mu_);
   WallTimer total_timer;
 
   KBTIM_ASSIGN_OR_RETURN(WeightedVertexSampler roots,
@@ -71,10 +70,10 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   opt_options.k = query.k;
   opt_options.floor = floor;
   opt_options.seed = options_.seed ^ 0x5EEDF00DULL;
-  auto pilot_sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+  // The pilot reuses slot 0's sampler (workers run strictly after it).
   KBTIM_ASSIGN_OR_RETURN(
       double opt_lb,
-      EstimateOptLowerBound(graph_, *pilot_sampler, roots, opt_options));
+      EstimateOptLowerBound(graph_, SlotSampler(0), roots, opt_options));
 
   uint64_t theta = ThetaForQuery(options_.epsilon, phi_q,
                                  graph_.num_vertices(), query.k, opt_lb);
@@ -86,43 +85,45 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
     theta = options_.max_theta;
   }
 
-  // Parallel weighted sampling.
+  // Parallel weighted sampling on the persistent pool. Slot state
+  // (sampler, partial collection, scratch) is reused: a steady-state
+  // query stream allocates nothing in this loop.
   WallTimer sampling_timer;
-  const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
-  std::vector<RrCollection> partials(nthreads);
-  auto worker = [&](uint32_t tid) {
+  const uint32_t nthreads = static_cast<uint32_t>(slots_.size());
+  auto run_slot = [&](uint32_t tid) {
+    SamplerSlot& slot = slots_[tid];
+    RrSampler& sampler = SlotSampler(tid);
     Rng rng = Rng(options_.seed).Fork(tid + 17);
-    auto sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
     const uint64_t lo = tid * theta / nthreads;
     const uint64_t hi = (tid + 1) * theta / nthreads;
-    std::vector<VertexId> scratch;
-    partials[tid].Reserve(hi - lo, (hi - lo) * 4);
+    slot.partial.Clear();
+    slot.partial.Reserve(hi - lo, (hi - lo) * 4);
     for (uint64_t i = lo; i < hi; ++i) {
-      sampler->Sample(roots.Sample(rng), rng, &scratch);
-      partials[tid].Add(scratch);
+      sampler.Sample(roots.Sample(rng), rng, &slot.scratch);
+      slot.partial.Add(slot.scratch);
     }
   };
   if (nthreads == 1) {
-    worker(0);
+    run_slot(0);
   } else {
-    std::vector<std::thread> threads;
-    threads.reserve(nthreads);
-    for (uint32_t t = 0; t < nthreads; ++t) threads.emplace_back(worker, t);
-    for (auto& t : threads) t.join();
+    for (uint32_t t = 0; t < nthreads; ++t) {
+      pool_->Submit([&run_slot, t] { run_slot(t); });
+    }
+    pool_->Wait();
   }
-  RrCollection sets = std::move(partials[0]);
-  for (uint32_t t = 1; t < nthreads; ++t) sets.Append(partials[t]);
+  sets_.Clear();
+  for (uint32_t t = 0; t < nthreads; ++t) sets_.Append(slots_[t].partial);
   const double sampling_seconds = sampling_timer.ElapsedSeconds();
 
   WallTimer greedy_timer;
-  InvertedRrIndex inverted(sets, graph_.num_vertices());
-  const MaxCoverResult cover = CelfGreedyMaxCover(sets, inverted, query.k);
+  InvertedRrIndex inverted(sets_, graph_.num_vertices());
+  const MaxCoverResult cover = CelfGreedyMaxCover(sets_, inverted, query.k);
   const double greedy_seconds = greedy_timer.ElapsedSeconds();
 
   SeedSetResult result;
   result.seeds = cover.seeds;
   const double scale =
-      phi_q / static_cast<double>(std::max<uint64_t>(1, sets.size()));
+      phi_q / static_cast<double>(std::max<uint64_t>(1, sets_.size()));
   result.marginal_gains.reserve(cover.marginal_coverage.size());
   for (uint64_t c : cover.marginal_coverage) {
     result.marginal_gains.push_back(static_cast<double>(c) * scale);
@@ -130,7 +131,7 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   result.estimated_influence =
       static_cast<double>(cover.total_covered) * scale;
   result.stats.theta = theta;
-  result.stats.rr_sets_loaded = sets.size();
+  result.stats.rr_sets_loaded = sets_.size();
   result.stats.opt_lower_bound = opt_lb;
   result.stats.sampling_seconds = sampling_seconds;
   result.stats.greedy_seconds = greedy_seconds;

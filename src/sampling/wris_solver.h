@@ -14,11 +14,16 @@
 #define KBTIM_SAMPLING_WRIS_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "coverage/rr_collection.h"
 #include "graph/graph.h"
 #include "propagation/model.h"
+#include "propagation/rr_sampler.h"
 #include "sampling/opt_estimator.h"
 #include "sampling/solver_result.h"
 #include "topics/tfidf.h"
@@ -45,6 +50,13 @@ struct OnlineSolverOptions {
 };
 
 /// Online weighted-RIS solver for KB-TIM queries.
+///
+/// Built for query streams: sampling workers come from a solver-owned
+/// ThreadPool (spawned once, never per query) and each worker slot keeps
+/// its sampler (whose epoch-stamped visited marks survive reuse), RR-set
+/// buffer and scratch arena across queries, so the steady-state sampling
+/// loop performs no allocation and no thread creation. Solve is safe to
+/// call from multiple threads; calls are serialized internally.
 class WrisSolver {
  public:
   /// All referenced objects must outlive the solver. `in_edge_weights` is
@@ -61,11 +73,27 @@ class WrisSolver {
   const OnlineSolverOptions& options() const { return options_; }
 
  private:
+  /// Per-worker reusable sampling state (one slot per pool thread).
+  struct SamplerSlot {
+    std::unique_ptr<RrSampler> sampler;  // lazily created, then reused
+    RrCollection partial;
+    std::vector<VertexId> scratch;
+  };
+
+  /// slots_[tid].sampler, created on first use.
+  RrSampler& SlotSampler(uint32_t tid) const;
+
   const Graph& graph_;
   const TfIdfModel& tfidf_;
   PropagationModel model_;
   const std::vector<float>& in_edge_weights_;
   OnlineSolverOptions options_;
+
+  /// Query-stream state reused across Solve calls (guarded by solve_mu_).
+  mutable std::mutex solve_mu_;
+  mutable std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  mutable std::vector<SamplerSlot> slots_;
+  mutable RrCollection sets_;  // merged RR sets of the current query
 };
 
 }  // namespace kbtim

@@ -1,6 +1,7 @@
 #include "storage/block_file.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -42,7 +43,7 @@ Status FileWriter::Close() {
 }
 
 StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
-    const std::string& path) {
+    const std::string& path, bool prefer_mmap) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError("cannot open " + path);
   struct stat st;
@@ -50,17 +51,25 @@ StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(
     ::close(fd);
     return Status::IOError("fstat failed: " + path);
   }
+  const auto size = static_cast<uint64_t>(st.st_size);
+  void* map = nullptr;
+  if (prefer_mmap && size > 0) {
+    map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (map == MAP_FAILED) map = nullptr;  // degrade to pread-only
+  }
   return std::unique_ptr<RandomAccessFile>(
-      new RandomAccessFile(path, fd, static_cast<uint64_t>(st.st_size)));
+      new RandomAccessFile(path, fd, size, map));
 }
 
 RandomAccessFile::~RandomAccessFile() {
+  if (map_ != nullptr) ::munmap(map_, size_);
   if (fd_ >= 0) ::close(fd_);
 }
 
 Status RandomAccessFile::Read(uint64_t offset, size_t n,
                               std::string* out) const {
-  if (offset + n > size_) {
+  // Overflow-safe: `offset + n` could wrap for corrupt directory offsets.
+  if (n > size_ || offset > size_ - n) {
     return Status::OutOfRange("read past EOF: " + path_);
   }
   out->resize(n);
@@ -74,6 +83,25 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n,
   }
   IoCounter::RecordRead(n);
   return Status::OK();
+}
+
+StatusOr<std::string_view> RandomAccessFile::ReadView(uint64_t offset,
+                                                      size_t n) const {
+  if (map_ == nullptr) {
+    return Status::FailedPrecondition("file not mmapped: " + path_);
+  }
+  if (n > size_ || offset > size_ - n) {
+    return Status::OutOfRange("read past EOF: " + path_);
+  }
+  IoCounter::RecordRead(n);
+  return std::string_view(static_cast<const char*>(map_) + offset, n);
+}
+
+StatusOr<std::string_view> RandomAccessFile::ReadOrCopy(
+    uint64_t offset, size_t n, std::string* scratch) const {
+  if (map_ != nullptr) return ReadView(offset, n);
+  KBTIM_RETURN_IF_ERROR(Read(offset, n, scratch));
+  return std::string_view(*scratch);
 }
 
 }  // namespace kbtim

@@ -40,12 +40,19 @@ class FileWriter {
   uint64_t offset_ = 0;
 };
 
-/// Positional reader; every Read records one I/O op in IoCounter.
+/// Positional reader; every Read/ReadView records one logical I/O op in
+/// IoCounter (even when served zero-copy from the mapping), so Table-6
+/// style benchmarks keep measuring the logical read pattern.
 class RandomAccessFile {
  public:
-  /// Opens an existing file.
+  /// Opens an existing file. When `prefer_mmap` is true the whole file is
+  /// additionally mapped read-only; ReadView then serves zero-copy views.
+  /// mmap failure (or an empty file) silently degrades to pread-only mode.
+  /// Caveat inherent to mmap: truncating the file while it is mapped turns
+  /// later view accesses into SIGBUS — index files are immutable once
+  /// written, so only external tampering can trigger this.
   static StatusOr<std::unique_ptr<RandomAccessFile>> Open(
-      const std::string& path);
+      const std::string& path, bool prefer_mmap = false);
 
   ~RandomAccessFile();
   RandomAccessFile(const RandomAccessFile&) = delete;
@@ -55,16 +62,30 @@ class RandomAccessFile {
   /// IOError / OutOfRange on short reads.
   Status Read(uint64_t offset, size_t n, std::string* out) const;
 
+  /// Zero-copy read: returns a view of [offset, offset+n) into the mapping,
+  /// valid for the lifetime of this file. FailedPrecondition when the file
+  /// is not mmapped (use ReadOrCopy for transparent fallback).
+  StatusOr<std::string_view> ReadView(uint64_t offset, size_t n) const;
+
+  /// ReadView when mmapped, otherwise the copying Read into *scratch with
+  /// the returned view pointing at the scratch buffer.
+  StatusOr<std::string_view> ReadOrCopy(uint64_t offset, size_t n,
+                                        std::string* scratch) const;
+
+  /// True when ReadView is available.
+  bool mmapped() const { return map_ != nullptr; }
+
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }
 
  private:
-  RandomAccessFile(std::string path, int fd, uint64_t size)
-      : path_(std::move(path)), fd_(fd), size_(size) {}
+  RandomAccessFile(std::string path, int fd, uint64_t size, void* map)
+      : path_(std::move(path)), fd_(fd), size_(size), map_(map) {}
 
   std::string path_;
   int fd_;
   uint64_t size_;
+  void* map_ = nullptr;  // read-only whole-file mapping, or nullptr
 };
 
 }  // namespace kbtim

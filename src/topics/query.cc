@@ -1,0 +1,27 @@
+#include "topics/query.h"
+
+#include <algorithm>
+
+namespace kbtim {
+
+Status ValidateQueryShape(const Query& query, uint32_t num_topics) {
+  if (query.topics.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  if (query.k == 0) {
+    return Status::InvalidArgument("query k must be >= 1");
+  }
+  for (TopicId w : query.topics) {
+    if (w >= num_topics) {
+      return Status::InvalidArgument("query topic id out of range");
+    }
+  }
+  std::vector<TopicId> sorted(query.topics);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("duplicate query keyword");
+  }
+  return Status::OK();
+}
+
+}  // namespace kbtim

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "topics/vocabulary.h"
 
 namespace kbtim {
@@ -18,6 +19,13 @@ struct Query {
   /// Seed-set size.
   uint32_t k = 1;
 };
+
+/// Validates the query shape every KB-TIM entry point (WRIS solver, RR
+/// index, IRR index) agrees on: a nonempty keyword set, k >= 1, every
+/// topic id below `num_topics`, and no duplicate keywords (checked via a
+/// sorted copy in O(|Q| log |Q|)). Callers add their own upper bound on k
+/// (|V| online, the index's K offline).
+Status ValidateQueryShape(const Query& query, uint32_t num_topics);
 
 }  // namespace kbtim
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "graph/generators.h"
 #include "propagation/exact_spread.h"
 #include "testing/fixtures.h"
@@ -197,6 +199,51 @@ TEST_F(WrisSolverTest, MultiThreadedSamplingProducesGoodSeeds) {
                                  fig_.in_edge_prob, result->seeds, phi);
   ASSERT_TRUE(got.ok());
   EXPECT_GE(*got, 0.8 * best->spread);
+}
+
+TEST_F(WrisSolverTest, RepeatedSolvesReuseWorkersDeterministically) {
+  // The solver keeps its thread pool and per-slot samplers across a query
+  // stream; results must not drift as state is reused.
+  OnlineSolverOptions opts = FastOptions();
+  opts.num_threads = 3;
+  WrisSolver solver(fig_.graph, model_,
+                    PropagationModel::kIndependentCascade,
+                    fig_.in_edge_prob, opts);
+  const Query a{{kMusic}, 2};
+  const Query b{{kBook}, 1};
+  auto first_a = solver.Solve(a);
+  ASSERT_TRUE(first_a.ok());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(solver.Solve(b).ok());
+    auto again = solver.Solve(a);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(first_a->seeds, again->seeds) << "round " << round;
+    EXPECT_DOUBLE_EQ(first_a->estimated_influence,
+                     again->estimated_influence);
+  }
+}
+
+TEST_F(WrisSolverTest, ConcurrentSolveCallsAreSerializedSafely) {
+  OnlineSolverOptions opts = FastOptions();
+  opts.num_threads = 2;
+  WrisSolver solver(fig_.graph, model_,
+                    PropagationModel::kIndependentCascade,
+                    fig_.in_edge_prob, opts);
+  const Query q{{kMusic}, 2};
+  auto expected = solver.Solve(q);
+  ASSERT_TRUE(expected.ok());
+  std::vector<int> failures(4, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3; ++i) {
+        auto r = solver.Solve(q);
+        if (!r.ok() || r->seeds != expected->seeds) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0);
 }
 
 }  // namespace

@@ -94,6 +94,81 @@ TEST_F(BlockFileTest, ReadsAreCounted) {
   EXPECT_EQ(stats.read_bytes, 1000u);
 }
 
+TEST_F(BlockFileTest, MmapReadViewZeroCopy) {
+  const std::string path = Path("m.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("zero copy payload").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path, /*prefer_mmap=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->mmapped());
+  IoCounter::Reset();
+  auto view = (*file)->ReadView(5, 4);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, "copy");
+  // Logical reads are still accounted.
+  const IoStats stats = IoCounter::Snapshot();
+  EXPECT_EQ(stats.read_ops, 1u);
+  EXPECT_EQ(stats.read_bytes, 4u);
+  // The view aliases the mapping, not a copy.
+  auto again = (*file)->ReadView(0, 17);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(view->data(), again->data() + 5);
+  // Out-of-range views fail like Read, including offsets that would
+  // overflow offset + n (corrupt directory entries).
+  EXPECT_EQ((*file)->ReadView(10, 100).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->ReadView(~uint64_t{0} - 2, 8).status().code(),
+            StatusCode::kOutOfRange);
+  std::string out;
+  EXPECT_EQ((*file)->Read(~uint64_t{0} - 2, 8, &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(BlockFileTest, ReadViewWithoutMmapFailsButReadOrCopyWorks) {
+  const std::string path = Path("n.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("fallback").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path, /*prefer_mmap=*/false);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->mmapped());
+  EXPECT_EQ((*file)->ReadView(0, 4).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::string scratch;
+  auto view = (*file)->ReadOrCopy(4, 4, &scratch);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, "back");
+  EXPECT_EQ(view->data(), scratch.data());
+}
+
+TEST_F(BlockFileTest, MmapReadMatchesPread) {
+  const std::string path = Path("o.dat");
+  std::string payload(4096, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i * 31) % 26);
+  }
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto mapped = RandomAccessFile::Open(path, /*prefer_mmap=*/true);
+  ASSERT_TRUE(mapped.ok());
+  std::string copied;
+  ASSERT_TRUE((*mapped)->Read(100, 1000, &copied).ok());
+  auto view = (*mapped)->ReadView(100, 1000);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(copied, *view);
+}
+
 TEST_F(BlockFileTest, EmptyAppendIsAllowed) {
   auto writer = FileWriter::Create(Path("j.dat"));
   ASSERT_TRUE(writer.ok());
