@@ -58,7 +58,10 @@ int main(int argc, char** argv) {
     for (const Query& q : *queries) {
       // Fresh handle per query: the δ ablation compares COLD per-query
       // I/O (warm-path numbers come from bench/warm_cold_query.cc).
-      auto irr = IrrIndex::Open(dir);
+      // Demand reads only — the prefetch window would blur the δ effect.
+      KeywordCacheOptions demand_only;
+      demand_only.prefetch_threads = 0;
+      auto irr = IrrIndex::Open(dir, demand_only);
       if (!irr.ok()) return 1;
       auto result = irr->Query(q);
       if (!result.ok()) return 1;

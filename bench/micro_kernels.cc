@@ -45,6 +45,8 @@ void BM_CodecEncode(benchmark::State& state, CodecKind kind) {
 BENCHMARK_CAPTURE(BM_CodecEncode, raw, CodecKind::kRaw)->Arg(1 << 14);
 BENCHMARK_CAPTURE(BM_CodecEncode, varint, CodecKind::kVarint)->Arg(1 << 14);
 BENCHMARK_CAPTURE(BM_CodecEncode, pfor, CodecKind::kPfor)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecEncode, gvarint, CodecKind::kGroupVarint)
+    ->Arg(1 << 14);
 
 void BM_CodecDecode(benchmark::State& state, CodecKind kind) {
   const auto codec = MakeCodec(kind);
@@ -62,6 +64,8 @@ void BM_CodecDecode(benchmark::State& state, CodecKind kind) {
 BENCHMARK_CAPTURE(BM_CodecDecode, raw, CodecKind::kRaw)->Arg(1 << 14);
 BENCHMARK_CAPTURE(BM_CodecDecode, varint, CodecKind::kVarint)->Arg(1 << 14);
 BENCHMARK_CAPTURE(BM_CodecDecode, pfor, CodecKind::kPfor)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_CodecDecode, gvarint, CodecKind::kGroupVarint)
+    ->Arg(1 << 14);
 
 void BM_AliasTableSample(benchmark::State& state) {
   Rng rng(3);

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     }
     auto env = std::move(*env_or);
     uint64_t raw_total = 0;
-    for (CodecKind codec : {CodecKind::kRaw, CodecKind::kPfor}) {
+    for (CodecKind codec :
+         {CodecKind::kRaw, CodecKind::kPfor, CodecKind::kGroupVarint}) {
       IndexBuildOptions opts = DefaultBuildOptions(flags);
       opts.codec = codec;
       const std::string dir = CacheRoot() + "/table4_" + spec.name + "_" +

@@ -1,67 +1,28 @@
 #include "coverage/celf_greedy.h"
 
-#include <queue>
+#include "coverage/celf_core.h"
 
 namespace kbtim {
-namespace {
-
-struct HeapEntry {
-  uint64_t count;
-  VertexId vertex;
-
-  // Max-heap by count, ties toward the SMALLER vertex id (so std::priority_
-  // queue's "less" must order larger ids as smaller priority).
-  bool operator<(const HeapEntry& other) const {
-    if (count != other.count) return count < other.count;
-    return vertex > other.vertex;
-  }
-};
-
-}  // namespace
 
 MaxCoverResult CelfGreedyMaxCover(const RrCollection& sets,
                                   const InvertedRrIndex& inverted,
                                   uint32_t k) {
-  MaxCoverResult result;
   const VertexId n = inverted.num_vertices();
-  std::vector<uint64_t> count(n);
-  std::priority_queue<HeapEntry> heap;
+  std::vector<uint32_t> count(n);
   for (VertexId v = 0; v < n; ++v) {
-    count[v] = inverted.ListLength(v);
-    if (count[v] > 0) heap.push({count[v], v});
+    // Safe narrowing: a vertex appears in at most sets.size() RR sets,
+    // and set ids are RrId (uint32), so no list is ever 2^32 long even
+    // when total_items exceeds 32 bits.
+    count[v] = static_cast<uint32_t>(inverted.ListLength(v));
   }
-  std::vector<char> covered(sets.size(), 0);
-  std::vector<char> selected(n, 0);
-
-  while (result.seeds.size() < k && !heap.empty()) {
-    const HeapEntry top = heap.top();
-    heap.pop();
-    if (selected[top.vertex]) continue;
-    if (top.count != count[top.vertex]) {
-      // Stale: counts only decrease, so reinsert with the fresh value.
-      if (count[top.vertex] > 0) heap.push({count[top.vertex], top.vertex});
-      continue;
-    }
-    selected[top.vertex] = 1;
-    result.seeds.push_back(top.vertex);
-    result.marginal_coverage.push_back(top.count);
-    result.total_covered += top.count;
-    for (RrId rr : inverted.Sets(top.vertex)) {
-      if (covered[rr]) continue;
-      covered[rr] = 1;
-      for (VertexId u : sets.Set(rr)) --count[u];
-    }
-  }
-  // Pad with smallest unselected ids if coverage ran dry (keeps the
-  // contract of returning exactly k seeds, matching GreedyMaxCover).
-  for (VertexId v = 0; v < n && result.seeds.size() < k; ++v) {
-    if (!selected[v]) {
-      selected[v] = 1;
-      result.seeds.push_back(v);
-      result.marginal_coverage.push_back(0);
-    }
-  }
-  return result;
+  std::vector<uint64_t> covered, heap, selected;
+  return celf_internal::RunCelf(
+      sets, n, k, count,
+      [&inverted](VertexId v) {
+        const auto list = inverted.Sets(v);
+        return std::pair{list.data(), list.data() + list.size()};
+      },
+      covered, heap, selected);
 }
 
 }  // namespace kbtim

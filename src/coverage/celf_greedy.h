@@ -1,10 +1,12 @@
 // CELF-style lazy greedy maximum coverage.
 //
 // Same output as GreedyMaxCover (identical tie-breaking toward smaller
-// vertex ids) but uses a max-heap with lazy re-evaluation, which is faster
-// when the coverage distribution is skewed — the common case on heavy-tailed
-// social graphs. Exposed separately so benchmarks can compare both
-// (DESIGN.md ablation list).
+// vertex ids) but lazy: a packed-uint64 max-heap whose stale tops are
+// refreshed in place (celf_core.h), plus a bitset for covered sets — faster
+// when the coverage distribution is skewed, the common case on heavy-tailed
+// social graphs. Query streams should prefer CoverageWorkspace
+// (flat_celf.h), which also fuses the inverted-index build and reuses all
+// scratch across solves.
 #ifndef KBTIM_COVERAGE_CELF_GREEDY_H_
 #define KBTIM_COVERAGE_CELF_GREEDY_H_
 

@@ -1,10 +1,37 @@
 #include "coverage/rr_collection.h"
 
+#include <algorithm>
+
 namespace kbtim {
+namespace {
+
+/// Releases capacity beyond `cap` (contents are preserved; callers only
+/// shrink just-cleared vectors, so the copy is trivially small).
+template <typename T>
+void CapCapacity(std::vector<T>& v, size_t cap) {
+  if (v.capacity() <= cap) return;
+  std::vector<T> fresh;
+  fresh.reserve(std::max(cap, v.size()));
+  fresh.assign(v.begin(), v.end());
+  v.swap(fresh);
+}
+
+}  // namespace
 
 void RrCollection::Reserve(size_t num_sets, size_t num_items) {
   offsets_.reserve(num_sets + 1);
   items_.reserve(num_items);
+}
+
+void RrCollection::Clear() {
+  const size_t used_items = items_.size();
+  const size_t used_sets = offsets_.size();  // includes the leading 0
+  offsets_.resize(1);
+  items_.clear();
+  CapCapacity(items_,
+              std::max(kRetainSlack * used_items, kMinRetainedItems));
+  CapCapacity(offsets_,
+              std::max(kRetainSlack * used_sets, kMinRetainedItems));
 }
 
 RrId RrCollection::Add(std::span<const VertexId> members) {

@@ -29,12 +29,21 @@ class RrCollection {
   /// Appends all sets from `other`, preserving their relative order.
   void Append(const RrCollection& other);
 
-  /// Removes every set but keeps the allocated capacity, so a reused
-  /// collection reaches zero steady-state allocation across queries.
-  void Clear() {
-    offsets_.resize(1);
-    items_.clear();
-  }
+  /// Removes every set. Keeps the allocated capacity, so a reused
+  /// collection reaches zero steady-state allocation across queries —
+  /// UNLESS the arenas grew pathologically past what this round actually
+  /// used: capacity beyond kRetainSlack × the just-cleared size is
+  /// released (down to that bound), so one outlier query in a long-running
+  /// stream does not ratchet the resident footprint forever.
+  void Clear();
+
+  /// Shrink policy knobs (see Clear).
+  static constexpr size_t kRetainSlack = 4;
+  static constexpr size_t kMinRetainedItems = 4096;
+
+  /// Current arena capacities (observability for tests/stats).
+  size_t items_capacity() const { return items_.capacity(); }
+  size_t offsets_capacity() const { return offsets_.capacity(); }
 
   size_t size() const { return offsets_.size() - 1; }
   bool empty() const { return size() == 0; }
@@ -53,6 +62,10 @@ class RrCollection {
   std::span<const VertexId> Set(RrId id) const {
     return {items_.data() + offsets_[id], items_.data() + offsets_[id + 1]};
   }
+
+  /// All members of all sets, flattened in set order (vertex-frequency
+  /// passes iterate this directly instead of chasing per-set offsets).
+  std::span<const VertexId> items() const { return items_; }
 
  private:
   std::vector<uint64_t> offsets_{0};

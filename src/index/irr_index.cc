@@ -167,6 +167,12 @@ Status OpenKeyword(KeywordCache& cache, TopicId topic, uint64_t budget,
                   : state->entry->directory[0].max_list_len;
   state->covered.assign(budget, 0);
   state->lists.Init(state->entry->num_users);
+  // Start the pipeline: the first prefetch_depth partitions decode in the
+  // background while the remaining keywords parse their preambles and the
+  // query sets up.
+  for (uint32_t d = 0; d < cache.options().prefetch_depth; ++d) {
+    cache.PrefetchIrrPartition(state->entry, d);
+  }
   return Status::OK();
 }
 
@@ -179,6 +185,11 @@ StatusOr<bool> LoadNextPartition(KeywordCache& cache, KeywordState* state,
   KBTIM_ASSIGN_OR_RETURN(
       std::shared_ptr<const IrrPartitionBlock> block,
       cache.GetIrrPartition(*state->entry, state->next_partition));
+  if (state->eager) {
+    // Eager mode reads IR^p members; surface payload corruption at load
+    // time (the lazy default defers both the decode and the check).
+    KBTIM_RETURN_IF_ERROR(block->EnsureMembers());
+  }
 
   // IL^p: restrict each cached (unrestricted, ascending) list to the
   // query budget once, storing the span.
@@ -224,6 +235,12 @@ StatusOr<bool> LoadNextPartition(KeywordCache& cache, KeywordState* state,
       state->AllLoaded()
           ? 0
           : state->entry->directory[state->next_partition].max_list_len;
+  // Keep the decode window prefetch_depth partitions ahead of consumption
+  // so the workers stay saturated while the NRA loop computes (no-ops for
+  // anything already resident or in flight).
+  for (uint32_t d = 0; d < cache.options().prefetch_depth; ++d) {
+    cache.PrefetchIrrPartition(state->entry, state->next_partition + d);
+  }
   return true;
 }
 
@@ -411,6 +428,12 @@ StatusOr<SeedSetResult> IrrIndex::Query(const kbtim::Query& query,
   result.stats.cache_hits = cache_after.hits - cache_before.hits;
   result.stats.cache_misses = cache_after.misses - cache_before.misses;
   result.stats.cache_bytes = cache_after.bytes_cached;
+  result.stats.cache_admission_bypasses =
+      cache_after.admission_bypasses - cache_before.admission_bypasses;
+  result.stats.prefetches_issued =
+      cache_after.prefetches_issued - cache_before.prefetches_issued;
+  result.stats.prefetches_served =
+      cache_after.prefetches_served - cache_before.prefetches_served;
   result.stats.sampling_seconds = load_seconds;
   result.stats.greedy_seconds =
       total_timer.ElapsedSeconds() - load_seconds;

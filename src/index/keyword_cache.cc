@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
+#include "storage/decode_kernels.h"
 #include "storage/varint.h"
 
 namespace kbtim {
@@ -20,13 +22,104 @@ uint64_t VectorBytes(const std::vector<T>& v) {
   return v.capacity() * sizeof(T);
 }
 
+/// In-place prefix sum over buf[0, n): the inline twin of DeltaDecode for
+/// the monomorphic decode path (which tracks lengths instead of resizing).
+inline void DeltaDecodeSpan(uint32_t* buf, size_t n) {
+  uint32_t run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    run += buf[i];
+    buf[i] = run;
+  }
+}
+
+/// Decodes one length-prefixed codec payload at `p`, APPENDING its *n
+/// delta-decoded values to `out`. PFoR payloads in batch mode take the
+/// monomorphic PforDecodeAppend fast path straight into the destination
+/// (the partition decoders parse thousands of few-element lists, so the
+/// generic virtual-dispatch + temp-copy framing dominates otherwise);
+/// everything else goes through codec->Decode on an exact sub-view plus a
+/// copy through `tmp`.
+inline Status DecodeAppendPayload(const IntCodec& codec, bool fast_pfor,
+                                  const char** p, uint64_t len,
+                                  const char* limit,
+                                  std::vector<uint32_t>& tmp,
+                                  std::vector<uint32_t>& out, size_t* n) {
+  if (fast_pfor) {
+    const char* next = PforDecodeAppend(*p, limit, out, n);
+    if (next == nullptr || next != *p + len) {
+      return Status::Corruption("pfor list length mismatch");
+    }
+    *p = next;
+  } else {
+    KBTIM_RETURN_IF_ERROR(codec.Decode(std::string_view(*p, len), &tmp));
+    *n = tmp.size();
+    *p += len;
+    out.insert(out.end(), tmp.begin(), tmp.end());
+  }
+  DeltaDecodeSpan(out.data() + out.size() - *n, *n);
+  return Status::OK();
+}
+
 }  // namespace
 
 bool IrrKeywordEntry::FirstOccurrence(VertexId v, RrId* first) const {
-  const auto it = std::lower_bound(ip_vertex.begin(), ip_vertex.end(), v);
-  if (it == ip_vertex.end() || *it != v) return false;
-  *first = ip_first[static_cast<size_t>(it - ip_vertex.begin())];
+  // Branchless binary search (the compare compiles to a conditional move,
+  // so the only mispredictable branch is the loop itself) with both
+  // next-probe cache lines prefetched — this sits under every NRA
+  // upper-bound refresh, several thousand times per query.
+  const VertexId* base = ip_vertex.data();
+  size_t n = ip_vertex.size();
+  if (n == 0) return false;
+  while (n > 1) {
+    const size_t half = n / 2;
+    __builtin_prefetch(base + half / 2);
+    __builtin_prefetch(base + half + half / 2);
+    base += base[half - 1] < v ? half : 0;
+    n -= half;
+  }
+  if (*base != v) return false;
+  *first = ip_first[static_cast<size_t>(base - ip_vertex.data())];
   return true;
+}
+
+Status IrrPartitionBlock::EnsureMembers() const {
+  std::call_once(ir_once, [this] {
+    // Framing (headers + lengths) was validated at block build; re-walk
+    // it and decode every member payload. Payload-level corruption fails
+    // the whole region closed: all spans come back empty.
+    set_offsets.assign(1, 0);
+    set_members.clear();
+    const char* p = ir_raw.data();
+    const char* limit = p + ir_raw.size();
+    const auto codec = MakeCodec(ir_codec);
+    const bool fast_pfor =
+        ir_codec == CodecKind::kPfor && BatchDecodeEnabled();
+    std::vector<uint32_t> tmp;
+    size_t n = 0;
+    for (size_t i = 0; i < set_ids.size(); ++i) {
+      uint32_t rr_delta = 0;
+      uint64_t len = 0;
+      p = GetVarint32(p, limit, &rr_delta);
+      if (p != nullptr) p = GetVarint64(p, limit, &len);
+      if (p == nullptr || p + len > limit ||
+          !DecodeAppendPayload(*codec, fast_pfor, &p, len, limit, tmp,
+                               set_members, &n)
+               .ok()) {
+        KBTIM_LOG(Warning)
+            << "IRR set-member payload corrupt; eager-mode coverage "
+               "updates degrade to empty sets for this partition";
+        ir_corrupt = true;
+        set_offsets.assign(set_ids.size() + 1, 0);
+        set_members.clear();
+        return;
+      }
+      set_offsets.push_back(static_cast<uint32_t>(set_members.size()));
+    }
+  });
+  if (ir_corrupt) {
+    return Status::Corruption("IRR set-member payload corrupt");
+  }
+  return Status::OK();
 }
 
 std::span<const RrId> RrKeywordBlock::ListOf(VertexId v,
@@ -56,10 +149,23 @@ KeywordCacheStats KeywordCache::stats() const {
 }
 
 void KeywordCache::DropBlocks() {
+  // Land in-flight prefetches first so none resurrects a block after the
+  // clear (benchmarks rely on DropBlocks giving a truly cold block cache).
+  WaitForPrefetches();
   std::lock_guard<std::mutex> lock(mu_);
   blocks_.clear();
   lru_.clear();
   stats_.bytes_cached = 0;
+}
+
+void KeywordCache::WaitForPrefetches() {
+  std::vector<IrrBlockFuture> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.reserve(inflight_.size());
+    for (const auto& [key, future] : inflight_) pending.push_back(future);
+  }
+  for (const auto& future : pending) future.wait();
 }
 
 void KeywordCache::TouchLocked(BlockSlot& slot) {
@@ -97,7 +203,9 @@ void KeywordCache::EraseBlockLocked(const BlockKey& key) {
 }
 
 std::shared_ptr<const void> KeywordCache::InsertBlock(
-    const BlockKey& key, std::shared_ptr<const void> block, uint64_t bytes) {
+    const BlockKey& key, std::shared_ptr<const void> block, uint64_t bytes,
+    bool* admitted) {
+  if (admitted != nullptr) *admitted = true;
   if (options_.block_cache_bytes == 0) return block;  // caching disabled
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = blocks_.find(key);
@@ -105,6 +213,12 @@ std::shared_ptr<const void> KeywordCache::InsertBlock(
     // Another thread decoded the same block first; keep theirs.
     TouchLocked(it->second);
     return it->second.block;
+  }
+  if (bytes > AdmissionLimitBytes()) {
+    // Admission policy: serve the oversized block, keep the cache hot.
+    ++stats_.admission_bypasses;
+    if (admitted != nullptr) *admitted = false;
+    return block;
   }
   InsertBlockLocked(key, block, bytes);
   return block;
@@ -214,6 +328,7 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
     return Status::InvalidArgument("IRR partition out of range");
   }
   const BlockKey key{entry.topic, partition};
+  IrrBlockFuture inflight;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = blocks_.find(key);
@@ -224,9 +339,80 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
           it->second.block);
     }
     ++stats_.misses;
+    const auto fit = inflight_.find(key);
+    if (fit != inflight_.end()) {
+      ++stats_.prefetches_served;
+      inflight = fit->second;
+    }
+  }
+  if (inflight.valid()) {
+    // A prefetch worker already has this partition; join it — its decode
+    // ran (or is running) while this thread was computing.
+    return inflight.get();
   }
 
-  // Decode outside the lock; the immutable entry pins the file handle.
+  KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<const IrrPartitionBlock> block,
+                         DecodeIrrPartition(entry, partition));
+  return std::static_pointer_cast<const IrrPartitionBlock>(
+      InsertBlock(key, block, block->bytes));
+}
+
+void KeywordCache::PrefetchIrrPartition(
+    std::shared_ptr<const IrrKeywordEntry> entry, uint64_t partition) {
+  if (prefetch_pool_ == nullptr || entry == nullptr ||
+      partition >= entry->num_partitions) {
+    return;
+  }
+  const BlockKey key{entry->topic, partition};
+  {
+    // Cheap warm-path exit BEFORE building the task: resident, in-flight
+    // or admission-bypassed partitions (the common cases on repeat
+    // queries) cost one lock round-trip and no allocation.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blocks_.count(key) != 0 || inflight_.count(key) != 0 ||
+        uncacheable_.count(key) != 0) {
+      return;
+    }
+  }
+  // packaged_task is move-only but ThreadPool tasks are std::function;
+  // hold it by shared_ptr.
+  auto task = std::make_shared<std::packaged_task<
+      StatusOr<std::shared_ptr<const IrrPartitionBlock>>()>>(
+      [this, entry = std::move(entry), partition, key]() {
+        auto decoded = DecodeIrrPartition(*entry, partition);
+        bool admitted = true;
+        if (decoded.ok()) {
+          // Publish to the block cache BEFORE leaving the in-flight map,
+          // so no lookup can miss both; losing a racing insert just hands
+          // back the winner's block.
+          decoded = std::static_pointer_cast<const IrrPartitionBlock>(
+              InsertBlock(key, *decoded, (*decoded)->bytes, &admitted));
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          // Remember admission refusals: re-prefetching an uncacheable
+          // partition would decode into the void every round.
+          if (!admitted) uncacheable_.emplace(key, true);
+          inflight_.erase(key);
+        }
+        return decoded;
+      });
+  {
+    // Re-check under the lock: another thread may have landed or started
+    // this partition while the task was being built.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (blocks_.count(key) != 0 || inflight_.count(key) != 0) return;
+    inflight_.emplace(key, task->get_future().share());
+    ++stats_.prefetches_issued;
+  }
+  prefetch_pool_->Submit([task] { (*task)(); });
+}
+
+StatusOr<std::shared_ptr<const IrrPartitionBlock>>
+KeywordCache::DecodeIrrPartition(const IrrKeywordEntry& entry,
+                                 uint64_t partition) {
+  // Reads and decodes outside the lock; the immutable entry pins the file
+  // handle (callers hold it via shared_ptr or the entries map).
   const IrrPartitionInfo& info = entry.directory[partition];
   std::string scratch;
   KBTIM_ASSIGN_OR_RETURN(
@@ -235,68 +421,87 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
   const char* p = buf.data();
   const char* limit = buf.data() + buf.size();
   const auto codec = MakeCodec(entry.codec);
+  const bool fast_pfor =
+      entry.codec == CodecKind::kPfor && BatchDecodeEnabled();
   auto block = std::make_shared<IrrPartitionBlock>();
 
   // IL^p: inverted lists, kept unrestricted (queries budget-slice them).
   std::vector<uint32_t> ids;
+  size_t n = 0;
   block->users.reserve(info.num_users);
   block->list_offsets.reserve(info.num_users + 1);
   block->list_offsets.push_back(0);
   for (uint32_t i = 0; i < info.num_users; ++i) {
     uint32_t v = 0;
     uint64_t len = 0;
-    p = GetVarint32(p, limit, &v);
+    // The unrolled varint readers belong to the batch-kernel ablation arm
+    // (scalar mode stays the faithful PR-1 framing).
+    p = fast_pfor ? FastVarint32(p, limit, &v) : GetVarint32(p, limit, &v);
     if (p == nullptr) return Status::Corruption("IRR IL truncated");
-    p = GetVarint64(p, limit, &len);
+    p = fast_pfor ? FastVarint64(p, limit, &len)
+                  : GetVarint64(p, limit, &len);
     if (p == nullptr || p + len > limit) {
       return Status::Corruption("IRR IL truncated");
     }
-    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
-    p += len;
-    DeltaDecode(&ids);
+    KBTIM_RETURN_IF_ERROR(DecodeAppendPayload(*codec, fast_pfor, &p, len,
+                                              limit, ids, block->list_ids,
+                                              &n));
     block->users.push_back(v);
-    block->list_ids.insert(block->list_ids.end(), ids.begin(), ids.end());
     block->list_offsets.push_back(
         static_cast<uint32_t>(block->list_ids.size()));
   }
 
   // IR^p: the RR sets first referenced by this partition, ids ascending.
-  // Members are always decoded so one cached block serves both the lazy
-  // and the eager query mode (the decode cost amortizes across queries).
+  // Only the per-set HEADERS are parsed here (ids + framing validation);
+  // the member payloads — about half the partition's decode cost, and
+  // read only by the eager query mode — keep their encoded form in the
+  // block and materialize on first SetMembers access.
   uint32_t num_sets = 0;
   p = GetVarint32(p, limit, &num_sets);
   if (p == nullptr) return Status::Corruption("IRR IR truncated");
   block->set_ids.reserve(num_sets);
-  block->set_offsets.reserve(num_sets + 1);
-  block->set_offsets.push_back(0);
+  const char* ir_begin = p;
   RrId rr = 0;
+  uint64_t total_members = 0;
   for (uint32_t s = 0; s < num_sets; ++s) {
     uint32_t rr_delta = 0;
     uint64_t len = 0;
-    p = GetVarint32(p, limit, &rr_delta);
+    p = fast_pfor ? FastVarint32(p, limit, &rr_delta)
+                  : GetVarint32(p, limit, &rr_delta);
     if (p == nullptr) return Status::Corruption("IRR IR truncated");
-    p = GetVarint64(p, limit, &len);
+    p = fast_pfor ? FastVarint64(p, limit, &len)
+                  : GetVarint64(p, limit, &len);
     if (p == nullptr || p + len > limit) {
       return Status::Corruption("IRR IR truncated");
     }
     rr += rr_delta;
-    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
-    p += len;
-    DeltaDecode(&ids);
     block->set_ids.push_back(rr);
-    block->set_members.insert(block->set_members.end(), ids.begin(),
-                              ids.end());
-    block->set_offsets.push_back(
-        static_cast<uint32_t>(block->set_members.size()));
+    // Peek the payload's leading count varint so the eventual decoded
+    // member mass is charged against the cache bound NOW — the lazy
+    // materialization later grows the block in place without another
+    // accounting pass.
+    uint64_t member_count = 0;
+    if (GetVarint64(p, p + len, &member_count) == nullptr) {
+      return Status::Corruption("IRR IR payload header truncated");
+    }
+    total_members += member_count;
+    p += len;  // payload deferred
+  }
+  block->ir_codec = entry.codec;
+  block->ir_raw.assign(ir_begin, static_cast<size_t>(p - ir_begin));
+  if (options_.eager_ir_members) {
+    KBTIM_RETURN_IF_ERROR(block->EnsureMembers());
   }
 
+  // Charge the decoded-member footprint up front (from the peeked counts)
+  // whether or not it has materialized yet, so cache residency never
+  // exceeds the bound when eager queries decode cached blocks later.
   block->bytes = VectorBytes(block->users) +
                  VectorBytes(block->list_offsets) +
                  VectorBytes(block->list_ids) + VectorBytes(block->set_ids) +
-                 VectorBytes(block->set_offsets) +
-                 VectorBytes(block->set_members);
-  return std::static_pointer_cast<const IrrPartitionBlock>(
-      InsertBlock(key, block, block->bytes));
+                 block->ir_raw.capacity() +
+                 (total_members + num_sets + 1) * sizeof(uint32_t);
+  return std::shared_ptr<const IrrPartitionBlock>(std::move(block));
 }
 
 // ---- RR side --------------------------------------------------------------
@@ -417,16 +622,18 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
       std::string_view payload,
       rr_file->ReadOrCopy(base, offsets[min_budget] - base, &scratch));
   const auto codec = MakeCodec(meta_.codec);
+  const bool fast_pfor =
+      meta_.codec == CodecKind::kPfor && BatchDecodeEnabled();
+  const char* payload_limit = payload.data() + payload.size();
   std::vector<uint32_t> members;
+  size_t n = 0;
   block->set_offsets.reserve(min_budget + 1);
   for (uint64_t i = 0; i < min_budget; ++i) {
-    const uint64_t begin = offsets[i] - base;
-    const uint64_t end = offsets[i + 1] - base;
-    KBTIM_RETURN_IF_ERROR(codec->Decode(
-        std::string_view(payload.data() + begin, end - begin), &members));
-    DeltaDecode(&members);
-    block->set_items.insert(block->set_items.end(), members.begin(),
-                            members.end());
+    const char* sp = payload.data() + (offsets[i] - base);
+    KBTIM_RETURN_IF_ERROR(DecodeAppendPayload(*codec, fast_pfor, &sp,
+                                              offsets[i + 1] - offsets[i],
+                                              payload_limit, members,
+                                              block->set_items, &n));
     block->set_offsets.push_back(block->set_items.size());
   }
 
@@ -465,16 +672,18 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
     }
     const VertexId v = prev + delta_v;
     prev = v;
-    KBTIM_RETURN_IF_ERROR(codec->Decode(std::string_view(p, len), &ids));
-    p += len;
-    DeltaDecode(&ids);
-    // Keep ids inside the loaded budget (ids are ascending).
-    size_t cut = ids.size();
-    while (cut > 0 && ids[cut - 1] >= min_budget) --cut;
-    if (cut == 0) continue;
+    const size_t start = block->list_ids.size();
+    KBTIM_RETURN_IF_ERROR(DecodeAppendPayload(*codec, fast_pfor, &p, len,
+                                              limit, ids, block->list_ids,
+                                              &n));
+    // Keep ids inside the loaded budget (ids are ascending, so the
+    // out-of-budget portion is exactly the appended tail).
+    while (block->list_ids.size() > start &&
+           block->list_ids.back() >= min_budget) {
+      block->list_ids.pop_back();
+    }
+    if (block->list_ids.size() == start) continue;
     block->list_vertex.push_back(v);
-    block->list_ids.insert(block->list_ids.end(), ids.begin(),
-                           ids.begin() + cut);
     block->list_offsets.push_back(block->list_ids.size());
   }
 
@@ -496,8 +705,15 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
       TouchLocked(it->second);
       return existing;
     }
-    EraseBlockLocked(key);
   }
+  if (block->bytes > AdmissionLimitBytes()) {
+    // Admission policy: an oversized payload prefix would evict the whole
+    // working set; serve it uncached (any smaller resident prefix keeps
+    // serving the budgets it covers).
+    ++stats_.admission_bypasses;
+    return std::shared_ptr<const RrKeywordBlock>(std::move(block));
+  }
+  EraseBlockLocked(key);
   InsertBlockLocked(key, block, block->bytes);
   return std::shared_ptr<const RrKeywordBlock>(std::move(block));
 }

@@ -16,22 +16,37 @@
 //     (file handles, preambles, directories) are NOT charged against it:
 //     they are small, persistent, and amortize across every query. Set to
 //     0 to disable block caching entirely (every query re-decodes, but
-//     still reuses handles and preambles). A single block larger than the
-//     bound is still admitted — the bound is enforced by evicting other
-//     blocks, never by refusing to serve a query.
+//     still reuses handles and preambles).
+//   * max_block_fraction — admission policy: a decoded block larger than
+//     this fraction of block_cache_bytes is served to the query but NOT
+//     cached (it would evict many hot blocks to keep one cold giant);
+//     each refusal bumps stats().admission_bypasses. At the default 1.0
+//     only blocks bigger than the whole budget bypass, so the bound is
+//     otherwise enforced by evicting other blocks, never by refusing to
+//     serve a query.
+//   * prefetch_threads — background decode workers for the IRR partition
+//     pipeline: PrefetchIrrPartition schedules read + decode of a
+//     partition on this pool so the NRA loop's compute overlaps the next
+//     partitions' I/O (IrrIndex keeps a prefetch_depth-wide window in
+//     flight per keyword). A foreground GetIrrPartition that finds its
+//     block in flight waits on that decode instead of duplicating it.
 //   * use_mmap — map index files read-only so preamble and partition
 //     parses are zero-copy (RandomAccessFile::ReadView). Logical reads
 //     are still counted by IoCounter either way, so Table-6 style
-//     benchmarks keep measuring the logical access pattern.
+//     benchmarks keep measuring the logical access pattern — including
+//     reads issued by the prefetch workers.
 //
 // Thread safety: all public methods are safe to call concurrently; blocks
 // are returned as shared_ptr<const ...> so eviction never invalidates a
 // block an in-flight query still pins. Concurrent misses on the same block
 // may decode it twice; one result wins, both callers get a valid block.
+// Destroying the cache drains the prefetch pool first (queued decodes
+// finish against still-live state), so shutdown mid-query is safe.
 #ifndef KBTIM_INDEX_KEYWORD_CACHE_H_
 #define KBTIM_INDEX_KEYWORD_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -41,6 +56,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_pool.h"
 #include "coverage/rr_collection.h"
 #include "index/index_format.h"
 #include "storage/block_file.h"
@@ -54,6 +70,27 @@ struct KeywordCacheOptions {
 
   /// Map index files for zero-copy parses; falls back to pread copies.
   bool use_mmap = true;
+
+  /// Admission policy: blocks larger than this fraction of
+  /// block_cache_bytes are served but not cached.
+  double max_block_fraction = 1.0;
+
+  /// Decode IR^p set members at partition-load time instead of on first
+  /// eager-mode access. The lazy default roughly halves cold-query decode
+  /// work for the (default) lazy NRA mode; benchmarks pin this on to
+  /// reproduce the PR-1 cost profile as the ablation baseline.
+  bool eager_ir_members = false;
+
+  /// Background IRR-partition decode workers (0 disables prefetching).
+  uint32_t prefetch_threads = 2;
+
+  /// How many partitions ahead of the NRA loop's consumption point the
+  /// IrrIndex keeps in flight per keyword. Depth 1 barely overlaps (the
+  /// loop's compute between load rounds is short); a deeper window keeps
+  /// every worker busy so consumption approaches decode-bandwidth / W.
+  /// The cost is up to `depth` partitions read past the loop's early
+  /// termination point.
+  uint32_t prefetch_depth = 3;
 };
 
 /// Point-in-time cache counters (monotonic except bytes_cached).
@@ -68,6 +105,13 @@ struct KeywordCacheStats {
   uint64_t evictions = 0;
   /// Decoded bytes currently resident in the block cache.
   uint64_t bytes_cached = 0;
+  /// Blocks denied residency by the admission policy (served uncached).
+  uint64_t admission_bypasses = 0;
+  /// Background partition decodes scheduled by PrefetchIrrPartition.
+  uint64_t prefetches_issued = 0;
+  /// Foreground lookups served by waiting on an in-flight prefetch
+  /// (counted as misses too: the block was not resident).
+  uint64_t prefetches_served = 0;
 };
 
 /// Parsed preamble of one keyword's irr_<w>.dat: header fields, the IP
@@ -94,16 +138,20 @@ struct IrrKeywordEntry {
 /// One decoded IRR partition, budget-unrestricted so any query budget
 /// <= theta_w is served from the same block (queries restrict the
 /// ascending RR-id lists with a binary search).
+///
+/// IR^p set MEMBERS are decoded lazily: only the eager query mode
+/// (Algorithm 4 lines 21-22) ever reads them, yet they are roughly half
+/// of a partition's decode cost — so the cold (default, lazy-mode) path
+/// keeps the validated encoded region and the first SetMembers call
+/// decodes it once, thread-safely, for every later eager query to share.
 struct IrrPartitionBlock {
   /// IL^p users in stored (descending list length) order.
   std::vector<VertexId> users;
   std::vector<uint32_t> list_offsets;  // users.size() + 1
   std::vector<RrId> list_ids;          // ascending within each list
 
-  /// IR^p RR sets first referenced by this partition, ids ascending.
+  /// IR^p RR-set ids first referenced by this partition, ascending.
   std::vector<RrId> set_ids;
-  std::vector<uint32_t> set_offsets;  // set_ids.size() + 1
-  std::vector<VertexId> set_members;
 
   /// Inverted list of users[i] (full, unrestricted).
   std::span<const RrId> ListOf(size_t i) const {
@@ -111,14 +159,37 @@ struct IrrPartitionBlock {
             list_ids.data() + list_offsets[i + 1]};
   }
 
-  /// Members of set_ids[s].
+  /// Decodes the IR^p member payloads now (idempotent, thread-safe).
+  /// Framing was validated when the block was built; payload-level
+  /// corruption fails the region closed (every span empty) and is
+  /// reported here. Eager-mode queries call this at partition load so
+  /// corruption still fails the query loudly, exactly as the pre-lazy
+  /// code did.
+  Status EnsureMembers() const;
+
+  /// Members of set_ids[s], decoding IR^p on first use (corruption
+  /// degrades to empty spans; status-checked paths use EnsureMembers).
   std::span<const VertexId> SetMembers(size_t s) const {
+    (void)EnsureMembers();
+    if (set_offsets.size() != set_ids.size() + 1) return {};
     return {set_members.data() + set_offsets[s],
             set_members.data() + set_offsets[s + 1]};
   }
 
-  /// Decoded footprint charged against block_cache_bytes.
+  /// Decoded footprint charged against block_cache_bytes (the lazily
+  /// materialized members are charged from the start via the raw bytes
+  /// they decode from; the decoded form is typically the same order of
+  /// magnitude).
   uint64_t bytes = 0;
+
+  // Implementation state for the lazy IR decode (populated by
+  // KeywordCache; treat as private).
+  CodecKind ir_codec = CodecKind::kRaw;
+  std::string ir_raw;  // encoded IR region: per-set headers + payloads
+  mutable std::once_flag ir_once;
+  mutable bool ir_corrupt = false;
+  mutable std::vector<uint32_t> set_offsets;  // set_ids.size() + 1
+  mutable std::vector<VertexId> set_members;
 };
 
 /// Decoded prefix of one keyword's R_w + L_w at `loaded_budget` RR sets
@@ -164,10 +235,22 @@ class KeywordCache {
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> GetIrrKeyword(
       TopicId topic);
 
-  /// Decoded partition `partition` of `entry`'s keyword, from cache or
+  /// Decoded partition `partition` of `entry`'s keyword, from cache, from
+  /// an in-flight prefetch (waits for it instead of re-decoding), or from
   /// disk. The returned block stays valid while the caller holds it.
   StatusOr<std::shared_ptr<const IrrPartitionBlock>> GetIrrPartition(
       const IrrKeywordEntry& entry, uint64_t partition);
+
+  /// Schedules a background read + decode of `entry`'s partition so a
+  /// later GetIrrPartition overlaps with the caller's compute. No-op when
+  /// the partition is resident, already in flight, out of range, or
+  /// prefetching/caching is disabled. `entry` is retained by the task.
+  void PrefetchIrrPartition(std::shared_ptr<const IrrKeywordEntry> entry,
+                            uint64_t partition);
+
+  /// Blocks until every scheduled prefetch has landed. Benchmarks and
+  /// tests call this to make I/O-counting windows deterministic.
+  void WaitForPrefetches();
 
   /// Decoded R_w prefix + inverted lists of `topic` covering at least
   /// `min_budget` RR sets.
@@ -213,16 +296,33 @@ class KeywordCache {
     std::list<BlockKey>::iterator lru_pos;
   };
 
+  using IrrBlockFuture =
+      std::shared_future<StatusOr<std::shared_ptr<const IrrPartitionBlock>>>;
+
   KeywordCache(std::string dir, IndexMeta meta, KeywordCacheOptions options)
-      : dir_(std::move(dir)),
-        meta_(std::move(meta)),
-        options_(options) {}
+      : dir_(std::move(dir)), meta_(std::move(meta)), options_(options) {
+    if (options_.prefetch_threads > 0 && options_.block_cache_bytes > 0) {
+      prefetch_pool_ = std::make_unique<ThreadPool>(options_.prefetch_threads);
+    }
+  }
+
+  /// Largest decoded block the admission policy lets into the cache.
+  uint64_t AdmissionLimitBytes() const {
+    const double limit = options_.max_block_fraction *
+                         static_cast<double>(options_.block_cache_bytes);
+    return limit >= static_cast<double>(options_.block_cache_bytes)
+               ? options_.block_cache_bytes
+               : static_cast<uint64_t>(limit);
+  }
 
   /// Inserts (or refreshes) a block under the LRU byte bound; returns the
   /// resident block for `key` (the existing one if another thread won).
+  /// `admitted` (optional) reports whether the block is cache-resident
+  /// afterwards (false when the admission policy bypassed it).
   std::shared_ptr<const void> InsertBlock(const BlockKey& key,
                                           std::shared_ptr<const void> block,
-                                          uint64_t bytes);
+                                          uint64_t bytes,
+                                          bool* admitted = nullptr);
   /// Evicts to fit, then records the block under `key`. mu_ must be held
   /// and `key` must not be present.
   void InsertBlockLocked(const BlockKey& key,
@@ -234,6 +334,10 @@ class KeywordCache {
 
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> LoadIrrEntry(
       TopicId topic);
+  /// The read + decode of one partition (no cache bookkeeping); runs on
+  /// foreground misses and on the prefetch pool.
+  StatusOr<std::shared_ptr<const IrrPartitionBlock>> DecodeIrrPartition(
+      const IrrKeywordEntry& entry, uint64_t partition);
   Status EnsureRrEntryLocked(TopicId topic, RrKeywordEntry** entry);
   Status ExtendRrDirectory(RrKeywordEntry* entry, uint64_t budget);
 
@@ -247,7 +351,18 @@ class KeywordCache {
   std::unordered_map<TopicId, RrKeywordEntry> rr_entries_;
   std::unordered_map<BlockKey, BlockSlot, BlockKeyHash> blocks_;
   std::list<BlockKey> lru_;  // front = most recently used
+  /// Prefetches in flight: lets foreground misses join a background
+  /// decode instead of duplicating it. Erased (under mu_, after the block
+  /// landed in blocks_) by the task itself.
+  std::unordered_map<BlockKey, IrrBlockFuture, BlockKeyHash> inflight_;
+  /// Partitions the admission policy refused: prefetching them again
+  /// would decode into the void every round, so the window skips them.
+  std::unordered_map<BlockKey, bool, BlockKeyHash> uncacheable_;
   KeywordCacheStats stats_;
+
+  /// MUST remain the last member: its destructor runs first and drains
+  /// queued prefetch decodes while every field they touch is still alive.
+  std::unique_ptr<ThreadPool> prefetch_pool_;
 };
 
 }  // namespace kbtim

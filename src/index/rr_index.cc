@@ -166,6 +166,8 @@ StatusOr<std::vector<SeedSetResult>> RrIndex::BatchQuery(
     result.stats.cache_hits = cache_after.hits - cache_before.hits;
     result.stats.cache_misses = cache_after.misses - cache_before.misses;
     result.stats.cache_bytes = cache_after.bytes_cached;
+    result.stats.cache_admission_bypasses =
+        cache_after.admission_bypasses - cache_before.admission_bypasses;
     result.stats.sampling_seconds = load_seconds;
     result.stats.greedy_seconds = greedy_timer.ElapsedSeconds();
     result.stats.total_seconds = total_timer.ElapsedSeconds();

@@ -5,7 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
-#include "coverage/celf_greedy.h"
+#include "coverage/flat_celf.h"
 #include "coverage/rr_collection.h"
 #include "sampling/opt_estimator.h"
 #include "sampling/theta_bounds.h"
@@ -76,8 +76,9 @@ StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
   const double sampling_seconds = sampling_timer.ElapsedSeconds();
 
   WallTimer greedy_timer;
-  InvertedRrIndex inverted(sets, graph_.num_vertices());
-  const MaxCoverResult cover = CelfGreedyMaxCover(sets, inverted, k);
+  CoverageWorkspace cover_ws;
+  const MaxCoverResult cover =
+      cover_ws.Solve(sets, graph_.num_vertices(), k);
 
   SeedSetResult result;
   result.seeds = cover.seeds;

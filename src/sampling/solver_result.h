@@ -36,6 +36,15 @@ struct SolverStats {
   /// Decoded bytes resident in the keyword cache after the query.
   uint64_t cache_bytes = 0;
 
+  /// Blocks this query decoded but the cache admission policy refused to
+  /// keep (KeywordCacheOptions::max_block_fraction).
+  uint64_t cache_admission_bypasses = 0;
+
+  /// IRR partition prefetches scheduled on the background pipeline, and
+  /// foreground loads served by joining an in-flight prefetch.
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetches_served = 0;
+
   double sampling_seconds = 0.0;
   double greedy_seconds = 0.0;
   double total_seconds = 0.0;

@@ -4,7 +4,6 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
-#include "coverage/celf_greedy.h"
 #include "sampling/theta_bounds.h"
 #include "sampling/vertex_sampler.h"
 
@@ -96,10 +95,14 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
     Rng rng = Rng(options_.seed).Fork(tid + 17);
     const uint64_t lo = tid * theta / nthreads;
     const uint64_t hi = (tid + 1) * theta / nthreads;
-    slot.partial.Clear();
+    // partial was cleared by the previous solve's merge loop (Clear on an
+    // already-empty collection would shrink the arena to the floor and
+    // force a realloc here, breaking zero steady-state allocation).
     slot.partial.Reserve(hi - lo, (hi - lo) * 4);
+    slot.max_scratch = 0;
     for (uint64_t i = lo; i < hi; ++i) {
       sampler.Sample(roots.Sample(rng), rng, &slot.scratch);
+      slot.max_scratch = std::max(slot.max_scratch, slot.scratch.size());
       slot.partial.Add(slot.scratch);
     }
   };
@@ -112,12 +115,32 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
     pool_->Wait();
   }
   sets_.Clear();
-  for (uint32_t t = 0; t < nthreads; ++t) sets_.Append(slots_[t].partial);
+  for (uint32_t t = 0; t < nthreads; ++t) {
+    SamplerSlot& slot = slots_[t];
+    sets_.Append(slot.partial);
+    // Release outlier-query growth now instead of pinning it until the
+    // next solve (Clear caps retained capacity; see RrCollection::Clear).
+    // The scratch cap keys off the LARGEST sample this query drew, not
+    // the (tiny) final one, and shrinks TO the policy floor rather than
+    // to the final sample's size, so ordinary heavy-tailed samples never
+    // cause per-query shrink/regrow churn.
+    slot.partial.Clear();
+    const size_t scratch_cap =
+        std::max(RrCollection::kRetainSlack * slot.max_scratch,
+                 RrCollection::kMinRetainedItems);
+    if (slot.scratch.capacity() > scratch_cap) {
+      std::vector<VertexId> fresh;
+      fresh.reserve(scratch_cap);
+      slot.scratch.swap(fresh);
+    }
+  }
   const double sampling_seconds = sampling_timer.ElapsedSeconds();
 
   WallTimer greedy_timer;
-  InvertedRrIndex inverted(sets_, graph_.num_vertices());
-  const MaxCoverResult cover = CelfGreedyMaxCover(sets_, inverted, query.k);
+  // The sampling pool is idle by now; the workspace reuses it for the
+  // parallel incidence build.
+  const MaxCoverResult cover =
+      cover_ws_.Solve(sets_, graph_.num_vertices(), query.k, pool_.get());
   const double greedy_seconds = greedy_timer.ElapsedSeconds();
 
   SeedSetResult result;
@@ -136,6 +159,11 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   result.stats.sampling_seconds = sampling_seconds;
   result.stats.greedy_seconds = greedy_seconds;
   result.stats.total_seconds = total_timer.ElapsedSeconds();
+  // Same anti-ratchet policy for the seed-selection scratch: keep it warm
+  // at the scale this query needed, not the largest query ever seen.
+  cover_ws_.ShrinkRetained(
+      std::max<size_t>(RrCollection::kRetainSlack * sets_.total_items(),
+                       RrCollection::kMinRetainedItems));
   return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/statusor.h"
 #include "common/thread_pool.h"
+#include "coverage/flat_celf.h"
 #include "coverage/rr_collection.h"
 #include "graph/graph.h"
 #include "propagation/model.h"
@@ -78,6 +79,7 @@ class WrisSolver {
     std::unique_ptr<RrSampler> sampler;  // lazily created, then reused
     RrCollection partial;
     std::vector<VertexId> scratch;
+    size_t max_scratch = 0;  // largest sample this query (shrink policy)
   };
 
   /// slots_[tid].sampler, created on first use.
@@ -94,6 +96,7 @@ class WrisSolver {
   mutable std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   mutable std::vector<SamplerSlot> slots_;
   mutable RrCollection sets_;  // merged RR sets of the current query
+  mutable CoverageWorkspace cover_ws_;  // flat CELF seed-selection scratch
 };
 
 }  // namespace kbtim

@@ -1,5 +1,7 @@
 #include "storage/bitpacking.h"
 
+#include "storage/decode_kernels.h"
+
 namespace kbtim {
 
 size_t BitPackedSize(size_t n, uint32_t bits) {
@@ -27,6 +29,7 @@ void BitPack(const uint32_t* values, size_t n, uint32_t bits,
 
 size_t BitUnpack(const char* p, size_t avail, size_t n, uint32_t bits,
                  uint32_t* out) {
+  if (BatchDecodeEnabled()) return BitUnpackBatch(p, avail, n, bits, out);
   if (bits == 0) {
     for (size_t i = 0; i < n; ++i) out[i] = 0;
     return 0;

@@ -5,6 +5,7 @@
 
 #include "common/math_util.h"
 #include "storage/bitpacking.h"
+#include "storage/decode_kernels.h"
 #include "storage/varint.h"
 
 namespace kbtim {
@@ -148,6 +149,32 @@ Status PforCodec::Decode(std::string_view data,
   return Status::OK();
 }
 
+void GroupVarintCodec::Encode(std::span<const uint32_t> values,
+                              std::string* out) const {
+  PutVarint64(out, values.size());
+  GroupVarintEncode(values, out);
+}
+
+Status GroupVarintCodec::Decode(std::string_view data,
+                                std::vector<uint32_t>* out) const {
+  out->clear();
+  const char* limit = data.data() + data.size();
+  uint64_t count = 0;
+  const char* p = GetVarint64(data.data(), limit, &count);
+  if (p == nullptr) return Status::Corruption("gvarint codec: bad count");
+  // Each value consumes at least one payload byte and each group of 4 one
+  // control byte, so corrupt huge counts fail before allocating.
+  const auto avail = static_cast<uint64_t>(limit - p);
+  if (count > avail * 4) {
+    return Status::Corruption("gvarint codec: count exceeds payload");
+  }
+  out->resize(count);
+  if (GroupVarintDecode(p, limit, count, out->data()) == nullptr) {
+    return Status::Corruption("gvarint codec: truncated");
+  }
+  return Status::OK();
+}
+
 std::unique_ptr<IntCodec> MakeCodec(CodecKind kind) {
   switch (kind) {
     case CodecKind::kRaw:
@@ -156,6 +183,8 @@ std::unique_ptr<IntCodec> MakeCodec(CodecKind kind) {
       return std::make_unique<VarintCodec>();
     case CodecKind::kPfor:
       return std::make_unique<PforCodec>();
+    case CodecKind::kGroupVarint:
+      return std::make_unique<GroupVarintCodec>();
   }
   return std::make_unique<RawCodec>();
 }

@@ -6,7 +6,9 @@
 //  * VarintCodec — LEB128 per value (fallback / tiny lists);
 //  * PforCodec   — patched frame-of-reference: 128-value blocks, per-block
 //    bit width chosen by exhaustive cost search, out-of-range values stored
-//    as (position, overflow) exception pairs.
+//    as (position, overflow) exception pairs;
+//  * GroupVarintCodec — byte-aligned groups of 4 with a control byte,
+//    decoded whole-group-at-a-time (decode_kernels.h).
 // Sorted id lists should be delta-encoded first (DeltaEncode/DeltaDecode);
 // the index layer does this for inverted lists and sorted RR sets.
 #ifndef KBTIM_STORAGE_PFOR_CODEC_H_
@@ -73,8 +75,26 @@ class PforCodec final : public IntCodec {
   static constexpr size_t kBlockSize = 128;
 };
 
+/// Group varint (Google style): one control byte per 4 values holding the
+/// byte length (1-4) of each, then the little-endian payloads. Decodes a
+/// whole group per dispatch with masked 32-bit loads (decode_kernels.h),
+/// trading a little space vs LEB128 for much higher decode throughput.
+class GroupVarintCodec final : public IntCodec {
+ public:
+  void Encode(std::span<const uint32_t> values,
+              std::string* out) const override;
+  Status Decode(std::string_view data,
+                std::vector<uint32_t>* out) const override;
+  const char* Name() const override { return "gvarint"; }
+};
+
 /// Codec selection for index files.
-enum class CodecKind : uint8_t { kRaw = 0, kVarint = 1, kPfor = 2 };
+enum class CodecKind : uint8_t {
+  kRaw = 0,
+  kVarint = 1,
+  kPfor = 2,
+  kGroupVarint = 3,
+};
 
 /// Factory; never returns null.
 std::unique_ptr<IntCodec> MakeCodec(CodecKind kind);

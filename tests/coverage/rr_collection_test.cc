@@ -34,6 +34,49 @@ TEST(RrCollectionTest, AppendPreservesOrder) {
   EXPECT_EQ(a.Set(2)[0], 3u);
 }
 
+TEST(RrCollectionTest, ClearKeepsModestCapacityWarm) {
+  RrCollection sets;
+  std::vector<VertexId> members(100, 1);
+  for (int i = 0; i < 10; ++i) sets.Add(members);  // 1000 items
+  const size_t warm_capacity = sets.items_capacity();
+  sets.Clear();
+  EXPECT_EQ(sets.size(), 0u);
+  // A 1000-item arena is within kRetainSlack of its own use (and over the
+  // floor, kMinRetainedItems applies): capacity survives for reuse.
+  EXPECT_GE(sets.items_capacity(),
+            std::min(warm_capacity, RrCollection::kMinRetainedItems));
+  // Steady-state refills of the same shape must not allocate the arena
+  // again: capacity is already there.
+  for (int i = 0; i < 10; ++i) sets.Add(members);
+  EXPECT_EQ(sets.total_items(), 1000u);
+}
+
+TEST(RrCollectionTest, ClearShrinksPathologicallyGrownArena) {
+  RrCollection sets;
+  // One outlier query: ~2M items, far beyond the retained floor.
+  std::vector<VertexId> big(1 << 12, 7);
+  for (int i = 0; i < 512; ++i) sets.Add(big);
+  ASSERT_GT(sets.items_capacity(), 1u << 20);
+
+  // A later small query clears from a small used size: retained capacity
+  // must drop to kRetainSlack x use (bounded below by the floor), not
+  // stay at the outlier's peak.
+  sets.Clear();
+  sets.Add(std::vector<VertexId>{1, 2, 3});
+  sets.Clear();
+  EXPECT_LE(sets.items_capacity(),
+            std::max<size_t>(RrCollection::kRetainSlack * 3,
+                             RrCollection::kMinRetainedItems));
+  EXPECT_LE(sets.offsets_capacity(),
+            std::max<size_t>(RrCollection::kRetainSlack * 2,
+                             RrCollection::kMinRetainedItems));
+
+  // Still fully functional after the shrink.
+  sets.Add(std::vector<VertexId>{4, 5});
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.Set(0)[1], 5u);
+}
+
 TEST(InvertedRrIndexTest, ListsMatchMembership) {
   RrCollection sets;
   sets.Add(std::vector<VertexId>{0, 2});     // rr0

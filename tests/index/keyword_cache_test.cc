@@ -41,6 +41,14 @@ class KeywordCacheTest : public ::testing::Test {
     ASSERT_TRUE(env.ok());
     env_ = std::move(*env);
 
+    IndexBuildOptions opts = BuildOptions();
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    auto report = builder.Build(dir_);
+    ASSERT_TRUE(report.ok()) << report.status();
+  }
+
+  static IndexBuildOptions BuildOptions() {
     IndexBuildOptions opts;
     opts.epsilon = 0.5;
     opts.max_k = 12;
@@ -49,10 +57,7 @@ class KeywordCacheTest : public ::testing::Test {
     opts.seed = 79;
     opts.max_theta_per_keyword = 20000;
     opts.opt_estimate.pilot_initial = 512;
-    IndexBuilder builder(env_->graph(), env_->tfidf(),
-                         env_->weights(opts.model), opts);
-    auto report = builder.Build(dir_);
-    ASSERT_TRUE(report.ok()) << report.status();
+    return opts;
   }
 
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -79,10 +84,17 @@ TEST_F(KeywordCacheTest, WarmIrrQueryPerformsZeroReads) {
   auto cold = irr->Query(q);
   ASSERT_TRUE(cold.ok()) << cold.status();
   EXPECT_GT(cold->stats.io_reads, 0u);
-  EXPECT_GT(cold->stats.cache_misses, 0u);
+  // Every partition was decoded this query — by a foreground miss or by
+  // the background pipeline (a fast prefetch can land before the
+  // foreground lookup, which then counts as a hit).
+  EXPECT_GT(cold->stats.cache_misses + cold->stats.prefetches_issued, 0u);
 
   // Acceptance criterion: the second identical query's IoCounter read-op
   // delta is 0 — no preamble re-reads and no partition reads at all.
+  // Drain the background pipeline first: the cold query's trailing
+  // one-ahead prefetch may still be reading, and its I/O belongs to the
+  // cold window, not the warm one.
+  irr->cache()->WaitForPrefetches();
   const IoStats before = IoCounter::Snapshot();
   auto warm = irr->Query(q);
   ASSERT_TRUE(warm.ok());
@@ -91,6 +103,8 @@ TEST_F(KeywordCacheTest, WarmIrrQueryPerformsZeroReads) {
   EXPECT_EQ(delta.read_bytes, 0u);
   EXPECT_EQ(warm->stats.io_reads, 0u);
   EXPECT_EQ(warm->stats.cache_misses, 0u);
+  // Fully resident working set: the pipeline has nothing to schedule.
+  EXPECT_EQ(warm->stats.prefetches_issued, 0u);
   EXPECT_GT(warm->stats.cache_hits, 0u);
   ExpectSameResult(*cold, *warm);
   // Logical work is unchanged: the warm query still "loads" the same sets.
@@ -274,6 +288,192 @@ TEST_F(KeywordCacheTest, Theorem3HoldsWarmInBothModes) {
       ExpectSameResult(*reference, *result);
     }
   }
+}
+
+TEST_F(KeywordCacheTest, GroupVarintIndexAnswersIdentically) {
+  // Same samples (same seed), different payload codec: every query must
+  // answer byte-identically through both index formats.
+  const std::string gdir = dir_ + "_gvarint";
+  std::filesystem::create_directories(gdir);
+  IndexBuildOptions opts = BuildOptions();
+  opts.codec = CodecKind::kGroupVarint;
+  IndexBuilder builder(env_->graph(), env_->tfidf(),
+                       env_->weights(opts.model), opts);
+  ASSERT_TRUE(builder.Build(gdir).ok());
+
+  auto pfor_irr = IrrIndex::Open(dir_);
+  auto gv_irr = IrrIndex::Open(gdir);
+  auto gv_rr = RrIndex::Open(gdir);
+  ASSERT_TRUE(pfor_irr.ok());
+  ASSERT_TRUE(gv_irr.ok());
+  ASSERT_TRUE(gv_rr.ok());
+  EXPECT_EQ(gv_irr->meta().codec, CodecKind::kGroupVarint);
+  for (const Query& q : {Query{{0, 2}, 8}, Query{{1, 3, 4}, 5}}) {
+    auto want = pfor_irr->Query(q);
+    auto got = gv_irr->Query(q);
+    auto got_rr = gv_rr->Query(q);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got_rr.ok());
+    ExpectSameResult(*want, *got);
+    ExpectSameResult(*want, *got_rr);
+  }
+  std::filesystem::remove_all(gdir);
+}
+
+TEST_F(KeywordCacheTest, PrefetchPipelineMatchesUnpipelinedResults) {
+  // Prefetch must change WHEN blocks decode, never WHAT a query answers.
+  KeywordCacheOptions no_prefetch;
+  no_prefetch.prefetch_threads = 0;
+  auto reference = IrrIndex::Open(dir_, no_prefetch);
+  ASSERT_TRUE(reference.ok());
+
+  KeywordCacheOptions pipelined;
+  pipelined.prefetch_threads = 3;
+  auto irr = IrrIndex::Open(dir_, pipelined);
+  ASSERT_TRUE(irr.ok());
+
+  const std::vector<Query> queries = {
+      {{0, 2}, 8}, {{1}, 5}, {{0, 1, 4}, 12}, {{3, 4}, 3}};
+  uint64_t issued = 0;
+  for (const Query& q : queries) {
+    auto want = reference->Query(q);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(want->stats.prefetches_issued, 0u);
+    for (IrrQueryMode mode : {IrrQueryMode::kLazy, IrrQueryMode::kEager}) {
+      auto got = irr->Query(q, mode);
+      ASSERT_TRUE(got.ok());
+      ExpectSameResult(*want, *got);
+      issued += got->stats.prefetches_issued;
+    }
+  }
+  // The pipeline actually ran on the cold pass.
+  EXPECT_GT(issued, 0u);
+  // Same logical access pattern: identical RR sets loaded either way.
+}
+
+TEST_F(KeywordCacheTest, PrefetcherShutdownMidQueryIsSafe) {
+  // Issue a burst of prefetches and destroy the cache immediately: the
+  // pool must drain queued decodes against still-live state (no
+  // use-after-free under ASan) and every future must land.
+  for (int round = 0; round < 5; ++round) {
+    auto cache_or = KeywordCache::Create(dir_);
+    ASSERT_TRUE(cache_or.ok());
+    auto cache = *cache_or;
+    auto entry = cache->GetIrrKeyword(round % 5);
+    ASSERT_TRUE(entry.ok());
+    for (uint64_t p = 0; p < (*entry)->num_partitions; ++p) {
+      cache->PrefetchIrrPartition(*entry, p);
+    }
+    // Alternate: sometimes drain first, sometimes drop mid-flight.
+    if (round % 2 == 0) cache->WaitForPrefetches();
+    cache.reset();
+  }
+}
+
+TEST_F(KeywordCacheTest, PrefetchedBlocksAreDeterministic) {
+  // A block decoded by the pipeline must be byte-identical to one decoded
+  // by a foreground miss.
+  auto a_or = KeywordCache::Create(dir_);
+  ASSERT_TRUE(a_or.ok());
+  auto prefetched = *a_or;
+  KeywordCacheOptions no_prefetch;
+  no_prefetch.prefetch_threads = 0;
+  auto direct_or = KeywordCache::Create(dir_, no_prefetch);
+  ASSERT_TRUE(direct_or.ok());
+  auto direct = *direct_or;
+
+  auto entry_a = prefetched->GetIrrKeyword(1);
+  auto entry_b = direct->GetIrrKeyword(1);
+  ASSERT_TRUE(entry_a.ok());
+  ASSERT_TRUE(entry_b.ok());
+  for (uint64_t p = 0; p < (*entry_a)->num_partitions; ++p) {
+    prefetched->PrefetchIrrPartition(*entry_a, p);
+  }
+  prefetched->WaitForPrefetches();
+  EXPECT_GT(prefetched->stats().prefetches_issued, 0u);
+  for (uint64_t p = 0; p < (*entry_a)->num_partitions; ++p) {
+    auto got = prefetched->GetIrrPartition(**entry_a, p);
+    auto want = direct->GetIrrPartition(**entry_b, p);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ((*got)->users, (*want)->users);
+    EXPECT_EQ((*got)->list_offsets, (*want)->list_offsets);
+    EXPECT_EQ((*got)->list_ids, (*want)->list_ids);
+    EXPECT_EQ((*got)->set_ids, (*want)->set_ids);
+    for (size_t s = 0; s < (*got)->set_ids.size(); ++s) {
+      const auto a = (*got)->SetMembers(s);
+      const auto b = (*want)->SetMembers(s);
+      ASSERT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+                std::vector<VertexId>(b.begin(), b.end()));
+    }
+  }
+  // Prefetched blocks were resident: lookups above were hits, not misses.
+  EXPECT_EQ(prefetched->stats().misses, 0u);
+}
+
+TEST_F(KeywordCacheTest, AdmissionPolicySkipsOversizedBlocks) {
+  // Learn the working-set size, then bound the cache so that every block
+  // passes the LRU but large blocks fail the admission fraction.
+  auto probe_or = KeywordCache::Create(dir_);
+  ASSERT_TRUE(probe_or.ok());
+  auto probe = *probe_or;
+  auto entry = probe->GetIrrKeyword(0);
+  ASSERT_TRUE(entry.ok());
+  uint64_t max_block = 0;
+  for (uint64_t p = 0; p < (*entry)->num_partitions; ++p) {
+    auto block = probe->GetIrrPartition(**entry, p);
+    ASSERT_TRUE(block.ok());
+    max_block = std::max(max_block, (*block)->bytes);
+  }
+  ASSERT_GT(max_block, 0u);
+
+  KeywordCacheOptions options;
+  options.block_cache_bytes = 4 * max_block;
+  options.max_block_fraction =
+      static_cast<double>(max_block - 1) / static_cast<double>(
+                                               options.block_cache_bytes);
+  options.prefetch_threads = 0;
+  auto strict_or = KeywordCache::Create(dir_, options);
+  ASSERT_TRUE(strict_or.ok());
+  auto strict = *strict_or;
+  auto strict_entry = strict->GetIrrKeyword(0);
+  ASSERT_TRUE(strict_entry.ok());
+  auto probe_ref = probe->GetIrrPartition(**entry, 0);
+  ASSERT_TRUE(probe_ref.ok());
+  for (uint64_t p = 0; p < (*strict_entry)->num_partitions; ++p) {
+    auto block = strict->GetIrrPartition(**strict_entry, p);
+    ASSERT_TRUE(block.ok());  // bypassed blocks still serve the query
+  }
+  const KeywordCacheStats stats = strict->stats();
+  // At least the largest block was refused residency; the LRU bound is
+  // still honored for what was admitted.
+  EXPECT_GT(stats.admission_bypasses, 0u);
+  EXPECT_LE(stats.bytes_cached, options.block_cache_bytes);
+  // Re-reading a bypassed block re-decodes (the policy trades that) but
+  // answers stay identical to the unrestricted cache's.
+  auto again = strict->GetIrrPartition(**strict_entry, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->list_ids, (*probe_ref)->list_ids);
+}
+
+TEST_F(KeywordCacheTest, AdmissionBypassSurfacesInSolverStats) {
+  KeywordCacheOptions options;
+  options.block_cache_bytes = 1024;  // tiny: every real block bypasses
+  options.max_block_fraction = 0.01;
+  options.prefetch_threads = 0;
+  auto irr = IrrIndex::Open(dir_, options);
+  ASSERT_TRUE(irr.ok());
+  auto reference = IrrIndex::Open(dir_);
+  ASSERT_TRUE(reference.ok());
+  const Query q{{0, 2}, 8};
+  auto want = reference->Query(q);
+  auto got = irr->Query(q);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ExpectSameResult(*want, *got);
+  EXPECT_GT(got->stats.cache_admission_bypasses, 0u);
+  EXPECT_EQ(irr->cache()->stats().bytes_cached, 0u);
 }
 
 TEST_F(KeywordCacheTest, ConcurrentQueriesThroughOneSharedCache) {
