@@ -1,0 +1,360 @@
+// Serving-layer load generator (PR 3): drives one QueryService — and so
+// one shared KeywordCache — with concurrent clients and writes
+// BENCH_serving.json.
+//
+//   1. Closed loop: C ∈ {1, 2, 4, 8} client threads, each issuing
+//      synchronous mixed IRR/RR queries back-to-back against a service
+//      with C workers. Reports aggregate throughput and p50/p90/p99
+//      latency per client count — the multi-core scaling curve of the
+//      whole warm path (prefetch overlap + parallel coverage build run
+//      for real here; on a single hardware thread the curve is flat and
+//      the JSON records that honestly).
+//   2. Warm-path contract: every measured pass runs over a pre-warmed
+//      cache and must perform 0 read ops (--assert-warm-zero-io turns a
+//      violation into a nonzero exit for CI).
+//   3. Open loop (--open-loop-rate R, or auto): a dispatcher submits at a
+//      fixed arrival rate into a small bounded queue with a queue
+//      deadline, demonstrating admission control + load shedding under
+//      overload; drops and tail latency land in the JSON.
+//
+// Extra flags on top of bench_common.h:
+//   --workers N          cap service workers per config (default: =clients)
+//   --iters N            queries per client per config (default 4x --queries)
+//   --open-loop-rate R   arrival rate in QPS (0 = auto from closed loop)
+//   --no-open-loop       skip the open-loop phase
+//   --assert-warm-zero-io
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "serving/query_service.h"
+#include "storage/io_counter.h"
+
+namespace kbtim {
+namespace bench {
+namespace {
+
+struct LoadPoint {
+  uint32_t clients = 0;
+  uint32_t workers = 0;
+  uint64_t queries = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_queue_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t warm_io_reads = 0;
+};
+
+/// One closed-loop measurement: C clients, each `iters` mixed IRR/RR
+/// queries over a freshly created, then warmed, service.
+StatusOr<LoadPoint> RunClosedLoop(const std::string& dir,
+                                  const std::vector<Query>& queries,
+                                  uint32_t clients, uint32_t workers,
+                                  uint32_t iters) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_pending = 4096;  // closed loop: no shedding
+  KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                         QueryService::Create(dir, options));
+
+  // Warm pass: every query once through each engine, then drain the
+  // prefetch pipeline so the measured window starts fully resident.
+  for (const Query& q : queries) {
+    KBTIM_RETURN_IF_ERROR(
+        service->Execute({q, QueryEngine::kIrr}).status());
+    KBTIM_RETURN_IF_ERROR(service->Execute({q, QueryEngine::kRr}).status());
+  }
+  service->cache()->WaitForPrefetches();
+  const ServiceStats warmup_stats = service->stats();
+  service->ResetLatencyWindow();  // percentiles cover the burst only
+
+  const IoStats io_before = IoCounter::Snapshot();
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (uint32_t i = 0; i < iters; ++i) {
+        ServiceRequest request;
+        request.query = queries[(c + i) % queries.size()];
+        request.engine =
+            (c + i) % 2 == 0 ? QueryEngine::kIrr : QueryEngine::kRr;
+        auto result = service->Execute(request);
+        if (!result.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds = timer.ElapsedSeconds();
+  const IoStats io = IoCounter::Snapshot() - io_before;
+
+  const ServiceStats stats = service->stats();
+  LoadPoint point;
+  point.clients = clients;
+  point.workers = workers;
+  point.queries = uint64_t{clients} * iters;
+  point.qps = seconds > 0 ? static_cast<double>(point.queries) / seconds
+                          : 0.0;
+  // Percentiles cover the recent latency window, which the measured burst
+  // dominates (the warm-up pass is far smaller than the window).
+  point.p50_ms = stats.p50_ms;
+  point.p90_ms = stats.p90_ms;
+  point.p99_ms = stats.p99_ms;
+  point.mean_queue_ms = stats.mean_queue_ms;
+  point.cache_hit_rate = stats.cache_hit_rate;
+  point.warm_io_reads = io.read_ops;
+  if (stats.failed != warmup_stats.failed) {
+    return Status::Internal("closed-loop queries failed");
+  }
+  return point;
+}
+
+struct OpenLoopResult {
+  double rate_qps = 0.0;
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t admission_drops = 0;
+  uint64_t deadline_drops = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Fixed-arrival-rate dispatcher into a small bounded queue with a queue
+/// deadline: the overload/shedding demonstration.
+StatusOr<OpenLoopResult> RunOpenLoop(const std::string& dir,
+                                     const std::vector<Query>& queries,
+                                     double rate_qps, uint32_t workers,
+                                     double seconds) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_pending = 32;
+  options.default_queue_deadline_ms = 50.0;
+  KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                         QueryService::Create(dir, options));
+  for (const Query& q : queries) {  // warm BOTH engines the phase uses
+    KBTIM_RETURN_IF_ERROR(
+        service->Execute({q, QueryEngine::kIrr}).status());
+    KBTIM_RETURN_IF_ERROR(service->Execute({q, QueryEngine::kRr}).status());
+  }
+  service->cache()->WaitForPrefetches();
+  service->ResetLatencyWindow();
+
+  const auto interval = std::chrono::duration<double>(1.0 / rate_qps);
+  const uint64_t offered =
+      static_cast<uint64_t>(rate_qps * seconds);
+  std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+  futures.reserve(offered);
+  auto next = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < offered; ++i) {
+    std::this_thread::sleep_until(next);
+    next += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(interval);
+    ServiceRequest request;
+    request.query = queries[i % queries.size()];
+    request.engine = i % 2 == 0 ? QueryEngine::kIrr : QueryEngine::kRr;
+    futures.push_back(service->Submit(std::move(request)));
+  }
+  service->Drain();
+  for (auto& future : futures) (void)future.get();
+
+  const ServiceStats stats = service->stats();
+  OpenLoopResult result;
+  result.rate_qps = rate_qps;
+  result.offered = offered;
+  result.completed = stats.completed - 2 * queries.size();  // minus warm-up
+  result.admission_drops = stats.admission_drops;
+  result.deadline_drops = stats.deadline_drops;
+  result.p50_ms = stats.p50_ms;
+  result.p99_ms = stats.p99_ms;
+  return result;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kbtim
+
+int main(int argc, char** argv) {
+  using namespace kbtim;
+  using namespace kbtim::bench;
+  BenchFlags flags = ParseFlags(argc, argv);
+  bool assert_warm_zero_io = false;
+  bool no_open_loop = false;
+  uint32_t max_workers = 0;  // 0 = match client count
+  uint32_t iters = 0;
+  double open_loop_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-warm-zero-io") == 0) {
+      assert_warm_zero_io = true;
+    } else if (std::strcmp(argv[i], "--no-open-loop") == 0) {
+      no_open_loop = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      max_workers = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--open-loop-rate") == 0 &&
+               i + 1 < argc) {
+      open_loop_rate = std::atof(argv[i + 1]);
+    }
+  }
+  if (iters == 0) iters = flags.queries * 4;
+  PrintHeader("Serving load: concurrent clients over one KeywordCache",
+              flags);
+
+  const DatasetSpec spec =
+      ScaleSpec(DefaultNewsSpec(flags.topics), flags.scale);
+  auto env_or = Environment::Create(spec);
+  if (!env_or.ok()) {
+    std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());
+    return 1;
+  }
+  auto env = std::move(*env_or);
+  IndexBuildOptions build = DefaultBuildOptions(flags);
+  IndexBuildReport report;
+  const std::string tag = spec.name + "_serving_e" +
+                          FormatDouble(flags.epsilon, 2) + "_t" +
+                          std::to_string(flags.topics);
+  auto dir = EnsureIndex(*env, build, tag, flags.no_cache, &report);
+  if (!dir.ok()) {
+    std::fprintf(stderr, "%s\n", dir.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryGeneratorOptions qopts;
+  qopts.queries_per_length = flags.queries;
+  qopts.min_keywords = 2;
+  qopts.max_keywords = 2;
+  qopts.k = 20;
+  qopts.seed = 2027;
+  auto queries = env->Queries(qopts);
+  if (!queries.ok() || queries->empty()) return 1;
+
+  const uint32_t hw_threads = std::thread::hardware_concurrency();
+  const uint32_t client_counts[] = {1, 2, 4, 8};
+  std::vector<LoadPoint> points;
+  for (uint32_t clients : client_counts) {
+    const uint32_t workers =
+        max_workers > 0 ? std::min(clients, max_workers) : clients;
+    auto point = RunClosedLoop(*dir, *queries, clients, workers, iters);
+    if (!point.ok()) {
+      std::fprintf(stderr, "%s\n", point.status().ToString().c_str());
+      return 1;
+    }
+    points.push_back(*point);
+  }
+  const double speedup_4v1 =
+      points[0].qps > 0 ? points[2].qps / points[0].qps : 0.0;
+
+  OpenLoopResult open_loop;
+  bool have_open_loop = false;
+  if (!no_open_loop) {
+    // Default arrival rate: 1.5x the single-client throughput into a
+    // 2-worker service — enough pressure to queue, not a meltdown.
+    const double rate = open_loop_rate > 0 ? open_loop_rate
+                                           : std::max(50.0, 1.5 *
+                                                                points[0].qps);
+    auto result = RunOpenLoop(*dir, *queries, rate,
+                              max_workers > 0 ? max_workers : 2, 2.0);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    open_loop = *result;
+    have_open_loop = true;
+  }
+
+  // ---- Report -------------------------------------------------------------
+  TablePrinter table({"clients", "workers", "qps", "p50_ms", "p90_ms",
+                      "p99_ms", "warm_IOs"});
+  for (const LoadPoint& p : points) {
+    table.AddRow({std::to_string(p.clients), std::to_string(p.workers),
+                  FormatDouble(p.qps, 1), FormatDouble(p.p50_ms, 3),
+                  FormatDouble(p.p90_ms, 3), FormatDouble(p.p99_ms, 3),
+                  std::to_string(p.warm_io_reads)});
+  }
+  table.Print(std::cout);
+  std::printf("\nthroughput scaling 1 -> 4 clients: %.2fx "
+              "(hardware threads: %u)\n",
+              speedup_4v1, hw_threads);
+  if (have_open_loop) {
+    std::printf(
+        "open loop: %.0f qps offered for 2s -> %llu/%llu served, "
+        "%llu queue-full drops, %llu deadline drops, p99 %.2f ms\n",
+        open_loop.rate_qps,
+        static_cast<unsigned long long>(open_loop.completed),
+        static_cast<unsigned long long>(open_loop.offered),
+        static_cast<unsigned long long>(open_loop.admission_drops),
+        static_cast<unsigned long long>(open_loop.deadline_drops),
+        open_loop.p99_ms);
+  }
+
+  std::FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"params\": {\"scale\": %.2f, \"topics\": %u, "
+               "\"epsilon\": %.2f, \"queries\": %u, \"iters\": %u, "
+               "\"k\": %u, \"keywords\": 2, \"hardware_threads\": %u},\n"
+               "  \"closed_loop\": [\n",
+               flags.scale, flags.topics, flags.epsilon, flags.queries,
+               iters, qopts.k, hw_threads);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(
+        json,
+        "    {\"clients\": %u, \"workers\": %u, \"queries\": %llu, "
+        "\"qps\": %.2f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"mean_queue_ms\": %.4f, "
+        "\"cache_hit_rate\": %.4f, \"warm_io_reads\": %llu}%s\n",
+        p.clients, p.workers,
+        static_cast<unsigned long long>(p.queries), p.qps, p.p50_ms,
+        p.p90_ms, p.p99_ms, p.mean_queue_ms, p.cache_hit_rate,
+        static_cast<unsigned long long>(p.warm_io_reads),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"speedup_4v1\": %.3f", speedup_4v1);
+  if (have_open_loop) {
+    std::fprintf(
+        json,
+        ",\n  \"open_loop\": {\"rate_qps\": %.1f, \"offered\": %llu, "
+        "\"completed\": %llu, \"admission_drops\": %llu, "
+        "\"deadline_drops\": %llu, \"p50_ms\": %.4f, \"p99_ms\": %.4f}",
+        open_loop.rate_qps,
+        static_cast<unsigned long long>(open_loop.offered),
+        static_cast<unsigned long long>(open_loop.completed),
+        static_cast<unsigned long long>(open_loop.admission_drops),
+        static_cast<unsigned long long>(open_loop.deadline_drops),
+        open_loop.p50_ms, open_loop.p99_ms);
+  }
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_serving.json\n");
+
+  if (assert_warm_zero_io) {
+    for (const LoadPoint& p : points) {
+      if (p.warm_io_reads != 0) {
+        std::fprintf(stderr,
+                     "FAIL: warm-path regression — %llu read ops at %u "
+                     "clients (expected 0)\n",
+                     static_cast<unsigned long long>(p.warm_io_reads),
+                     p.clients);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -10,15 +10,28 @@
 
 namespace kbtim {
 
+/// ln Γ(x) for x > 0. std::lgamma writes libm's GLOBAL `signgam`, which is
+/// a data race when the θ bounds run on builder/solver worker threads; use
+/// the reentrant lgamma_r where the platform has it (glibc/musl/BSD do).
+inline double LogGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__) || \
+    defined(_GNU_SOURCE)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Returns ln(n choose k) computed via lgamma; exact enough for the sample
 /// size bounds (Theorems 1/2, Lemmas 3/4) where it appears inside a log term.
 /// Requires 0 <= k <= n.
 inline double LogNChooseK(uint64_t n, uint64_t k) {
   assert(k <= n);
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LogGamma(static_cast<double>(n) + 1.0) -
+         LogGamma(static_cast<double>(k) + 1.0) -
+         LogGamma(static_cast<double>(n - k) + 1.0);
 }
 
 /// Mean of a sample.

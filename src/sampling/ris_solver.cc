@@ -54,12 +54,17 @@ StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
   const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
   std::vector<RrCollection> partials(nthreads);
   auto worker = [&](uint32_t tid) {
-    Rng rng = Rng(options_.seed).Fork(tid + 31);
+    // One RNG stream per RR-set index (same scheme as WrisSolver): the
+    // tid-ordered merge below restores global index order, so results
+    // are identical for any thread count, as OnlineSolverOptions::seed
+    // promises.
+    const Rng base(options_.seed);
     auto sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
     const uint64_t lo = tid * theta / nthreads;
     const uint64_t hi = (tid + 1) * theta / nthreads;
     std::vector<VertexId> scratch;
     for (uint64_t i = lo; i < hi; ++i) {
+      Rng rng = base.Fork(i + 31);
       sampler->Sample(roots.Sample(rng), rng, &scratch);
       partials[tid].Add(scratch);
     }

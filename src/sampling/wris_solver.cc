@@ -43,7 +43,8 @@ RrSampler& WrisSolver::SlotSampler(uint32_t tid) const {
   return *slot.sampler;
 }
 
-StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
+StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query,
+                                          uint64_t max_theta_override) const {
   KBTIM_RETURN_IF_ERROR(
       ValidateQuery(query, graph_, tfidf_.profiles().num_topics()));
   std::lock_guard<std::mutex> solve_lock(solve_mu_);
@@ -77,12 +78,17 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   uint64_t theta = ThetaForQuery(options_.epsilon, phi_q,
                                  graph_.num_vertices(), query.k, opt_lb);
   theta = std::max<uint64_t>(theta, 1);
-  if (theta > options_.max_theta) {
-    KBTIM_LOG(Warning) << "WRIS theta " << theta << " clipped to "
-                       << options_.max_theta
-                       << "; the (1-1/e-eps) bound no longer applies";
-    theta = options_.max_theta;
+  uint64_t theta_cap = options_.max_theta;
+  if (max_theta_override > 0) {
+    theta_cap = std::min(theta_cap, max_theta_override);
   }
+  if (theta > theta_cap) {
+    KBTIM_LOG(Warning) << "WRIS theta " << theta << " clipped to "
+                       << theta_cap
+                       << "; the (1-1/e-eps) bound no longer applies";
+    theta = theta_cap;
+  }
+  theta = std::max<uint64_t>(theta, 1);
 
   // Parallel weighted sampling on the persistent pool. Slot state
   // (sampler, partial collection, scratch) is reused: a steady-state
@@ -92,7 +98,11 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
   auto run_slot = [&](uint32_t tid) {
     SamplerSlot& slot = slots_[tid];
     RrSampler& sampler = SlotSampler(tid);
-    Rng rng = Rng(options_.seed).Fork(tid + 17);
+    // One RNG stream per RR-set INDEX, not per worker: sample i draws the
+    // same walk no matter which thread runs it, and the tid-ordered merge
+    // below restores the global i order — so the solved seed set is
+    // identical for any thread count (the determinism tests pin this).
+    const Rng base(options_.seed);
     const uint64_t lo = tid * theta / nthreads;
     const uint64_t hi = (tid + 1) * theta / nthreads;
     // partial was cleared by the previous solve's merge loop (Clear on an
@@ -101,6 +111,7 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query) const {
     slot.partial.Reserve(hi - lo, (hi - lo) * 4);
     slot.max_scratch = 0;
     for (uint64_t i = lo; i < hi; ++i) {
+      Rng rng = base.Fork(i + 17);
       sampler.Sample(roots.Sample(rng), rng, &slot.scratch);
       slot.max_scratch = std::max(slot.max_scratch, slot.scratch.size());
       slot.partial.Add(slot.scratch);

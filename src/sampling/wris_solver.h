@@ -40,7 +40,8 @@ struct OnlineSolverOptions {
   /// Sampling worker threads.
   uint32_t num_threads = 1;
 
-  /// RNG seed (deterministic for a fixed thread count).
+  /// RNG seed. Sampling derives one stream per RR set (not per worker),
+  /// so a fixed seed produces identical results for ANY num_threads.
   uint64_t seed = 2024;
 
   /// Guardrail on θ; a warning is logged when the bound is clipped.
@@ -69,7 +70,13 @@ class WrisSolver {
 
   /// Answers a KB-TIM query. Fails if the query is malformed or no user is
   /// relevant to its keywords.
-  StatusOr<SeedSetResult> Solve(const Query& query) const;
+  ///
+  /// `max_theta_override` (when nonzero) caps θ below options().max_theta
+  /// for this call only — the serving layer's per-query budget knob. A
+  /// capped θ weakens the (1 − 1/e − ε) guarantee exactly as the global
+  /// clip does; the applied θ is reported in stats.theta either way.
+  StatusOr<SeedSetResult> Solve(const Query& query,
+                                uint64_t max_theta_override = 0) const;
 
   const OnlineSolverOptions& options() const { return options_; }
 

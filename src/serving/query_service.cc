@@ -1,0 +1,320 @@
+#include "serving/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "index/index_format.h"
+
+namespace kbtim {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start,
+                   std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+std::future<StatusOr<SeedSetResult>> ImmediateError(Status status) {
+  std::promise<StatusOr<SeedSetResult>> promise;
+  promise.set_value(std::move(status));
+  return promise.get_future();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
+    const std::string& dir, QueryServiceOptions options,
+    std::optional<OnlineBackend> online) {
+  KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<KeywordCache> cache,
+                         KeywordCache::Create(dir, options.cache));
+  return Create(std::move(cache), std::move(options), online);
+}
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
+    std::shared_ptr<KeywordCache> cache, QueryServiceOptions options,
+    std::optional<OnlineBackend> online) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("QueryService needs a KeywordCache");
+  }
+  options.num_workers = std::max<uint32_t>(1, options.num_workers);
+  options.max_pending = std::max<size_t>(1, options.max_pending);
+  if (online.has_value() &&
+      (online->graph == nullptr || online->tfidf == nullptr ||
+       online->in_edge_weights == nullptr)) {
+    return Status::InvalidArgument(
+        "OnlineBackend must name a graph, a tf-idf model and edge weights");
+  }
+  std::unique_ptr<QueryService> service(
+      new QueryService(std::move(cache), options));
+  if (service->meta().has_irr) {
+    KBTIM_ASSIGN_OR_RETURN(IrrIndex irr, IrrIndex::Open(service->cache_));
+    service->irr_.emplace(std::move(irr));
+  }
+  if (service->meta().has_rr) {
+    KBTIM_ASSIGN_OR_RETURN(RrIndex rr, RrIndex::Open(service->cache_));
+    service->rr_.emplace(std::move(rr));
+  }
+  service->StartWorkers(online);
+  return service;
+}
+
+QueryService::QueryService(std::shared_ptr<KeywordCache> cache,
+                           QueryServiceOptions options)
+    : cache_(std::move(cache)),
+      options_(options),
+      paused_(options.start_paused) {
+  latency_ring_.resize(kLatencyWindow, 0.0f);
+}
+
+void QueryService::StartWorkers(std::optional<OnlineBackend> online) {
+  slots_.resize(options_.num_workers);
+  if (online.has_value()) {
+    for (WorkerSlot& slot : slots_) {
+      slot.wris = std::make_unique<WrisSolver>(
+          *online->graph, *online->tfidf, online->model,
+          *online->in_edge_weights, options_.wris);
+    }
+  }
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  std::deque<PendingRequest> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    orphaned.swap(queue_);
+  }
+  work_ready_.notify_all();
+  for (PendingRequest& pending : orphaned) {
+    pending.promise.set_value(
+        Status::Unavailable("query service shutting down"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<StatusOr<SeedSetResult>> QueryService::Submit(
+    ServiceRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.submitted_at = std::chrono::steady_clock::now();
+  pending.deadline_ms = pending.request.queue_deadline_ms > 0
+                            ? pending.request.queue_deadline_ms
+                            : options_.default_queue_deadline_ms;
+  std::future<StatusOr<SeedSetResult>> future =
+      pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return ImmediateError(
+          Status::Unavailable("query service shutting down"));
+    }
+    if (queue_.size() >= options_.max_pending) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++counters_.admission_drops;
+      return ImmediateError(Status::Unavailable(
+          "query service queue full (" +
+          std::to_string(options_.max_pending) + " pending)"));
+    }
+    queue_.push_back(std::move(pending));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.submitted;
+    counters_.queue_peak =
+        std::max<uint64_t>(counters_.queue_peak, queue_.size());
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+StatusOr<SeedSetResult> QueryService::Execute(ServiceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryService::WorkerLoop(uint32_t slot_id) {
+  WorkerSlot& slot = slots_[slot_id];
+  for (;;) {
+    PendingRequest pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] {
+        return shutdown_ || (!paused_ && !queue_.empty());
+      });
+      if (shutdown_) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const auto started_at = std::chrono::steady_clock::now();
+    const double queue_ms = MillisSince(pending.submitted_at, started_at);
+    if (pending.deadline_ms > 0 && queue_ms > pending.deadline_ms) {
+      {
+        // Dropped requests still spent their queue time as far as the
+        // client is concerned: they land in the latency window so
+        // overload percentiles include what was shed.
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++counters_.deadline_drops;
+        RecordLatencyLocked(queue_ms, queue_ms);
+      }
+      pending.promise.set_value(Status::DeadlineExceeded(
+          "queued " + std::to_string(queue_ms) + " ms past the " +
+          std::to_string(pending.deadline_ms) + " ms deadline"));
+    } else {
+      StatusOr<SeedSetResult> result = Dispatch(slot, pending.request);
+      const double latency_ms = MillisSince(
+          pending.submitted_at, std::chrono::steady_clock::now());
+      RecordOutcome(pending.request, result, latency_ms, queue_ms);
+      pending.promise.set_value(std::move(result));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+StatusOr<SeedSetResult> QueryService::Dispatch(
+    WorkerSlot& slot, const ServiceRequest& request) {
+  // Per-request θ budget: index queries are costed (Eqn. 11) before any
+  // keyword file is touched; WRIS clamps inside Solve. The engine Query
+  // recomputes the same budget internally — a few-keyword arithmetic
+  // loop, accepted over widening the index Query signatures.
+  if (request.max_theta > 0 && request.engine != QueryEngine::kWris) {
+    KBTIM_ASSIGN_OR_RETURN(QueryBudget budget,
+                           ComputeQueryBudget(meta(), request.query));
+    if (budget.theta_q > request.max_theta) {
+      return Status::FailedPrecondition(
+          "query theta " + std::to_string(budget.theta_q) +
+          " exceeds the per-request budget " +
+          std::to_string(request.max_theta));
+    }
+  }
+  switch (request.engine) {
+    case QueryEngine::kIrr:
+      if (!irr_.has_value()) {
+        return Status::FailedPrecondition(
+            "index directory has no IRR structures: " + cache_->dir());
+      }
+      return irr_->Query(request.query, request.irr_mode);
+    case QueryEngine::kRr:
+      if (!rr_.has_value()) {
+        return Status::FailedPrecondition(
+            "index directory has no RR structures: " + cache_->dir());
+      }
+      return rr_->Query(request.query);
+    case QueryEngine::kWris:
+      if (slot.wris == nullptr) {
+        return Status::FailedPrecondition(
+            "no OnlineBackend attached for WRIS queries");
+      }
+      return slot.wris->Solve(request.query, request.max_theta);
+  }
+  return Status::Internal("unknown query engine");
+}
+
+void QueryService::RecordLatencyLocked(double latency_ms,
+                                       double queue_ms) {
+  queue_ms_sum_ += queue_ms;
+  latency_ring_[latency_next_] = static_cast<float>(latency_ms);
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  ++latency_total_;
+}
+
+void QueryService::RecordOutcome(const ServiceRequest& request,
+                                 const StatusOr<SeedSetResult>& result,
+                                 double latency_ms, double queue_ms) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  RecordLatencyLocked(latency_ms, queue_ms);
+  if (!result.ok()) {
+    ++counters_.failed;
+    return;
+  }
+  ++counters_.completed;
+  switch (request.engine) {
+    case QueryEngine::kIrr: ++counters_.irr_queries; break;
+    case QueryEngine::kRr: ++counters_.rr_queries; break;
+    case QueryEngine::kWris: ++counters_.wris_queries; break;
+  }
+  counters_.rr_sets_loaded += result->stats.rr_sets_loaded;
+  counters_.io_reads += result->stats.io_reads;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock,
+             [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_ready_.notify_all();
+}
+
+void QueryService::ResetLatencyWindow() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_next_ = 0;
+  latency_total_ = 0;
+  queue_ms_sum_ = 0.0;
+}
+
+size_t QueryService::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  std::vector<float> window;
+  double queue_sum = 0.0;
+  uint64_t finished = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = counters_;
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(latency_total_, kLatencyWindow));
+    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
+    queue_sum = queue_ms_sum_;
+    finished = latency_total_;
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    auto percentile = [&](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(window.size() - 1) + 0.5);
+      return static_cast<double>(window[idx]);
+    };
+    out.p50_ms = percentile(0.50);
+    out.p90_ms = percentile(0.90);
+    out.p99_ms = percentile(0.99);
+    out.max_ms = static_cast<double>(window.back());
+  }
+  if (finished > 0) {
+    out.mean_queue_ms = queue_sum / static_cast<double>(finished);
+  }
+  const KeywordCacheStats cache = cache_->stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_bytes = cache.bytes_cached;
+  out.cache_admission_bypasses = cache.admission_bypasses;
+  out.prefetches_issued = cache.prefetches_issued;
+  const uint64_t lookups = cache.hits + cache.misses;
+  out.cache_hit_rate =
+      lookups > 0
+          ? static_cast<double>(cache.hits) / static_cast<double>(lookups)
+          : 0.0;
+  return out;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,274 @@
+// QueryService: the multi-client serving layer over one shared
+// KeywordCache.
+//
+// The paper's premise is ad-hoc advertiser queries answered in real time;
+// a platform faces a *stream* of them, from many campaigns at once. PR 1/2
+// made the cache and both index query paths thread-safe, but nothing in
+// the tree actually exercised them concurrently. This layer makes
+// concurrency a first-class execution mode:
+//
+//   clients ──Submit()──► bounded request queue ──► worker pool
+//                           │ (admission control:      │ per-slot state:
+//                           │  queue-full rejects,     │  WrisSolver (own
+//                           │  queue deadlines)        │  sampler slots +
+//                           │                          │  CoverageWorkspace)
+//                           ▼                          ▼
+//                      ServiceStats ◄──── IrrIndex / RrIndex / WrisSolver
+//                  (latency percentiles,          │
+//                   drops, cache roll-up)   KeywordCache (ONE per service,
+//                                           shared by every worker)
+//
+// Execution engines per request: the IRR index (Algorithm 4), the RR index
+// (Algorithm 2), or online WRIS sampling (§3.2, when an OnlineBackend is
+// attached). IRR/RR handles are stateless over the shared cache, so one of
+// each serves every worker; WRIS solvers serialize internally, so each
+// worker slot owns one (its sampler slots, RR arenas and CoverageWorkspace
+// scratch are reused across that slot's queries — concurrent queries never
+// allocate a solver or stomp each other's scratch).
+//
+// Admission control and budgets:
+//   * max_pending — Submit() rejects (Unavailable) once this many requests
+//     wait; the client sheds load instead of growing an unbounded queue.
+//   * queue_deadline_ms — a request still queued past its deadline is
+//     dropped (DeadlineExceeded) when a worker reaches it: under overload
+//     the service does stale-work shedding instead of serving dead
+//     requests late.
+//   * max_theta — per-request θ budget. Index queries whose computed θ^Q
+//     exceeds it are rejected (FailedPrecondition) before touching disk;
+//     WRIS clamps its sample count to the budget (weakening the
+//     approximation guarantee exactly like OnlineSolverOptions::max_theta).
+//
+// Thread safety: every public method may be called from any thread.
+// Destruction fails all still-queued requests with Unavailable, then joins
+// the workers (in-flight queries finish).
+#ifndef KBTIM_SERVING_QUERY_SERVICE_H_
+#define KBTIM_SERVING_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/statusor.h"
+#include "index/irr_index.h"
+#include "index/keyword_cache.h"
+#include "index/rr_index.h"
+#include "propagation/model.h"
+#include "sampling/solver_result.h"
+#include "sampling/wris_solver.h"
+#include "topics/query.h"
+#include "topics/tfidf.h"
+
+namespace kbtim {
+
+/// Which solver answers a request.
+enum class QueryEngine : uint8_t {
+  kIrr = 0,   ///< Incremental RR index (paper §5, the real-time path).
+  kRr = 1,    ///< Disk RR index (paper §4).
+  kWris = 2,  ///< Online sampling (§3.2; needs an OnlineBackend).
+};
+
+/// One client request: the query plus its serving budgets.
+struct ServiceRequest {
+  Query query;
+  QueryEngine engine = QueryEngine::kIrr;
+
+  /// Score-refinement mode for QueryEngine::kIrr (ignored otherwise).
+  IrrQueryMode irr_mode = IrrQueryMode::kLazy;
+
+  /// Queue-wait budget in milliseconds; a request not STARTED within it is
+  /// dropped with DeadlineExceeded. 0 uses the service default (whose own
+  /// 0 means no deadline).
+  double queue_deadline_ms = 0.0;
+
+  /// Per-request θ budget; 0 = unlimited. Index engines reject queries
+  /// whose θ^Q exceeds it, WRIS clamps (see file comment).
+  uint64_t max_theta = 0;
+};
+
+/// Serving knobs (see file comment for the admission-control semantics).
+struct QueryServiceOptions {
+  /// Worker threads executing queries (>= 1).
+  uint32_t num_workers = 2;
+
+  /// Bound on queued (not yet started) requests before Submit rejects.
+  size_t max_pending = 64;
+
+  /// Default ServiceRequest::queue_deadline_ms (0 = no deadline).
+  double default_queue_deadline_ms = 0.0;
+
+  /// Construct with workers paused (requests queue but do not execute
+  /// until Resume()); used by tests and maintenance windows.
+  bool start_paused = false;
+
+  /// Options of the service-owned shared KeywordCache (ignored when the
+  /// service attaches to an existing cache).
+  KeywordCacheOptions cache;
+
+  /// Per-slot WRIS configuration when an OnlineBackend is attached.
+  /// num_threads here is the sampling parallelism INSIDE one slot's
+  /// solver; cross-query parallelism comes from num_workers.
+  OnlineSolverOptions wris;
+};
+
+/// Point-in-time service counters. Latency percentiles and mean_queue_ms
+/// cover the most recent window (kLatencyWindow samples) of FINISHED
+/// requests — completed, engine-failed, or deadline-dropped — measured
+/// Submit -> resolution, so overload tails include the requests that
+/// were shed, not just the ones that were lucky. Everything else is a
+/// lifetime total.
+struct ServiceStats {
+  uint64_t submitted = 0;        ///< Accepted into the queue.
+  uint64_t completed = 0;        ///< Finished with an OK result.
+  uint64_t failed = 0;           ///< Finished with an engine error.
+  uint64_t admission_drops = 0;  ///< Rejected at Submit (queue full).
+  uint64_t deadline_drops = 0;   ///< Expired in queue before starting.
+  uint64_t queue_peak = 0;       ///< High-water mark of pending requests.
+
+  uint64_t irr_queries = 0;   ///< Completed per engine.
+  uint64_t rr_queries = 0;
+  uint64_t wris_queries = 0;
+
+  double p50_ms = 0.0;  ///< Median latency over the recent window.
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;        ///< Max latency over the recent window.
+  double mean_queue_ms = 0.0; ///< Lifetime mean time spent queued.
+
+  /// SolverStats roll-up over completed requests.
+  uint64_t rr_sets_loaded = 0;
+  uint64_t io_reads = 0;
+
+  /// Shared-cache state (KeywordCache counters at snapshot time; the
+  /// hit rate is hits / (hits + misses), 0 when idle).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_bytes = 0;
+  uint64_t cache_admission_bypasses = 0;
+  uint64_t prefetches_issued = 0;
+  double cache_hit_rate = 0.0;
+};
+
+/// Multiplexes concurrent IRR/RR/WRIS queries over one KeywordCache.
+class QueryService {
+ public:
+  /// Online-sampling backend (all pointees must outlive the service).
+  /// Without one, QueryEngine::kWris requests fail FailedPrecondition.
+  struct OnlineBackend {
+    const Graph* graph = nullptr;
+    const TfIdfModel* tfidf = nullptr;
+    PropagationModel model = PropagationModel::kIndependentCascade;
+    /// Aligned with graph->InEdgeRange, matching `model`.
+    const std::vector<float>* in_edge_weights = nullptr;
+  };
+
+  /// Opens `dir` with a fresh service-owned KeywordCache.
+  static StatusOr<std::unique_ptr<QueryService>> Create(
+      const std::string& dir, QueryServiceOptions options = {},
+      std::optional<OnlineBackend> online = std::nullopt);
+
+  /// Attaches to an existing cache (options.cache is ignored).
+  static StatusOr<std::unique_ptr<QueryService>> Create(
+      std::shared_ptr<KeywordCache> cache, QueryServiceOptions options = {},
+      std::optional<OnlineBackend> online = std::nullopt);
+
+  /// Fails queued requests with Unavailable, finishes in-flight ones,
+  /// joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a request. The future resolves to the seed set or to the
+  /// admission/deadline/engine error. Queue-full rejection resolves the
+  /// future immediately (Unavailable) and counts an admission drop.
+  std::future<StatusOr<SeedSetResult>> Submit(ServiceRequest request);
+
+  /// Submit + wait: the closed-loop client call.
+  StatusOr<SeedSetResult> Execute(ServiceRequest request);
+
+  /// Blocks until the queue is empty and no worker is mid-query. Only
+  /// workers drain the queue, so calling this on a Pause()d service with
+  /// queued requests blocks until someone calls Resume().
+  void Drain();
+
+  /// Stops dequeuing (queued + new requests wait); Resume() restarts.
+  void Pause();
+  void Resume();
+
+  /// Requests queued but not yet started.
+  size_t pending() const;
+
+  ServiceStats stats() const;
+
+  /// Clears the latency/queue-wait window (lifetime counters survive), so
+  /// percentiles cover only what follows — call after a warm-up pass.
+  void ResetLatencyWindow();
+
+  const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
+  const IndexMeta& meta() const { return cache_->meta(); }
+
+  /// Latency samples retained for the percentile window.
+  static constexpr size_t kLatencyWindow = 4096;
+
+ private:
+  struct PendingRequest {
+    ServiceRequest request;
+    std::promise<StatusOr<SeedSetResult>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    double deadline_ms = 0.0;  // resolved against the service default
+  };
+
+  /// Per-worker reusable solver state (only WRIS keeps mutable scratch;
+  /// the index handles are stateless over the shared cache).
+  struct WorkerSlot {
+    std::unique_ptr<WrisSolver> wris;  // null without an OnlineBackend
+  };
+
+  QueryService(std::shared_ptr<KeywordCache> cache,
+               QueryServiceOptions options);
+
+  void StartWorkers(std::optional<OnlineBackend> online);
+  void WorkerLoop(uint32_t slot_id);
+  StatusOr<SeedSetResult> Dispatch(WorkerSlot& slot,
+                                   const ServiceRequest& request);
+  /// Pushes one sample into the latency/queue-wait window. stats_mu_ held.
+  void RecordLatencyLocked(double latency_ms, double queue_ms);
+  void RecordOutcome(const ServiceRequest& request,
+                     const StatusOr<SeedSetResult>& result,
+                     double latency_ms, double queue_ms);
+
+  const std::shared_ptr<KeywordCache> cache_;
+  const QueryServiceOptions options_;
+  std::optional<IrrIndex> irr_;  // engaged when meta().has_irr
+  std::optional<RrIndex> rr_;    // engaged when meta().has_rr
+
+  mutable std::mutex mu_;  // queue + lifecycle state
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;  // Drain(): queue empty && none in flight
+  std::deque<PendingRequest> queue_;
+  size_t in_flight_ = 0;
+  bool paused_ = false;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats counters_;  // percentile/cache fields filled at snapshot
+  std::vector<float> latency_ring_;  // last kLatencyWindow latencies (ms)
+  size_t latency_next_ = 0;
+  uint64_t latency_total_ = 0;
+  double queue_ms_sum_ = 0.0;
+
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SERVING_QUERY_SERVICE_H_

@@ -1,0 +1,280 @@
+// Concurrency stress for the serving layer: many client threads hammer
+// one QueryService (and its shared KeywordCache) with mixed IRR/RR/WRIS
+// queries under a tiny block budget (constant evictions) with the
+// prefetch pipeline on, asserting every concurrent answer equals the
+// single-threaded golden output and that ServiceStats accounting closes.
+#include "serving/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <unistd.h>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+
+namespace kbtim {
+namespace {
+
+class QueryServiceStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_svc_stress_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "svc_stress";
+    spec.graph.num_vertices = 1000;
+    spec.graph.avg_degree = 5.0;
+    spec.graph.num_communities = 5;
+    spec.graph.seed = 171;
+    spec.profiles.num_topics = 5;
+    spec.profiles.seed = 172;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 12;
+    opts.partition_size = 20;
+    opts.num_threads = 2;
+    opts.seed = 173;
+    opts.max_theta_per_keyword = 20000;
+    opts.opt_estimate.pilot_initial = 512;
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    auto report = builder.Build(dir_);
+    ASSERT_TRUE(report.ok()) << report.status();
+
+    queries_ = {{{0, 1}, 5}, {{1, 2}, 8},    {{2, 3}, 4},
+                {{0, 4}, 10}, {{3}, 6},      {{1, 3, 4}, 7},
+                {{0, 2, 4}, 9}, {{2}, 3}};
+
+    // Single-threaded goldens through separate cold handles.
+    auto irr = IrrIndex::Open(dir_);
+    auto rr = RrIndex::Open(dir_);
+    ASSERT_TRUE(irr.ok());
+    ASSERT_TRUE(rr.ok());
+    WrisSolver wris(env_->graph(), env_->tfidf(),
+                    PropagationModel::kIndependentCascade, env_->ic_probs(),
+                    WrisOptions());
+    for (const Query& q : queries_) {
+      auto irr_result = irr->Query(q);
+      auto rr_result = rr->Query(q);
+      auto wris_result = wris.Solve(q);
+      ASSERT_TRUE(irr_result.ok());
+      ASSERT_TRUE(rr_result.ok());
+      ASSERT_TRUE(wris_result.ok());
+      golden_irr_.push_back(std::move(*irr_result));
+      golden_rr_.push_back(std::move(*rr_result));
+      golden_wris_.push_back(std::move(*wris_result));
+    }
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static OnlineSolverOptions WrisOptions() {
+    OnlineSolverOptions wris;
+    wris.epsilon = 0.5;
+    wris.num_threads = 1;
+    wris.seed = 555;
+    wris.max_theta = 2000;
+    wris.opt_estimate.pilot_initial = 256;
+    return wris;
+  }
+
+  QueryService::OnlineBackend Backend() const {
+    QueryService::OnlineBackend online;
+    online.graph = &env_->graph();
+    online.tfidf = &env_->tfidf();
+    online.model = PropagationModel::kIndependentCascade;
+    online.in_edge_weights = &env_->ic_probs();
+    return online;
+  }
+
+  /// Byte budget small enough to force evictions on every pass but large
+  /// enough to admit individual blocks.
+  uint64_t TinyBudget() {
+    auto probe = IrrIndex::Open(dir_);
+    EXPECT_TRUE(probe.ok());
+    auto r = probe->Query(queries_[3]);  // widest query
+    EXPECT_TRUE(r.ok());
+    probe->cache()->WaitForPrefetches();
+    const uint64_t resident = probe->cache()->stats().bytes_cached;
+    return std::max<uint64_t>(resident / 2, 1);
+  }
+
+  static bool SameResult(const SeedSetResult& a, const SeedSetResult& b) {
+    return a.seeds == b.seeds &&
+           a.estimated_influence == b.estimated_influence;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+  std::vector<Query> queries_;
+  std::vector<SeedSetResult> golden_irr_;
+  std::vector<SeedSetResult> golden_rr_;
+  std::vector<SeedSetResult> golden_wris_;
+};
+
+TEST_F(QueryServiceStressTest, ConcurrentClientsMatchGoldenUnderEviction) {
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_pending = 256;
+  options.cache.block_cache_bytes = TinyBudget();  // constant evictions
+  options.cache.prefetch_threads = 2;
+  options.wris = WrisOptions();
+  auto service_or = QueryService::Create(dir_, options, Backend());
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto& service = *service_or;
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 6;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<int> errors(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t qi = (c * 3 + round) % queries_.size();
+        ServiceRequest request;
+        request.query = queries_[qi];
+        const SeedSetResult* want = nullptr;
+        switch ((c + round) % 3) {
+          case 0:
+            request.engine = QueryEngine::kIrr;
+            request.irr_mode = (round % 2 == 0) ? IrrQueryMode::kLazy
+                                                : IrrQueryMode::kEager;
+            want = &golden_irr_[qi];
+            break;
+          case 1:
+            request.engine = QueryEngine::kRr;
+            want = &golden_rr_[qi];
+            break;
+          default:
+            request.engine = QueryEngine::kWris;
+            want = &golden_wris_[qi];
+            break;
+        }
+        auto result = service->Execute(request);
+        if (!result.ok()) {
+          ++errors[c];
+        } else if (!SameResult(*want, *result)) {
+          ++mismatches[c];
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[c], 0) << "client " << c;
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  }
+
+  const ServiceStats stats = service->stats();
+  constexpr uint64_t kTotal = kClients * kRounds;
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.admission_drops, 0u);
+  EXPECT_EQ(stats.deadline_drops, 0u);
+  EXPECT_EQ(stats.irr_queries + stats.rr_queries + stats.wris_queries,
+            kTotal);
+  EXPECT_GT(stats.p99_ms, 0.0);
+  // The tiny budget really did thrash: blocks were evicted and re-decoded.
+  const KeywordCacheStats cache = service->cache()->stats();
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_LE(cache.bytes_cached, options.cache.block_cache_bytes);
+}
+
+TEST_F(QueryServiceStressTest, AsyncBurstDrainsCompletely) {
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_pending = 1024;
+  options.cache.prefetch_threads = 2;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  // One synchronous pass per query warms the shared cache.
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    auto r = service->Execute({queries_[qi], QueryEngine::kIrr});
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+
+  constexpr int kBurst = 96;
+  std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    const size_t qi = i % queries_.size();
+    futures.push_back(service->Submit(
+        {queries_[qi],
+         (i % 2 == 0) ? QueryEngine::kIrr : QueryEngine::kRr}));
+  }
+  service->Drain();
+  EXPECT_EQ(service->pending(), 0u);
+  for (int i = 0; i < kBurst; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    const size_t qi = i % queries_.size();
+    const SeedSetResult& want =
+        (i % 2 == 0) ? golden_irr_[qi] : golden_rr_[qi];
+    EXPECT_TRUE(SameResult(want, *result)) << "request " << i;
+  }
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.completed, kBurst + queries_.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(QueryServiceStressTest, PauseResumeChurnLosesNothing) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.max_pending = 512;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      service->Pause();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      service->Resume();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    service->Resume();
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t qi = (c + round) % queries_.size();
+        auto result = service->Execute({queries_[qi], QueryEngine::kIrr});
+        if (!result.ok() || !SameResult(golden_irr_[qi], *result)) {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true);
+  churner.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(service->stats().completed,
+            static_cast<uint64_t>(kClients * kRounds));
+}
+
+}  // namespace
+}  // namespace kbtim
