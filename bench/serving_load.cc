@@ -16,16 +16,32 @@
 //      fixed arrival rate into a small bounded queue with a queue
 //      deadline, demonstrating admission control + load shedding under
 //      overload; drops and tail latency land in the JSON.
+//   4. Mixed workload (PR 4): WRIS clients flood ~10x-slower solves while
+//      index clients issue cheap IRR/RR queries, run once under the PR 3
+//      FIFO and once under the lane scheduler. Per-class p50/p99 land in
+//      the JSON; the delta on the index lane's tail is the
+//      head-of-line-blocking fix (--assert-lane-p99 gates CI on it).
+//   5. Coalescing (PR 4): bursts of overlapping kRr requests, batch-aware
+//      dispatch on vs off, with golden equality checked per request.
 //
 // Extra flags on top of bench_common.h:
 //   --workers N          cap service workers per config (default: =clients)
 //   --iters N            queries per client per config (default 4x --queries)
 //   --open-loop-rate R   arrival rate in QPS (0 = auto from closed loop)
 //   --no-open-loop       skip the open-loop phase
+//   --no-mixed           skip the mixed WRIS+index phase
+//   --assert-lane-p99    CI gate on the mixed phase: the lane scheduler
+//                        must improve the index-lane MEDIAN vs the FIFO
+//                        (robust statistic), and the index-lane p99 must
+//                        not regress beyond 1.25x (p99 of a short run is
+//                        a single order statistic — strict-improvement
+//                        gating there would flake on shared runners)
 //   --assert-warm-zero-io
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -179,6 +195,206 @@ StatusOr<OpenLoopResult> RunOpenLoop(const std::string& dir,
   return result;
 }
 
+struct MixedLaneResult {
+  const char* mode = "";
+  uint64_t index_queries = 0;
+  uint64_t wris_queries = 0;
+  double seconds = 0.0;
+  double fast_p50_ms = 0.0;
+  double fast_p99_ms = 0.0;
+  double slow_p50_ms = 0.0;
+  double slow_p99_ms = 0.0;
+  uint64_t wris_deferrals = 0;
+  uint64_t failed = 0;
+};
+
+/// Mixed WRIS+index phase: `wris_clients` flood ~10x-slower solves while
+/// `index_clients` issue warm IRR/RR queries, all against one service.
+/// Run under kFifo (the PR 3 baseline) and kLanes; the index lane's
+/// p50/p99 delta is the head-of-line-blocking fix.
+StatusOr<MixedLaneResult> RunMixedWorkload(
+    const std::string& dir, const Environment& env,
+    const std::vector<Query>& queries, SchedulingMode mode,
+    uint32_t workers, uint32_t index_clients, uint32_t wris_clients,
+    uint32_t index_iters) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_pending = 4096;
+  options.scheduler.mode = mode;
+  options.wris.epsilon = 0.5;
+  options.wris.num_threads = 1;
+  options.wris.seed = 99;
+  options.wris.max_theta = 20000;
+  options.wris.opt_estimate.pilot_initial = 1024;
+  QueryService::OnlineBackend online;
+  online.graph = &env.graph();
+  online.tfidf = &env.tfidf();
+  online.model = PropagationModel::kIndependentCascade;
+  online.in_edge_weights = &env.ic_probs();
+  KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                         QueryService::Create(dir, options, online));
+  for (const Query& q : queries) {  // warm both index engines
+    KBTIM_RETURN_IF_ERROR(
+        service->Execute({q, QueryEngine::kIrr}).status());
+    KBTIM_RETURN_IF_ERROR(service->Execute({q, QueryEngine::kRr}).status());
+  }
+  service->cache()->WaitForPrefetches();
+  service->ResetLatencyWindow();
+  const ServiceStats before = service->stats();
+
+  std::atomic<bool> stop{false};
+  WallTimer timer;
+  std::vector<std::thread> wris_threads;
+  wris_threads.reserve(wris_clients);
+  for (uint32_t c = 0; c < wris_clients; ++c) {
+    wris_threads.emplace_back([&, c] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ServiceRequest request;
+        request.query = queries[(c + i++) % queries.size()];
+        request.engine = QueryEngine::kWris;
+        auto result = service->Execute(std::move(request));
+        if (!result.ok()) {
+          std::fprintf(stderr, "wris query failed: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  std::vector<std::thread> index_threads;
+  index_threads.reserve(index_clients);
+  for (uint32_t c = 0; c < index_clients; ++c) {
+    index_threads.emplace_back([&, c] {
+      for (uint32_t i = 0; i < index_iters; ++i) {
+        ServiceRequest request;
+        request.query = queries[(c + i) % queries.size()];
+        request.engine =
+            (c + i) % 2 == 0 ? QueryEngine::kIrr : QueryEngine::kRr;
+        auto result = service->Execute(std::move(request));
+        if (!result.ok()) {
+          std::fprintf(stderr, "index query failed: %s\n",
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (auto& thread : index_threads) thread.join();
+  stop.store(true);
+  for (auto& thread : wris_threads) thread.join();
+  service->Drain();
+
+  const ServiceStats stats = service->stats();
+  MixedLaneResult result;
+  result.mode = mode == SchedulingMode::kFifo ? "fifo" : "lanes";
+  result.seconds = timer.ElapsedSeconds();
+  result.index_queries = (stats.irr_queries + stats.rr_queries) -
+                         (before.irr_queries + before.rr_queries);
+  result.wris_queries = stats.wris_queries - before.wris_queries;
+  result.fast_p50_ms = stats.fast_p50_ms;
+  result.fast_p99_ms = stats.fast_p99_ms;
+  result.slow_p50_ms = stats.slow_p50_ms;
+  result.slow_p99_ms = stats.slow_p99_ms;
+  result.wris_deferrals = stats.wris_deferrals;
+  result.failed = stats.failed - before.failed;
+  return result;
+}
+
+struct CoalescingResult {
+  uint64_t requests = 0;
+  double batched_seconds = 0.0;
+  double unbatched_seconds = 0.0;
+  uint64_t batched_io_reads = 0;
+  uint64_t unbatched_io_reads = 0;
+  uint64_t rr_batches = 0;
+  uint64_t rr_batched_queries = 0;
+  bool golden_ok = true;
+  double speedup = 0.0;
+  double io_savings = 0.0;
+};
+
+/// Coalescing phase: async bursts of overlapping kRr requests with the
+/// batch-aware dispatcher off (rr_max_batch=1) then on, golden-checking
+/// every answer against a direct RrIndex handle. The service runs under a
+/// cache budget ~half the working set (constant evictions), the regime
+/// the dispatcher exists for: a coalesced batch loads each keyword once
+/// where serial execution re-reads it per query.
+StatusOr<CoalescingResult> RunCoalescing(const std::string& dir,
+                                         const std::vector<Query>& queries,
+                                         uint32_t workers, uint32_t bursts,
+                                         uint32_t burst_size) {
+  CoalescingResult out;
+  std::vector<SeedSetResult> golden;
+  uint64_t resident_bytes = 0;
+  {
+    KBTIM_ASSIGN_OR_RETURN(RrIndex rr, RrIndex::Open(dir));
+    for (const Query& q : queries) {
+      KBTIM_ASSIGN_OR_RETURN(SeedSetResult want, rr.Query(q));
+      golden.push_back(std::move(want));
+    }
+    resident_bytes = rr.cache()->stats().bytes_cached;
+  }
+  for (const bool batched : {false, true}) {
+    QueryServiceOptions options;
+    options.num_workers = workers;
+    options.max_pending = 4096;
+    options.cache.block_cache_bytes = std::max<uint64_t>(resident_bytes / 2, 1);
+    // Opportunistic coalescing only (window 0): the burst itself backs
+    // the queue up, so batches form without adding hold latency.
+    options.scheduler.rr_max_batch = batched ? 16 : 1;
+    KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                           QueryService::Create(dir, options));
+    for (const Query& q : queries) {  // touch once (budget forces churn)
+      KBTIM_RETURN_IF_ERROR(
+          service->Execute({q, QueryEngine::kRr}).status());
+    }
+    service->cache()->WaitForPrefetches();
+    service->ResetLatencyWindow();
+
+    const IoStats io_before = IoCounter::Snapshot();
+    WallTimer timer;
+    for (uint32_t b = 0; b < bursts; ++b) {
+      std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+      futures.reserve(burst_size);
+      for (uint32_t i = 0; i < burst_size; ++i) {
+        futures.push_back(service->Submit(
+            {queries[i % queries.size()], QueryEngine::kRr}));
+      }
+      for (uint32_t i = 0; i < burst_size; ++i) {
+        auto result = futures[i].get();
+        if (!result.ok()) return result.status();
+        const SeedSetResult& want = golden[i % queries.size()];
+        if (result->seeds != want.seeds ||
+            result->estimated_influence != want.estimated_influence) {
+          out.golden_ok = false;
+        }
+      }
+    }
+    service->Drain();
+    const double seconds = timer.ElapsedSeconds();
+    const IoStats io = IoCounter::Snapshot() - io_before;
+    if (batched) {
+      out.batched_seconds = seconds;
+      out.batched_io_reads = io.read_ops;
+      const ServiceStats stats = service->stats();
+      out.rr_batches = stats.rr_batches;
+      out.rr_batched_queries = stats.rr_batched_queries;
+    } else {
+      out.unbatched_seconds = seconds;
+      out.unbatched_io_reads = io.read_ops;
+    }
+  }
+  out.requests = uint64_t{bursts} * burst_size;
+  out.speedup = out.batched_seconds > 0
+                    ? out.unbatched_seconds / out.batched_seconds
+                    : 0.0;
+  out.io_savings =
+      out.batched_io_reads > 0
+          ? static_cast<double>(out.unbatched_io_reads) /
+                static_cast<double>(out.batched_io_reads)
+          : 0.0;
+  return out;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace kbtim
@@ -188,15 +404,21 @@ int main(int argc, char** argv) {
   using namespace kbtim::bench;
   BenchFlags flags = ParseFlags(argc, argv);
   bool assert_warm_zero_io = false;
+  bool assert_lane_p99 = false;
   bool no_open_loop = false;
+  bool no_mixed = false;
   uint32_t max_workers = 0;  // 0 = match client count
   uint32_t iters = 0;
   double open_loop_rate = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--assert-warm-zero-io") == 0) {
       assert_warm_zero_io = true;
+    } else if (std::strcmp(argv[i], "--assert-lane-p99") == 0) {
+      assert_lane_p99 = true;
     } else if (std::strcmp(argv[i], "--no-open-loop") == 0) {
       no_open_loop = true;
+    } else if (std::strcmp(argv[i], "--no-mixed") == 0) {
+      no_mixed = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       max_workers = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
@@ -272,6 +494,39 @@ int main(int argc, char** argv) {
     have_open_loop = true;
   }
 
+  // Mixed WRIS+index phase, FIFO baseline then lanes, same workload.
+  MixedLaneResult mixed_fifo, mixed_lanes;
+  bool have_mixed = false;
+  if (!no_mixed) {
+    const uint32_t workers = max_workers > 0 ? max_workers : 2;
+    const uint32_t index_clients = 2;
+    const uint32_t wris_clients = 2;
+    const uint32_t index_iters = std::max<uint32_t>(48, iters);
+    auto fifo = RunMixedWorkload(*dir, *env, *queries,
+                                 SchedulingMode::kFifo, workers,
+                                 index_clients, wris_clients, index_iters);
+    auto lanes = RunMixedWorkload(*dir, *env, *queries,
+                                  SchedulingMode::kLanes, workers,
+                                  index_clients, wris_clients, index_iters);
+    if (!fifo.ok() || !lanes.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!fifo.ok() ? fifo : lanes).status().ToString().c_str());
+      return 1;
+    }
+    mixed_fifo = *fifo;
+    mixed_lanes = *lanes;
+    have_mixed = true;
+  }
+
+  // Coalescing phase: batch-aware RR dispatch off vs on.
+  auto coalescing =
+      RunCoalescing(*dir, *queries, max_workers > 0 ? max_workers : 2,
+                    /*bursts=*/8, /*burst_size=*/16);
+  if (!coalescing.ok()) {
+    std::fprintf(stderr, "%s\n", coalescing.status().ToString().c_str());
+    return 1;
+  }
+
   // ---- Report -------------------------------------------------------------
   TablePrinter table({"clients", "workers", "qps", "p50_ms", "p90_ms",
                       "p99_ms", "warm_IOs"});
@@ -296,6 +551,43 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(open_loop.deadline_drops),
         open_loop.p99_ms);
   }
+  if (have_mixed) {
+    std::printf("\nmixed WRIS+index workload (index-lane tail under a "
+                "concurrent slow-class flood):\n");
+    TablePrinter mixed_table({"mode", "idx_q", "wris_q", "fast_p50",
+                              "fast_p99", "slow_p50", "slow_p99",
+                              "deferrals"});
+    for (const MixedLaneResult* m : {&mixed_fifo, &mixed_lanes}) {
+      mixed_table.AddRow(
+          {m->mode, std::to_string(m->index_queries),
+           std::to_string(m->wris_queries), FormatDouble(m->fast_p50_ms, 3),
+           FormatDouble(m->fast_p99_ms, 3), FormatDouble(m->slow_p50_ms, 2),
+           FormatDouble(m->slow_p99_ms, 2),
+           std::to_string(m->wris_deferrals)});
+    }
+    mixed_table.Print(std::cout);
+    std::printf("index-lane p99 fifo -> lanes: %.3f ms -> %.3f ms "
+                "(%.2fx better)\n",
+                mixed_fifo.fast_p99_ms, mixed_lanes.fast_p99_ms,
+                mixed_lanes.fast_p99_ms > 0
+                    ? mixed_fifo.fast_p99_ms / mixed_lanes.fast_p99_ms
+                    : 0.0);
+  }
+  std::printf("\ncoalescing (cache-pressured): %llu RR requests, no-batch "
+              "%.3fs / %llu IOs vs batched %.3fs / %llu IOs (%.2fx time, "
+              "%.2fx fewer reads), %llu batches covering %llu queries, "
+              "golden %s\n",
+              static_cast<unsigned long long>(coalescing->requests),
+              coalescing->unbatched_seconds,
+              static_cast<unsigned long long>(
+                  coalescing->unbatched_io_reads),
+              coalescing->batched_seconds,
+              static_cast<unsigned long long>(coalescing->batched_io_reads),
+              coalescing->speedup, coalescing->io_savings,
+              static_cast<unsigned long long>(coalescing->rr_batches),
+              static_cast<unsigned long long>(
+                  coalescing->rr_batched_queries),
+              coalescing->golden_ok ? "OK" : "MISMATCH");
 
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json == nullptr) {
@@ -340,6 +632,46 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(open_loop.deadline_drops),
         open_loop.p50_ms, open_loop.p99_ms);
   }
+  if (have_mixed) {
+    std::fprintf(json, ",\n  \"mixed_workload\": {\n");
+    const MixedLaneResult* modes[] = {&mixed_fifo, &mixed_lanes};
+    for (size_t i = 0; i < 2; ++i) {
+      const MixedLaneResult& m = *modes[i];
+      std::fprintf(
+          json,
+          "    \"%s\": {\"index_queries\": %llu, \"wris_queries\": %llu, "
+          "\"seconds\": %.3f, \"fast_p50_ms\": %.4f, \"fast_p99_ms\": "
+          "%.4f, \"slow_p50_ms\": %.4f, \"slow_p99_ms\": %.4f, "
+          "\"wris_deferrals\": %llu, \"failed\": %llu}%s\n",
+          m.mode, static_cast<unsigned long long>(m.index_queries),
+          static_cast<unsigned long long>(m.wris_queries), m.seconds,
+          m.fast_p50_ms, m.fast_p99_ms, m.slow_p50_ms, m.slow_p99_ms,
+          static_cast<unsigned long long>(m.wris_deferrals),
+          static_cast<unsigned long long>(m.failed), i == 0 ? "," : "");
+    }
+    std::fprintf(
+        json, "    ,\"fast_p99_improvement\": %.3f\n  }",
+        mixed_lanes.fast_p99_ms > 0
+            ? mixed_fifo.fast_p99_ms / mixed_lanes.fast_p99_ms
+            : 0.0);
+  }
+  std::fprintf(
+      json,
+      ",\n  \"coalescing\": {\"requests\": %llu, \"unbatched_seconds\": "
+      "%.3f, \"batched_seconds\": %.3f, \"speedup\": %.3f, "
+      "\"unbatched_io_reads\": %llu, \"batched_io_reads\": %llu, "
+      "\"io_savings\": %.3f, "
+      "\"rr_batches\": %llu, \"rr_batched_queries\": %llu, "
+      "\"golden_ok\": %s}",
+      static_cast<unsigned long long>(coalescing->requests),
+      coalescing->unbatched_seconds, coalescing->batched_seconds,
+      coalescing->speedup,
+      static_cast<unsigned long long>(coalescing->unbatched_io_reads),
+      static_cast<unsigned long long>(coalescing->batched_io_reads),
+      coalescing->io_savings,
+      static_cast<unsigned long long>(coalescing->rr_batches),
+      static_cast<unsigned long long>(coalescing->rr_batched_queries),
+      coalescing->golden_ok ? "true" : "false");
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_serving.json\n");
@@ -354,6 +686,41 @@ int main(int argc, char** argv) {
                      p.clients);
         return 1;
       }
+    }
+  }
+  if (!coalescing->golden_ok) {
+    std::fprintf(stderr, "FAIL: coalesced RR answers diverged from the "
+                         "single-query goldens\n");
+    return 1;
+  }
+  if (assert_lane_p99) {
+    if (!have_mixed) {
+      std::fprintf(stderr,
+                   "FAIL: --assert-lane-p99 needs the mixed phase "
+                   "(drop --no-mixed)\n");
+      return 1;
+    }
+    if (mixed_fifo.failed != 0 || mixed_lanes.failed != 0) {
+      std::fprintf(stderr, "FAIL: mixed-workload queries failed\n");
+      return 1;
+    }
+    // Primary gate on the median (a robust statistic over ~100 samples;
+    // the HoL fix moves it ~10x), tail sanity on p99 with slack — p99 of
+    // a short run is a single order statistic and one scheduler hiccup
+    // on a shared runner must not fail the job.
+    if (mixed_lanes.fast_p50_ms >= mixed_fifo.fast_p50_ms) {
+      std::fprintf(stderr,
+                   "FAIL: lane scheduler did not improve the index-lane "
+                   "p50 under WRIS load (fifo %.3f ms vs lanes %.3f ms)\n",
+                   mixed_fifo.fast_p50_ms, mixed_lanes.fast_p50_ms);
+      return 1;
+    }
+    if (mixed_lanes.fast_p99_ms >= 1.25 * mixed_fifo.fast_p99_ms) {
+      std::fprintf(stderr,
+                   "FAIL: index-lane p99 regressed under the lane "
+                   "scheduler (fifo %.3f ms vs lanes %.3f ms)\n",
+                   mixed_fifo.fast_p99_ms, mixed_lanes.fast_p99_ms);
+      return 1;
     }
   }
   return 0;

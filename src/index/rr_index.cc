@@ -155,22 +155,37 @@ StatusOr<std::vector<SeedSetResult>> RrIndex::BatchQuery(
   const IoStats io = IoCounter::Snapshot() - io_before;
   const KeywordCacheStats cache_after = cache_->stats();
 
+  // The load above is a batch-level cost paid once; attribute each query
+  // an amortized share (remainders to the earliest results) so any
+  // aggregator summing per-result stats recovers the true totals instead
+  // of multiple-counting them batch-size times.
+  const size_t n = queries.size();
+  const auto share = [n](uint64_t total, size_t i) {
+    return total / n + (i < total % n ? 1 : 0);
+  };
+  const uint64_t hits_delta = cache_after.hits - cache_before.hits;
+  const uint64_t misses_delta = cache_after.misses - cache_before.misses;
+  const uint64_t bypasses_delta =
+      cache_after.admission_bypasses - cache_before.admission_bypasses;
+  const double shared_seconds = total_timer.ElapsedSeconds();
   std::vector<SeedSetResult> results;
-  results.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     WallTimer greedy_timer;
     SeedSetResult result = RunGreedy(queries[i], budgets[i], loaded,
                                      meta().num_vertices);
-    result.stats.io_reads = io.read_ops;
-    result.stats.io_bytes = io.read_bytes;
-    result.stats.cache_hits = cache_after.hits - cache_before.hits;
-    result.stats.cache_misses = cache_after.misses - cache_before.misses;
+    result.stats.batch_size = static_cast<uint32_t>(n);
+    result.stats.io_reads = share(io.read_ops, i);
+    result.stats.io_bytes = share(io.read_bytes, i);
+    result.stats.cache_hits = share(hits_delta, i);
+    result.stats.cache_misses = share(misses_delta, i);
     result.stats.cache_bytes = cache_after.bytes_cached;
-    result.stats.cache_admission_bypasses =
-        cache_after.admission_bypasses - cache_before.admission_bypasses;
-    result.stats.sampling_seconds = load_seconds;
+    result.stats.cache_admission_bypasses = share(bypasses_delta, i);
+    result.stats.sampling_seconds =
+        load_seconds / static_cast<double>(n);
     result.stats.greedy_seconds = greedy_timer.ElapsedSeconds();
-    result.stats.total_seconds = total_timer.ElapsedSeconds();
+    result.stats.total_seconds = shared_seconds / static_cast<double>(n) +
+                                 result.stats.greedy_seconds;
     results.push_back(std::move(result));
   }
   return results;

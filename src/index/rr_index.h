@@ -37,8 +37,10 @@ class RrIndex {
   /// Answers a batch of queries, loading each keyword's RR prefix and
   /// inverted lists once at the largest budget any query in the batch
   /// needs (an ad platform answers streams of ads whose keywords overlap
-  /// heavily). Per-query results are bit-identical to Query(); the I/O
-  /// stats in each result report the shared batch totals.
+  /// heavily). Per-query results are bit-identical to Query(); the
+  /// batch-level I/O and cache-delta stats are amortized across the
+  /// results (stats.batch_size records the split), so summing them over
+  /// the batch recovers the true totals.
   StatusOr<std::vector<SeedSetResult>> BatchQuery(
       std::span<const kbtim::Query> queries) const;
 

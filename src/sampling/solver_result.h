@@ -20,16 +20,25 @@ struct SolverStats {
   uint64_t rr_sets_loaded = 0;
 
   /// Disk read operations performed (Table 6); 0 for online solvers.
+  /// For a batch-executed query this is the query's amortized share of the
+  /// batch's reads (see batch_size): summing over the batch's results
+  /// yields the true total, so aggregators never multiple-count.
   uint64_t io_reads = 0;
 
-  /// Bytes read from disk; 0 for online solvers.
+  /// Bytes read from disk; 0 for online solvers. Amortized like io_reads.
   uint64_t io_bytes = 0;
+
+  /// Queries that shared this result's physical load (1 for a lone
+  /// query; the batch size under RrIndex::BatchQuery). Batch-level I/O
+  /// and cache-delta counters are split across the batch's results.
+  uint32_t batch_size = 1;
 
   /// Lower bound on OPT used to size θ (online solvers only).
   double opt_lower_bound = 0.0;
 
   /// KeywordCache block hits/misses this query (index solvers only; a
-  /// fully warm query has misses == 0 and io_reads == 0).
+  /// fully warm query has misses == 0 and io_reads == 0). Amortized over
+  /// the batch like io_reads.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
 

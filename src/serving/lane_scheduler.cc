@@ -1,0 +1,146 @@
+#include "serving/lane_scheduler.h"
+
+#include <algorithm>
+
+namespace kbtim {
+namespace {
+
+constexpr size_t kFast = static_cast<size_t>(EngineLane::kFast);
+constexpr size_t kSlow = static_cast<size_t>(EngineLane::kSlow);
+
+bool KeywordsOverlap(const Query& a, const Query& b) {
+  // Queries hold a handful of distinct topics; a nested scan beats any
+  // set machinery at these sizes.
+  for (TopicId t : a.topics) {
+    if (std::find(b.topics.begin(), b.topics.end(), t) != b.topics.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LaneScheduler::LaneScheduler(SchedulerOptions options) : options_(options) {
+  // A zero weight or cost would stall the deficit loop; clamp rather than
+  // error so a zeroed-out struct still schedules.
+  options_.fast_lane_weight = std::max<uint32_t>(1, options_.fast_lane_weight);
+  options_.slow_lane_weight = std::max<uint32_t>(1, options_.slow_lane_weight);
+  options_.index_cost = std::max<uint32_t>(1, options_.index_cost);
+  options_.wris_cost = std::max<uint32_t>(1, options_.wris_cost);
+  options_.rr_max_batch = std::max<uint32_t>(1, options_.rr_max_batch);
+}
+
+void LaneScheduler::Push(PendingRequest pending) {
+  size_t lane = kFast;
+  size_t priority = static_cast<size_t>(RequestPriority::kNormal);
+  if (options_.mode == SchedulingMode::kLanes) {
+    lane = static_cast<size_t>(LaneOf(pending.request.engine));
+    priority = std::min<size_t>(
+        static_cast<size_t>(pending.request.priority), kNumPriorities - 1);
+  }
+  lanes_[lane].by_priority[priority].push_back(std::move(pending));
+  ++lanes_[lane].size;
+  ++size_;
+}
+
+bool LaneScheduler::HasEligible(bool wris_allowed) const {
+  if (options_.mode == SchedulingMode::kFifo) return size_ > 0;
+  return lanes_[kFast].size > 0 || (wris_allowed && lanes_[kSlow].size > 0);
+}
+
+PendingRequest LaneScheduler::PopFromLane(Lane& lane) {
+  for (auto& queue : lane.by_priority) {
+    if (queue.empty()) continue;
+    PendingRequest pending = std::move(queue.front());
+    queue.pop_front();
+    --lane.size;
+    --size_;
+    return pending;
+  }
+  // Callers only reach here with lane.size > 0.
+  __builtin_unreachable();
+}
+
+std::optional<PendingRequest> LaneScheduler::Pop(bool wris_allowed) {
+  if (options_.mode == SchedulingMode::kFifo) {
+    if (size_ == 0) return std::nullopt;
+    return PopFromLane(lanes_[kFast]);
+  }
+  if (!HasEligible(wris_allowed)) return std::nullopt;
+  const bool slow_deferred = !wris_allowed && lanes_[kSlow].size > 0;
+  // Deficit round robin: serve the first lane (in cursor order) that can
+  // afford its per-pickup cost; when none can, top every eligible lane up
+  // by its weight and retry. An empty lane forfeits its deficit (the
+  // classic DRR rule — idle lanes must not bank credit).
+  for (;;) {
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      const size_t li = (cursor_ + i) % kNumLanes;
+      Lane& lane = lanes_[li];
+      if (lane.size == 0) {
+        lane.deficit = 0;
+        continue;
+      }
+      if (li == kSlow && !wris_allowed) continue;
+      const uint32_t cost =
+          li == kSlow ? options_.wris_cost : options_.index_cost;
+      if (lane.deficit < cost) continue;
+      lane.deficit -= cost;
+      cursor_ = li;  // keep serving this lane while its deficit lasts
+      if (slow_deferred && li == kFast) ++wris_deferrals_;
+      return PopFromLane(lane);
+    }
+    for (size_t li = 0; li < kNumLanes; ++li) {
+      Lane& lane = lanes_[li];
+      if (lane.size == 0) continue;
+      if (li == kSlow && !wris_allowed) continue;
+      lane.deficit +=
+          li == kSlow ? options_.slow_lane_weight : options_.fast_lane_weight;
+    }
+  }
+}
+
+std::vector<PendingRequest> LaneScheduler::PopRrBatchMates(
+    const Query& head, size_t max_mates) {
+  std::vector<PendingRequest> mates;
+  if (options_.mode == SchedulingMode::kFifo || max_mates == 0) return mates;
+  Lane& fast = lanes_[kFast];
+  for (auto& queue : fast.by_priority) {
+    for (auto it = queue.begin();
+         it != queue.end() && mates.size() < max_mates;) {
+      if (it->request.engine == QueryEngine::kRr &&
+          KeywordsOverlap(head, it->request.query)) {
+        mates.push_back(std::move(*it));
+        it = queue.erase(it);
+        --fast.size;
+        --size_;
+      } else {
+        ++it;
+      }
+    }
+    if (mates.size() >= max_mates) break;
+  }
+  return mates;
+}
+
+std::deque<PendingRequest> LaneScheduler::DrainAll() {
+  std::deque<PendingRequest> drained;
+  for (Lane& lane : lanes_) {
+    for (auto& queue : lane.by_priority) {
+      for (PendingRequest& pending : queue) {
+        drained.push_back(std::move(pending));
+      }
+      queue.clear();
+    }
+    lane.size = 0;
+    lane.deficit = 0;
+  }
+  size_ = 0;
+  return drained;
+}
+
+size_t LaneScheduler::lane_size(EngineLane lane) const {
+  return lanes_[static_cast<size_t>(lane)].size;
+}
+
+}  // namespace kbtim

@@ -13,12 +13,6 @@ double MillisSince(std::chrono::steady_clock::time_point start,
   return std::chrono::duration<double, std::milli>(now - start).count();
 }
 
-std::future<StatusOr<SeedSetResult>> ImmediateError(Status status) {
-  std::promise<StatusOr<SeedSetResult>> promise;
-  promise.set_value(std::move(status));
-  return promise.get_future();
-}
-
 }  // namespace
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
@@ -61,8 +55,17 @@ QueryService::QueryService(std::shared_ptr<KeywordCache> cache,
                            QueryServiceOptions options)
     : cache_(std::move(cache)),
       options_(options),
+      scheduler_(options.scheduler),
       paused_(options.start_paused) {
-  latency_ring_.resize(kLatencyWindow, 0.0f);
+  wris_worker_cap_ =
+      options_.scheduler.max_wris_workers > 0
+          ? std::min<uint32_t>(options_.scheduler.max_wris_workers,
+                               options_.num_workers)
+          : std::max<uint32_t>(1, options_.num_workers - 1);
+  latency_.ring.resize(kLatencyWindow, 0.0f);
+  for (LatencyWindowState& lane : lane_latency_) {
+    lane.ring.resize(kLatencyWindow, 0.0f);
+  }
 }
 
 void QueryService::StartWorkers(std::optional<OnlineBackend> online) {
@@ -85,7 +88,7 @@ QueryService::~QueryService() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    orphaned.swap(queue_);
+    orphaned = scheduler_.DrainAll();
   }
   work_ready_.notify_all();
   for (PendingRequest& pending : orphaned) {
@@ -97,6 +100,9 @@ QueryService::~QueryService() {
 
 std::future<StatusOr<SeedSetResult>> QueryService::Submit(
     ServiceRequest request) {
+  // Promise construction, routing, and any rejection fulfillment happen
+  // outside the locks: mu_ covers only the queue mutation and stats_mu_ is
+  // never nested under it.
   PendingRequest pending;
   pending.request = std::move(request);
   pending.submitted_at = std::chrono::steady_clock::now();
@@ -105,26 +111,53 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
                             : options_.default_queue_deadline_ms;
   std::future<StatusOr<SeedSetResult>> future =
       pending.promise.get_future();
+  // Count the submission BEFORE the request becomes visible to workers:
+  // once it is pushed a worker may finish it at any moment, and stats()
+  // must never observe completed > submitted. A rejection compensates.
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.submitted;
+  }
+  enum class Rejection { kNone, kShutdown, kQueueFull };
+  Rejection rejection = Rejection::kNone;
+  size_t depth = 0;
+  bool wake_all = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      return ImmediateError(
-          Status::Unavailable("query service shutting down"));
+      rejection = Rejection::kShutdown;
+    } else if (scheduler_.size() >= options_.max_pending) {
+      rejection = Rejection::kQueueFull;
+    } else {
+      scheduler_.Push(std::move(pending));
+      depth = scheduler_.size();
+      // A worker holding an RR batch open swallows notify_one; reach an
+      // idle worker too.
+      wake_all = coalesce_waiters_ > 0;
     }
-    if (queue_.size() >= options_.max_pending) {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++counters_.admission_drops;
-      return ImmediateError(Status::Unavailable(
-          "query service queue full (" +
-          std::to_string(options_.max_pending) + " pending)"));
-    }
-    queue_.push_back(std::move(pending));
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    ++counters_.submitted;
-    counters_.queue_peak =
-        std::max<uint64_t>(counters_.queue_peak, queue_.size());
   }
-  work_ready_.notify_one();
+  if (rejection != Rejection::kNone) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      --counters_.submitted;
+      if (rejection == Rejection::kQueueFull) ++counters_.admission_drops;
+    }
+    pending.promise.set_value(Status::Unavailable(
+        rejection == Rejection::kShutdown
+            ? "query service shutting down"
+            : "query service queue full (" +
+                  std::to_string(options_.max_pending) + " pending)"));
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    counters_.queue_peak = std::max<uint64_t>(counters_.queue_peak, depth);
+  }
+  if (wake_all) {
+    work_ready_.notify_all();
+  } else {
+    work_ready_.notify_one();
+  }
   return future;
 }
 
@@ -132,67 +165,226 @@ StatusOr<SeedSetResult> QueryService::Execute(ServiceRequest request) {
   return Submit(std::move(request)).get();
 }
 
+bool QueryService::WrisAllowedLocked() const {
+  if (options_.scheduler.mode == SchedulingMode::kFifo) return true;
+  return wris_in_flight_ < wris_worker_cap_;
+}
+
+void QueryService::CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
+                                        const PendingRequest& head,
+                                        std::vector<PendingRequest>& mates) {
+  const SchedulerOptions& sched = scheduler_.options();
+  if (sched.mode != SchedulingMode::kLanes || sched.rr_max_batch <= 1) {
+    return;
+  }
+  const size_t max_mates = sched.rr_max_batch - 1;
+  auto take = [&] {
+    std::vector<PendingRequest> more = scheduler_.PopRrBatchMates(
+        head.request.query, max_mates - mates.size());
+    in_flight_ += more.size();
+    const auto now = std::chrono::steady_clock::now();
+    for (PendingRequest& mate : more) {
+      mate.picked_at = now;
+      mates.push_back(std::move(mate));
+    }
+  };
+  take();
+  if (sched.rr_batch_window_ms <= 0 || mates.size() >= max_mates) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              sched.rr_batch_window_ms));
+  ++coalesce_waiters_;
+  while (!shutdown_ && mates.size() < max_mates) {
+    if (work_ready_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+    if (shutdown_) break;
+    // A Pause() landed mid-window: stop collecting (starting queued work
+    // during a pause would violate the Pause contract) and dispatch what
+    // the batch already holds.
+    if (!RunnableLocked()) break;
+    take();
+    // A notification this wait swallowed might have been meant for an
+    // idle worker; hand it on when non-batchable work is runnable.
+    if (scheduler_.HasEligible(WrisAllowedLocked())) {
+      work_ready_.notify_one();
+    }
+  }
+  --coalesce_waiters_;
+}
+
 void QueryService::WorkerLoop(uint32_t slot_id) {
   WorkerSlot& slot = slots_[slot_id];
   for (;;) {
     PendingRequest pending;
+    std::vector<PendingRequest> mates;
+    bool is_wris = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this] {
-        return shutdown_ || (!paused_ && !queue_.empty());
+        return shutdown_ || (RunnableLocked() &&
+                             scheduler_.HasEligible(WrisAllowedLocked()));
       });
       if (shutdown_) return;
-      pending = std::move(queue_.front());
-      queue_.pop_front();
+      std::optional<PendingRequest> popped =
+          scheduler_.Pop(WrisAllowedLocked());
+      if (!popped.has_value()) continue;
+      pending = std::move(*popped);
+      pending.picked_at = std::chrono::steady_clock::now();
+      is_wris = pending.request.engine == QueryEngine::kWris;
       ++in_flight_;
-    }
-
-    const auto started_at = std::chrono::steady_clock::now();
-    const double queue_ms = MillisSince(pending.submitted_at, started_at);
-    if (pending.deadline_ms > 0 && queue_ms > pending.deadline_ms) {
-      {
-        // Dropped requests still spent their queue time as far as the
-        // client is concerned: they land in the latency window so
-        // overload percentiles include what was shed.
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++counters_.deadline_drops;
-        RecordLatencyLocked(queue_ms, queue_ms);
+      if (is_wris) ++wris_in_flight_;
+      if (pending.request.engine == QueryEngine::kRr) {
+        CollectRrBatchLocked(lock, pending, mates);
       }
-      pending.promise.set_value(Status::DeadlineExceeded(
-          "queued " + std::to_string(queue_ms) + " ms past the " +
-          std::to_string(pending.deadline_ms) + " ms deadline"));
-    } else {
-      StatusOr<SeedSetResult> result = Dispatch(slot, pending.request);
-      const double latency_ms = MillisSince(
-          pending.submitted_at, std::chrono::steady_clock::now());
-      RecordOutcome(pending.request, result, latency_ms, queue_ms);
-      pending.promise.set_value(std::move(result));
     }
 
+    const size_t taken = mates.size();
+    if (taken > 0) {
+      ProcessRrBatch(std::move(pending), std::move(mates));
+    } else {
+      ProcessSingle(slot, std::move(pending));
+    }
+
+    bool wris_slot_freed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+      in_flight_ -= 1 + taken;
+      if (is_wris) {
+        --wris_in_flight_;
+        wris_slot_freed = scheduler_.lane_size(EngineLane::kSlow) > 0;
+      }
+      if (scheduler_.empty() && in_flight_ == 0) idle_.notify_all();
     }
+    // Freeing a WRIS reservation may unblock workers that found no
+    // eligible work while the cap was reached.
+    if (wris_slot_freed) work_ready_.notify_all();
   }
 }
 
-StatusOr<SeedSetResult> QueryService::Dispatch(
-    WorkerSlot& slot, const ServiceRequest& request) {
+bool QueryService::DropIfExpired(PendingRequest& pending) {
+  const double queue_ms =
+      MillisSince(pending.submitted_at, pending.picked_at);
+  if (pending.deadline_ms <= 0 || queue_ms <= pending.deadline_ms) {
+    return false;
+  }
+  {
+    // Dropped requests still spent their queue time as far as the client
+    // is concerned: they land in the latency windows so overload
+    // percentiles include what was shed.
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.deadline_drops;
+    RecordLatencyLocked(queue_ms, queue_ms, LaneOf(pending.request.engine));
+  }
+  pending.promise.set_value(Status::DeadlineExceeded(
+      "queued " + std::to_string(queue_ms) + " ms past the " +
+      std::to_string(pending.deadline_ms) + " ms deadline"));
+  return true;
+}
+
+void QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
+  if (DropIfExpired(pending)) return;
+  const double queue_ms =
+      MillisSince(pending.submitted_at, pending.picked_at);
+  StatusOr<SeedSetResult> result = Dispatch(slot, pending.request);
+  const double latency_ms =
+      MillisSince(pending.submitted_at, std::chrono::steady_clock::now());
+  RecordOutcome(pending.request, result, latency_ms, queue_ms);
+  pending.promise.set_value(std::move(result));
+}
+
+void QueryService::ProcessRrBatch(PendingRequest head,
+                                  std::vector<PendingRequest> mates) {
+  std::vector<PendingRequest> all;
+  all.reserve(1 + mates.size());
+  all.push_back(std::move(head));
+  for (PendingRequest& mate : mates) all.push_back(std::move(mate));
+
+  // Per-request screening: expired or over-budget requests resolve
+  // individually and drop out of the batch. Deadlines and queue time are
+  // measured submitted_at -> picked_at, so the batch window the service
+  // itself held the requests open for never expires them.
+  std::vector<PendingRequest> live;
+  std::vector<double> queue_ms;
+  std::vector<Query> queries;
+  live.reserve(all.size());
+  for (PendingRequest& pending : all) {
+    if (DropIfExpired(pending)) continue;
+    Status budget = CheckThetaBudget(pending.request);
+    if (budget.ok()) budget = CheckRrAvailable();
+    if (!budget.ok()) {
+      StatusOr<SeedSetResult> failure{std::move(budget)};
+      const double ms = MillisSince(pending.submitted_at,
+                                    std::chrono::steady_clock::now());
+      const double waited =
+          MillisSince(pending.submitted_at, pending.picked_at);
+      RecordOutcome(pending.request, failure, ms, waited);
+      pending.promise.set_value(std::move(failure));
+      continue;
+    }
+    queue_ms.push_back(MillisSince(pending.submitted_at, pending.picked_at));
+    queries.push_back(pending.request.query);
+    live.push_back(std::move(pending));
+  }
+  if (live.empty()) return;
+
+  // One shared load + greedy pass; per-query results are bit-identical to
+  // serial Query() calls and carry amortized batch stats.
+  StatusOr<std::vector<SeedSetResult>> results = rr_->BatchQuery(queries);
+  if (!results.ok()) {
+    for (size_t i = 0; i < live.size(); ++i) {
+      StatusOr<SeedSetResult> failure{results.status()};
+      const double ms = MillisSince(live[i].submitted_at,
+                                    std::chrono::steady_clock::now());
+      RecordOutcome(live[i].request, failure, ms, queue_ms[i]);
+      live[i].promise.set_value(std::move(failure));
+    }
+    return;
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    StatusOr<SeedSetResult> result{std::move((*results)[i])};
+    const double ms = MillisSince(live[i].submitted_at,
+                                  std::chrono::steady_clock::now());
+    RecordOutcome(live[i].request, result, ms, queue_ms[i]);
+    live[i].promise.set_value(std::move(result));
+  }
+  if (live.size() >= 2) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++counters_.rr_batches;
+    counters_.rr_batched_queries += live.size();
+  }
+}
+
+Status QueryService::CheckRrAvailable() const {
+  if (rr_.has_value()) return Status::OK();
+  return Status::FailedPrecondition(
+      "index directory has no RR structures: " + cache_->dir());
+}
+
+Status QueryService::CheckThetaBudget(const ServiceRequest& request) const {
   // Per-request θ budget: index queries are costed (Eqn. 11) before any
   // keyword file is touched; WRIS clamps inside Solve. The engine Query
   // recomputes the same budget internally — a few-keyword arithmetic
   // loop, accepted over widening the index Query signatures.
-  if (request.max_theta > 0 && request.engine != QueryEngine::kWris) {
-    KBTIM_ASSIGN_OR_RETURN(QueryBudget budget,
-                           ComputeQueryBudget(meta(), request.query));
-    if (budget.theta_q > request.max_theta) {
-      return Status::FailedPrecondition(
-          "query theta " + std::to_string(budget.theta_q) +
-          " exceeds the per-request budget " +
-          std::to_string(request.max_theta));
-    }
+  if (request.max_theta == 0 || request.engine == QueryEngine::kWris) {
+    return Status::OK();
   }
+  StatusOr<QueryBudget> budget = ComputeQueryBudget(meta(), request.query);
+  if (!budget.ok()) return budget.status();
+  if (budget->theta_q > request.max_theta) {
+    return Status::FailedPrecondition(
+        "query theta " + std::to_string(budget->theta_q) +
+        " exceeds the per-request budget " +
+        std::to_string(request.max_theta));
+  }
+  return Status::OK();
+}
+
+StatusOr<SeedSetResult> QueryService::Dispatch(
+    WorkerSlot& slot, const ServiceRequest& request) {
+  KBTIM_RETURN_IF_ERROR(CheckThetaBudget(request));
   switch (request.engine) {
     case QueryEngine::kIrr:
       if (!irr_.has_value()) {
@@ -201,10 +393,7 @@ StatusOr<SeedSetResult> QueryService::Dispatch(
       }
       return irr_->Query(request.query, request.irr_mode);
     case QueryEngine::kRr:
-      if (!rr_.has_value()) {
-        return Status::FailedPrecondition(
-            "index directory has no RR structures: " + cache_->dir());
-      }
+      KBTIM_RETURN_IF_ERROR(CheckRrAvailable());
       return rr_->Query(request.query);
     case QueryEngine::kWris:
       if (slot.wris == nullptr) {
@@ -216,19 +405,23 @@ StatusOr<SeedSetResult> QueryService::Dispatch(
   return Status::Internal("unknown query engine");
 }
 
-void QueryService::RecordLatencyLocked(double latency_ms,
-                                       double queue_ms) {
+void QueryService::RecordLatencyLocked(double latency_ms, double queue_ms,
+                                       EngineLane lane) {
   queue_ms_sum_ += queue_ms;
-  latency_ring_[latency_next_] = static_cast<float>(latency_ms);
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-  ++latency_total_;
+  latency_.ring[latency_.next] = static_cast<float>(latency_ms);
+  latency_.next = (latency_.next + 1) % kLatencyWindow;
+  ++latency_.total;
+  LatencyWindowState& lw = lane_latency_[static_cast<size_t>(lane)];
+  lw.ring[lw.next] = static_cast<float>(latency_ms);
+  lw.next = (lw.next + 1) % kLatencyWindow;
+  ++lw.total;
 }
 
 void QueryService::RecordOutcome(const ServiceRequest& request,
                                  const StatusOr<SeedSetResult>& result,
                                  double latency_ms, double queue_ms) {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  RecordLatencyLocked(latency_ms, queue_ms);
+  RecordLatencyLocked(latency_ms, queue_ms, LaneOf(request.engine));
   if (!result.ok()) {
     ++counters_.failed;
     return;
@@ -245,8 +438,14 @@ void QueryService::RecordOutcome(const ServiceRequest& request,
 
 void QueryService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  ++draining_;
+  // Wake workers that went to sleep on a pause: while this drain waits
+  // they run the queue down even on a Pause()d service
+  // (drain-through-pause), then honor the pause again.
+  work_ready_.notify_all();
   idle_.wait(lock,
-             [this] { return queue_.empty() && in_flight_ == 0; });
+             [this] { return scheduler_.empty() && in_flight_ == 0; });
+  --draining_;
 }
 
 void QueryService::Pause() {
@@ -264,44 +463,73 @@ void QueryService::Resume() {
 
 void QueryService::ResetLatencyWindow() {
   std::lock_guard<std::mutex> lock(stats_mu_);
-  latency_next_ = 0;
-  latency_total_ = 0;
+  latency_.next = 0;
+  latency_.total = 0;
+  for (LatencyWindowState& lane : lane_latency_) {
+    lane.next = 0;
+    lane.total = 0;
+  }
   queue_ms_sum_ = 0.0;
 }
 
 size_t QueryService::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return scheduler_.size();
 }
 
 ServiceStats QueryService::stats() const {
   ServiceStats out;
   std::vector<float> window;
+  std::vector<float> lane_window[kNumLanes];
   double queue_sum = 0.0;
   uint64_t finished = 0;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = counters_;
     const size_t n = static_cast<size_t>(
-        std::min<uint64_t>(latency_total_, kLatencyWindow));
-    window.assign(latency_ring_.begin(), latency_ring_.begin() + n);
+        std::min<uint64_t>(latency_.total, kLatencyWindow));
+    window.assign(latency_.ring.begin(), latency_.ring.begin() + n);
+    for (size_t li = 0; li < kNumLanes; ++li) {
+      const LatencyWindowState& lw = lane_latency_[li];
+      const size_t ln = static_cast<size_t>(
+          std::min<uint64_t>(lw.total, kLatencyWindow));
+      lane_window[li].assign(lw.ring.begin(), lw.ring.begin() + ln);
+    }
     queue_sum = queue_ms_sum_;
-    finished = latency_total_;
+    finished = latency_.total;
   }
+  auto percentile = [](std::vector<float>& w, double q) {
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(w.size() - 1) + 0.5);
+    return static_cast<double>(w[idx]);
+  };
   if (!window.empty()) {
     std::sort(window.begin(), window.end());
-    auto percentile = [&](double q) {
-      const size_t idx = static_cast<size_t>(
-          q * static_cast<double>(window.size() - 1) + 0.5);
-      return static_cast<double>(window[idx]);
-    };
-    out.p50_ms = percentile(0.50);
-    out.p90_ms = percentile(0.90);
-    out.p99_ms = percentile(0.99);
+    out.p50_ms = percentile(window, 0.50);
+    out.p90_ms = percentile(window, 0.90);
+    out.p99_ms = percentile(window, 0.99);
     out.max_ms = static_cast<double>(window.back());
+  }
+  auto& fast = lane_window[static_cast<size_t>(EngineLane::kFast)];
+  if (!fast.empty()) {
+    std::sort(fast.begin(), fast.end());
+    out.fast_p50_ms = percentile(fast, 0.50);
+    out.fast_p99_ms = percentile(fast, 0.99);
+  }
+  auto& slow = lane_window[static_cast<size_t>(EngineLane::kSlow)];
+  if (!slow.empty()) {
+    std::sort(slow.begin(), slow.end());
+    out.slow_p50_ms = percentile(slow, 0.50);
+    out.slow_p99_ms = percentile(slow, 0.99);
   }
   if (finished > 0) {
     out.mean_queue_ms = queue_sum / static_cast<double>(finished);
+  }
+  {
+    // Scheduler counters live under the queue mutex; never nested with
+    // stats_mu_.
+    std::lock_guard<std::mutex> lock(mu_);
+    out.wris_deferrals = scheduler_.wris_deferrals();
   }
   const KeywordCacheStats cache = cache_->stats();
   out.cache_hits = cache.hits;

@@ -2,21 +2,43 @@
 // KeywordCache.
 //
 // The paper's premise is ad-hoc advertiser queries answered in real time;
-// a platform faces a *stream* of them, from many campaigns at once. PR 1/2
-// made the cache and both index query paths thread-safe, but nothing in
-// the tree actually exercised them concurrently. This layer makes
-// concurrency a first-class execution mode:
+// a platform faces a *stream* of them, from many campaigns at once. PR 3
+// made concurrency a first-class execution mode behind one FIFO queue;
+// PR 4 replaces that FIFO with an engine-class scheduler, because a WRIS
+// solve is ~10x an index query and one slow class must not head-of-line-
+// block the cheap one:
 //
-//   clients ──Submit()──► bounded request queue ──► worker pool
-//                           │ (admission control:      │ per-slot state:
-//                           │  queue-full rejects,     │  WrisSolver (own
-//                           │  queue deadlines)        │  sampler slots +
-//                           │                          │  CoverageWorkspace)
-//                           ▼                          ▼
-//                      ServiceStats ◄──── IrrIndex / RrIndex / WrisSolver
-//                  (latency percentiles,          │
-//                   drops, cache roll-up)   KeywordCache (ONE per service,
-//                                           shared by every worker)
+//   clients ──Submit()──► LaneScheduler ─────────► worker pool
+//                │          fast lane kIrr/kRr       │ per-slot state:
+//                │          slow lane kWris          │  WrisSolver (own
+//                │          3 priorities per lane    │  sampler slots +
+//                │          weighted deficit RR      │  CoverageWorkspace)
+//                │ (admission control:                │ WRIS reservation:
+//                │  queue-full rejects,               │  ≤ max_wris_workers
+//                │  queue deadlines)                  │  solves in flight
+//                ▼                                    ▼
+//           ServiceStats ◄──────── IrrIndex / RrIndex / WrisSolver
+//       (per-lane percentiles,             │
+//        drops, batch counters,      KeywordCache (ONE per service,
+//        cache roll-up)              shared by every worker)
+//
+// Scheduling (see lane_scheduler.h for the discipline itself):
+//   * Lanes + priorities — index queries and WRIS solves queue separately;
+//     a per-request RequestPriority reorders within a lane only.
+//   * Weighted deficit round robin — with both lanes backlogged, workers
+//     split their cost budget fast:slow = fast_lane_weight:slow_lane_weight
+//     (WRIS pickups charge wris_cost ≈ the measured 10x).
+//   * Worker reservations — at most max_wris_workers WRIS solves run
+//     concurrently (auto: num_workers - 1), so the fast lane always has a
+//     worker even under a WRIS flood.
+//   * Batch-aware RR dispatch — a worker popping a kRr request coalesces
+//     up to rr_max_batch - 1 queued kRr requests with overlapping keyword
+//     sets into ONE RrIndex::BatchQuery (optionally waiting
+//     rr_batch_window_ms for more), then fans the per-query results back
+//     out to each caller's future. Results are bit-identical to serial
+//     execution; batch-level I/O is amortized across the results so
+//     ServiceStats sums stay exact.
+//   * SchedulingMode::kFifo restores the PR 3 queue — the bench baseline.
 //
 // Execution engines per request: the IRR index (Algorithm 4), the RR index
 // (Algorithm 2), or online WRIS sampling (§3.2, when an OnlineBackend is
@@ -37,6 +59,16 @@
 //     exceeds it are rejected (FailedPrecondition) before touching disk;
 //     WRIS clamps its sample count to the budget (weakening the
 //     approximation guarantee exactly like OnlineSolverOptions::max_theta).
+//
+// Drain vs Pause:
+//   * Pause() stops workers from STARTING queued requests; Submit still
+//     accepts. Resume() restarts pickup.
+//   * Drain() blocks until the queue is empty and no worker is mid-query.
+//     Drain DRAINS THROUGH a pause: while any Drain is waiting, workers
+//     execute queued requests even on a Pause()d service, then honor the
+//     pause again once the drain completes. (Before PR 4 a Drain on a
+//     paused, non-empty service deadlocked.) Use Pause+Drain to quiesce
+//     into a maintenance window: queued work finishes, new work queues.
 //
 // Thread safety: every public method may be called from any thread.
 // Destruction fails all still-queued requests with Unavailable, then joins
@@ -63,42 +95,20 @@
 #include "propagation/model.h"
 #include "sampling/solver_result.h"
 #include "sampling/wris_solver.h"
+#include "serving/lane_scheduler.h"
+#include "serving/service_request.h"
 #include "topics/query.h"
 #include "topics/tfidf.h"
 
 namespace kbtim {
-
-/// Which solver answers a request.
-enum class QueryEngine : uint8_t {
-  kIrr = 0,   ///< Incremental RR index (paper §5, the real-time path).
-  kRr = 1,    ///< Disk RR index (paper §4).
-  kWris = 2,  ///< Online sampling (§3.2; needs an OnlineBackend).
-};
-
-/// One client request: the query plus its serving budgets.
-struct ServiceRequest {
-  Query query;
-  QueryEngine engine = QueryEngine::kIrr;
-
-  /// Score-refinement mode for QueryEngine::kIrr (ignored otherwise).
-  IrrQueryMode irr_mode = IrrQueryMode::kLazy;
-
-  /// Queue-wait budget in milliseconds; a request not STARTED within it is
-  /// dropped with DeadlineExceeded. 0 uses the service default (whose own
-  /// 0 means no deadline).
-  double queue_deadline_ms = 0.0;
-
-  /// Per-request θ budget; 0 = unlimited. Index engines reject queries
-  /// whose θ^Q exceeds it, WRIS clamps (see file comment).
-  uint64_t max_theta = 0;
-};
 
 /// Serving knobs (see file comment for the admission-control semantics).
 struct QueryServiceOptions {
   /// Worker threads executing queries (>= 1).
   uint32_t num_workers = 2;
 
-  /// Bound on queued (not yet started) requests before Submit rejects.
+  /// Bound on queued (not yet started) requests before Submit rejects,
+  /// summed across lanes.
   size_t max_pending = 64;
 
   /// Default ServiceRequest::queue_deadline_ms (0 = no deadline).
@@ -107,6 +117,9 @@ struct QueryServiceOptions {
   /// Construct with workers paused (requests queue but do not execute
   /// until Resume()); used by tests and maintenance windows.
   bool start_paused = false;
+
+  /// Lane/priority/batching discipline (see lane_scheduler.h).
+  SchedulerOptions scheduler;
 
   /// Options of the service-owned shared KeywordCache (ignored when the
   /// service attaches to an existing cache).
@@ -122,8 +135,9 @@ struct QueryServiceOptions {
 /// cover the most recent window (kLatencyWindow samples) of FINISHED
 /// requests — completed, engine-failed, or deadline-dropped — measured
 /// Submit -> resolution, so overload tails include the requests that
-/// were shed, not just the ones that were lucky. Everything else is a
-/// lifetime total.
+/// were shed, not just the ones that were lucky. The fast_/slow_ fields
+/// are the same measurement split by scheduler lane (index vs WRIS).
+/// Everything else is a lifetime total.
 struct ServiceStats {
   uint64_t submitted = 0;        ///< Accepted into the queue.
   uint64_t completed = 0;        ///< Finished with an OK result.
@@ -136,13 +150,30 @@ struct ServiceStats {
   uint64_t rr_queries = 0;
   uint64_t wris_queries = 0;
 
+  /// Batch-aware RR dispatch: coalesced BatchQuery dispatches (>= 2
+  /// requests) and the requests answered inside them.
+  uint64_t rr_batches = 0;
+  uint64_t rr_batched_queries = 0;
+
+  /// Fast-lane pickups made while the WRIS reservation cap kept queued
+  /// slow-lane work waiting (how often the reservation actually bit).
+  uint64_t wris_deferrals = 0;
+
   double p50_ms = 0.0;  ///< Median latency over the recent window.
   double p90_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;        ///< Max latency over the recent window.
   double mean_queue_ms = 0.0; ///< Lifetime mean time spent queued.
 
-  /// SolverStats roll-up over completed requests.
+  /// Per-lane latency percentiles over each lane's own recent window.
+  double fast_p50_ms = 0.0;  ///< Index lane (kIrr + kRr).
+  double fast_p99_ms = 0.0;
+  double slow_p50_ms = 0.0;  ///< WRIS lane.
+  double slow_p99_ms = 0.0;
+
+  /// SolverStats roll-up over completed requests. Batch-executed RR
+  /// requests carry amortized per-result shares, so these sums equal the
+  /// true totals (no per-batch multiple counting).
   uint64_t rr_sets_loaded = 0;
   uint64_t io_reads = 0;
 
@@ -194,12 +225,13 @@ class QueryService {
   /// Submit + wait: the closed-loop client call.
   StatusOr<SeedSetResult> Execute(ServiceRequest request);
 
-  /// Blocks until the queue is empty and no worker is mid-query. Only
-  /// workers drain the queue, so calling this on a Pause()d service with
-  /// queued requests blocks until someone calls Resume().
+  /// Blocks until the queue is empty and no worker is mid-query. Drains
+  /// through a Pause(): paused workers execute queued requests while any
+  /// Drain waits, then pause again (see the Drain-vs-Pause file comment).
   void Drain();
 
   /// Stops dequeuing (queued + new requests wait); Resume() restarts.
+  /// A concurrent Drain() overrides the pause until it returns.
   void Pause();
   void Resume();
 
@@ -208,28 +240,29 @@ class QueryService {
 
   ServiceStats stats() const;
 
-  /// Clears the latency/queue-wait window (lifetime counters survive), so
-  /// percentiles cover only what follows — call after a warm-up pass.
+  /// Clears the latency/queue-wait windows, overall and per lane
+  /// (lifetime counters survive), so percentiles cover only what follows
+  /// — call after a warm-up pass.
   void ResetLatencyWindow();
 
   const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
   const IndexMeta& meta() const { return cache_->meta(); }
 
-  /// Latency samples retained for the percentile window.
+  /// Latency samples retained per percentile window.
   static constexpr size_t kLatencyWindow = 4096;
 
  private:
-  struct PendingRequest {
-    ServiceRequest request;
-    std::promise<StatusOr<SeedSetResult>> promise;
-    std::chrono::steady_clock::time_point submitted_at;
-    double deadline_ms = 0.0;  // resolved against the service default
-  };
-
   /// Per-worker reusable solver state (only WRIS keeps mutable scratch;
   /// the index handles are stateless over the shared cache).
   struct WorkerSlot {
     std::unique_ptr<WrisSolver> wris;  // null without an OnlineBackend
+  };
+
+  /// One latency percentile ring (overall or per lane). stats_mu_ held.
+  struct LatencyWindowState {
+    std::vector<float> ring;
+    size_t next = 0;
+    uint64_t total = 0;
   };
 
   QueryService(std::shared_ptr<KeywordCache> cache,
@@ -237,32 +270,63 @@ class QueryService {
 
   void StartWorkers(std::optional<OnlineBackend> online);
   void WorkerLoop(uint32_t slot_id);
+
+  /// True when workers may dequeue: not paused, or a Drain is waiting.
+  bool RunnableLocked() const { return !paused_ || draining_ > 0; }
+  /// True when a WRIS pickup fits under the reservation cap. mu_ held.
+  bool WrisAllowedLocked() const;
+
+  /// Collects overlapping queued kRr requests for a just-popped head,
+  /// optionally waiting rr_batch_window_ms for more arrivals. mu_ held
+  /// via `lock`; in_flight_ is bumped for every mate taken.
+  void CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
+                            const PendingRequest& head,
+                            std::vector<PendingRequest>& mates);
+
+  /// Executes one non-coalesced request end to end (deadline check,
+  /// dispatch, stats, promise).
+  void ProcessSingle(WorkerSlot& slot, PendingRequest pending);
+  /// Executes a coalesced kRr batch: per-request deadline/θ screening,
+  /// one RrIndex::BatchQuery, per-query promise fan-out.
+  void ProcessRrBatch(PendingRequest head, std::vector<PendingRequest> mates);
+
+  /// kRr engine availability, shared by the single and batched paths.
+  Status CheckRrAvailable() const;
+  /// Per-request θ^Q admission (index engines; see file comment).
+  Status CheckThetaBudget(const ServiceRequest& request) const;
   StatusOr<SeedSetResult> Dispatch(WorkerSlot& slot,
                                    const ServiceRequest& request);
-  /// Pushes one sample into the latency/queue-wait window. stats_mu_ held.
-  void RecordLatencyLocked(double latency_ms, double queue_ms);
+  /// Pushes one sample into the overall + per-lane windows. stats_mu_ held.
+  void RecordLatencyLocked(double latency_ms, double queue_ms,
+                           EngineLane lane);
   void RecordOutcome(const ServiceRequest& request,
                      const StatusOr<SeedSetResult>& result,
                      double latency_ms, double queue_ms);
+  /// Resolves a deadline-expired request (stats + promise), judged
+  /// submitted_at -> picked_at. Returns true when the request dropped.
+  bool DropIfExpired(PendingRequest& pending);
 
   const std::shared_ptr<KeywordCache> cache_;
   const QueryServiceOptions options_;
-  std::optional<IrrIndex> irr_;  // engaged when meta().has_irr
-  std::optional<RrIndex> rr_;    // engaged when meta().has_rr
+  uint32_t wris_worker_cap_ = 1;  // resolved max_wris_workers
+  std::optional<IrrIndex> irr_;   // engaged when meta().has_irr
+  std::optional<RrIndex> rr_;     // engaged when meta().has_rr
 
   mutable std::mutex mu_;  // queue + lifecycle state
   std::condition_variable work_ready_;
   std::condition_variable idle_;  // Drain(): queue empty && none in flight
-  std::deque<PendingRequest> queue_;
+  LaneScheduler scheduler_;
   size_t in_flight_ = 0;
+  size_t wris_in_flight_ = 0;
+  int draining_ = 0;           // Drains currently waiting (drain-through-pause)
+  size_t coalesce_waiters_ = 0;  // workers inside a batch window wait
   bool paused_ = false;
   bool shutdown_ = false;
 
   mutable std::mutex stats_mu_;
   ServiceStats counters_;  // percentile/cache fields filled at snapshot
-  std::vector<float> latency_ring_;  // last kLatencyWindow latencies (ms)
-  size_t latency_next_ = 0;
-  uint64_t latency_total_ = 0;
+  LatencyWindowState latency_;                      // overall
+  LatencyWindowState lane_latency_[kNumLanes];      // per lane
   double queue_ms_sum_ = 0.0;
 
   std::vector<WorkerSlot> slots_;

@@ -1,0 +1,70 @@
+// Request vocabulary of the serving layer: which engine answers a query,
+// which scheduler lane that engine belongs to, and the per-request
+// budgets/priority a client attaches. Split out of query_service.h so the
+// LaneScheduler can be built and tested without the service itself.
+#ifndef KBTIM_SERVING_SERVICE_REQUEST_H_
+#define KBTIM_SERVING_SERVICE_REQUEST_H_
+
+#include <cstdint>
+
+#include "index/irr_index.h"
+#include "topics/query.h"
+
+namespace kbtim {
+
+/// Which solver answers a request.
+enum class QueryEngine : uint8_t {
+  kIrr = 0,   ///< Incremental RR index (paper §5, the real-time path).
+  kRr = 1,    ///< Disk RR index (paper §4).
+  kWris = 2,  ///< Online sampling (§3.2; needs an OnlineBackend).
+};
+
+/// Scheduler lane of an engine class. Index queries are ~10x cheaper than
+/// a WRIS solve, so they ride a separate fast lane that a WRIS backlog can
+/// never head-of-line-block.
+enum class EngineLane : uint8_t {
+  kFast = 0,  ///< kIrr + kRr.
+  kSlow = 1,  ///< kWris.
+};
+
+inline constexpr size_t kNumLanes = 2;
+
+inline EngineLane LaneOf(QueryEngine engine) {
+  return engine == QueryEngine::kWris ? EngineLane::kSlow : EngineLane::kFast;
+}
+
+/// Within-lane ordering. Priority never lets one lane preempt the other
+/// (cross-lane fairness is the deficit-round-robin's job); it reorders
+/// requests INSIDE a lane, higher first, FIFO among equals.
+enum class RequestPriority : uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline constexpr size_t kNumPriorities = 3;
+
+/// One client request: the query plus its serving budgets.
+struct ServiceRequest {
+  Query query;
+  QueryEngine engine = QueryEngine::kIrr;
+
+  /// Score-refinement mode for QueryEngine::kIrr (ignored otherwise).
+  IrrQueryMode irr_mode = IrrQueryMode::kLazy;
+
+  /// Within-lane scheduling priority (see RequestPriority).
+  RequestPriority priority = RequestPriority::kNormal;
+
+  /// Queue-wait budget in milliseconds; a request not STARTED within it is
+  /// dropped with DeadlineExceeded. 0 uses the service default (whose own
+  /// 0 means no deadline).
+  double queue_deadline_ms = 0.0;
+
+  /// Per-request θ budget; 0 = unlimited. Index engines reject queries
+  /// whose θ^Q exceeds it, WRIS clamps (see query_service.h).
+  uint64_t max_theta = 0;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SERVING_SERVICE_REQUEST_H_

@@ -10,6 +10,7 @@
 #include "index/rr_index.h"
 #include "propagation/forward_simulator.h"
 #include "sampling/wris_solver.h"
+#include "storage/io_counter.h"
 
 namespace kbtim {
 namespace {
@@ -223,6 +224,39 @@ TEST_F(IndexBuildQueryTest, BatchQueryMatchesIndividualQueries) {
   // Shared loading: the batch reads strictly less than four separate
   // cold queries whose keywords overlap.
   EXPECT_LT((*batch_results)[0].stats.io_reads, individual_reads);
+}
+
+TEST_F(IndexBuildQueryTest, BatchQueryStatsSumToBatchTotals) {
+  // Regression: BatchQuery used to copy the WHOLE batch's I/O and
+  // cache-delta counters into EVERY result, so any aggregator summing
+  // per-result stats (e.g. a serving layer's io_reads roll-up)
+  // over-counted by the batch size. The batch-level costs must now be
+  // amortized: per-result shares summing exactly to the measured totals.
+  auto index = RrIndex::Open(*dir_);  // fresh handle = cold cache
+  ASSERT_TRUE(index.ok());
+  const std::vector<Query> batch = {
+      {{0, 1}, 5}, {{1, 2}, 10}, {{0, 1}, 20}, {{3}, 8}};
+  const IoStats io_before = IoCounter::Snapshot();
+  const KeywordCacheStats cache_before = index->cache()->stats();
+  auto results = index->BatchQuery(batch);
+  const IoStats io = IoCounter::Snapshot() - io_before;
+  const KeywordCacheStats cache_after = index->cache()->stats();
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), batch.size());
+
+  uint64_t sum_reads = 0, sum_bytes = 0, sum_hits = 0, sum_misses = 0;
+  for (const SeedSetResult& result : *results) {
+    EXPECT_EQ(result.stats.batch_size, static_cast<uint32_t>(batch.size()));
+    sum_reads += result.stats.io_reads;
+    sum_bytes += result.stats.io_bytes;
+    sum_hits += result.stats.cache_hits;
+    sum_misses += result.stats.cache_misses;
+  }
+  EXPECT_GT(io.read_ops, 0u);  // the cold batch really touched disk
+  EXPECT_EQ(sum_reads, io.read_ops);
+  EXPECT_EQ(sum_bytes, io.read_bytes);
+  EXPECT_EQ(sum_hits, cache_after.hits - cache_before.hits);
+  EXPECT_EQ(sum_misses, cache_after.misses - cache_before.misses);
 }
 
 TEST_F(IndexBuildQueryTest, EmptyBatchIsAllowed) {

@@ -1,0 +1,175 @@
+// Unit contract of the LaneScheduler in isolation: engine-class routing,
+// within-lane priorities, weighted deficit-round-robin fairness, WRIS
+// reservation eligibility, RR batch-mate collection and the FIFO
+// baseline mode. All single-threaded — the scheduler is externally
+// synchronized by the QueryService.
+#include "serving/lane_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace kbtim {
+namespace {
+
+PendingRequest MakeRequest(QueryEngine engine, std::vector<TopicId> topics,
+                           RequestPriority priority = RequestPriority::kNormal,
+                           uint32_t k = 5) {
+  PendingRequest pending;
+  pending.request.engine = engine;
+  pending.request.query = Query{std::move(topics), k};
+  pending.request.priority = priority;
+  pending.submitted_at = std::chrono::steady_clock::now();
+  return pending;
+}
+
+TEST(LaneSchedulerTest, RoutesEnginesToLanes) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {0}));
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {1}));
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {2}));
+  EXPECT_EQ(scheduler.size(), 3u);
+  EXPECT_EQ(scheduler.lane_size(EngineLane::kFast), 2u);
+  EXPECT_EQ(scheduler.lane_size(EngineLane::kSlow), 1u);
+}
+
+TEST(LaneSchedulerTest, PriorityOrdersWithinLaneFifoAmongEquals) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {0}, RequestPriority::kLow));
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {1}, RequestPriority::kNormal));
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {2}, RequestPriority::kHigh));
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {3}, RequestPriority::kHigh));
+  std::vector<TopicId> order;
+  while (auto popped = scheduler.Pop(true)) {
+    order.push_back(popped->request.query.topics[0]);
+  }
+  EXPECT_EQ(order, (std::vector<TopicId>{2, 3, 1, 0}));
+}
+
+TEST(LaneSchedulerTest, DeficitRoundRobinSplitsCostByWeight) {
+  SchedulerOptions options;
+  options.fast_lane_weight = 4;
+  options.slow_lane_weight = 1;
+  options.index_cost = 1;
+  options.wris_cost = 10;
+  LaneScheduler scheduler(options);
+  constexpr int kPerLane = 200;
+  for (int i = 0; i < kPerLane; ++i) {
+    scheduler.Push(MakeRequest(QueryEngine::kIrr, {0}));
+    scheduler.Push(MakeRequest(QueryEngine::kWris, {1}));
+  }
+  // Serve a long backlogged prefix and count the per-lane cost share.
+  uint64_t fast_cost = 0, slow_cost = 0;
+  for (int i = 0; i < 220; ++i) {
+    auto popped = scheduler.Pop(true);
+    ASSERT_TRUE(popped.has_value());
+    if (popped->request.engine == QueryEngine::kWris) {
+      slow_cost += options.wris_cost;
+    } else {
+      fast_cost += options.index_cost;
+    }
+    if (scheduler.lane_size(EngineLane::kFast) == 0 ||
+        scheduler.lane_size(EngineLane::kSlow) == 0) {
+      break;  // stop while both lanes are still backlogged
+    }
+  }
+  ASSERT_GT(slow_cost, 0u) << "slow lane starved outright";
+  // Cost share tracks the 4:1 weights (loose band: DRR is only exact in
+  // the long-run average).
+  const double ratio = static_cast<double>(fast_cost) /
+                       static_cast<double>(slow_cost);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(LaneSchedulerTest, SlowLaneAloneStillServes) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {0}));
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {1}));
+  EXPECT_TRUE(scheduler.HasEligible(true));
+  auto first = scheduler.Pop(true);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request.engine, QueryEngine::kWris);
+  EXPECT_TRUE(scheduler.Pop(true).has_value());
+  EXPECT_TRUE(scheduler.empty());
+}
+
+TEST(LaneSchedulerTest, ReservationSkipsSlowLaneAndCountsDeferrals) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {0}));
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {1}));
+  // WRIS reservation cap reached: the slow lane is ineligible.
+  auto popped = scheduler.Pop(/*wris_allowed=*/false);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->request.engine, QueryEngine::kIrr);
+  EXPECT_EQ(scheduler.wris_deferrals(), 1u);
+  // Only reserved-out work remains: nothing is eligible...
+  EXPECT_FALSE(scheduler.HasEligible(false));
+  EXPECT_FALSE(scheduler.Pop(false).has_value());
+  // ...until a WRIS slot frees up.
+  EXPECT_TRUE(scheduler.HasEligible(true));
+  EXPECT_TRUE(scheduler.Pop(true).has_value());
+}
+
+TEST(LaneSchedulerTest, FifoModePreservesStrictSubmissionOrder) {
+  SchedulerOptions options;
+  options.mode = SchedulingMode::kFifo;
+  LaneScheduler scheduler(options);
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {0}));
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {1}, RequestPriority::kHigh));
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {2}));
+  std::vector<TopicId> order;
+  // wris_allowed=false must be ignored: FIFO mode has no reservations.
+  while (auto popped = scheduler.Pop(false)) {
+    order.push_back(popped->request.query.topics[0]);
+  }
+  EXPECT_EQ(order, (std::vector<TopicId>{0, 1, 2}));
+  EXPECT_EQ(scheduler.wris_deferrals(), 0u);
+}
+
+TEST(LaneSchedulerTest, PopRrBatchMatesTakesOverlappingRrOnly) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {0, 1}));    // overlaps
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {0, 1}));   // wrong engine
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {4, 5}));    // disjoint
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {1, 3}));    // overlaps
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {0}));     // wrong lane
+  const Query head{{0, 1}, 5};
+  auto mates = scheduler.PopRrBatchMates(head, 8);
+  ASSERT_EQ(mates.size(), 2u);
+  EXPECT_EQ(mates[0].request.query.topics, (std::vector<TopicId>{0, 1}));
+  EXPECT_EQ(mates[1].request.query.topics, (std::vector<TopicId>{1, 3}));
+  EXPECT_EQ(scheduler.size(), 3u);  // non-mates stay queued, in order
+  auto next = scheduler.Pop(true);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->request.engine, QueryEngine::kIrr);
+}
+
+TEST(LaneSchedulerTest, PopRrBatchMatesHonorsMaxAndPriority) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {0, 1}, RequestPriority::kLow));
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {0, 2}, RequestPriority::kHigh));
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {0, 3}, RequestPriority::kHigh));
+  const Query head{{0}, 5};
+  auto mates = scheduler.PopRrBatchMates(head, 2);
+  ASSERT_EQ(mates.size(), 2u);
+  // Higher-priority mates board the batch first.
+  EXPECT_EQ(mates[0].request.query.topics, (std::vector<TopicId>{0, 2}));
+  EXPECT_EQ(mates[1].request.query.topics, (std::vector<TopicId>{0, 3}));
+  EXPECT_EQ(scheduler.size(), 1u);
+}
+
+TEST(LaneSchedulerTest, DrainAllEmptiesEveryLaneAndPriority) {
+  LaneScheduler scheduler({});
+  scheduler.Push(MakeRequest(QueryEngine::kIrr, {0}, RequestPriority::kHigh));
+  scheduler.Push(MakeRequest(QueryEngine::kRr, {1}));
+  scheduler.Push(MakeRequest(QueryEngine::kWris, {2}, RequestPriority::kLow));
+  auto drained = scheduler.DrainAll();
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_TRUE(scheduler.empty());
+  EXPECT_FALSE(scheduler.HasEligible(true));
+  EXPECT_FALSE(scheduler.Pop(true).has_value());
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -240,9 +240,17 @@ TEST_F(QueryServiceTest, ShutdownFailsQueuedRequestsWithUnavailable) {
   auto service_or = QueryService::Create(dir_, options);
   ASSERT_TRUE(service_or.ok());
 
+  // Every lane and priority must be failed on shutdown, not just one.
+  const QueryEngine engines[] = {QueryEngine::kIrr, QueryEngine::kRr,
+                                 QueryEngine::kWris, QueryEngine::kIrr};
+  const RequestPriority priorities[] = {
+      RequestPriority::kLow, RequestPriority::kNormal,
+      RequestPriority::kNormal, RequestPriority::kHigh};
   std::vector<std::future<StatusOr<SeedSetResult>>> futures;
   for (int i = 0; i < 4; ++i) {
-    futures.push_back((*service_or)->Submit({{{0, 1}, 5}}));
+    ServiceRequest request{{{0, 1}, 5}, engines[i]};
+    request.priority = priorities[i];
+    futures.push_back((*service_or)->Submit(std::move(request)));
   }
   service_or->reset();  // destroy with everything still queued
   for (auto& future : futures) {
@@ -250,6 +258,167 @@ TEST_F(QueryServiceTest, ShutdownFailsQueuedRequestsWithUnavailable) {
     ASSERT_FALSE(result.ok());
     EXPECT_TRUE(result.status().IsUnavailable()) << result.status();
   }
+}
+
+TEST_F(QueryServiceTest, DrainWhilePausedDrainsThrough) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.start_paused = true;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(service->Submit({{{0, 1}, 5}, QueryEngine::kIrr}));
+  }
+  EXPECT_EQ(service->pending(), 6u);
+
+  // Regression: before PR 4 this deadlocked — paused workers never drained
+  // the queue, so Drain's idle condition could not fire.
+  service->Drain();
+  EXPECT_EQ(service->pending(), 0u);
+  for (auto& future : futures) {
+    auto result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status();
+  }
+
+  // The pause itself survives the drain: new work queues without running.
+  auto queued = service->Submit({{{0, 1}, 5}, QueryEngine::kIrr});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(service->pending(), 1u);
+  service->Resume();
+  EXPECT_TRUE(queued.get().ok());
+}
+
+TEST_F(QueryServiceTest, HighPriorityOvertakesQueuedLowWithinLane) {
+  QueryServiceOptions options;
+  options.num_workers = 1;  // single dispatcher: pickup order is visible
+  options.start_paused = true;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  const Query q{{0, 1}, 5};
+  constexpr int kLow = 6;
+  std::vector<std::future<StatusOr<SeedSetResult>>> low_futures;
+  for (int i = 0; i < kLow; ++i) {
+    ServiceRequest low{q, QueryEngine::kIrr};
+    low.priority = RequestPriority::kLow;
+    low_futures.push_back(service->Submit(std::move(low)));
+  }
+  ServiceRequest high{q, QueryEngine::kIrr};
+  high.priority = RequestPriority::kHigh;
+  auto high_future = service->Submit(std::move(high));  // submitted LAST
+
+  // Rank completions: one waiter per future bumps a shared counter when
+  // its result resolves.
+  std::atomic<int> next_rank{0};
+  std::atomic<int> high_rank{-1};
+  std::vector<std::thread> waiters;
+  for (auto& future : low_futures) {
+    waiters.emplace_back([f = &future, &next_rank] {
+      (void)f->get();
+      (void)next_rank.fetch_add(1);
+    });
+  }
+  waiters.emplace_back([&] {
+    (void)high_future.get();
+    high_rank.store(next_rank.fetch_add(1));
+  });
+  service->Resume();
+  for (auto& waiter : waiters) waiter.join();
+  // FIFO would finish the high-priority request LAST (rank kLow); the
+  // priority lane must run it first (rank ~0, slack for waiter wake-up).
+  EXPECT_GE(high_rank.load(), 0);
+  EXPECT_LT(high_rank.load(), 3);
+}
+
+TEST_F(QueryServiceTest, BatchWindowHoldDoesNotExpireQueueDeadline) {
+  // Regression: the deadline is a QUEUE-wait budget, judged up to the
+  // moment a worker picks the request. A batch window the service itself
+  // holds a picked request open for must not deadline-drop it.
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.scheduler.rr_max_batch = 8;
+  options.scheduler.rr_batch_window_ms = 50.0;  // far past the deadline
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+
+  ServiceRequest request{{{0, 1}, 5}, QueryEngine::kRr};
+  request.queue_deadline_ms = 5.0;  // picked ~immediately on idle service
+  auto result = (*service_or)->Execute(std::move(request));
+  EXPECT_TRUE(result.ok()) << result.status();
+}
+
+TEST_F(QueryServiceTest, BatchWindowStopsCollectingWhenPaused) {
+  // Regression: a worker holding a batch window open across a Pause()
+  // must not keep pulling newly submitted requests into the batch —
+  // Pause means queued work does not START.
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.scheduler.rr_max_batch = 8;
+  options.scheduler.rr_batch_window_ms = 400.0;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  const Query q{{0, 1}, 5};
+  auto head = service->Submit({q, QueryEngine::kRr});
+  // Wait until the worker picked the head (queue empties) and is sitting
+  // in its batch window.
+  for (int i = 0; i < 400 && service->pending() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(service->pending(), 0u);
+  service->Pause();
+  auto late = service->Submit({q, QueryEngine::kRr});
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The late request must still be queued, not coalesced mid-pause.
+  EXPECT_EQ(service->pending(), 1u);
+  EXPECT_TRUE(head.get().ok());  // head dispatches alone at window close
+  service->Resume();
+  EXPECT_TRUE(late.get().ok());
+}
+
+TEST_F(QueryServiceTest, CoalescedRrBatchMatchesSingleExecution) {
+  QueryServiceOptions options;
+  options.num_workers = 1;  // one dispatcher => one deterministic batch
+  options.start_paused = true;
+  options.scheduler.rr_max_batch = 8;
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok());
+  auto& service = *service_or;
+
+  // All four share a keyword with the head request {0,1}.
+  const std::vector<Query> queries = {
+      {{0, 1}, 5}, {{1, 2}, 8}, {{0, 2}, 6}, {{1}, 4}};
+  auto rr = RrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok());
+  std::vector<SeedSetResult> golden;
+  for (const Query& q : queries) {
+    auto want = rr->Query(q);
+    ASSERT_TRUE(want.ok());
+    golden.push_back(std::move(*want));
+  }
+
+  std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+  for (const Query& q : queries) {
+    futures.push_back(service->Submit({q, QueryEngine::kRr}));
+  }
+  service->Resume();
+  service->Drain();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectSameResult(golden[i], *result);
+    EXPECT_EQ(result->stats.batch_size, queries.size());
+  }
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.completed, queries.size());
+  EXPECT_EQ(stats.rr_queries, queries.size());
+  EXPECT_EQ(stats.rr_batches, 1u);
+  EXPECT_EQ(stats.rr_batched_queries, queries.size());
 }
 
 TEST_F(QueryServiceTest, SharedCacheWarmsAcrossEnginesAndClients) {

@@ -1,0 +1,336 @@
+// Scheduler-focused regression + interleaving stress for the serving
+// layer: a slow WRIS flood must not head-of-line-block the index lane
+// (the bug class the PR 3 FIFO had), coalesced RR bursts must stay
+// golden-equal, and Drain/Pause/shutdown may interleave freely with
+// traffic — all exercised under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "serving/query_service.h"
+
+namespace kbtim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+class SchedulerStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_sched_stress_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "sched_stress";
+    spec.graph.num_vertices = 1000;
+    spec.graph.avg_degree = 5.0;
+    spec.graph.num_communities = 5;
+    spec.graph.seed = 411;
+    spec.profiles.num_topics = 5;
+    spec.profiles.seed = 412;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 12;
+    opts.partition_size = 20;
+    opts.num_threads = 2;
+    opts.seed = 413;
+    opts.max_theta_per_keyword = 20000;
+    opts.opt_estimate.pilot_initial = 512;
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    auto report = builder.Build(dir_);
+    ASSERT_TRUE(report.ok()) << report.status();
+
+    queries_ = {{{0, 1}, 5},   {{1, 2}, 8}, {{2, 3}, 4}, {{0, 4}, 10},
+                {{3}, 6},      {{1, 3, 4}, 7}, {{0, 2, 4}, 9}, {{2}, 3}};
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// WRIS sized to dominate a warm index query (the ~10x class gap the
+  /// scheduler exists for).
+  static OnlineSolverOptions SlowWrisOptions() {
+    OnlineSolverOptions wris;
+    wris.epsilon = 0.4;
+    wris.num_threads = 1;
+    wris.seed = 777;
+    wris.max_theta = 20000;
+    wris.opt_estimate.pilot_initial = 512;
+    return wris;
+  }
+
+  QueryService::OnlineBackend Backend() const {
+    QueryService::OnlineBackend online;
+    online.graph = &env_->graph();
+    online.tfidf = &env_->tfidf();
+    online.model = PropagationModel::kIndependentCascade;
+    online.in_edge_weights = &env_->ic_probs();
+    return online;
+  }
+
+  static bool SameResult(const SeedSetResult& a, const SeedSetResult& b) {
+    return a.seeds == b.seeds &&
+           a.estimated_influence == b.estimated_influence;
+  }
+
+  struct BurstOutcome {
+    double first_irr_done_ms = 0.0;
+    double last_irr_done_ms = 0.0;
+    double first_wris_done_ms = 0.0;
+    double last_wris_done_ms = 0.0;
+    ServiceStats stats;
+  };
+
+  /// Queues kWris WRIS solves FIRST, then kIrr index queries, on a paused
+  /// 2-worker service, resumes, and times every completion relative to
+  /// the resume. Under a FIFO all index queries sit behind the whole WRIS
+  /// flood; under lanes they overtake it.
+  BurstOutcome RunBurst(SchedulingMode mode, int num_wris, int num_irr) {
+    QueryServiceOptions options;
+    options.num_workers = 2;
+    options.max_pending = 256;
+    options.start_paused = true;
+    options.scheduler.mode = mode;
+    options.wris = SlowWrisOptions();
+    auto service_or = QueryService::Create(dir_, options, Backend());
+    EXPECT_TRUE(service_or.ok()) << service_or.status();
+    auto& service = *service_or;
+
+    // Warm the index engines so IRR latency is pure scheduling + compute.
+    service->Resume();
+    for (const Query& q : queries_) {
+      auto warm = service->Execute({q, QueryEngine::kIrr});
+      EXPECT_TRUE(warm.ok()) << warm.status();
+    }
+    service->cache()->WaitForPrefetches();
+    service->Pause();
+    service->ResetLatencyWindow();
+
+    std::vector<std::future<StatusOr<SeedSetResult>>> wris_futures;
+    for (int i = 0; i < num_wris; ++i) {
+      wris_futures.push_back(service->Submit(
+          {queries_[i % queries_.size()], QueryEngine::kWris}));
+    }
+    std::vector<std::future<StatusOr<SeedSetResult>>> irr_futures;
+    for (int i = 0; i < num_irr; ++i) {
+      irr_futures.push_back(service->Submit(
+          {queries_[i % queries_.size()], QueryEngine::kIrr}));
+    }
+
+    BurstOutcome outcome;
+    std::mutex mu;
+    int errors = 0;
+    outcome.first_irr_done_ms = outcome.first_wris_done_ms = 1e18;
+    const auto resumed_at = Clock::now();
+    auto record = [&](std::future<StatusOr<SeedSetResult>>& future,
+                      bool is_wris) {
+      auto result = future.get();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - resumed_at)
+                            .count();
+      std::lock_guard<std::mutex> lock(mu);
+      if (!result.ok()) ++errors;
+      double& first = is_wris ? outcome.first_wris_done_ms
+                              : outcome.first_irr_done_ms;
+      double& last =
+          is_wris ? outcome.last_wris_done_ms : outcome.last_irr_done_ms;
+      first = std::min(first, ms);
+      last = std::max(last, ms);
+    };
+    std::vector<std::thread> waiters;
+    for (auto& future : wris_futures) {
+      waiters.emplace_back([&record, f = &future] { record(*f, true); });
+    }
+    for (auto& future : irr_futures) {
+      waiters.emplace_back([&record, f = &future] { record(*f, false); });
+    }
+    service->Resume();
+    for (auto& waiter : waiters) waiter.join();
+    service->Drain();
+    EXPECT_EQ(errors, 0);
+    outcome.stats = service->stats();
+    return outcome;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+  std::vector<Query> queries_;
+};
+
+TEST_F(SchedulerStressTest, WrisFloodDoesNotHeadOfLineBlockIndexLane) {
+  constexpr int kWris = 6;
+  constexpr int kIrr = 8;
+  const BurstOutcome lanes =
+      RunBurst(SchedulingMode::kLanes, kWris, kIrr);
+  const BurstOutcome fifo = RunBurst(SchedulingMode::kFifo, kWris, kIrr);
+
+  // Lanes: the index burst overtakes the WRIS flood submitted ahead of
+  // it and finishes while WRIS work is still running.
+  EXPECT_LT(lanes.last_irr_done_ms, lanes.last_wris_done_ms)
+      << "index lane waited for the WRIS flood";
+  // FIFO baseline (the PR 3 regression shape): strict submission order
+  // means no index query can even START before most of the flood ran.
+  EXPECT_GT(fifo.first_irr_done_ms, fifo.first_wris_done_ms);
+  // And the lane scheduler beats the FIFO's index-lane tail outright.
+  EXPECT_LT(lanes.stats.fast_p99_ms, fifo.stats.fast_p99_ms);
+  // Per-class accounting closed in both runs.
+  for (const BurstOutcome* outcome : {&lanes, &fifo}) {
+    EXPECT_EQ(outcome->stats.failed, 0u);
+    EXPECT_EQ(outcome->stats.wris_queries, static_cast<uint64_t>(kWris));
+    EXPECT_GT(outcome->stats.slow_p50_ms, 0.0);
+    EXPECT_GT(outcome->stats.fast_p50_ms, 0.0);
+  }
+}
+
+TEST_F(SchedulerStressTest, AsyncRrBurstCoalescesAndMatchesGolden) {
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.max_pending = 256;
+  options.start_paused = true;
+  options.scheduler.rr_max_batch = 8;
+  options.scheduler.rr_batch_window_ms = 1.0;  // exercise the window wait
+  auto service_or = QueryService::Create(dir_, options);
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto& service = *service_or;
+
+  auto rr = RrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok());
+  std::vector<SeedSetResult> golden;
+  for (const Query& q : queries_) {
+    auto want = rr->Query(q);
+    ASSERT_TRUE(want.ok());
+    golden.push_back(std::move(*want));
+  }
+
+  constexpr int kBurst = 64;
+  std::vector<std::future<StatusOr<SeedSetResult>>> futures;
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service->Submit(
+        {queries_[i % queries_.size()], QueryEngine::kRr}));
+  }
+  service->Resume();
+  service->Drain();
+  for (int i = 0; i < kBurst; ++i) {
+    auto result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(SameResult(golden[i % queries_.size()], *result))
+        << "request " << i;
+  }
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(stats.failed, 0u);
+  // A 64-deep all-RR backlog with overlapping keywords must coalesce.
+  EXPECT_GE(stats.rr_batches, 1u);
+  EXPECT_GE(stats.rr_batched_queries, 2u);
+  EXPECT_EQ(stats.rr_queries, static_cast<uint64_t>(kBurst));
+}
+
+TEST_F(SchedulerStressTest, DrainPauseChurnKeepsAccountingClosed) {
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.max_pending = 512;
+  options.scheduler.rr_max_batch = 4;
+  options.scheduler.rr_batch_window_ms = 0.2;
+  options.wris = SlowWrisOptions();
+  auto service_or = QueryService::Create(dir_, options, Backend());
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto& service = *service_or;
+
+  // Goldens for every engine (WRIS is thread-count invariant, so the
+  // direct solver with the same options pins the service's answers).
+  auto irr = IrrIndex::Open(dir_);
+  auto rr = RrIndex::Open(dir_);
+  ASSERT_TRUE(irr.ok());
+  ASSERT_TRUE(rr.ok());
+  WrisSolver wris(env_->graph(), env_->tfidf(),
+                  PropagationModel::kIndependentCascade, env_->ic_probs(),
+                  SlowWrisOptions());
+  std::vector<SeedSetResult> golden_irr, golden_rr, golden_wris;
+  for (const Query& q : queries_) {
+    auto irr_result = irr->Query(q);
+    auto rr_result = rr->Query(q);
+    auto wris_result = wris.Solve(q);
+    ASSERT_TRUE(irr_result.ok());
+    ASSERT_TRUE(rr_result.ok());
+    ASSERT_TRUE(wris_result.ok());
+    golden_irr.push_back(std::move(*irr_result));
+    golden_rr.push_back(std::move(*rr_result));
+    golden_wris.push_back(std::move(*wris_result));
+  }
+
+  // Lifecycle churn: Pause / Drain-through-pause / Resume loops racing
+  // live traffic on every engine class.
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      service->Pause();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      service->Drain();  // regression: deadlocked while paused pre-PR 4
+      service->Resume();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    service->Resume();
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 6;
+  std::vector<int> failures(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t qi = (c * 3 + round) % queries_.size();
+        ServiceRequest request;
+        request.query = queries_[qi];
+        request.priority = static_cast<RequestPriority>((c + round) % 3);
+        const SeedSetResult* want = nullptr;
+        switch ((c + round) % 3) {
+          case 0:
+            request.engine = QueryEngine::kIrr;
+            want = &golden_irr[qi];
+            break;
+          case 1:
+            request.engine = QueryEngine::kRr;
+            want = &golden_rr[qi];
+            break;
+          default:
+            request.engine = QueryEngine::kWris;
+            want = &golden_wris[qi];
+            break;
+        }
+        auto result = service->Execute(request);
+        if (!result.ok() || !SameResult(*want, *result)) ++failures[c];
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true);
+  churner.join();
+  service->Drain();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  const ServiceStats stats = service->stats();
+  constexpr uint64_t kTotal = kClients * kRounds;
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.irr_queries + stats.rr_queries + stats.wris_queries,
+            kTotal);
+}
+
+}  // namespace
+}  // namespace kbtim
