@@ -16,7 +16,7 @@
 #include "coverage/greedy_max_cover.h"
 #include "graph/generators.h"
 #include "propagation/rr_sampler.h"
-#include "sampling/alias_table.h"
+#include "common/alias_table.h"
 #include "storage/block_file.h"
 #include "storage/pfor_codec.h"
 

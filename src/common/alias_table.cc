@@ -1,4 +1,4 @@
-#include "sampling/alias_table.h"
+#include "common/alias_table.h"
 
 #include <cmath>
 
@@ -58,12 +58,6 @@ StatusOr<AliasTable> AliasTable::FromWeights(
     table.alias_[i] = i;
   }
   return table;
-}
-
-uint32_t AliasTable::Sample(Rng& rng) const {
-  const auto i =
-      static_cast<uint32_t>(rng.NextU64Below(prob_.size()));
-  return rng.NextDouble() < prob_[i] ? i : alias_[i];
 }
 
 }  // namespace kbtim

@@ -1,0 +1,56 @@
+// Walker's alias method: O(n) construction, O(1) weighted sampling.
+//
+// This is the workhorse behind WRIS's ps(v, Q)-weighted root selection
+// (Eqn. 3) and the per-keyword ps(v, w) offline sampling (Eqn. 7).
+#ifndef KBTIM_COMMON_ALIAS_TABLE_H_
+#define KBTIM_COMMON_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+
+namespace kbtim {
+
+/// Immutable alias table over indices [0, n) with given nonnegative weights.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table. Weights must be nonnegative with a positive sum.
+  static StatusOr<AliasTable> FromWeights(std::span<const double> weights);
+
+  /// Draws an index with probability weight[i] / Σ weights. Inline: this
+  /// is the root-selection step of every RR sample.
+  uint32_t Sample(Rng& rng) const {
+    const auto i = static_cast<uint32_t>(rng.NextU64Below(prob_.size()));
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  /// Deterministic draw from a single inversion point y ∈ [0, 1): the
+  /// integer part of y·n picks the column, the fractional part plays the
+  /// column's coin. Uniform y yields the table's distribution from ONE
+  /// uniform draw — the skip-ahead LT walk uses this so the alias kernel
+  /// and the linear-scan fallback consume the RNG stream in lockstep (and,
+  /// when all weights are equal, select the exact same index for the same
+  /// y, which the kernel-equivalence tests pin).
+  uint32_t SampleAt(double y) const {
+    const double scaled = y * static_cast<double>(prob_.size());
+    auto i = static_cast<size_t>(scaled);
+    if (i >= prob_.size()) i = prob_.size() - 1;  // y ≈ 1 rounding guard
+    const double frac = scaled - static_cast<double>(i);
+    return frac < prob_[i] ? static_cast<uint32_t>(i) : alias_[i];
+  }
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_COMMON_ALIAS_TABLE_H_

@@ -4,12 +4,32 @@
 // generators, RR-set samplers, Monte-Carlo simulation) takes an explicit Rng
 // so that runs are reproducible from a single seed. Rng::Fork derives
 // statistically independent streams for parallel workers.
+//
+// All methods are defined inline: the RR sampling engine draws per edge /
+// per walk step / per RR-set fork, and the call overhead of an
+// out-of-line generator was a measurable slice of SolverStats::
+// sampling_seconds (bench_sampling_kernels).
 #ifndef KBTIM_COMMON_RNG_H_
 #define KBTIM_COMMON_RNG_H_
 
 #include <cstdint>
 
 namespace kbtim {
+
+namespace rng_detail {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace rng_detail
 
 /// xoshiro256** generator seeded via splitmix64.
 ///
@@ -18,28 +38,85 @@ namespace kbtim {
 class Rng {
  public:
   /// Seeds the generator. Equal seeds produce equal streams.
-  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = rng_detail::SplitMix64(&sm);
+    // xoshiro must not start from the all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+      s_[0] = 0x9E3779B97F4A7C15ULL;
+    }
+  }
 
   /// Returns the next 64 uniformly distributed bits.
-  uint64_t NextU64();
+  uint64_t NextU64() {
+    const uint64_t result = rng_detail::Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rng_detail::Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Returns a uniform draw from [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform float from [0, 1) (24 high bits). The geometric
+  /// skip kernel runs on single precision: its log() is ~2x cheaper and
+  /// the skip-length distribution is unchanged beyond ~1e-7 relative.
+  float NextFloat() {
+    return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f;
+  }
 
   /// Returns a uniform integer in [0, n). Requires n > 0.
   /// Uses Lemire's multiply-shift rejection method (no modulo bias).
-  uint32_t NextU32Below(uint32_t n);
+  uint32_t NextU32Below(uint32_t n) {
+    uint64_t m = static_cast<uint64_t>(static_cast<uint32_t>(NextU64())) * n;
+    auto lo = static_cast<uint32_t>(m);
+    if (lo < n) {
+      const uint32_t threshold = -n % n;
+      while (lo < threshold) {
+        m = static_cast<uint64_t>(static_cast<uint32_t>(NextU64())) * n;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
 
   /// Returns a uniform integer in [0, n). Requires n > 0.
-  uint64_t NextU64Below(uint64_t n);
+  uint64_t NextU64Below(uint64_t n) {
+    // Rejection sampling over the smallest covering power-of-two range.
+    const uint64_t mask = ~uint64_t{0} >> __builtin_clzll(n | 1);
+    uint64_t draw;
+    do {
+      draw = NextU64() & mask;
+    } while (draw >= n);
+    return draw;
+  }
 
   /// Returns true with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
 
   /// Derives an independent generator for a parallel stream. Forking with
   /// distinct `stream` values from the same parent yields decorrelated
   /// sequences; the parent's own state is not advanced.
-  Rng Fork(uint64_t stream) const;
+  Rng Fork(uint64_t stream) const {
+    // Mix the parent state with the stream id through splitmix; the
+    // resulting seed re-initializes a fresh xoshiro state.
+    uint64_t mix = s_[0] ^ rng_detail::Rotl(s_[3], 13) ^
+                   (stream * 0xD1342543DE82EF95ULL);
+    uint64_t sm = mix;
+    return Rng(rng_detail::SplitMix64(&sm));
+  }
 
  private:
   uint64_t s_[4];

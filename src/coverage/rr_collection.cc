@@ -34,12 +34,6 @@ void RrCollection::Clear() {
               std::max(kRetainSlack * used_sets, kMinRetainedItems));
 }
 
-RrId RrCollection::Add(std::span<const VertexId> members) {
-  items_.insert(items_.end(), members.begin(), members.end());
-  offsets_.push_back(items_.size());
-  return static_cast<RrId>(offsets_.size() - 2);
-}
-
 void RrCollection::Append(const RrCollection& other) {
   for (size_t i = 0; i < other.size(); ++i) {
     Add(other.Set(static_cast<RrId>(i)));

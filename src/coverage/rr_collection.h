@@ -24,7 +24,12 @@ class RrCollection {
   void Reserve(size_t num_sets, size_t num_items);
 
   /// Appends one RR set; returns its id. Members may be in any order.
-  RrId Add(std::span<const VertexId> members);
+  /// Inline: this sits in the per-RR-set sampling loop.
+  RrId Add(std::span<const VertexId> members) {
+    items_.insert(items_.end(), members.begin(), members.end());
+    offsets_.push_back(items_.size());
+    return static_cast<RrId>(offsets_.size() - 2);
+  }
 
   /// Appends all sets from `other`, preserving their relative order.
   void Append(const RrCollection& other);

@@ -265,6 +265,12 @@ StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
   std::vector<KeywordArtifacts> artifacts(num_topics);
   std::vector<Status> statuses(num_topics, Status::OK());
 
+  // One bucketed reverse adjacency shared by every keyword task's sampler
+  // (the per-keyword O(E) builds this replaces dominated small-topic
+  // build times).
+  const auto adjacency =
+      BucketedAdjacency::BuildShared(graph_, in_edge_weights_);
+
   auto build_keyword = [&](TopicId w) {
     KeywordArtifacts& art = artifacts[w];
     art.meta.tf_sum = profiles.TopicTfSum(w);
@@ -299,7 +305,7 @@ StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
     oo.k = opt_k;
     oo.floor = floor;
     oo.seed = options_.seed ^ (0xC0FFEEULL + w);
-    auto sampler = MakeRrSampler(options_.model, graph_, in_edge_weights_);
+    auto sampler = MakeRrSampler(options_.model, adjacency);
     auto opt_or = EstimateOptLowerBound(graph_, *sampler, roots, oo);
     if (!opt_or.ok()) {
       statuses[w] = opt_or.status();

@@ -1,0 +1,161 @@
+#include "propagation/bucketed_adjacency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace kbtim {
+namespace {
+
+/// 32-bit acceptance threshold: P((uint32)draw < t) = t / 2^32 ≈ p. The
+/// quantization error is <= 2^-32, far below anything the distribution
+/// tests (or the solvers) can resolve.
+uint32_t AcceptThreshold(float p) {
+  const double scaled = static_cast<double>(p) * 4294967296.0;
+  auto t = static_cast<uint64_t>(std::llround(scaled));
+  if (t == 0) t = 1;  // p > 0 must stay acceptable
+  if (t > 0xFFFFFFFFull) t = 0xFFFFFFFFull;
+  return static_cast<uint32_t>(t);
+}
+
+constexpr uint32_t kKindMask = 3;
+constexpr uint32_t kInGraphFlag = 4;
+constexpr uint32_t kCountShift = 3;
+
+}  // namespace
+
+BucketedAdjacency::~BucketedAdjacency() {
+  if (lt_alias_ == nullptr || graph_ == nullptr) return;
+  const VertexId n = graph_->num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    delete lt_alias_[v].load(std::memory_order_acquire);
+  }
+}
+
+BucketedAdjacency BucketedAdjacency::Build(
+    const Graph& graph, const std::vector<float>& edge_values) {
+  // The packed 16-byte bucket limits the structure to < 2^32 edges and
+  // < 2^29 in-degree — far beyond anything an in-memory uint32-vertex
+  // CSR reaches before the neighbor arrays themselves blow the budget.
+  assert(graph.num_edges() < (uint64_t{1} << 32));
+
+  BucketedAdjacency adj;
+  adj.graph_ = &graph;
+  adj.edge_values_ = &edge_values;
+  const VertexId n = graph.num_vertices();
+  adj.bucket_offsets_.resize(n + 1, 0);
+  adj.weight_sum_.resize(n, 0.0);
+  adj.buckets_.reserve(n);
+  adj.lt_alias_.reset(new std::atomic<const AliasTable*>[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    adj.lt_alias_[v].store(nullptr, std::memory_order_relaxed);
+  }
+
+  // (value, local edge index) scratch, sorted per vertex: ascending value,
+  // CSR order within a value — deterministic and stable, so a vertex whose
+  // in-edges share one value keeps its CSR edge order exactly.
+  std::vector<std::pair<float, uint32_t>> scratch;
+  for (VertexId v = 0; v < n; ++v) {
+    adj.bucket_offsets_[v] = static_cast<uint32_t>(adj.buckets_.size());
+    const auto [first, last] = graph.InEdgeRange(v);
+    const auto in = graph.InNeighbors(v);
+    double sum = 0.0;
+    scratch.clear();
+    for (uint64_t i = first; i < last; ++i) {
+      const float value = edge_values[i];
+      sum += static_cast<double>(value);  // CSR order, like the linear scan
+      if (value > 0.0f) {
+        scratch.emplace_back(value, static_cast<uint32_t>(i - first));
+      }
+    }
+    adj.weight_sum_[v] = sum;
+    if (scratch.empty()) continue;
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+    // Common case: every CSR in-edge kept under one probability — the
+    // bucket aliases the graph's own neighbor slice, no copy.
+    const bool csr_aliased =
+        scratch.size() == in.size() && scratch.front().first ==
+                                           scratch.back().first;
+    size_t i = 0;
+    while (i < scratch.size()) {
+      const float p = scratch[i].first;
+      size_t j = i;
+      Bucket bucket;
+      bucket.prob = p;
+      if (csr_aliased) {
+        bucket.begin = static_cast<uint32_t>(first);
+        j = scratch.size();
+      } else {
+        bucket.begin = static_cast<uint32_t>(adj.targets_.size());
+        while (j < scratch.size() && scratch[j].first == p) {
+          adj.targets_.push_back(in[scratch[j].second]);
+          ++j;
+        }
+      }
+      const auto count = static_cast<uint32_t>(j - i);
+      assert(count < (1u << 29));
+      BucketKind kind;
+      if (p >= 1.0f) {
+        kind = BucketKind::kAll;
+      } else if (p <= kGeoMaxProb && count >= kGeoMinCount &&
+                 count < (1u << 24)) {
+        // The float position arithmetic of the geometric kernel is exact
+        // only below 2^24 edges per bucket; beyond that (never seen in
+        // practice) the threshold kernel stays correct.
+        kind = BucketKind::kGeometric;
+        bucket.aux = std::bit_cast<uint32_t>(
+            static_cast<float>(1.0 / std::log1p(-static_cast<double>(p))));
+      } else {
+        kind = BucketKind::kThreshold;
+        bucket.aux = AcceptThreshold(p);
+      }
+      bucket.count_kind = (count << kCountShift) |
+                          (csr_aliased ? kInGraphFlag : 0) |
+                          static_cast<uint32_t>(kind);
+      adj.buckets_.push_back(bucket);
+      i = j;
+    }
+  }
+  adj.bucket_offsets_[n] = static_cast<uint32_t>(adj.buckets_.size());
+  adj.targets_.shrink_to_fit();
+  return adj;
+}
+
+std::shared_ptr<const BucketedAdjacency> BucketedAdjacency::BuildShared(
+    const Graph& graph, const std::vector<float>& edge_values) {
+  return std::make_shared<const BucketedAdjacency>(
+      Build(graph, edge_values));
+}
+
+const AliasTable& BucketedAdjacency::LtAlias(VertexId v) const {
+  std::atomic<const AliasTable*>& slot = lt_alias_[v];
+  const AliasTable* table = slot.load(std::memory_order_acquire);
+  if (table != nullptr) return *table;
+
+  // Build from the bucketed edge order (dropped zero-weight edges can
+  // never be selected; the local index maps through VertexTargets(v)).
+  // The table is a pure function of the weights, so racing builders
+  // produce identical tables and the CAS loser's copy is discarded.
+  std::vector<double> weights;
+  for (const Bucket& bucket : Buckets(v)) {
+    for (uint32_t i = 0; i < bucket.count(); ++i) {
+      weights.push_back(static_cast<double>(bucket.prob));
+    }
+  }
+  auto built = AliasTable::FromWeights(weights);
+  auto* fresh = new AliasTable(std::move(built).value());
+  const AliasTable* expected = nullptr;
+  if (slot.compare_exchange_strong(expected, fresh,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *expected;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,169 @@
+// Probability-bucketed reverse adjacency: the shared substrate of the
+// skip-ahead RR samplers.
+//
+// The scalar RR kernels pay one RNG draw (IC) or one weight load (LT) per
+// SCANNED in-edge. On the graphs this system targets the per-vertex
+// in-edge probabilities are heavily repeated — the weighted-cascade model
+// assigns every in-edge of v the same 1/indeg(v), and trivalency draws
+// from three constants — so grouping each vertex's in-edges by shared
+// probability lets the samplers do work proportional to ACCEPTED edges:
+//
+//   * IC: within a bucket of m edges sharing probability p the accepted
+//     positions form a Bernoulli(p) process; a geometric skip
+//     k = floor(log(U) / log(1 - p)) jumps straight to the next accepted
+//     edge (expected draws per bucket: m·p + 1, not m). Buckets where
+//     skipping cannot win are classified at build time: p >= 1 buckets
+//     accept everything with zero draws, and small/high-p buckets use an
+//     integer-threshold Bernoulli that packs two edges per 64-bit draw.
+//   * LT: the O(indeg) linear inversion scan becomes an O(1) alias-table
+//     draw; the per-vertex tables are built lazily (first walk through a
+//     vertex) into this shared structure and reused by every sampler.
+//
+// One immutable BucketedAdjacency is built next to the graph and shared by
+// every sampler slot of every solver (WRIS worker slots, RIS workers, the
+// index builder's keyword tasks, QueryService's per-worker solvers). Reads
+// are wait-free; the lazy LT alias slots are published with a CAS, so
+// concurrent walkers race benignly. The structure keeps references to the
+// graph and the per-edge value array — both must outlive it.
+#ifndef KBTIM_PROPAGATION_BUCKETED_ADJACENCY_H_
+#define KBTIM_PROPAGATION_BUCKETED_ADJACENCY_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "graph/graph.h"
+
+namespace kbtim {
+
+/// Immutable probability-bucketed reverse CSR with lazily materialized
+/// per-vertex LT alias tables. Thread-safe for concurrent readers.
+class BucketedAdjacency {
+ public:
+  /// Acceptance kernel chosen per bucket at build time (the choice is a
+  /// pure function of (prob, count), so sampling stays deterministic).
+  enum class BucketKind : uint8_t {
+    kAll,        ///< prob >= 1: accept every edge, no RNG.
+    kThreshold,  ///< per-edge integer-threshold Bernoulli (2 per draw).
+    kGeometric,  ///< geometric skip to the next accepted edge.
+  };
+
+  /// One group of in-edges of a vertex sharing a probability value,
+  /// packed to 16 bytes — sparse graphs are one bucket per vertex, and
+  /// keeping the per-vertex metadata under the size of the per-edge
+  /// probability array it replaces is what lets the skip path touch LESS
+  /// memory than the scalar scan, not more:
+  ///   * count/kind/flag share one word (in-degree < 2^29);
+  ///   * aux is the kThreshold acceptance threshold OR the bit-cast
+  ///     float 1/log(1-p) of kGeometric — never both;
+  ///   * when a vertex's kept edges are exactly its CSR in-edge list
+  ///     (single bucket, nothing dropped — the weighted-cascade common
+  ///     case) `begin` indexes the graph's own in-neighbor array and no
+  ///     copy is stored at all.
+  struct Bucket {
+    uint32_t begin = 0;       ///< Into BucketTargets()'s backing array.
+    uint32_t count_kind = 0;  ///< count << 3 | targets_in_graph << 2 | kind.
+    float prob = 0.0f;
+    uint32_t aux = 0;
+
+    uint32_t count() const { return count_kind >> 3; }
+    BucketKind kind() const {
+      return static_cast<BucketKind>(count_kind & 3u);
+    }
+    bool targets_in_graph() const { return (count_kind & 4u) != 0; }
+    uint32_t threshold() const { return aux; }  ///< round(prob · 2^32).
+    float inv_log1m() const { return std::bit_cast<float>(aux); }
+  };
+  static_assert(sizeof(Bucket) == 16);
+
+  /// Buckets with p <= kGeoMaxProb and at least kGeoMinCount edges use the
+  /// geometric skip; denser buckets fall back to the threshold kernel,
+  /// whose per-edge cost is below the skip's log(). Tuned with
+  /// bench_sampling_kernels' bucket-size sweep.
+  static constexpr float kGeoMaxProb = 0.35f;
+  static constexpr uint32_t kGeoMinCount = 8;
+
+  /// LT walks consult the O(1) alias table only for vertices with at
+  /// least this many in-edges; below it the O(d) linear inversion scan
+  /// wins — it stops at the selected edge (~d/2 sequential floats, which
+  /// hardware prefetch makes nearly free) while the alias lookup costs a
+  /// handful of DEPENDENT cache misses. bench_sampling_kernels' LT sweep
+  /// puts the crossover between d=32 (scan 0.85x of alias... i.e. scan
+  /// faster) and d=128 (alias 1.4x) on this hardware. The threshold is
+  /// on InDegree, so both kernels agree on which vertices diverge.
+  static constexpr uint32_t kLtAliasMinDegree = 128;
+
+  BucketedAdjacency() = default;
+  BucketedAdjacency(BucketedAdjacency&&) = default;
+  /// No move-assignment: the destructor owns the lazily published alias
+  /// tables, and a defaulted assignment would drop the target's without
+  /// deleting them. The type is immutable after Build — construct fresh.
+  BucketedAdjacency& operator=(BucketedAdjacency&&) = delete;
+  ~BucketedAdjacency();
+
+  /// Groups every vertex's in-edges by probability value (stable: buckets
+  /// are ordered by ascending probability, edges inside a bucket keep CSR
+  /// order). Edges with value <= 0 are dropped — neither model can ever
+  /// select them. `edge_values` is aligned with graph.InEdgeRange (IC
+  /// probabilities or LT weights) and, like the graph, must outlive the
+  /// structure.
+  static BucketedAdjacency Build(const Graph& graph,
+                                 const std::vector<float>& edge_values);
+
+  /// Build() wrapped for sharing across sampler slots / solvers.
+  static std::shared_ptr<const BucketedAdjacency> BuildShared(
+      const Graph& graph, const std::vector<float>& edge_values);
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<float>& edge_values() const { return *edge_values_; }
+
+  /// The probability buckets of v's in-edges (empty if none are > 0).
+  std::span<const Bucket> Buckets(VertexId v) const {
+    return {buckets_.data() + bucket_offsets_[v],
+            buckets_.data() + bucket_offsets_[v + 1]};
+  }
+
+  /// The bucket's in-neighbors (count() entries, bucket edge order).
+  const VertexId* BucketTargets(const Bucket& bucket) const {
+    return (bucket.targets_in_graph() ? graph_->in_neighbors().data()
+                                      : targets_.data()) +
+           bucket.begin;
+  }
+
+  /// v's kept in-edges, contiguous across its buckets (the LT alias
+  /// index space). Only meaningful when v has at least one bucket.
+  const VertexId* VertexTargets(VertexId v) const {
+    return BucketTargets(buckets_[bucket_offsets_[v]]);
+  }
+
+  /// Σ of v's in-edge values, accumulated in CSR order exactly like the
+  /// linear LT scan — the residual-stop comparison of the alias walk and
+  /// the scalar fallback agree bit for bit.
+  double WeightSum(VertexId v) const { return weight_sum_[v]; }
+
+  /// The alias table over v's kept in-edges (LT selection, Eqn. ∝ weight).
+  /// Built on first use and cached; safe to call concurrently. Requires
+  /// WeightSum(v) > 0. The returned index is local: the selected
+  /// in-neighbor is targets(TargetBase(v))[index].
+  const AliasTable& LtAlias(VertexId v) const;
+
+ private:
+  const Graph* graph_ = nullptr;
+  const std::vector<float>* edge_values_ = nullptr;
+  std::vector<uint32_t> bucket_offsets_;  ///< n + 1 entries into buckets_.
+  std::vector<Bucket> buckets_;
+  /// Reordered in-neighbors — ONLY for vertices whose kept edges are not
+  /// their CSR list (multiple probability values, or zero-prob drops).
+  std::vector<VertexId> targets_;
+  std::vector<double> weight_sum_;
+  /// Lazily published per-vertex alias tables (null until first LT walk).
+  mutable std::unique_ptr<std::atomic<const AliasTable*>[]> lt_alias_;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_PROPAGATION_BUCKETED_ADJACENCY_H_

@@ -1,12 +1,76 @@
 #include "propagation/ic_rr_sampler.h"
 
+#include <cmath>
+
 namespace kbtim {
 
-IcRrSampler::IcRrSampler(const Graph& graph,
-                         const std::vector<float>& in_edge_prob)
-    : graph_(graph),
-      in_edge_prob_(in_edge_prob),
-      visited_epoch_(graph.num_vertices(), 0) {}
+IcRrSampler::IcRrSampler(std::shared_ptr<const BucketedAdjacency> adjacency)
+    : adjacency_(std::move(adjacency)),
+      graph_(adjacency_->graph()),
+      in_edge_prob_(adjacency_->edge_values()),
+      visited_epoch_(graph_.num_vertices(), 0) {}
+
+void IcRrSampler::ExpandBucketed(VertexId x, Rng& rng,
+                                 std::vector<VertexId>* out) {
+  using BucketKind = BucketedAdjacency::BucketKind;
+  for (const BucketedAdjacency::Bucket& bucket : adjacency_->Buckets(x)) {
+    const VertexId* t = adjacency_->BucketTargets(bucket);
+    const uint32_t count = bucket.count();
+    switch (bucket.kind()) {
+      case BucketKind::kAll:
+        for (uint32_t i = 0; i < count; ++i) Visit(t[i], out);
+        break;
+      case BucketKind::kThreshold: {
+        // Two integer-threshold coins per 64-bit draw.
+        const uint32_t threshold = bucket.threshold();
+        uint32_t i = 0;
+        for (; i + 2 <= count; i += 2) {
+          const uint64_t draw = rng.NextU64();
+          if (static_cast<uint32_t>(draw) < threshold) Visit(t[i], out);
+          if (static_cast<uint32_t>(draw >> 32) < threshold) {
+            Visit(t[i + 1], out);
+          }
+        }
+        if (i < count &&
+            static_cast<uint32_t>(rng.NextU64()) < threshold) {
+          Visit(t[i], out);
+        }
+        break;
+      }
+      case BucketKind::kGeometric: {
+        // Jump straight to the next accepted edge: the gap before it is
+        // Geometric(p), i.e. floor(log U / log(1-p)) for U in (0, 1].
+        // Single precision throughout — logf is the kernel's critical
+        // path and float granularity only perturbs the effective p at
+        // ~1e-7 relative. Positions advance in floats so an
+        // astronomically large skip (U -> 0) stays finite-safe.
+        const float inv_log1m = bucket.inv_log1m();
+        const auto fcount = static_cast<float>(count);
+        float pos = std::floor(std::log(1.0f - rng.NextFloat()) *
+                               inv_log1m);
+        while (pos < fcount) {
+          Visit(t[static_cast<uint32_t>(pos)], out);
+          pos += 1.0f + std::floor(std::log(1.0f - rng.NextFloat()) *
+                                   inv_log1m);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void IcRrSampler::ExpandScalar(VertexId x, Rng& rng,
+                               std::vector<VertexId>* out) {
+  auto in = graph_.InNeighbors(x);
+  const auto [first, last] = graph_.InEdgeRange(x);
+  for (uint64_t i = first; i < last; ++i) {
+    const VertexId u = in[i - first];
+    if (visited_epoch_[u] == epoch_) continue;
+    if (!rng.Bernoulli(in_edge_prob_[i])) continue;
+    visited_epoch_[u] = epoch_;
+    out->push_back(u);
+  }
+}
 
 void IcRrSampler::Sample(VertexId root, Rng& rng,
                          std::vector<VertexId>* out) {
@@ -19,20 +83,16 @@ void IcRrSampler::Sample(VertexId root, Rng& rng,
 
   visited_epoch_[root] = epoch_;
   out->push_back(root);
-  queue_.clear();
-  queue_.push_back(root);
+  const bool skip = SkipSamplingEnabled();
+  // The growing RR set is the BFS queue (members are appended in
+  // traversal order and never removed).
   size_t head = 0;
-  while (head < queue_.size()) {
-    const VertexId x = queue_[head++];
-    auto in = graph_.InNeighbors(x);
-    const auto [first, last] = graph_.InEdgeRange(x);
-    for (uint64_t i = first; i < last; ++i) {
-      const VertexId u = in[i - first];
-      if (visited_epoch_[u] == epoch_) continue;
-      if (!rng.Bernoulli(in_edge_prob_[i])) continue;
-      visited_epoch_[u] = epoch_;
-      out->push_back(u);
-      queue_.push_back(u);
+  while (head < out->size()) {
+    const VertexId x = (*out)[head++];
+    if (skip) {
+      ExpandBucketed(x, rng, out);
+    } else {
+      ExpandScalar(x, rng, out);
     }
   }
 }

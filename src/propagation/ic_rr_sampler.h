@@ -1,7 +1,17 @@
-// IC-model RR sampler: reverse BFS flipping one coin per incoming edge.
+// IC-model RR sampler: reverse BFS over live edges.
+//
+// The default kernel runs skip-ahead sampling over the shared
+// probability-bucketed reverse adjacency: per bucket of in-edges sharing
+// probability p it either accepts everything (p >= 1, no RNG), flips
+// integer-threshold coins two edges per 64-bit draw, or draws geometric
+// skips straight to the next accepted edge — work proportional to
+// accepted edges instead of scanned edges. SetSkipSamplingEnabled(false)
+// pins the original one-Bernoulli-per-in-edge scalar kernel (ablations
+// and distribution-equivalence tests).
 #ifndef KBTIM_PROPAGATION_IC_RR_SAMPLER_H_
 #define KBTIM_PROPAGATION_IC_RR_SAMPLER_H_
 
+#include <memory>
 #include <vector>
 
 #include "propagation/rr_sampler.h"
@@ -13,17 +23,31 @@ namespace kbtim {
 /// vertices with a live path to the root.
 class IcRrSampler final : public RrSampler {
  public:
-  IcRrSampler(const Graph& graph, const std::vector<float>& in_edge_prob);
+  explicit IcRrSampler(std::shared_ptr<const BucketedAdjacency> adjacency);
 
   void Sample(VertexId root, Rng& rng, std::vector<VertexId>* out) override;
 
  private:
+  /// Appends u to the RR set unless already visited. The RR set doubles
+  /// as the BFS frontier: members in traversal order ARE the queue, so
+  /// no second array is maintained.
+  void Visit(VertexId u, std::vector<VertexId>* out) {
+    if (visited_epoch_[u] == epoch_) return;
+    visited_epoch_[u] = epoch_;
+    out->push_back(u);
+  }
+
+  /// Skip-ahead expansion of one frontier vertex.
+  void ExpandBucketed(VertexId x, Rng& rng, std::vector<VertexId>* out);
+  /// The pre-PR-5 scalar kernel (one Bernoulli per in-edge, CSR order).
+  void ExpandScalar(VertexId x, Rng& rng, std::vector<VertexId>* out);
+
+  std::shared_ptr<const BucketedAdjacency> adjacency_;
   const Graph& graph_;
   const std::vector<float>& in_edge_prob_;
   // Epoch-stamped visited marks avoid O(n) clears per sample.
   std::vector<uint32_t> visited_epoch_;
   uint32_t epoch_ = 0;
-  std::vector<VertexId> queue_;
 };
 
 }  // namespace kbtim

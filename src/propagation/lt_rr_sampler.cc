@@ -2,11 +2,11 @@
 
 namespace kbtim {
 
-LtRrSampler::LtRrSampler(const Graph& graph,
-                         const std::vector<float>& in_edge_weights)
-    : graph_(graph),
-      in_edge_weights_(in_edge_weights),
-      visited_epoch_(graph.num_vertices(), 0) {}
+LtRrSampler::LtRrSampler(std::shared_ptr<const BucketedAdjacency> adjacency)
+    : adjacency_(std::move(adjacency)),
+      graph_(adjacency_->graph()),
+      in_edge_weights_(adjacency_->edge_values()),
+      visited_epoch_(graph_.num_vertices(), 0) {}
 
 void LtRrSampler::Sample(VertexId root, Rng& rng,
                          std::vector<VertexId>* out) {
@@ -17,26 +17,39 @@ void LtRrSampler::Sample(VertexId root, Rng& rng,
     epoch_ = 1;
   }
 
+  const bool use_alias = SkipSamplingEnabled();
   VertexId x = root;
   visited_epoch_[x] = epoch_;
   out->push_back(x);
   for (;;) {
     auto in = graph_.InNeighbors(x);
     if (in.empty()) return;
-    const auto [first, last] = graph_.InEdgeRange(x);
     // Select one in-edge with probability equal to its weight; if weights
     // sum to less than 1, the residual selects nothing and the walk stops.
+    // One uniform per step under BOTH kernels (RNG lockstep).
     const double u = rng.NextDouble();
-    double acc = 0.0;
     VertexId next = kInvalidVertex;
-    for (uint64_t i = first; i < last; ++i) {
-      acc += in_edge_weights_[i];
-      if (u < acc) {
-        next = in[i - first];
-        break;
+    if (use_alias &&
+        in.size() >= BucketedAdjacency::kLtAliasMinDegree) {
+      // O(1): u >= Σw is exactly the linear scan's residual stop (the
+      // WeightSum accumulates in the same CSR order), and u / Σw is a
+      // uniform inversion point for the alias table over the weights.
+      const double sum = adjacency_->WeightSum(x);
+      if (u >= sum) return;
+      const uint32_t local = adjacency_->LtAlias(x).SampleAt(u / sum);
+      next = adjacency_->VertexTargets(x)[local];
+    } else {
+      const auto [first, last] = graph_.InEdgeRange(x);
+      double acc = 0.0;
+      for (uint64_t i = first; i < last; ++i) {
+        acc += in_edge_weights_[i];
+        if (u < acc) {
+          next = in[i - first];
+          break;
+        }
       }
+      if (next == kInvalidVertex) return;  // residual mass: no selection
     }
-    if (next == kInvalidVertex) return;     // residual mass: no selection
     if (visited_epoch_[next] == epoch_) return;  // cycle: stop the walk
     visited_epoch_[next] = epoch_;
     out->push_back(next);

@@ -6,9 +6,23 @@
 // 1 - Σw). The RR set of a root is therefore the path obtained by repeatedly
 // stepping to the selected in-neighbor until a vertex with no selection is
 // reached or the walk revisits a vertex.
+//
+// The default kernel makes each step O(1): one uniform draw decides the
+// residual stop, and its renormalized value feeds the vertex's alias table
+// (built lazily into the shared BucketedAdjacency) through
+// AliasTable::SampleAt. Vertices below
+// BucketedAdjacency::kLtAliasMinDegree keep the linear scan in both modes
+// (the prefetch-friendly sequential scan beats the alias indirections
+// until in-degrees reach the hundreds — see the bench's LT sweep).
+// SetSkipSamplingEnabled(false) pins the original O(indeg) linear
+// inversion scan everywhere. Both kernels consume exactly one draw per
+// step — they stay in RNG lockstep, stop identically, select with
+// identical probabilities, and pick the exact same edge whenever a
+// vertex's in-weights are uniform.
 #ifndef KBTIM_PROPAGATION_LT_RR_SAMPLER_H_
 #define KBTIM_PROPAGATION_LT_RR_SAMPLER_H_
 
+#include <memory>
 #include <vector>
 
 #include "propagation/rr_sampler.h"
@@ -18,11 +32,12 @@ namespace kbtim {
 /// Samples RR sets under linear threshold via the reverse-walk equivalence.
 class LtRrSampler final : public RrSampler {
  public:
-  LtRrSampler(const Graph& graph, const std::vector<float>& in_edge_weights);
+  explicit LtRrSampler(std::shared_ptr<const BucketedAdjacency> adjacency);
 
   void Sample(VertexId root, Rng& rng, std::vector<VertexId>* out) override;
 
  private:
+  std::shared_ptr<const BucketedAdjacency> adjacency_;
   const Graph& graph_;
   const std::vector<float>& in_edge_weights_;
   std::vector<uint32_t> visited_epoch_;

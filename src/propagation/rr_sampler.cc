@@ -1,20 +1,42 @@
 #include "propagation/rr_sampler.h"
 
+#include <atomic>
+
 #include "propagation/ic_rr_sampler.h"
 #include "propagation/lt_rr_sampler.h"
 
 namespace kbtim {
+namespace {
+
+std::atomic<bool> g_skip_sampling{true};
+
+}  // namespace
+
+void SetSkipSamplingEnabled(bool enabled) {
+  g_skip_sampling.store(enabled, std::memory_order_relaxed);
+}
+
+bool SkipSamplingEnabled() {
+  return g_skip_sampling.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<RrSampler> MakeRrSampler(
+    PropagationModel model,
+    std::shared_ptr<const BucketedAdjacency> adjacency) {
+  switch (model) {
+    case PropagationModel::kIndependentCascade:
+      return std::make_unique<IcRrSampler>(std::move(adjacency));
+    case PropagationModel::kLinearThreshold:
+      return std::make_unique<LtRrSampler>(std::move(adjacency));
+  }
+  return nullptr;
+}
 
 std::unique_ptr<RrSampler> MakeRrSampler(
     PropagationModel model, const Graph& graph,
     const std::vector<float>& in_edge_weights) {
-  switch (model) {
-    case PropagationModel::kIndependentCascade:
-      return std::make_unique<IcRrSampler>(graph, in_edge_weights);
-    case PropagationModel::kLinearThreshold:
-      return std::make_unique<LtRrSampler>(graph, in_edge_weights);
-  }
-  return nullptr;
+  return MakeRrSampler(model,
+                       BucketedAdjacency::BuildShared(graph, in_edge_weights));
 }
 
 }  // namespace kbtim

@@ -19,7 +19,8 @@ RisSolver::RisSolver(const Graph& graph, PropagationModel model,
     : graph_(graph),
       model_(model),
       in_edge_weights_(in_edge_weights),
-      options_(options) {}
+      options_(options),
+      adjacency_(BucketedAdjacency::BuildShared(graph, in_edge_weights)) {}
 
 StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
   if (k == 0 || k > graph_.num_vertices()) {
@@ -34,7 +35,7 @@ StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
   opt_options.k = k;
   opt_options.floor = static_cast<double>(k);  // every seed influences itself
   opt_options.seed = options_.seed ^ 0x0415EEDULL;
-  auto pilot_sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+  auto pilot_sampler = MakeRrSampler(model_, adjacency_);
   KBTIM_ASSIGN_OR_RETURN(
       double opt_lb,
       EstimateOptLowerBound(graph_, *pilot_sampler, roots, opt_options));
@@ -59,7 +60,7 @@ StatusOr<SeedSetResult> RisSolver::Solve(uint32_t k) const {
     // are identical for any thread count, as OnlineSolverOptions::seed
     // promises.
     const Rng base(options_.seed);
-    auto sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+    auto sampler = MakeRrSampler(model_, adjacency_);
     const uint64_t lo = tid * theta / nthreads;
     const uint64_t hi = (tid + 1) * theta / nthreads;
     std::vector<VertexId> scratch;

@@ -29,6 +29,9 @@ class RisSolver {
   PropagationModel model_;
   const std::vector<float>& in_edge_weights_;
   OnlineSolverOptions options_;
+  /// One immutable bucketed adjacency shared by the pilot and every
+  /// sampling worker (built once in the constructor, not per Solve).
+  std::shared_ptr<const BucketedAdjacency> adjacency_;
 };
 
 }  // namespace kbtim

@@ -15,7 +15,11 @@ StatusOr<WeightedVertexSampler> WeightedVertexSampler::Uniform(
 
 StatusOr<WeightedVertexSampler> WeightedVertexSampler::ForQuery(
     const TfIdfModel& model, const Query& query) {
-  const auto sparse = model.SparsePhi(query);
+  return FromWeightedVertices(model.SparsePhi(query));
+}
+
+StatusOr<WeightedVertexSampler> WeightedVertexSampler::FromWeightedVertices(
+    std::span<const std::pair<VertexId, double>> sparse) {
   if (sparse.empty()) {
     return Status::FailedPrecondition(
         "no user is relevant to the query keywords");
@@ -49,11 +53,6 @@ StatusOr<WeightedVertexSampler> WeightedVertexSampler::ForTopic(
   for (double w : weights) s.total_weight_ += w;
   KBTIM_ASSIGN_OR_RETURN(s.alias_, AliasTable::FromWeights(weights));
   return s;
-}
-
-VertexId WeightedVertexSampler::Sample(Rng& rng) const {
-  if (uniform_n_ > 0) return rng.NextU32Below(uniform_n_);
-  return vertices_[alias_.Sample(rng)];
 }
 
 }  // namespace kbtim

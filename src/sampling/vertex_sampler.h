@@ -6,12 +6,14 @@
 #ifndef KBTIM_SAMPLING_VERTEX_SAMPLER_H_
 #define KBTIM_SAMPLING_VERTEX_SAMPLER_H_
 
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "common/alias_table.h"
 #include "common/rng.h"
 #include "common/statusor.h"
 #include "graph/graph.h"
-#include "sampling/alias_table.h"
 #include "topics/tfidf.h"
 
 namespace kbtim {
@@ -29,13 +31,24 @@ class WeightedVertexSampler {
   static StatusOr<WeightedVertexSampler> ForQuery(const TfIdfModel& model,
                                                   const Query& query);
 
+  /// ForQuery over an already-computed sparse relevance vector ((user, φ)
+  /// pairs, e.g. TfIdfModel::SparsePhi output). Lets a caller that also
+  /// needs the φ values — WrisSolver feeds the same vector into its OPT
+  /// floor — evaluate SparsePhi once instead of twice per solve. Fails
+  /// like ForQuery when the vector is empty.
+  static StatusOr<WeightedVertexSampler> FromWeightedVertices(
+      std::span<const std::pair<VertexId, double>> sparse);
+
   /// ps(v, w) ∝ tf_{w,v}; only users with the topic can be drawn.
   /// Fails if the topic has no users.
   static StatusOr<WeightedVertexSampler> ForTopic(
       const ProfileStore& profiles, TopicId topic);
 
-  /// Draws one root.
-  VertexId Sample(Rng& rng) const;
+  /// Draws one root. Inline: called once per sampled RR set.
+  VertexId Sample(Rng& rng) const {
+    if (uniform_n_ > 0) return rng.NextU32Below(uniform_n_);
+    return vertices_[alias_.Sample(rng)];
+  }
 
   /// Total weight mass of the distribution before normalization
   /// (φ_Q for ForQuery, Σ_v tf_{w,v} for ForTopic, n for Uniform).

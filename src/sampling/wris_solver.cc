@@ -24,12 +24,17 @@ Status ValidateQuery(const Query& query, const Graph& graph,
 WrisSolver::WrisSolver(const Graph& graph, const TfIdfModel& tfidf,
                        PropagationModel model,
                        const std::vector<float>& in_edge_weights,
-                       OnlineSolverOptions options)
+                       OnlineSolverOptions options,
+                       std::shared_ptr<const BucketedAdjacency> adjacency)
     : graph_(graph),
       tfidf_(tfidf),
       model_(model),
       in_edge_weights_(in_edge_weights),
-      options_(options) {
+      options_(options),
+      adjacency_(adjacency != nullptr
+                     ? std::move(adjacency)
+                     : BucketedAdjacency::BuildShared(graph,
+                                                      in_edge_weights)) {
   const uint32_t nthreads = std::max<uint32_t>(1, options_.num_threads);
   slots_.resize(nthreads);
   if (nthreads > 1) pool_ = std::make_unique<ThreadPool>(nthreads);
@@ -38,7 +43,7 @@ WrisSolver::WrisSolver(const Graph& graph, const TfIdfModel& tfidf,
 RrSampler& WrisSolver::SlotSampler(uint32_t tid) const {
   SamplerSlot& slot = slots_[tid];
   if (slot.sampler == nullptr) {
-    slot.sampler = MakeRrSampler(model_, graph_, in_edge_weights_);
+    slot.sampler = MakeRrSampler(model_, adjacency_);
   }
   return *slot.sampler;
 }
@@ -50,13 +55,16 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query,
   std::lock_guard<std::mutex> solve_lock(solve_mu_);
   WallTimer total_timer;
 
-  KBTIM_ASSIGN_OR_RETURN(WeightedVertexSampler roots,
-                         WeightedVertexSampler::ForQuery(tfidf_, query));
+  // One SparsePhi evaluation feeds both the root distribution and the
+  // OPT floor (it was computed twice per solve before PR 5).
+  const auto sparse = tfidf_.SparsePhi(query);
+  KBTIM_ASSIGN_OR_RETURN(
+      WeightedVertexSampler roots,
+      WeightedVertexSampler::FromWeightedVertices(sparse));
   const double phi_q = roots.total_weight();
 
   // OPT lower-bound floor: the top-k relevance weights (seeding a user v
   // always contributes at least φ(v, Q)).
-  auto sparse = tfidf_.SparsePhi(query);
   std::vector<double> phis;
   phis.reserve(sparse.size());
   for (const auto& [v, phi] : sparse) phis.push_back(phi);

@@ -62,11 +62,17 @@ struct OnlineSolverOptions {
 class WrisSolver {
  public:
   /// All referenced objects must outlive the solver. `in_edge_weights` is
-  /// aligned with graph.InEdgeRange and must match `model`.
+  /// aligned with graph.InEdgeRange and must match `model`. When
+  /// `adjacency` is supplied it must be built from the same graph and
+  /// weights; pass one to share the bucketed reverse adjacency across
+  /// solvers (e.g. QueryService worker slots) instead of paying an O(E)
+  /// build per solver. Either way every sampler slot of this solver reads
+  /// the same immutable adjacency.
   WrisSolver(const Graph& graph, const TfIdfModel& tfidf,
              PropagationModel model,
              const std::vector<float>& in_edge_weights,
-             OnlineSolverOptions options = {});
+             OnlineSolverOptions options = {},
+             std::shared_ptr<const BucketedAdjacency> adjacency = nullptr);
 
   /// Answers a KB-TIM query. Fails if the query is malformed or no user is
   /// relevant to its keywords.
@@ -97,6 +103,9 @@ class WrisSolver {
   PropagationModel model_;
   const std::vector<float>& in_edge_weights_;
   OnlineSolverOptions options_;
+  /// Shared immutable skip-sampling substrate (one per graph, not per
+  /// slot; see bucketed_adjacency.h).
+  std::shared_ptr<const BucketedAdjacency> adjacency_;
 
   /// Query-stream state reused across Solve calls (guarded by solve_mu_).
   mutable std::mutex solve_mu_;

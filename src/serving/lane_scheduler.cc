@@ -29,6 +29,42 @@ LaneScheduler::LaneScheduler(SchedulerOptions options) : options_(options) {
   options_.index_cost = std::max<uint32_t>(1, options_.index_cost);
   options_.wris_cost = std::max<uint32_t>(1, options_.wris_cost);
   options_.rr_max_batch = std::max<uint32_t>(1, options_.rr_max_batch);
+  options_.max_auto_cost = std::max<uint32_t>(1, options_.max_auto_cost);
+  if (options_.cost_ewma_alpha <= 0.0 || options_.cost_ewma_alpha > 1.0) {
+    options_.cost_ewma_alpha = 0.2;
+  }
+}
+
+void LaneScheduler::RecordServiceTime(EngineLane lane, double service_ms) {
+  if (!options_.auto_tune_costs || service_ms < 0.0) return;
+  const auto li = static_cast<size_t>(lane);
+  if (ewma_samples_[li] == 0) {
+    ewma_ms_[li] = service_ms;
+  } else {
+    ewma_ms_[li] = options_.cost_ewma_alpha * service_ms +
+                   (1.0 - options_.cost_ewma_alpha) * ewma_ms_[li];
+  }
+  ++ewma_samples_[li];
+}
+
+uint32_t LaneScheduler::EffectiveWrisCost() const {
+  if (!options_.auto_tune_costs ||
+      ewma_samples_[kFast] < kCostWarmupSamples ||
+      ewma_samples_[kSlow] < kCostWarmupSamples ||
+      ewma_ms_[kFast] <= 0.0) {
+    return options_.wris_cost;
+  }
+  const double ratio = ewma_ms_[kSlow] / ewma_ms_[kFast] *
+                       static_cast<double>(options_.index_cost);
+  if (ratio <= 1.0) return 1;
+  if (ratio >= static_cast<double>(options_.max_auto_cost)) {
+    return options_.max_auto_cost;
+  }
+  return static_cast<uint32_t>(ratio + 0.5);
+}
+
+double LaneScheduler::ServiceTimeEwmaMs(EngineLane lane) const {
+  return ewma_ms_[static_cast<size_t>(lane)];
 }
 
 void LaneScheduler::Push(PendingRequest pending) {
@@ -83,7 +119,7 @@ std::optional<PendingRequest> LaneScheduler::Pop(bool wris_allowed) {
       }
       if (li == kSlow && !wris_allowed) continue;
       const uint32_t cost =
-          li == kSlow ? options_.wris_cost : options_.index_cost;
+          li == kSlow ? EffectiveWrisCost() : options_.index_cost;
       if (lane.deficit < cost) continue;
       lane.deficit -= cost;
       cursor_ = li;  // keep serving this lane while its deficit lasts

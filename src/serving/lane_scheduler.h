@@ -74,6 +74,22 @@ struct SchedulerOptions {
   /// more batchable arrivals before dispatching. 0 = coalesce only what is
   /// already queued (no added latency).
   double rr_batch_window_ms = 0.0;
+
+  /// EWMA auto-tuning of the slow lane's deficit cost. The static
+  /// wris_cost encodes the ~10x WRIS:index gap measured once on one
+  /// machine; with auto_tune_costs the service feeds measured per-class
+  /// service times into RecordServiceTime and WRIS pickups charge the
+  /// OBSERVED ratio round(slow_ewma / fast_ewma · index_cost) instead —
+  /// clamped to [1, max_auto_cost] and engaged only once both lanes have
+  /// kCostWarmupSamples (the static cost remains the tested baseline and
+  /// the cold-start fallback).
+  bool auto_tune_costs = false;
+
+  /// Weight of the newest service-time sample in the EWMA, in (0, 1].
+  double cost_ewma_alpha = 0.2;
+
+  /// Clamp on the auto-tuned WRIS pickup cost.
+  uint32_t max_auto_cost = 256;
 };
 
 /// A queued request with its resolution promise and admission timestamps.
@@ -120,6 +136,20 @@ class LaneScheduler {
   /// Fast-lane pops made while reserved-out slow work waited.
   uint64_t wris_deferrals() const { return wris_deferrals_; }
 
+  /// Feeds one measured service time (execution only, queueing excluded)
+  /// into the lane's EWMA. No-op unless auto_tune_costs is set.
+  void RecordServiceTime(EngineLane lane, double service_ms);
+
+  /// Deficit cost charged per slow-lane pickup: the static wris_cost, or
+  /// the EWMA-tuned ratio once auto-tuning is enabled and warm.
+  uint32_t EffectiveWrisCost() const;
+
+  /// Current per-lane service-time EWMA in ms (0 until a sample lands).
+  double ServiceTimeEwmaMs(EngineLane lane) const;
+
+  /// Service-time samples each lane needs before the tuned cost engages.
+  static constexpr uint64_t kCostWarmupSamples = 8;
+
   const SchedulerOptions& options() const { return options_; }
 
  private:
@@ -136,6 +166,9 @@ class LaneScheduler {
   size_t cursor_ = 0;  // lane the deficit pickup examines first
   size_t size_ = 0;
   uint64_t wris_deferrals_ = 0;
+  /// Per-lane service-time EWMA state (auto_tune_costs).
+  double ewma_ms_[kNumLanes] = {0.0, 0.0};
+  uint64_t ewma_samples_[kNumLanes] = {0, 0};
 };
 
 }  // namespace kbtim

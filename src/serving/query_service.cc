@@ -71,10 +71,15 @@ QueryService::QueryService(std::shared_ptr<KeywordCache> cache,
 void QueryService::StartWorkers(std::optional<OnlineBackend> online) {
   slots_.resize(options_.num_workers);
   if (online.has_value()) {
+    // All worker-slot solvers sample over ONE immutable bucketed
+    // adjacency (skip-ahead substrate) instead of building a per-solver
+    // copy of the reverse adjacency.
+    const auto adjacency = BucketedAdjacency::BuildShared(
+        *online->graph, *online->in_edge_weights);
     for (WorkerSlot& slot : slots_) {
       slot.wris = std::make_unique<WrisSolver>(
           *online->graph, *online->tfidf, online->model,
-          *online->in_edge_weights, options_.wris);
+          *online->in_edge_weights, options_.wris, adjacency);
     }
   }
   workers_.reserve(options_.num_workers);
@@ -242,15 +247,23 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
     }
 
     const size_t taken = mates.size();
+    const EngineLane lane = LaneOf(pending.request.engine);
+    const auto exec_start = std::chrono::steady_clock::now();
+    bool executed;
     if (taken > 0) {
-      ProcessRrBatch(std::move(pending), std::move(mates));
+      executed = ProcessRrBatch(std::move(pending), std::move(mates));
     } else {
-      ProcessSingle(slot, std::move(pending));
+      executed = ProcessSingle(slot, std::move(pending));
     }
+    const double exec_ms =
+        MillisSince(exec_start, std::chrono::steady_clock::now());
 
     bool wris_slot_freed = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Engine time only (deadline drops excluded): this is the per-class
+      // cost signal the auto-tuned deficit charge derives from.
+      if (executed) scheduler_.RecordServiceTime(lane, exec_ms);
       in_flight_ -= 1 + taken;
       if (is_wris) {
         --wris_in_flight_;
@@ -284,8 +297,8 @@ bool QueryService::DropIfExpired(PendingRequest& pending) {
   return true;
 }
 
-void QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
-  if (DropIfExpired(pending)) return;
+bool QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
+  if (DropIfExpired(pending)) return false;
   const double queue_ms =
       MillisSince(pending.submitted_at, pending.picked_at);
   StatusOr<SeedSetResult> result = Dispatch(slot, pending.request);
@@ -293,9 +306,10 @@ void QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
       MillisSince(pending.submitted_at, std::chrono::steady_clock::now());
   RecordOutcome(pending.request, result, latency_ms, queue_ms);
   pending.promise.set_value(std::move(result));
+  return true;
 }
 
-void QueryService::ProcessRrBatch(PendingRequest head,
+bool QueryService::ProcessRrBatch(PendingRequest head,
                                   std::vector<PendingRequest> mates) {
   std::vector<PendingRequest> all;
   all.reserve(1 + mates.size());
@@ -328,7 +342,7 @@ void QueryService::ProcessRrBatch(PendingRequest head,
     queries.push_back(pending.request.query);
     live.push_back(std::move(pending));
   }
-  if (live.empty()) return;
+  if (live.empty()) return false;
 
   // One shared load + greedy pass; per-query results are bit-identical to
   // serial Query() calls and carry amortized batch stats.
@@ -341,7 +355,7 @@ void QueryService::ProcessRrBatch(PendingRequest head,
       RecordOutcome(live[i].request, failure, ms, queue_ms[i]);
       live[i].promise.set_value(std::move(failure));
     }
-    return;
+    return true;
   }
   for (size_t i = 0; i < live.size(); ++i) {
     StatusOr<SeedSetResult> result{std::move((*results)[i])};
@@ -355,6 +369,7 @@ void QueryService::ProcessRrBatch(PendingRequest head,
     ++counters_.rr_batches;
     counters_.rr_batched_queries += live.size();
   }
+  return true;
 }
 
 Status QueryService::CheckRrAvailable() const {
@@ -530,6 +545,11 @@ ServiceStats QueryService::stats() const {
     // stats_mu_.
     std::lock_guard<std::mutex> lock(mu_);
     out.wris_deferrals = scheduler_.wris_deferrals();
+    out.wris_cost_effective = scheduler_.EffectiveWrisCost();
+    out.fast_service_ewma_ms =
+        scheduler_.ServiceTimeEwmaMs(EngineLane::kFast);
+    out.slow_service_ewma_ms =
+        scheduler_.ServiceTimeEwmaMs(EngineLane::kSlow);
   }
   const KeywordCacheStats cache = cache_->stats();
   out.cache_hits = cache.hits;

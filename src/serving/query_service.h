@@ -159,6 +159,14 @@ struct ServiceStats {
   /// slow-lane work waiting (how often the reservation actually bit).
   uint64_t wris_deferrals = 0;
 
+  /// Deficit cost a slow-lane pickup currently charges: the static
+  /// wris_cost, or the EWMA-tuned ratio when auto_tune_costs is warm.
+  /// The per-lane service-time EWMAs (ms) it derives from ride along
+  /// (0 until auto-tuning has seen a sample).
+  uint32_t wris_cost_effective = 0;
+  double fast_service_ewma_ms = 0.0;
+  double slow_service_ewma_ms = 0.0;
+
   double p50_ms = 0.0;  ///< Median latency over the recent window.
   double p90_ms = 0.0;
   double p99_ms = 0.0;
@@ -284,11 +292,14 @@ class QueryService {
                             std::vector<PendingRequest>& mates);
 
   /// Executes one non-coalesced request end to end (deadline check,
-  /// dispatch, stats, promise).
-  void ProcessSingle(WorkerSlot& slot, PendingRequest pending);
+  /// dispatch, stats, promise). Returns true when an engine actually ran
+  /// (false = deadline drop), so only real service times feed the
+  /// scheduler's cost EWMA.
+  bool ProcessSingle(WorkerSlot& slot, PendingRequest pending);
   /// Executes a coalesced kRr batch: per-request deadline/θ screening,
-  /// one RrIndex::BatchQuery, per-query promise fan-out.
-  void ProcessRrBatch(PendingRequest head, std::vector<PendingRequest> mates);
+  /// one RrIndex::BatchQuery, per-query promise fan-out. Returns true
+  /// when the batch reached the engine.
+  bool ProcessRrBatch(PendingRequest head, std::vector<PendingRequest> mates);
 
   /// kRr engine availability, shared by the single and batched paths.
   Status CheckRrAvailable() const;

@@ -13,8 +13,10 @@
 #include "index/index_builder.h"
 #include "index/irr_index.h"
 #include "index/rr_index.h"
+#include "propagation/rr_sampler.h"
 #include "sampling/ris_solver.h"
 #include "sampling/wris_solver.h"
+#include "testing/scoped_skip_sampling.h"
 
 namespace kbtim {
 namespace {
@@ -74,57 +76,101 @@ class DeterminismTest : public ::testing::Test {
 };
 
 TEST_F(DeterminismTest, WrisSeedSetIsIdenticalAcrossThreadCounts) {
+  // PR 5 adds the kernel axis: skip-ahead and scalar sampling consume the
+  // RNG stream differently, so each setting pins its OWN golden — but
+  // within a setting the seed set must be identical for every thread
+  // count.
   const std::vector<Query> queries = {{{0, 2}, 8}, {{1, 3, 4}, 5},
                                       {{2}, 10}};
-  for (const Query& q : queries) {
+  for (const bool skip : {true, false}) {
+    testing::ScopedSkipSampling scoped(skip);
+    for (const Query& q : queries) {
+      std::optional<SeedSetResult> reference;
+      for (uint32_t threads : {1u, 2u, 8u}) {
+        OnlineSolverOptions options;
+        options.epsilon = 0.5;
+        options.num_threads = threads;
+        options.seed = 2024;
+        options.max_theta = 3000;
+        options.opt_estimate.pilot_initial = 256;
+        WrisSolver solver(env_->graph(), env_->tfidf(),
+                          PropagationModel::kIndependentCascade,
+                          env_->ic_probs(), options);
+        auto result = solver.Solve(q);
+        ASSERT_TRUE(result.ok()) << result.status();
+        if (!reference.has_value()) {
+          reference = std::move(*result);
+          continue;
+        }
+        // θ itself must agree (the pilot runs single-threaded), and so
+        // must every selected seed and every marginal gain.
+        ASSERT_EQ(reference->stats.theta, result->stats.theta);
+        ExpectIdentical(*reference, *result,
+                        std::string(skip ? "skip" : "scalar") +
+                            " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, WrisLtSeedSetIsIdenticalAcrossThreadCounts) {
+  // The LT engine walks through the lazily built shared alias tables —
+  // per-RR-set streams and the tid-ordered merge must pin LT solves
+  // exactly like IC ones, under both kernels.
+  const Query q{{1, 2}, 6};
+  for (const bool skip : {true, false}) {
+    testing::ScopedSkipSampling scoped(skip);
     std::optional<SeedSetResult> reference;
     for (uint32_t threads : {1u, 2u, 8u}) {
       OnlineSolverOptions options;
       options.epsilon = 0.5;
       options.num_threads = threads;
-      options.seed = 2024;
+      options.seed = 4242;
       options.max_theta = 3000;
       options.opt_estimate.pilot_initial = 256;
       WrisSolver solver(env_->graph(), env_->tfidf(),
-                        PropagationModel::kIndependentCascade,
-                        env_->ic_probs(), options);
+                        PropagationModel::kLinearThreshold,
+                        env_->lt_weights(), options);
       auto result = solver.Solve(q);
       ASSERT_TRUE(result.ok()) << result.status();
       if (!reference.has_value()) {
         reference = std::move(*result);
         continue;
       }
-      // θ itself must agree (the pilot runs single-threaded), and so must
-      // every selected seed and every marginal gain.
       ASSERT_EQ(reference->stats.theta, result->stats.theta);
       ExpectIdentical(*reference, *result,
-                      "threads=" + std::to_string(threads));
+                      std::string(skip ? "lt skip" : "lt scalar") +
+                          " threads=" + std::to_string(threads));
     }
   }
 }
 
 TEST_F(DeterminismTest, RisSeedSetIsIdenticalAcrossThreadCounts) {
   // The untargeted RIS solver shares OnlineSolverOptions (and its seed
-  // contract), so it must be thread-count invariant too.
-  std::optional<SeedSetResult> reference;
-  for (uint32_t threads : {1u, 2u, 8u}) {
-    OnlineSolverOptions options;
-    options.epsilon = 0.5;
-    options.num_threads = threads;
-    options.seed = 1234;
-    options.max_theta = 2000;
-    options.opt_estimate.pilot_initial = 256;
-    RisSolver solver(env_->graph(), PropagationModel::kIndependentCascade,
-                     env_->ic_probs(), options);
-    auto result = solver.Solve(10);
-    ASSERT_TRUE(result.ok()) << result.status();
-    if (!reference.has_value()) {
-      reference = std::move(*result);
-      continue;
+  // contract), so it must be thread-count invariant too — per kernel.
+  for (const bool skip : {true, false}) {
+    testing::ScopedSkipSampling scoped(skip);
+    std::optional<SeedSetResult> reference;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      OnlineSolverOptions options;
+      options.epsilon = 0.5;
+      options.num_threads = threads;
+      options.seed = 1234;
+      options.max_theta = 2000;
+      options.opt_estimate.pilot_initial = 256;
+      RisSolver solver(env_->graph(), PropagationModel::kIndependentCascade,
+                       env_->ic_probs(), options);
+      auto result = solver.Solve(10);
+      ASSERT_TRUE(result.ok()) << result.status();
+      if (!reference.has_value()) {
+        reference = std::move(*result);
+        continue;
+      }
+      ASSERT_EQ(reference->stats.theta, result->stats.theta);
+      ExpectIdentical(*reference, *result,
+                      std::string(skip ? "RIS skip" : "RIS scalar") +
+                          " threads=" + std::to_string(threads));
     }
-    ASSERT_EQ(reference->stats.theta, result->stats.theta);
-    ExpectIdentical(*reference, *result,
-                    "RIS threads=" + std::to_string(threads));
   }
 }
 

@@ -1,0 +1,338 @@
+// Skip-ahead sampling engine (PR 5): the bucketed adjacency must group
+// edges exactly, every acceptance kernel must accept each edge with its
+// probability (chi-square against the Bernoulli expectation and against
+// the scalar fallback), the alias-LT walk must match the linear-scan walk
+// EXACTLY on uniform weights (same inversion point -> same edge), and the
+// lazily built shared LT alias tables must be safe under concurrent
+// walkers (TSan job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "graph/generators.h"
+#include "propagation/bucketed_adjacency.h"
+#include "propagation/rr_sampler.h"
+#include "testing/scoped_skip_sampling.h"
+
+namespace kbtim {
+namespace {
+
+/// A graph where every vertex has in-degree exactly `d` (distinct random
+/// sources, no self-loops).
+Graph MakeConstantInDegreeGraph(VertexId n, uint32_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  std::vector<VertexId> sources;
+  for (VertexId v = 0; v < n; ++v) {
+    sources.clear();
+    while (sources.size() < d) {
+      const VertexId u = rng.NextU32Below(n);
+      if (u == v) continue;
+      if (std::find(sources.begin(), sources.end(), u) != sources.end()) {
+        continue;
+      }
+      sources.push_back(u);
+      edges.push_back({u, v});
+    }
+  }
+  return Graph::FromEdges(n, edges).value();
+}
+
+/// A star: vertices 1..m all point at vertex 0 with probability p.
+struct Star {
+  Graph graph;
+  std::vector<float> probs;
+};
+Star MakeStar(uint32_t m, float p) {
+  std::vector<Edge> edges;
+  for (VertexId u = 1; u <= m; ++u) edges.push_back({u, 0});
+  Star star{Graph::FromEdges(m + 1, edges).value(), {}};
+  star.probs.assign(star.graph.num_edges(), p);
+  return star;
+}
+
+TEST(BucketedAdjacencyTest, GroupsEdgesByProbabilityExactly) {
+  // Vertex 4 has in-edges with probs {0.5, 0.1, 0.5, 0.0, 0.1}: two kept
+  // buckets (0.1 x2, 0.5 x2), the zero edge dropped.
+  const std::vector<Edge> edges = {{0, 4}, {1, 4}, {2, 4}, {3, 4}, {5, 4}};
+  const Graph graph = Graph::FromEdges(6, edges).value();
+  // In-neighbors of 4 are sorted ascending: 0,1,2,3,5.
+  const std::vector<float> probs = {0.5f, 0.1f, 0.5f, 0.0f, 0.1f};
+  const BucketedAdjacency adj = BucketedAdjacency::Build(graph, probs);
+
+  const auto buckets = adj.Buckets(4);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_FLOAT_EQ(buckets[0].prob, 0.1f);  // ascending probability
+  EXPECT_EQ(buckets[0].count(), 2u);
+  EXPECT_FLOAT_EQ(buckets[1].prob, 0.5f);
+  EXPECT_EQ(buckets[1].count(), 2u);
+  // Mixed probabilities force the reordered copy (no CSR aliasing).
+  EXPECT_FALSE(buckets[0].targets_in_graph());
+  // Edges inside a bucket keep CSR order.
+  const VertexId* t0 = adj.BucketTargets(buckets[0]);
+  EXPECT_EQ(t0[0], 1u);
+  EXPECT_EQ(t0[1], 5u);
+  const VertexId* t1 = adj.BucketTargets(buckets[1]);
+  EXPECT_EQ(t1[0], 0u);
+  EXPECT_EQ(t1[1], 2u);
+  // WeightSum accumulates ALL edge values (zero included) in CSR order.
+  EXPECT_DOUBLE_EQ(adj.WeightSum(4),
+                   0.0 + 0.5f + 0.1f + 0.5f + 0.0f + 0.1f);
+  // Vertices without in-edges have no buckets.
+  EXPECT_TRUE(adj.Buckets(0).empty());
+}
+
+TEST(BucketedAdjacencyTest, KernelClassificationFollowsTheDocumentedRule) {
+  // 20 in-edges at p=0.05 -> geometric; 20 at p=0.9 -> threshold;
+  // 2 at p=0.05 -> threshold (too small); any p>=1 -> accept-all.
+  std::vector<Edge> edges;
+  std::vector<float> probs;
+  auto add_parallel = [&](VertexId dst, uint32_t count, VertexId base) {
+    for (uint32_t i = 0; i < count; ++i) edges.push_back({base + i, dst});
+  };
+  add_parallel(0, 20, 10);
+  add_parallel(1, 20, 10);
+  add_parallel(2, 2, 10);
+  add_parallel(3, 1, 10);
+  const Graph graph = Graph::FromEdges(40, edges).value();
+  probs.assign(graph.num_edges(), 0.0f);
+  for (VertexId v : {0u, 1u, 2u, 3u}) {
+    const auto [first, last] = graph.InEdgeRange(v);
+    const float p = v == 0 ? 0.05f : v == 1 ? 0.9f : v == 2 ? 0.05f : 1.0f;
+    for (uint64_t i = first; i < last; ++i) probs[i] = p;
+  }
+  const BucketedAdjacency adj = BucketedAdjacency::Build(graph, probs);
+  using Kind = BucketedAdjacency::BucketKind;
+  EXPECT_EQ(adj.Buckets(0)[0].kind(), Kind::kGeometric);
+  EXPECT_EQ(adj.Buckets(1)[0].kind(), Kind::kThreshold);
+  EXPECT_EQ(adj.Buckets(2)[0].kind(), Kind::kThreshold);
+  EXPECT_EQ(adj.Buckets(3)[0].kind(), Kind::kAll);
+  EXPECT_LT(adj.Buckets(0)[0].inv_log1m(), 0.0f);  // 1/log(1-p) < 0
+  // Uniform-probability vertices alias the graph's own CSR slice.
+  EXPECT_TRUE(adj.Buckets(0)[0].targets_in_graph());
+  EXPECT_EQ(adj.BucketTargets(adj.Buckets(0)[0])[0],
+            graph.InNeighbors(0)[0]);
+}
+
+/// Chi-square over per-edge acceptance counts: each of the star's m edges
+/// is a Binomial(N, p) cell; Σ (obs-Np)² / (Np(1-p)) ~ χ²(m).
+void ExpectPerEdgeAcceptance(const Star& star, uint32_t m, double p,
+                             bool skip_mode, double chi2_bound,
+                             uint64_t seed) {
+  testing::ScopedSkipSampling scoped(skip_mode);
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               star.graph, star.probs);
+  Rng rng(seed);
+  std::vector<VertexId> rr;
+  std::vector<uint64_t> hits(m + 1, 0);
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(0, rng, &rr);
+    for (size_t j = 1; j < rr.size(); ++j) ++hits[rr[j]];
+  }
+  const double expected = kSamples * p;
+  const double var = kSamples * p * (1.0 - p);
+  double chi2 = 0.0;
+  for (VertexId u = 1; u <= m; ++u) {
+    const double delta = static_cast<double>(hits[u]) - expected;
+    chi2 += delta * delta / var;
+  }
+  EXPECT_LT(chi2, chi2_bound)
+      << (skip_mode ? "skip" : "scalar") << " kernel, p=" << p;
+}
+
+TEST(SkipSamplingDistributionTest, GeometricKernelAcceptsEachEdgeWithP) {
+  // m=64, p=0.05: the geometric-skip kernel. χ²(64) 99.9th pct ≈ 112.
+  const Star star = MakeStar(64, 0.05f);
+  ExpectPerEdgeAcceptance(star, 64, 0.05, /*skip=*/true, 130.0, 11);
+  ExpectPerEdgeAcceptance(star, 64, 0.05, /*skip=*/false, 130.0, 12);
+}
+
+TEST(SkipSamplingDistributionTest, ThresholdKernelAcceptsEachEdgeWithP) {
+  // m=6, p=0.4: the two-lanes-per-draw threshold kernel (count below
+  // kGeoMinCount). χ²(6) 99.9th pct ≈ 22.5.
+  const Star star = MakeStar(6, 0.4f);
+  ExpectPerEdgeAcceptance(star, 6, 0.4, /*skip=*/true, 26.0, 13);
+  ExpectPerEdgeAcceptance(star, 6, 0.4, /*skip=*/false, 26.0, 14);
+}
+
+TEST(SkipSamplingDistributionTest, CertainEdgesAlwaysAcceptedNoRng) {
+  const Star star = MakeStar(10, 1.0f);
+  testing::ScopedSkipSampling scoped(true);
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               star.graph, star.probs);
+  Rng rng(15);
+  std::vector<VertexId> rr;
+  for (int i = 0; i < 100; ++i) {
+    sampler->Sample(0, rng, &rr);
+    EXPECT_EQ(rr.size(), 11u);
+  }
+}
+
+TEST(SkipSamplingDistributionTest, SkipAndScalarAgreeOnDeterministicGraph) {
+  // All-probability-1 graph: acceptance is deterministic, so both kernels
+  // must emit the IDENTICAL traversal (same members, same order) even
+  // though they consume the RNG differently.
+  const Graph graph = MakeConstantInDegreeGraph(64, 4, 21);
+  const std::vector<float> ones(graph.num_edges(), 1.0f);
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               graph, ones);
+  std::vector<VertexId> scalar_rr, skip_rr;
+  for (VertexId root = 0; root < 64; ++root) {
+    Rng r1(root), r2(root);
+    {
+      testing::ScopedSkipSampling scoped(false);
+      sampler->Sample(root, r1, &scalar_rr);
+    }
+    {
+      testing::ScopedSkipSampling scoped(true);
+      sampler->Sample(root, r2, &skip_rr);
+    }
+    ASSERT_EQ(scalar_rr, skip_rr) << "root " << root;
+  }
+}
+
+TEST(SkipSamplingDistributionTest,
+     MembershipFrequencyMatchesReachProbability) {
+  // The Figure-1 worked example under the SKIP kernel:
+  // P(e ∈ RR(b)) = 1 - (1 - 0.5)·(1 - 1.0·0.5) = 0.75.
+  const Figure1Graph fig = MakeFigure1Graph();
+  testing::ScopedSkipSampling scoped(true);
+  auto sampler = MakeRrSampler(PropagationModel::kIndependentCascade,
+                               fig.graph, fig.in_edge_prob);
+  Rng rng(16);
+  std::vector<VertexId> rr;
+  constexpr int kSamples = 40000;
+  int hits = 0;
+  constexpr VertexId b = 1, e = 4;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(b, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), e) != rr.end()) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.75, 0.01);
+}
+
+TEST(LtAliasWalkTest, AliasAndLinearWalkIdenticallyOnUniformWeights) {
+  // In-degree 128 everywhere (>= kLtAliasMinDegree), uniform weights
+  // 1/128 — exactly representable, so for every inversion point the
+  // alias column IS the linear-scan index and the two kernels must emit
+  // byte-identical walks from the same seed.
+  const Graph graph = MakeConstantInDegreeGraph(256, 128, 22);
+  const std::vector<float> weights = UniformIcProbabilities(graph);
+  ASSERT_GE(128u, BucketedAdjacency::kLtAliasMinDegree);
+  auto sampler = MakeRrSampler(PropagationModel::kLinearThreshold, graph,
+                               weights);
+  std::vector<VertexId> linear_rr, alias_rr;
+  for (int i = 0; i < 500; ++i) {
+    Rng r1(1000 + i), r2(1000 + i);
+    {
+      testing::ScopedSkipSampling scoped(false);
+      sampler->Sample(r1.NextU32Below(256), r1, &linear_rr);
+    }
+    {
+      testing::ScopedSkipSampling scoped(true);
+      sampler->Sample(r2.NextU32Below(256), r2, &alias_rr);
+    }
+    ASSERT_EQ(linear_rr, alias_rr) << "walk " << i;
+  }
+}
+
+TEST(LtAliasWalkTest, AliasSelectionFrequenciesMatchNonUniformWeights) {
+  // One vertex with 160 in-edges (>= kLtAliasMinDegree, so the alias
+  // path really runs) weighted ∝ 1..160 (Σ = 1): the first step of the
+  // alias walk must select edge j with probability w_j.
+  constexpr uint32_t m = 160;
+  std::vector<Edge> edges;
+  for (VertexId u = 1; u <= m; ++u) edges.push_back({u, 0});
+  const Graph graph = Graph::FromEdges(m + 1, edges).value();
+  const double total = m * (m + 1) / 2.0;
+  std::vector<float> weights(graph.num_edges());
+  // In-neighbors of 0 are 1..m ascending; weight of edge from u is u/total.
+  for (uint32_t j = 0; j < m; ++j) {
+    weights[j] = static_cast<float>((j + 1) / total);
+  }
+  testing::ScopedSkipSampling scoped(true);
+  auto sampler = MakeRrSampler(PropagationModel::kLinearThreshold, graph,
+                               weights);
+  Rng rng(23);
+  std::vector<VertexId> rr;
+  std::vector<uint64_t> hits(m + 1, 0);
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    sampler->Sample(0, rng, &rr);
+    if (rr.size() > 1) ++hits[rr[1]];
+  }
+  double chi2 = 0.0;
+  for (VertexId u = 1; u <= m; ++u) {
+    const double p = u / total;
+    const double expected = kSamples * p;
+    const double delta = static_cast<double>(hits[u]) - expected;
+    chi2 += delta * delta / (expected * (1.0 - p));
+  }
+  // χ²(160) 99.9th percentile ≈ 222.
+  EXPECT_LT(chi2, 235.0);
+}
+
+TEST(LtAliasWalkTest, ConcurrentWalkersShareLazyAliasTablesSafely) {
+  // 8 threads walk over ONE shared adjacency whose alias tables build
+  // lazily (CAS-published; in-degree 128 keeps every step on the alias
+  // path). TSan must see no race, and the tables the racers produce must
+  // equal the single-threaded result.
+  const Graph graph = MakeConstantInDegreeGraph(256, 128, 24);
+  const std::vector<float> weights = UniformIcProbabilities(graph);
+  const auto adjacency = BucketedAdjacency::BuildShared(graph, weights);
+  testing::ScopedSkipSampling scoped(true);
+
+  std::vector<std::vector<VertexId>> first_walk(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      auto sampler =
+          MakeRrSampler(PropagationModel::kLinearThreshold, adjacency);
+      Rng rng(500);  // same stream on purpose: all race the same vertices
+      std::vector<VertexId> rr;
+      for (int i = 0; i < 2000; ++i) {
+        sampler->Sample(rng.NextU32Below(256), rng, &rr);
+        if (i == 0) first_walk[t] = rr;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto reference_sampler =
+      MakeRrSampler(PropagationModel::kLinearThreshold, graph, weights);
+  Rng rng(500);
+  std::vector<VertexId> want;
+  reference_sampler->Sample(rng.NextU32Below(256), rng, &want);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(first_walk[t], want);
+}
+
+TEST(LtAliasWalkTest, SmallDegreeVerticesUseTheLinearScanInBothModes) {
+  // Below kLtAliasMinDegree the alias path defers to the linear scan, so
+  // skip-on and skip-off walks are identical even with non-uniform
+  // weights.
+  const Figure1Graph fig = MakeFigure1Graph();
+  Rng weight_rng(25);
+  std::vector<float> weights = RandomLtWeights(fig.graph, weight_rng);
+  auto sampler = MakeRrSampler(PropagationModel::kLinearThreshold,
+                               fig.graph, weights);
+  std::vector<VertexId> on_rr, off_rr;
+  for (int i = 0; i < 300; ++i) {
+    Rng r1(3000 + i), r2(3000 + i);
+    {
+      testing::ScopedSkipSampling scoped(true);
+      sampler->Sample(r1.NextU32Below(7), r1, &on_rr);
+    }
+    {
+      testing::ScopedSkipSampling scoped(false);
+      sampler->Sample(r2.NextU32Below(7), r2, &off_rr);
+    }
+    ASSERT_EQ(on_rr, off_rr);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -1,4 +1,4 @@
-#include "sampling/alias_table.h"
+#include "common/alias_table.h"
 
 #include <gtest/gtest.h>
 
@@ -51,6 +51,36 @@ TEST(AliasTableTest, HighlySkewedWeights) {
     if (table->Sample(rng) == 0) ++zero_draws;
   }
   EXPECT_LT(zero_draws, 10);
+}
+
+TEST(AliasTableTest, SampleAtMatchesInversionOnUniformWeights) {
+  // Equal weights build the identity table (every column keeps its own
+  // mass), so the inversion-point draw must reduce to floor(y·n) — the
+  // exact-match bridge between the alias-LT and linear-LT walk kernels.
+  const std::vector<double> weights(8, 0.125);
+  auto table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < 1000; ++i) {
+    const double y = i / 1000.0;
+    EXPECT_EQ(table->SampleAt(y), static_cast<uint32_t>(y * 8.0));
+  }
+  EXPECT_EQ(table->SampleAt(0.999999999), 7u);  // y ≈ 1 rounding guard
+}
+
+TEST(AliasTableTest, SampleAtReproducesWeightedDistribution) {
+  // One uniform inversion point per draw must still yield weight[i] / Σ.
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto table = AliasTable::FromWeights(weights);
+  ASSERT_TRUE(table.ok());
+  Rng rng(5);
+  std::vector<uint64_t> hits(4, 0);
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) ++hits[table->SampleAt(rng.NextDouble())];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / kDraws, (i + 1) / 10.0,
+                0.005)
+        << "index " << i;
+  }
 }
 
 TEST(AliasTableTest, RejectsInvalidWeights) {

@@ -171,5 +171,98 @@ TEST(LaneSchedulerTest, DrainAllEmptiesEveryLaneAndPriority) {
   EXPECT_FALSE(scheduler.Pop(true).has_value());
 }
 
+// ---- EWMA auto-tuned wris_cost (PR 5) -----------------------------------
+
+TEST(LaneSchedulerEwmaTest, StaticCostUnlessAutoTuneEnabled) {
+  SchedulerOptions options;
+  options.wris_cost = 10;
+  LaneScheduler scheduler(options);
+  EXPECT_EQ(scheduler.EffectiveWrisCost(), 10u);
+  // Samples are ignored without auto_tune_costs.
+  for (int i = 0; i < 20; ++i) {
+    scheduler.RecordServiceTime(EngineLane::kFast, 1.0);
+    scheduler.RecordServiceTime(EngineLane::kSlow, 100.0);
+  }
+  EXPECT_EQ(scheduler.EffectiveWrisCost(), 10u);
+  EXPECT_EQ(scheduler.ServiceTimeEwmaMs(EngineLane::kSlow), 0.0);
+}
+
+TEST(LaneSchedulerEwmaTest, TunedCostTracksTheMeasuredRatio) {
+  SchedulerOptions options;
+  options.auto_tune_costs = true;
+  options.wris_cost = 10;  // static fallback, should be replaced
+  LaneScheduler scheduler(options);
+  // Warm-up gate: static cost until BOTH lanes have enough samples.
+  for (uint64_t i = 0; i < LaneScheduler::kCostWarmupSamples; ++i) {
+    scheduler.RecordServiceTime(EngineLane::kFast, 2.0);
+    EXPECT_EQ(scheduler.EffectiveWrisCost(), 10u);
+    scheduler.RecordServiceTime(EngineLane::kSlow, 80.0);
+  }
+  // Constant streams converge the EWMA to the sample value: 80/2 = 40.
+  EXPECT_EQ(scheduler.EffectiveWrisCost(), 40u);
+  EXPECT_DOUBLE_EQ(scheduler.ServiceTimeEwmaMs(EngineLane::kFast), 2.0);
+  EXPECT_DOUBLE_EQ(scheduler.ServiceTimeEwmaMs(EngineLane::kSlow), 80.0);
+
+  // The EWMA adapts when the workload shifts (slow solves get cheaper).
+  for (int i = 0; i < 200; ++i) {
+    scheduler.RecordServiceTime(EngineLane::kSlow, 6.0);
+  }
+  EXPECT_EQ(scheduler.EffectiveWrisCost(), 3u);
+}
+
+TEST(LaneSchedulerEwmaTest, TunedCostIsClampedToSaneBounds) {
+  SchedulerOptions options;
+  options.auto_tune_costs = true;
+  options.max_auto_cost = 64;
+  LaneScheduler scheduler(options);
+  for (uint64_t i = 0; i < LaneScheduler::kCostWarmupSamples; ++i) {
+    scheduler.RecordServiceTime(EngineLane::kFast, 0.5);
+    scheduler.RecordServiceTime(EngineLane::kSlow, 10000.0);
+  }
+  EXPECT_EQ(scheduler.EffectiveWrisCost(), 64u);  // upper clamp
+  LaneScheduler inverted(options);
+  for (uint64_t i = 0; i < LaneScheduler::kCostWarmupSamples; ++i) {
+    inverted.RecordServiceTime(EngineLane::kFast, 50.0);
+    inverted.RecordServiceTime(EngineLane::kSlow, 1.0);
+  }
+  EXPECT_EQ(inverted.EffectiveWrisCost(), 1u);  // never below one pickup
+}
+
+TEST(LaneSchedulerEwmaTest, TunedCostShapesTheDeficitPickupRatio) {
+  // With a measured 40:1 gap the tuned DRR should serve ~160 fast
+  // pickups per slow one at 4:1 weights — materially stingier to the
+  // slow lane than the static 10 cost. Count pops over a deep backlog.
+  SchedulerOptions options;
+  options.auto_tune_costs = true;
+  options.fast_lane_weight = 4;
+  options.slow_lane_weight = 1;
+  LaneScheduler scheduler(options);
+  for (uint64_t i = 0; i < LaneScheduler::kCostWarmupSamples; ++i) {
+    scheduler.RecordServiceTime(EngineLane::kFast, 1.0);
+    scheduler.RecordServiceTime(EngineLane::kSlow, 40.0);
+  }
+  constexpr int kPerLane = 400;
+  for (int i = 0; i < kPerLane; ++i) {
+    scheduler.Push(MakeRequest(QueryEngine::kIrr, {0}));
+    scheduler.Push(MakeRequest(QueryEngine::kWris, {1}));
+  }
+  uint64_t fast_pops = 0, slow_pops = 0;
+  for (int i = 0; i < 360; ++i) {
+    auto popped = scheduler.Pop(true);
+    ASSERT_TRUE(popped.has_value());
+    if (popped->request.engine == QueryEngine::kWris) {
+      ++slow_pops;
+    } else {
+      ++fast_pops;
+    }
+  }
+  ASSERT_GT(slow_pops, 0u) << "slow lane starved outright";
+  const double ratio =
+      static_cast<double>(fast_pops) / static_cast<double>(slow_pops);
+  // Expect ~160:1; anything far above the static-cost 40:1 proves the
+  // tuned cost took effect (loose band for DRR rounding).
+  EXPECT_GT(ratio, 80.0);
+}
+
 }  // namespace
 }  // namespace kbtim

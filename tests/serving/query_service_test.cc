@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <thread>
@@ -447,6 +448,55 @@ TEST_F(QueryServiceTest, SharedCacheWarmsAcrossEnginesAndClients) {
   const ServiceStats stats = service->stats();
   EXPECT_GT(stats.cache_hit_rate, 0.0);
   EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST_F(QueryServiceTest, AutoTunedWrisCostTracksMeasuredServiceTimes) {
+  // End-to-end wiring of the EWMA cost loop: execute enough index + WRIS
+  // requests to warm both lane EWMAs (kCostWarmupSamples each) and the
+  // snapshot must expose positive per-lane EWMAs with the effective cost
+  // derived from their ratio — no longer pinned to the static wris_cost.
+  QueryServiceOptions options;
+  options.num_workers = 1;  // serialize so per-pickup timings are clean
+  options.wris = WrisOptions();
+  options.scheduler.auto_tune_costs = true;
+  options.scheduler.wris_cost = 77;  // sentinel: must be replaced
+  options.scheduler.rr_max_batch = 1;  // one pickup = one sample
+  auto service_or = QueryService::Create(dir_, options, Backend());
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  QueryService& service = **service_or;
+
+  const Query q{{0, 2}, 5};
+  for (uint64_t i = 0; i < LaneScheduler::kCostWarmupSamples; ++i) {
+    ASSERT_TRUE(service.Execute({q, QueryEngine::kIrr}).ok());
+    ASSERT_TRUE(service.Execute({q, QueryEngine::kWris}).ok());
+  }
+  // Execute resolves the promise before the worker re-locks to record its
+  // service time; Drain synchronizes with that critical section so the
+  // snapshot sees all kCostWarmupSamples samples.
+  service.Drain();
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.fast_service_ewma_ms, 0.0);
+  EXPECT_GT(stats.slow_service_ewma_ms, 0.0);
+  EXPECT_GE(stats.wris_cost_effective, 1u);
+  // The tuned charge must equal the documented clamped ratio (a warm
+  // EWMA never reports the static sentinel unless the ratio lands there).
+  const double ratio =
+      stats.slow_service_ewma_ms / stats.fast_service_ewma_ms;
+  const auto want = static_cast<uint32_t>(std::max(
+      1.0, std::min(ratio + 0.5,
+                    static_cast<double>(options.scheduler.max_auto_cost))));
+  EXPECT_EQ(stats.wris_cost_effective, want);
+
+  // Auto-tuning off: the static cost is reported untouched.
+  QueryServiceOptions static_options;
+  static_options.num_workers = 1;
+  static_options.wris = WrisOptions();
+  static_options.scheduler.wris_cost = 77;
+  auto static_service = QueryService::Create(dir_, static_options,
+                                             Backend());
+  ASSERT_TRUE(static_service.ok());
+  ASSERT_TRUE((*static_service)->Execute({q, QueryEngine::kWris}).ok());
+  EXPECT_EQ((*static_service)->stats().wris_cost_effective, 77u);
 }
 
 }  // namespace

@@ -1,0 +1,29 @@
+// RAII pin for the process-global skip-sampling kernel switch, shared by
+// every test that exercises both kernels.
+#ifndef KBTIM_TESTS_TESTING_SCOPED_SKIP_SAMPLING_H_
+#define KBTIM_TESTS_TESTING_SCOPED_SKIP_SAMPLING_H_
+
+#include "propagation/rr_sampler.h"
+
+namespace kbtim {
+namespace testing {
+
+/// Pins SetSkipSamplingEnabled for a scope and restores the default on
+/// exit — including when a gtest ASSERT bails out of the test early, so
+/// a failed test can never leak scalar mode into later tests in the
+/// binary.
+class ScopedSkipSampling {
+ public:
+  explicit ScopedSkipSampling(bool enabled) {
+    SetSkipSamplingEnabled(enabled);
+  }
+  ~ScopedSkipSampling() { SetSkipSamplingEnabled(true); }
+
+  ScopedSkipSampling(const ScopedSkipSampling&) = delete;
+  ScopedSkipSampling& operator=(const ScopedSkipSampling&) = delete;
+};
+
+}  // namespace testing
+}  // namespace kbtim
+
+#endif  // KBTIM_TESTS_TESTING_SCOPED_SKIP_SAMPLING_H_
