@@ -23,6 +23,13 @@
 //      head-of-line-blocking fix (--assert-lane-p99 gates CI on it).
 //   5. Coalescing (PR 4): bursts of overlapping kRr requests, batch-aware
 //      dispatch on vs off, with golden equality checked per request.
+//   6. Fault phase (PR 6): measure a warm p99, then arm the storage
+//      FaultInjector (flaky reads + rare bit flips) and drive the same
+//      load through the burst — requests resolve OK, degraded, or shed —
+//      then disarm and measure the recovered p99. --assert-fault-recovery
+//      gates CI on post-burst p99 <= 1.25x pre-burst (the service must
+//      heal completely: breakers re-admit, the cache repopulates, and no
+//      corrupt state lingers to slow the warm path).
 //
 // Extra flags on top of bench_common.h:
 //   --workers N          cap service workers per config (default: =clients)
@@ -37,6 +44,11 @@
 //                        a single order statistic — strict-improvement
 //                        gating there would flake on shared runners)
 //   --assert-warm-zero-io
+//   --no-faults          skip the fault phase
+//   --assert-fault-recovery
+//                        CI gate on the fault phase: every burst request
+//                        resolves (no hangs/crashes), and the post-burst
+//                        p99 recovers to <= 1.25x the pre-burst p99
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -49,6 +61,7 @@
 #include "bench_common.h"
 #include "common/timer.h"
 #include "serving/query_service.h"
+#include "storage/fault_injector.h"
 #include "storage/io_counter.h"
 
 namespace kbtim {
@@ -395,6 +408,137 @@ StatusOr<CoalescingResult> RunCoalescing(const std::string& dir,
   return out;
 }
 
+struct FaultPhaseResult {
+  double pre_p99_ms = 0.0;
+  double post_p99_ms = 0.0;
+  double recovery_ratio = 0.0;  ///< post / pre (1.0 = fully recovered)
+  uint64_t burst_requests = 0;
+  uint64_t burst_ok = 0;
+  uint64_t burst_degraded = 0;
+  uint64_t burst_failed = 0;
+  double burst_availability = 0.0;  ///< (ok + degraded) / requests
+  uint64_t injected_faults = 0;
+  uint64_t transient_retries = 0;
+  uint64_t retry_successes = 0;
+  uint64_t quarantine_rejections = 0;
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t post_failed = 0;  ///< failures AFTER the burst (must be 0)
+};
+
+/// Fault phase: pre-burst p99 on the warm path, then the same closed loop
+/// with injected I/O errors and rare bit flips (cold cache, so every
+/// fault is live), then injector off + re-warm + post-burst p99. The
+/// interesting outputs are availability DURING the burst (retry +
+/// degradation + O(1) quarantine shedding keep it high) and the recovery
+/// ratio AFTER it (breakers re-admit, nothing corrupt lingers).
+StatusOr<FaultPhaseResult> RunFaultPhase(const std::string& dir,
+                                         const std::vector<Query>& queries,
+                                         uint32_t clients, uint32_t workers,
+                                         uint32_t iters) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_pending = 4096;
+  options.failure.retry_backoff_ms = 1.0;
+  options.failure.breaker.backoff_ms = 10.0;
+  KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                         QueryService::Create(dir, options));
+
+  auto run_burst = [&](uint64_t* ok, uint64_t* degraded,
+                       uint64_t* failed) {
+    std::atomic<uint64_t> ok_n{0}, degraded_n{0}, failed_n{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (uint32_t i = 0; i < iters; ++i) {
+          ServiceRequest request;
+          request.query = queries[(c + i) % queries.size()];
+          request.engine =
+              (c + i) % 2 == 0 ? QueryEngine::kIrr : QueryEngine::kRr;
+          auto result = service->Execute(std::move(request));
+          if (!result.ok()) {
+            ++failed_n;
+          } else if (result->degraded) {
+            ++degraded_n;
+          } else {
+            ++ok_n;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    if (ok != nullptr) *ok = ok_n.load();
+    if (degraded != nullptr) *degraded = degraded_n.load();
+    if (failed != nullptr) *failed = failed_n.load();
+  };
+
+  // Warm everything, then the pre-burst baseline.
+  for (const Query& q : queries) {
+    KBTIM_RETURN_IF_ERROR(
+        service->Execute({q, QueryEngine::kIrr}).status());
+    KBTIM_RETURN_IF_ERROR(service->Execute({q, QueryEngine::kRr}).status());
+  }
+  service->cache()->WaitForPrefetches();
+  service->ResetLatencyWindow();
+  run_burst(nullptr, nullptr, nullptr);
+  FaultPhaseResult out;
+  out.pre_p99_ms = service->stats().p99_ms;
+  const ServiceStats pre = service->stats();
+
+  // Burst: flaky reads everywhere, rare flips, cold cache so they land.
+  {
+    FaultPlan plan;
+    plan.seed = 20260808;
+    plan.rules.push_back({"irr_", FaultOp::kRead, FaultKind::kIOError,
+                          /*first_op=*/0, /*max_faults=*/0,
+                          /*probability=*/0.15});
+    plan.rules.push_back({"rr_", FaultOp::kRead, FaultKind::kIOError,
+                          0, 0, 0.10});
+    plan.rules.push_back({"irr_", FaultOp::kRead, FaultKind::kBitFlip,
+                          0, 0, 0.01});
+    FaultInjector::Instance().Arm(plan);
+    service->cache()->DropBlocks();
+    run_burst(&out.burst_ok, &out.burst_degraded, &out.burst_failed);
+    out.injected_faults = FaultInjector::Instance().stats().total_faults();
+    FaultInjector::Instance().Disarm();
+  }
+  out.burst_requests = uint64_t{clients} * iters;
+  out.burst_availability =
+      out.burst_requests > 0
+          ? static_cast<double>(out.burst_ok + out.burst_degraded) /
+                static_cast<double>(out.burst_requests)
+          : 0.0;
+  const ServiceStats mid = service->stats();
+  out.transient_retries = mid.transient_retries - pre.transient_retries;
+  out.retry_successes = mid.retry_successes - pre.retry_successes;
+  out.quarantine_rejections =
+      mid.quarantine_rejections - pre.quarantine_rejections;
+  out.breaker_opens = mid.breaker_opens - pre.breaker_opens;
+
+  // Recovery: drop whatever the burst left cached, re-warm (half-open
+  // probes re-admit quarantined keywords here), then the post-burst p99
+  // over the identical workload.
+  service->cache()->DropBlocks();
+  for (int pass = 0; pass < 2; ++pass) {  // pass 1: probes; pass 2: warm
+    for (const Query& q : queries) {
+      (void)service->Execute({q, QueryEngine::kIrr});
+      (void)service->Execute({q, QueryEngine::kRr});
+    }
+  }
+  service->cache()->WaitForPrefetches();
+  service->ResetLatencyWindow();
+  const uint64_t failed_before_post = service->stats().failed;
+  run_burst(nullptr, nullptr, nullptr);
+  const ServiceStats post = service->stats();
+  out.post_p99_ms = post.p99_ms;
+  out.post_failed = post.failed - failed_before_post;
+  out.breaker_closes = post.breaker_closes - pre.breaker_closes;
+  out.recovery_ratio =
+      out.pre_p99_ms > 0 ? out.post_p99_ms / out.pre_p99_ms : 0.0;
+  return out;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace kbtim
@@ -405,8 +549,10 @@ int main(int argc, char** argv) {
   BenchFlags flags = ParseFlags(argc, argv);
   bool assert_warm_zero_io = false;
   bool assert_lane_p99 = false;
+  bool assert_fault_recovery = false;
   bool no_open_loop = false;
   bool no_mixed = false;
+  bool no_faults = false;
   uint32_t max_workers = 0;  // 0 = match client count
   uint32_t iters = 0;
   double open_loop_rate = 0.0;
@@ -415,10 +561,14 @@ int main(int argc, char** argv) {
       assert_warm_zero_io = true;
     } else if (std::strcmp(argv[i], "--assert-lane-p99") == 0) {
       assert_lane_p99 = true;
+    } else if (std::strcmp(argv[i], "--assert-fault-recovery") == 0) {
+      assert_fault_recovery = true;
     } else if (std::strcmp(argv[i], "--no-open-loop") == 0) {
       no_open_loop = true;
     } else if (std::strcmp(argv[i], "--no-mixed") == 0) {
       no_mixed = true;
+    } else if (std::strcmp(argv[i], "--no-faults") == 0) {
+      no_faults = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       max_workers = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
@@ -527,6 +677,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Fault phase: injected storage faults, then recovery.
+  FaultPhaseResult fault_phase;
+  bool have_faults = false;
+  if (!no_faults) {
+    auto result = RunFaultPhase(*dir, *queries, /*clients=*/4,
+                                max_workers > 0 ? max_workers : 2,
+                                std::max<uint32_t>(iters / 2, 8));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    fault_phase = *result;
+    have_faults = true;
+  }
+
   // ---- Report -------------------------------------------------------------
   TablePrinter table({"clients", "workers", "qps", "p50_ms", "p90_ms",
                       "p99_ms", "warm_IOs"});
@@ -588,6 +753,27 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   coalescing->rr_batched_queries),
               coalescing->golden_ok ? "OK" : "MISMATCH");
+  if (have_faults) {
+    std::printf(
+        "\nfault phase: %llu requests through the burst (%llu injected "
+        "faults) -> %.1f%% available (%llu ok + %llu degraded, %llu "
+        "failed), %llu retries (%llu rescued), %llu quarantine sheds, "
+        "%llu breaker opens / %llu closes\n"
+        "p99 pre-burst %.3f ms -> post-burst %.3f ms (%.2fx)\n",
+        static_cast<unsigned long long>(fault_phase.burst_requests),
+        static_cast<unsigned long long>(fault_phase.injected_faults),
+        100.0 * fault_phase.burst_availability,
+        static_cast<unsigned long long>(fault_phase.burst_ok),
+        static_cast<unsigned long long>(fault_phase.burst_degraded),
+        static_cast<unsigned long long>(fault_phase.burst_failed),
+        static_cast<unsigned long long>(fault_phase.transient_retries),
+        static_cast<unsigned long long>(fault_phase.retry_successes),
+        static_cast<unsigned long long>(fault_phase.quarantine_rejections),
+        static_cast<unsigned long long>(fault_phase.breaker_opens),
+        static_cast<unsigned long long>(fault_phase.breaker_closes),
+        fault_phase.pre_p99_ms, fault_phase.post_p99_ms,
+        fault_phase.recovery_ratio);
+  }
 
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
   if (json == nullptr) {
@@ -672,6 +858,32 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(coalescing->rr_batches),
       static_cast<unsigned long long>(coalescing->rr_batched_queries),
       coalescing->golden_ok ? "true" : "false");
+  if (have_faults) {
+    std::fprintf(
+        json,
+        ",\n  \"fault_phase\": {\"burst_requests\": %llu, "
+        "\"injected_faults\": %llu, \"burst_ok\": %llu, "
+        "\"burst_degraded\": %llu, \"burst_failed\": %llu, "
+        "\"burst_availability\": %.4f, \"transient_retries\": %llu, "
+        "\"retry_successes\": %llu, \"quarantine_rejections\": %llu, "
+        "\"breaker_opens\": %llu, \"breaker_closes\": %llu, "
+        "\"pre_p99_ms\": %.4f, \"post_p99_ms\": %.4f, "
+        "\"recovery_ratio\": %.4f, \"post_failed\": %llu}",
+        static_cast<unsigned long long>(fault_phase.burst_requests),
+        static_cast<unsigned long long>(fault_phase.injected_faults),
+        static_cast<unsigned long long>(fault_phase.burst_ok),
+        static_cast<unsigned long long>(fault_phase.burst_degraded),
+        static_cast<unsigned long long>(fault_phase.burst_failed),
+        fault_phase.burst_availability,
+        static_cast<unsigned long long>(fault_phase.transient_retries),
+        static_cast<unsigned long long>(fault_phase.retry_successes),
+        static_cast<unsigned long long>(fault_phase.quarantine_rejections),
+        static_cast<unsigned long long>(fault_phase.breaker_opens),
+        static_cast<unsigned long long>(fault_phase.breaker_closes),
+        fault_phase.pre_p99_ms, fault_phase.post_p99_ms,
+        fault_phase.recovery_ratio,
+        static_cast<unsigned long long>(fault_phase.post_failed));
+  }
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_serving.json\n");
@@ -720,6 +932,42 @@ int main(int argc, char** argv) {
                    "FAIL: index-lane p99 regressed under the lane "
                    "scheduler (fifo %.3f ms vs lanes %.3f ms)\n",
                    mixed_fifo.fast_p99_ms, mixed_lanes.fast_p99_ms);
+      return 1;
+    }
+  }
+  if (assert_fault_recovery) {
+    if (!have_faults) {
+      std::fprintf(stderr,
+                   "FAIL: --assert-fault-recovery needs the fault phase "
+                   "(drop --no-faults)\n");
+      return 1;
+    }
+    if (fault_phase.burst_ok + fault_phase.burst_degraded +
+            fault_phase.burst_failed !=
+        fault_phase.burst_requests) {
+      std::fprintf(stderr,
+                   "FAIL: fault-phase requests went unaccounted "
+                   "(hang or lost promise)\n");
+      return 1;
+    }
+    if (fault_phase.injected_faults == 0) {
+      std::fprintf(stderr,
+                   "FAIL: the fault burst injected nothing — the phase "
+                   "proved nothing\n");
+      return 1;
+    }
+    if (fault_phase.post_failed != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu queries still failing AFTER the burst "
+                   "(service did not heal)\n",
+                   static_cast<unsigned long long>(fault_phase.post_failed));
+      return 1;
+    }
+    if (fault_phase.post_p99_ms > 1.25 * fault_phase.pre_p99_ms) {
+      std::fprintf(stderr,
+                   "FAIL: post-burst p99 %.3f ms exceeds 1.25x pre-burst "
+                   "%.3f ms — fault state leaked into the warm path\n",
+                   fault_phase.post_p99_ms, fault_phase.pre_p99_ms);
       return 1;
     }
   }

@@ -71,7 +71,7 @@ Status WriteRrFile(const std::string& path, TopicId topic,
   PutFixed64(&header, count);
   header.push_back(static_cast<char>(codec_kind));
 
-  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
   KBTIM_RETURN_IF_ERROR(writer->Append(
       {reinterpret_cast<const char*>(offsets.data()),
@@ -108,7 +108,7 @@ Status WriteListsFile(const std::string& path, TopicId topic,
   PutFixed64(&header, num_entries);
   header.push_back(static_cast<char>(codec_kind));
 
-  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
   KBTIM_RETURN_IF_ERROR(writer->Append(payload));
   *bytes_out = writer->offset();
@@ -230,7 +230,7 @@ Status WriteIrrFile(const std::string& path, TopicId topic,
     PutFixed32(&dir_buf, info.min_list_len);
   }
 
-  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
   KBTIM_RETURN_IF_ERROR(writer->Append(ip_buf));
   KBTIM_RETURN_IF_ERROR(writer->Append(dir_buf));

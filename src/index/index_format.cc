@@ -77,7 +77,9 @@ Status WriteIndexMeta(const IndexMeta& meta, const std::string& path) {
     PutDouble(&buf, t.opt_bound);
     PutFixed64(&buf, t.irr_preamble);
   }
-  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::Create(path));
+  // Meta is written last and published atomically: a directory either has
+  // a complete, consistent meta or none at all.
+  KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(buf));
   return writer->Close();
 }

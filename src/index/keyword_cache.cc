@@ -158,6 +158,68 @@ void KeywordCache::DropBlocks() {
   stats_.bytes_cached = 0;
 }
 
+void KeywordCache::SetFailureListener(FailureListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  failure_listener_ = std::move(listener);
+}
+
+uint64_t KeywordCache::EpochLocked(TopicId topic) const {
+  const auto it = topic_epoch_.find(topic);
+  return it == topic_epoch_.end() ? 0 : it->second;
+}
+
+void KeywordCache::InvalidateTopic(TopicId topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++topic_epoch_[topic];
+  ++stats_.topic_invalidations;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->first.topic == topic) {
+      stats_.bytes_cached -= it->second.bytes;
+      lru_.erase(it->second.lru_pos);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Deregister in-flight prefetches: a joiner already holding the future
+  // still gets its (pre-invalidation) result, but no new lookup can join,
+  // and the epoch bump above keeps the task from admitting its block.
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    it = it->first.topic == topic ? inflight_.erase(it) : std::next(it);
+  }
+  for (auto it = uncacheable_.begin(); it != uncacheable_.end();) {
+    it = it->first.topic == topic ? uncacheable_.erase(it) : std::next(it);
+  }
+  // Drop the parsed preamble and every file handle: the next access
+  // reopens fresh descriptors (and remaps), which is the recovery path
+  // for stale mappings and transient descriptor-level failures alike.
+  irr_entries_.erase(topic);
+  rr_entries_.erase(topic);
+}
+
+void KeywordCache::RecordTopicFailure(TopicId topic, const Status& status) {
+  if (status.code() == StatusCode::kCorruption) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.decode_failures;
+    }
+    InvalidateTopic(topic);
+  } else if (status.code() == StatusCode::kIOError) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.io_errors;
+    irr_entries_.erase(topic);
+    rr_entries_.erase(topic);
+  } else {
+    return;  // not a fault-domain failure (bad argument, etc.)
+  }
+  FailureListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = failure_listener_;
+  }
+  if (listener) listener(topic, status);
+}
+
 void KeywordCache::WaitForPrefetches() {
   std::vector<IrrBlockFuture> pending;
   {
@@ -202,12 +264,17 @@ void KeywordCache::EraseBlockLocked(const BlockKey& key) {
   blocks_.erase(it);
 }
 
-std::shared_ptr<const void> KeywordCache::InsertBlock(
+std::shared_ptr<const void> KeywordCache::InsertBlockIfFresh(
     const BlockKey& key, std::shared_ptr<const void> block, uint64_t bytes,
-    bool* admitted) {
-  if (admitted != nullptr) *admitted = true;
+    uint64_t epoch) {
   if (options_.block_cache_bytes == 0) return block;  // caching disabled
   std::lock_guard<std::mutex> lock(mu_);
+  if (EpochLocked(key.topic) != epoch) {
+    // The topic was invalidated while this block was decoding; it read
+    // through a pre-invalidation handle, so serve it to the caller but
+    // never admit it.
+    return block;
+  }
   const auto it = blocks_.find(key);
   if (it != blocks_.end()) {
     // Another thread decoded the same block first; keep theirs.
@@ -217,7 +284,6 @@ std::shared_ptr<const void> KeywordCache::InsertBlock(
   if (bytes > AdmissionLimitBytes()) {
     // Admission policy: serve the oversized block, keep the cache hot.
     ++stats_.admission_bypasses;
-    if (admitted != nullptr) *admitted = false;
     return block;
   }
   InsertBlockLocked(key, block, bytes);
@@ -237,9 +303,13 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::GetIrrKeyword(
     if (it != irr_entries_.end()) return it->second;
   }
   // Parse outside the lock so a cold preamble never stalls warm queries.
-  KBTIM_ASSIGN_OR_RETURN(auto entry, LoadIrrEntry(topic));
+  auto loaded = LoadIrrEntry(topic);
+  if (!loaded.ok()) {
+    RecordTopicFailure(topic, loaded.status());
+    return loaded.status();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = irr_entries_.emplace(topic, entry);
+  const auto [it, inserted] = irr_entries_.emplace(topic, *loaded);
   if (inserted) ++stats_.preamble_loads;
   return it->second;  // the first loader's entry if we raced
 }
@@ -329,6 +399,7 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
   }
   const BlockKey key{entry.topic, partition};
   IrrBlockFuture inflight;
+  uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = blocks_.find(key);
@@ -339,6 +410,7 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
           it->second.block);
     }
     ++stats_.misses;
+    epoch = EpochLocked(entry.topic);
     const auto fit = inflight_.find(key);
     if (fit != inflight_.end()) {
       ++stats_.prefetches_served;
@@ -347,14 +419,19 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
   }
   if (inflight.valid()) {
     // A prefetch worker already has this partition; join it — its decode
-    // ran (or is running) while this thread was computing.
+    // ran (or is running) while this thread was computing. Failures
+    // surface here as the worker's status (the worker already recorded
+    // the fault; re-recording would double-count it).
     return inflight.get();
   }
 
-  KBTIM_ASSIGN_OR_RETURN(std::shared_ptr<const IrrPartitionBlock> block,
-                         DecodeIrrPartition(entry, partition));
+  auto decoded = DecodeIrrPartition(entry, partition);
+  if (!decoded.ok()) {
+    RecordTopicFailure(entry.topic, decoded.status());
+    return decoded.status();
+  }
   return std::static_pointer_cast<const IrrPartitionBlock>(
-      InsertBlock(key, block, block->bytes));
+      InsertBlockIfFresh(key, *decoded, (*decoded)->bytes, epoch));
 }
 
 void KeywordCache::PrefetchIrrPartition(
@@ -364,6 +441,7 @@ void KeywordCache::PrefetchIrrPartition(
     return;
   }
   const BlockKey key{entry->topic, partition};
+  uint64_t epoch = 0;
   {
     // Cheap warm-path exit BEFORE building the task: resident, in-flight
     // or admission-bypassed partitions (the common cases on repeat
@@ -373,35 +451,62 @@ void KeywordCache::PrefetchIrrPartition(
         uncacheable_.count(key) != 0) {
       return;
     }
+    epoch = EpochLocked(key.topic);
   }
   // packaged_task is move-only but ThreadPool tasks are std::function;
   // hold it by shared_ptr.
   auto task = std::make_shared<std::packaged_task<
       StatusOr<std::shared_ptr<const IrrPartitionBlock>>()>>(
-      [this, entry = std::move(entry), partition, key]() {
+      [this, entry = std::move(entry), partition, key, epoch]() {
         auto decoded = DecodeIrrPartition(*entry, partition);
-        bool admitted = true;
         if (decoded.ok()) {
           // Publish to the block cache BEFORE leaving the in-flight map,
           // so no lookup can miss both; losing a racing insert just hands
-          // back the winner's block.
-          decoded = std::static_pointer_cast<const IrrPartitionBlock>(
-              InsertBlock(key, *decoded, (*decoded)->bytes, &admitted));
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          // Remember admission refusals: re-prefetching an uncacheable
-          // partition would decode into the void every round.
-          if (!admitted) uncacheable_.emplace(key, true);
-          inflight_.erase(key);
+          // back the winner's block. A topic invalidated since the
+          // prefetch was scheduled (epoch moved) is never re-admitted.
+          bool admitted = true;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (EpochLocked(key.topic) == epoch) {
+              const auto it = blocks_.find(key);
+              if (it != blocks_.end()) {
+                TouchLocked(it->second);
+                decoded = std::static_pointer_cast<const IrrPartitionBlock>(
+                    it->second.block);
+              } else if ((*decoded)->bytes > AdmissionLimitBytes()) {
+                ++stats_.admission_bypasses;
+                admitted = false;
+              } else {
+                InsertBlockLocked(key, *decoded, (*decoded)->bytes);
+              }
+            }
+            // Remember admission refusals: re-prefetching an uncacheable
+            // partition would decode into the void every round.
+            if (!admitted) uncacheable_.emplace(key, true);
+            inflight_.erase(key);
+          }
+        } else {
+          // Bugfix (swallowed status): a failed background decode used to
+          // vanish unless a foreground joiner happened to wait on the
+          // future. Count it and run the same failure-domain reaction as
+          // a foreground failure; joiners still observe the status.
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.prefetch_failures;
+            inflight_.erase(key);
+          }
+          RecordTopicFailure(key.topic, decoded.status());
         }
         return decoded;
       });
   {
     // Re-check under the lock: another thread may have landed or started
-    // this partition while the task was being built.
+    // this partition (or invalidated the topic) while the task was built.
     std::lock_guard<std::mutex> lock(mu_);
-    if (blocks_.count(key) != 0 || inflight_.count(key) != 0) return;
+    if (blocks_.count(key) != 0 || inflight_.count(key) != 0 ||
+        EpochLocked(key.topic) != epoch) {
+      return;
+    }
     inflight_.emplace(key, task->get_future().share());
     ++stats_.prefetches_issued;
   }
@@ -573,6 +678,13 @@ Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
 
 StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
     TopicId topic, uint64_t min_budget) {
+  auto block = GetRrKeywordImpl(topic, min_budget);
+  if (!block.ok()) RecordTopicFailure(topic, block.status());
+  return block;
+}
+
+StatusOr<std::shared_ptr<const RrKeywordBlock>>
+KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   if (topic >= meta_.num_topics) {
     return Status::InvalidArgument("topic id out of range");
   }
@@ -580,8 +692,9 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
     return Status::InvalidArgument("RR keyword budget must be positive");
   }
   const BlockKey key{topic, kRrBlockSlot};
-  RandomAccessFile* rr_file = nullptr;
-  RandomAccessFile* lists_file = nullptr;
+  std::shared_ptr<RandomAccessFile> rr_file;
+  std::shared_ptr<RandomAccessFile> lists_file;
+  uint64_t epoch = 0;
   std::vector<uint64_t> offsets;  // local copy of entries [0, min_budget]
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -604,10 +717,11 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
     RrKeywordEntry* entry = nullptr;
     KBTIM_RETURN_IF_ERROR(EnsureRrEntryLocked(topic, &entry));
     KBTIM_RETURN_IF_ERROR(ExtendRrDirectory(entry, min_budget));
-    // Entries are never erased and unordered_map values are
-    // pointer-stable, so the raw handles stay valid unlocked.
-    rr_file = entry->rr_file.get();
-    lists_file = entry->lists_file.get();
+    // Shared handle copies stay valid unlocked even if InvalidateTopic
+    // erases the entry (and drops its references) mid-decode.
+    rr_file = entry->rr_file;
+    lists_file = entry->lists_file;
+    epoch = EpochLocked(topic);
     offsets.assign(entry->offsets.begin(),
                    entry->offsets.begin() + min_budget + 1);
   }
@@ -696,6 +810,10 @@ StatusOr<std::shared_ptr<const RrKeywordBlock>> KeywordCache::GetRrKeyword(
     return std::shared_ptr<const RrKeywordBlock>(std::move(block));
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (EpochLocked(topic) != epoch) {
+    // Invalidated while decoding: serve the caller, never re-admit.
+    return std::shared_ptr<const RrKeywordBlock>(std::move(block));
+  }
   const auto it = blocks_.find(key);
   if (it != blocks_.end()) {
     auto existing =

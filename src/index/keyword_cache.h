@@ -46,6 +46,7 @@
 #define KBTIM_INDEX_KEYWORD_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -112,6 +113,19 @@ struct KeywordCacheStats {
   /// Foreground lookups served by waiting on an in-flight prefetch
   /// (counted as misses too: the block was not resident).
   uint64_t prefetches_served = 0;
+  /// kIOError statuses surfaced by reads (transient: handles are dropped
+  /// and reopened on next access, cached blocks survive).
+  uint64_t io_errors = 0;
+  /// kCorruption statuses surfaced by decodes (the topic's cached state
+  /// is fully invalidated: a bad block must never serve a later query).
+  uint64_t decode_failures = 0;
+  /// Background prefetch decodes that failed. Each is also classified
+  /// into io_errors / decode_failures — this counts how many failures
+  /// happened off the foreground path (previously swallowed unless a
+  /// joiner happened to wait on the future).
+  uint64_t prefetch_failures = 0;
+  /// InvalidateTopic calls (explicit or corruption-triggered).
+  uint64_t topic_invalidations = 0;
 };
 
 /// Parsed preamble of one keyword's irr_<w>.dat: header fields, the IP
@@ -264,13 +278,31 @@ class KeywordCache {
   /// and for benchmarks that need a cold block cache.
   void DropBlocks();
 
+  /// Failure-domain hook: called once per recorded kIOError/kCorruption,
+  /// outside the cache lock, possibly from a prefetch-pool thread. The
+  /// subscriber (QueryService's circuit breaker) must not call back into
+  /// the cache from the listener. Pass nullptr to unsubscribe — REQUIRED
+  /// before the subscriber is destroyed.
+  using FailureListener = std::function<void(TopicId, const Status&)>;
+  void SetFailureListener(FailureListener listener);
+
+  /// Drops everything cached for `topic`: resident blocks, the parsed
+  /// preamble, file handles (reopened on next access), in-flight prefetch
+  /// registrations (joiners holding the future still get their result),
+  /// and the uncacheable memo. Bumps the topic's epoch so a decode that
+  /// raced the invalidation can never re-admit a stale block. Called
+  /// internally on the first kCorruption; public for tests and operators.
+  void InvalidateTopic(TopicId topic);
+
  private:
   /// Mutable per-topic RR state: file handles plus the offset-directory
-  /// prefix read so far (extended on demand, never shrunk).
+  /// prefix read so far (extended on demand, never shrunk). Handles are
+  /// shared_ptr so InvalidateTopic can drop the entry while a reader that
+  /// copied them out under the lock keeps reading safely.
   struct RrKeywordEntry {
     TopicId topic = kInvalidTopic;
-    std::unique_ptr<RandomAccessFile> rr_file;
-    std::unique_ptr<RandomAccessFile> lists_file;
+    std::shared_ptr<RandomAccessFile> rr_file;
+    std::shared_ptr<RandomAccessFile> lists_file;
     uint64_t count = 0;  // θ_w stored in the file
     std::vector<uint64_t> offsets;  // directory prefix, offsets[0..n]
   };
@@ -315,14 +347,15 @@ class KeywordCache {
                : static_cast<uint64_t>(limit);
   }
 
-  /// Inserts (or refreshes) a block under the LRU byte bound; returns the
-  /// resident block for `key` (the existing one if another thread won).
-  /// `admitted` (optional) reports whether the block is cache-resident
-  /// afterwards (false when the admission policy bypassed it).
-  std::shared_ptr<const void> InsertBlock(const BlockKey& key,
-                                          std::shared_ptr<const void> block,
-                                          uint64_t bytes,
-                                          bool* admitted = nullptr);
+  /// Inserts a block under the LRU byte bound, but only when `topic`'s
+  /// epoch still equals `epoch` (captured before the decode) — a decode
+  /// that raced an InvalidateTopic must not resurrect stale state.
+  /// Returns the resident block for `key` (the existing one if another
+  /// thread won; the caller's own block, uncached, when the epoch moved
+  /// or the admission policy bypassed it).
+  std::shared_ptr<const void> InsertBlockIfFresh(
+      const BlockKey& key, std::shared_ptr<const void> block,
+      uint64_t bytes, uint64_t epoch);
   /// Evicts to fit, then records the block under `key`. mu_ must be held
   /// and `key` must not be present.
   void InsertBlockLocked(const BlockKey& key,
@@ -332,6 +365,16 @@ class KeywordCache {
   void TouchLocked(BlockSlot& slot);
   void EvictToFitLocked(uint64_t incoming_bytes);
 
+  /// Classifies a failed read/decode on `topic`'s files and reacts:
+  /// kCorruption → full InvalidateTopic (a bad payload may have siblings);
+  /// kIOError → drop the topic's file handles so the next access reopens
+  /// fresh descriptors (cached blocks are validated decodes and survive).
+  /// Other codes are ignored. Notifies the failure listener outside mu_.
+  void RecordTopicFailure(TopicId topic, const Status& status);
+
+  /// Current invalidation epoch of `topic` (0 until first invalidation).
+  uint64_t EpochLocked(TopicId topic) const;
+
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> LoadIrrEntry(
       TopicId topic);
   /// The read + decode of one partition (no cache bookkeeping); runs on
@@ -340,6 +383,9 @@ class KeywordCache {
       const IrrKeywordEntry& entry, uint64_t partition);
   Status EnsureRrEntryLocked(TopicId topic, RrKeywordEntry** entry);
   Status ExtendRrDirectory(RrKeywordEntry* entry, uint64_t budget);
+  /// GetRrKeyword body; the public wrapper records failures.
+  StatusOr<std::shared_ptr<const RrKeywordBlock>> GetRrKeywordImpl(
+      TopicId topic, uint64_t min_budget);
 
   const std::string dir_;
   const IndexMeta meta_;
@@ -358,7 +404,15 @@ class KeywordCache {
   /// Partitions the admission policy refused: prefetching them again
   /// would decode into the void every round, so the window skips them.
   std::unordered_map<BlockKey, bool, BlockKeyHash> uncacheable_;
+  /// Bumped by InvalidateTopic; decodes capture the epoch before reading
+  /// and only admit their block if it has not moved since.
+  std::unordered_map<TopicId, uint64_t> topic_epoch_;
   KeywordCacheStats stats_;
+
+  /// Listener state has its own mutex: the listener runs outside mu_ (it
+  /// may take the subscriber's locks) and may be swapped concurrently.
+  mutable std::mutex listener_mu_;
+  FailureListener failure_listener_;
 
   /// MUST remain the last member: its destructor runs first and drains
   /// queued prefetch decodes while every field they touch is still alive.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "topics/vocabulary.h"
 
 namespace kbtim {
 
@@ -70,6 +71,16 @@ struct SeedSetResult {
 
   /// Estimated total expected influence of the seed set.
   double estimated_influence = 0.0;
+
+  /// Partial-result degradation (QueryService failure domains): true when
+  /// one or more query keywords were dropped — quarantined by a circuit
+  /// breaker or identified as the culprit of a read/decode failure — and
+  /// the seed set was solved over the surviving keywords only. The
+  /// influence estimate then covers the degraded query, not the original.
+  bool degraded = false;
+
+  /// The keywords dropped when degraded (empty otherwise).
+  std::vector<TopicId> dropped_keywords;
 
   SolverStats stats;
 };

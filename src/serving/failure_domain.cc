@@ -1,0 +1,117 @@
+#include "serving/failure_domain.h"
+
+#include <algorithm>
+
+namespace kbtim {
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FailureDomainTable::FailureDomainTable(FailureDomainOptions options)
+    : options_(options) {}
+
+double FailureDomainTable::NextBackoffLocked(double base_ms) {
+  if (base_ms <= 0.0) return 0.0;
+  const double unit =
+      static_cast<double>(Mix64(options_.seed ^ ++jitter_counter_) >> 11) *
+      0x1.0p-53;
+  const double scale =
+      1.0 + options_.jitter_fraction * (2.0 * unit - 1.0);
+  return std::min(base_ms * scale, options_.max_backoff_ms);
+}
+
+bool FailureDomainTable::Admit(TopicId topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = domains_.find(topic);
+  if (it == domains_.end()) return true;  // never failed: closed
+  Domain& d = it->second;
+  switch (d.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (std::chrono::steady_clock::now() < d.reopen_at) {
+        ++stats_.rejections;
+        return false;
+      }
+      // Backoff elapsed: this request becomes the single half-open probe.
+      d.state = BreakerState::kHalfOpen;
+      ++stats_.probes;
+      return true;
+    case BreakerState::kHalfOpen:
+      // Trial mode: requests are admitted while the probe's verdict is
+      // pending. Admitting (rather than shedding) here means a request
+      // that was admitted but never dispatched — degraded away, rejected
+      // for another keyword — can never strand the domain in a state no
+      // one is allowed to resolve; the first real outcome closes or
+      // reopens it.
+      return true;
+  }
+  return true;
+}
+
+void FailureDomainTable::RecordSuccess(TopicId topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.successes_recorded;
+  auto it = domains_.find(topic);
+  if (it == domains_.end()) return;
+  Domain& d = it->second;
+  if (d.state == BreakerState::kHalfOpen) {
+    ++stats_.closes;
+  }
+  // Success in any state fully heals the domain (an open-state success
+  // can only come from a request admitted before the trip; the topic
+  // evidently works, so re-admitting is the availability-preserving
+  // choice).
+  d.state = BreakerState::kClosed;
+  d.consecutive_failures = 0;
+  d.backoff_ms = 0.0;
+}
+
+void FailureDomainTable::RecordFailure(TopicId topic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.failures_recorded;
+  Domain& d = domains_[topic];
+  switch (d.state) {
+    case BreakerState::kClosed:
+      if (++d.consecutive_failures < options_.failure_threshold) return;
+      d.backoff_ms = options_.backoff_ms;
+      break;
+    case BreakerState::kHalfOpen:
+      // Failed probe: back off harder.
+      d.backoff_ms = d.backoff_ms > 0.0 ? d.backoff_ms * 2.0
+                                        : options_.backoff_ms;
+      break;
+    case BreakerState::kOpen:
+      // Stragglers admitted before the trip (or async prefetch failures)
+      // land here; they carry no new information about recovery, so they
+      // must not extend the backoff window.
+      return;
+  }
+  d.state = BreakerState::kOpen;
+  ++stats_.opens;
+  const double wait_ms = NextBackoffLocked(d.backoff_ms);
+  d.reopen_at = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(wait_ms));
+}
+
+BreakerState FailureDomainTable::state(TopicId topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = domains_.find(topic);
+  return it == domains_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+FailureDomainStats FailureDomainTable::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,110 @@
+// Per-topic circuit breakers: the serving tier's failure domains.
+//
+// Each topic (keyword) is an independent failure domain — its index files
+// fail independently, so one topic's bad sector must not consume retry
+// budget or worker time that healthy topics need. The classic breaker
+// state machine:
+//
+//   closed ──(threshold consecutive kIOError/kCorruption)──> open
+//   open   ──(backoff deadline passed, one probe admitted)──> half-open
+//   half-open ──(probe succeeds)──> closed   (backoff + failures reset)
+//   half-open ──(probe fails)────> open      (backoff doubled, jittered)
+//
+// While open, Admit() answers false in O(1) — no disk, no decode, no
+// retry; QueryService converts that into kUnavailable immediately.
+// Backoff is exponential with deterministic seeded jitter (so two topics
+// opened by the same burst do not probe in lockstep, and so tests replay
+// exactly). backoff_ms = 0 makes reopen eligibility immediate, turning
+// the state machine attempt-count-driven — the determinism suite runs it
+// that way so wall-clock never enters the transcript.
+#ifndef KBTIM_SERVING_FAILURE_DOMAIN_H_
+#define KBTIM_SERVING_FAILURE_DOMAIN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "topics/vocabulary.h"
+
+namespace kbtim {
+
+enum class BreakerState : uint8_t {
+  kClosed = 0,
+  kOpen = 1,
+  kHalfOpen = 2,
+};
+
+struct FailureDomainOptions {
+  /// Consecutive recorded failures that trip closed -> open.
+  uint32_t failure_threshold = 3;
+
+  /// First open-state backoff; doubled on every failed probe. 0 makes a
+  /// tripped breaker immediately probe-eligible (deterministic tests).
+  double backoff_ms = 100.0;
+  double max_backoff_ms = 5000.0;
+
+  /// Backoff is scaled by a seeded uniform draw from
+  /// [1 - jitter_fraction, 1 + jitter_fraction].
+  double jitter_fraction = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Monotonic transition counters across every domain in the table.
+struct FailureDomainStats {
+  uint64_t failures_recorded = 0;
+  uint64_t successes_recorded = 0;
+  uint64_t opens = 0;        ///< closed/half-open -> open transitions.
+  uint64_t probes = 0;       ///< open -> half-open probe admissions.
+  uint64_t closes = 0;       ///< half-open -> closed recoveries.
+  uint64_t rejections = 0;   ///< Admit() == false (request shed in O(1)).
+};
+
+/// Thread-safe breaker table keyed by topic. One instance per
+/// QueryService; all methods are O(1) per call (one hash lookup under a
+/// mutex — never any I/O).
+class FailureDomainTable {
+ public:
+  explicit FailureDomainTable(FailureDomainOptions options = {});
+
+  /// True when a request on `topic` may touch the engines. While open,
+  /// answers false until the backoff deadline, then flips to half-open;
+  /// half-open admits requests as trials until one reports an outcome
+  /// (success closes, failure reopens with doubled backoff).
+  bool Admit(TopicId topic);
+
+  /// Probe or regular success: half-open -> closed; closed resets the
+  /// consecutive-failure streak.
+  void RecordSuccess(TopicId topic);
+
+  /// A kIOError/kCorruption on `topic` (only record those — overload and
+  /// validation errors are not fault-domain signals). Trips the breaker
+  /// at `failure_threshold` consecutive failures; fails a half-open probe
+  /// back to open with doubled backoff.
+  void RecordFailure(TopicId topic);
+
+  BreakerState state(TopicId topic) const;
+  FailureDomainStats stats() const;
+
+ private:
+  struct Domain {
+    BreakerState state = BreakerState::kClosed;
+    uint32_t consecutive_failures = 0;
+    double backoff_ms = 0.0;  // backoff used for the current open period
+    std::chrono::steady_clock::time_point reopen_at;
+  };
+
+  /// Jittered next backoff (deterministic: seeded counter hash).
+  double NextBackoffLocked(double base_ms);
+
+  const FailureDomainOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<TopicId, Domain> domains_;
+  FailureDomainStats stats_;
+  uint64_t jitter_counter_ = 0;
+};
+
+}  // namespace kbtim
+
+#endif  // KBTIM_SERVING_FAILURE_DOMAIN_H_

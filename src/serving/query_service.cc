@@ -1,6 +1,7 @@
 #include "serving/query_service.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "index/index_format.h"
@@ -48,6 +49,17 @@ StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
     service->rr_.emplace(std::move(rr));
   }
   service->StartWorkers(online);
+  // Subscribe to storage-fault notifications (prefetch decode failures
+  // included) AFTER the service is fully constructed. The listener holds
+  // the fault state by shared_ptr, never the service itself, so a
+  // callback racing destruction touches live memory. One listener slot
+  // per cache: a cache shared by several services reports to the
+  // latest-created one.
+  std::shared_ptr<FaultDomainState> state = service->fault_state_;
+  service->cache_->SetFailureListener(
+      [state](TopicId topic, const Status& status) {
+        state->OnCacheFailure(topic, status);
+      });
   return service;
 }
 
@@ -55,8 +67,13 @@ QueryService::QueryService(std::shared_ptr<KeywordCache> cache,
                            QueryServiceOptions options)
     : cache_(std::move(cache)),
       options_(options),
+      fault_state_(std::make_shared<FaultDomainState>()),
       scheduler_(options.scheduler),
       paused_(options.start_paused) {
+  if (options_.failure.enable_failure_domains) {
+    fault_state_->breaker =
+        std::make_unique<FailureDomainTable>(options_.failure.breaker);
+  }
   wris_worker_cap_ =
       options_.scheduler.max_wris_workers > 0
           ? std::min<uint32_t>(options_.scheduler.max_wris_workers,
@@ -89,6 +106,10 @@ void QueryService::StartWorkers(std::optional<OnlineBackend> online) {
 }
 
 QueryService::~QueryService() {
+  // Stop routing cache failures to this service first. A prefetch-thread
+  // callback already past the unregister still lands safely: it holds the
+  // fault state by shared_ptr, not the service.
+  cache_->SetFailureListener(nullptr);
   std::deque<PendingRequest> orphaned;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -301,7 +322,7 @@ bool QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
   if (DropIfExpired(pending)) return false;
   const double queue_ms =
       MillisSince(pending.submitted_at, pending.picked_at);
-  StatusOr<SeedSetResult> result = Dispatch(slot, pending.request);
+  StatusOr<SeedSetResult> result = DispatchResilient(slot, pending.request);
   const double latency_ms =
       MillisSince(pending.submitted_at, std::chrono::steady_clock::now());
   RecordOutcome(pending.request, result, latency_ms, queue_ms);
@@ -323,6 +344,7 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
   std::vector<PendingRequest> live;
   std::vector<double> queue_ms;
   std::vector<Query> queries;
+  std::vector<std::vector<TopicId>> dropped_for;  // aligned with live
   live.reserve(all.size());
   for (PendingRequest& pending : all) {
     if (DropIfExpired(pending)) continue;
@@ -338,6 +360,35 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
       pending.promise.set_value(std::move(failure));
       continue;
     }
+    // Breaker admission, per request. A batch member whose keywords are
+    // partly quarantined degrades individually (its rewritten query still
+    // overlaps the batch); fully-quarantined members shed in O(1). Unlike
+    // the single path there is no intra-batch retry — a failed BatchQuery
+    // fails its members, and the breakers make the NEXT batch avoid the
+    // sick keyword.
+    std::vector<TopicId> admitted;
+    std::vector<TopicId> quarantined;
+    ScreenTopics(pending.request.query.topics, &admitted, &quarantined);
+    if (admitted.empty() ||
+        (!quarantined.empty() && !options_.failure.partial_results)) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++counters_.quarantine_rejections;
+      }
+      StatusOr<SeedSetResult> failure{Status::Unavailable(
+          admitted.empty()
+              ? "all query keywords are quarantined (circuit open)"
+              : "a query keyword is quarantined (circuit open)")};
+      const double ms = MillisSince(pending.submitted_at,
+                                    std::chrono::steady_clock::now());
+      const double waited =
+          MillisSince(pending.submitted_at, pending.picked_at);
+      RecordOutcome(pending.request, failure, ms, waited);
+      pending.promise.set_value(std::move(failure));
+      continue;
+    }
+    pending.request.query.topics = std::move(admitted);
+    dropped_for.push_back(std::move(quarantined));
     queue_ms.push_back(MillisSince(pending.submitted_at, pending.picked_at));
     queries.push_back(pending.request.query);
     live.push_back(std::move(pending));
@@ -348,6 +399,9 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
   // serial Query() calls and carry amortized batch stats.
   StatusOr<std::vector<SeedSetResult>> results = rr_->BatchQuery(queries);
   if (!results.ok()) {
+    // Culprit keywords were already recorded against their breakers by
+    // the cache failure listener as the load failed; untouched keywords
+    // carry no new evidence, so no success verdicts here.
     for (size_t i = 0; i < live.size(); ++i) {
       StatusOr<SeedSetResult> failure{results.status()};
       const double ms = MillisSince(live[i].submitted_at,
@@ -357,7 +411,18 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
     }
     return true;
   }
+  if (fault_state_->breaker != nullptr) {
+    for (const Query& query : queries) {
+      for (TopicId topic : query.topics) {
+        fault_state_->breaker->RecordSuccess(topic);
+      }
+    }
+  }
   for (size_t i = 0; i < live.size(); ++i) {
+    if (!dropped_for[i].empty()) {
+      (*results)[i].degraded = true;
+      (*results)[i].dropped_keywords = std::move(dropped_for[i]);
+    }
     StatusOr<SeedSetResult> result{std::move((*results)[i])};
     const double ms = MillisSince(live[i].submitted_at,
                                   std::chrono::steady_clock::now());
@@ -420,6 +485,159 @@ StatusOr<SeedSetResult> QueryService::Dispatch(
   return Status::Internal("unknown query engine");
 }
 
+StatusOr<SeedSetResult> QueryService::DispatchResilient(
+    WorkerSlot& slot, const ServiceRequest& request) {
+  const FailureHandlingOptions& fh = options_.failure;
+  // WRIS samples in memory — there is no storage underneath to fault. And
+  // a service with every failure feature off keeps the bare dispatch path.
+  if (request.engine == QueryEngine::kWris ||
+      (fault_state_->breaker == nullptr && fh.io_retries == 0 &&
+       !fh.partial_results)) {
+    return Dispatch(slot, request);
+  }
+  ServiceRequest attempt = request;
+  std::vector<TopicId> dropped;
+  uint32_t retries_left = fh.io_retries;
+  double backoff_ms = fh.retry_backoff_ms;
+  for (;;) {
+    std::vector<TopicId> admitted;
+    std::vector<TopicId> quarantined;
+    ScreenTopics(attempt.query.topics, &admitted, &quarantined);
+    if (admitted.empty() ||
+        (!quarantined.empty() && !fh.partial_results)) {
+      // Shed in O(1): quarantine verdicts cost one hash lookup per
+      // keyword, never disk (the chaos suite asserts a zero IoCounter
+      // delta on this path).
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++counters_.quarantine_rejections;
+      return Status::Unavailable(
+          admitted.empty()
+              ? "all query keywords are quarantined (circuit open)"
+              : "a query keyword is quarantined (circuit open)");
+    }
+    dropped.insert(dropped.end(), quarantined.begin(), quarantined.end());
+    attempt.query.topics = std::move(admitted);
+
+    const std::vector<uint64_t> before =
+        SnapshotTopicFaults(attempt.query.topics);
+    StatusOr<SeedSetResult> result = Dispatch(slot, attempt);
+    if (result.ok()) {
+      ResolveAttempt(attempt.query.topics, before, /*ok=*/true,
+                     /*blame_unattributed=*/false);
+      if (retries_left < fh.io_retries) {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++counters_.retry_successes;
+      }
+      if (!dropped.empty()) {
+        result->degraded = true;
+        result->dropped_keywords = std::move(dropped);
+      }
+      return result;
+    }
+    const StatusCode code = result.status().code();
+    if (code != StatusCode::kIOError && code != StatusCode::kCorruption) {
+      // Overload, validation and budget failures are not fault-domain
+      // signals: no breaker verdicts, no retries, fail as before PR 6.
+      return result;
+    }
+    if (code == StatusCode::kIOError && retries_left > 0) {
+      // Transient read failure: the cache dropped the topic's file
+      // handles, so the retry reopens them. kCorruption never retries —
+      // the cache already invalidated the topic, and re-decoding the same
+      // bytes cannot succeed within this request's latency budget.
+      --retries_left;
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++counters_.transient_retries;
+      }
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= 2.0;
+      }
+      continue;  // same keyword set, fresh fault snapshot next round
+    }
+    // Retries exhausted (or unretryable): identify which keywords broke
+    // and, when allowed, re-solve around them.
+    const std::vector<TopicId> culprits =
+        ResolveAttempt(attempt.query.topics, before, /*ok=*/false,
+                       /*blame_unattributed=*/true);
+    if (!fh.partial_results ||
+        culprits.size() >= attempt.query.topics.size()) {
+      return result;
+    }
+    std::vector<TopicId> healthy;
+    healthy.reserve(attempt.query.topics.size() - culprits.size());
+    for (TopicId topic : attempt.query.topics) {
+      if (std::find(culprits.begin(), culprits.end(), topic) ==
+          culprits.end()) {
+        healthy.push_back(topic);
+      }
+    }
+    if (healthy.empty()) return result;
+    dropped.insert(dropped.end(), culprits.begin(), culprits.end());
+    attempt.query.topics = std::move(healthy);
+    // Loop: the keyword set strictly shrinks every degradation pass, so
+    // the walk ends after at most |topics| rounds.
+  }
+}
+
+void QueryService::ScreenTopics(const std::vector<TopicId>& topics,
+                                std::vector<TopicId>* admitted,
+                                std::vector<TopicId>* quarantined) {
+  FailureDomainTable* breaker = fault_state_->breaker.get();
+  if (breaker == nullptr) {
+    *admitted = topics;
+    return;
+  }
+  for (TopicId topic : topics) {
+    (breaker->Admit(topic) ? admitted : quarantined)->push_back(topic);
+  }
+}
+
+std::vector<uint64_t> QueryService::SnapshotTopicFaults(
+    const std::vector<TopicId>& topics) const {
+  std::vector<uint64_t> counts;
+  counts.reserve(topics.size());
+  std::lock_guard<std::mutex> lock(fault_state_->mu);
+  for (TopicId topic : topics) {
+    const auto it = fault_state_->topic_faults.find(topic);
+    counts.push_back(it == fault_state_->topic_faults.end() ? 0
+                                                            : it->second);
+  }
+  return counts;
+}
+
+std::vector<TopicId> QueryService::ResolveAttempt(
+    const std::vector<TopicId>& topics, const std::vector<uint64_t>& before,
+    bool ok, bool blame_unattributed) {
+  FailureDomainTable* breaker = fault_state_->breaker.get();
+  if (ok) {
+    if (breaker != nullptr) {
+      for (TopicId topic : topics) breaker->RecordSuccess(topic);
+    }
+    return {};
+  }
+  const std::vector<uint64_t> after = SnapshotTopicFaults(topics);
+  std::vector<TopicId> culprits;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    // Moved fault count == the cache listener attributed a failure to
+    // this keyword during the attempt; its breaker already heard it.
+    if (after[i] > before[i]) culprits.push_back(topics[i]);
+  }
+  if (culprits.empty() && blame_unattributed) {
+    // The failure never passed through the cache (e.g. detected inside
+    // an already-cached block): no keyword can be singled out, so every
+    // attempted keyword takes the blame — the breakers still learn, but
+    // degradation cannot narrow the query.
+    culprits = topics;
+    if (breaker != nullptr) {
+      for (TopicId topic : topics) breaker->RecordFailure(topic);
+    }
+  }
+  return culprits;
+}
+
 void QueryService::RecordLatencyLocked(double latency_ms, double queue_ms,
                                        EngineLane lane) {
   queue_ms_sum_ += queue_ms;
@@ -439,9 +657,15 @@ void QueryService::RecordOutcome(const ServiceRequest& request,
   RecordLatencyLocked(latency_ms, queue_ms, LaneOf(request.engine));
   if (!result.ok()) {
     ++counters_.failed;
+    switch (result.status().code()) {
+      case StatusCode::kIOError: ++counters_.io_error_failures; break;
+      case StatusCode::kCorruption: ++counters_.corruption_failures; break;
+      default: break;
+    }
     return;
   }
   ++counters_.completed;
+  if (result->degraded) ++counters_.degraded_results;
   switch (request.engine) {
     case QueryEngine::kIrr: ++counters_.irr_queries; break;
     case QueryEngine::kRr: ++counters_.rr_queries; break;
@@ -562,6 +786,17 @@ ServiceStats QueryService::stats() const {
       lookups > 0
           ? static_cast<double>(cache.hits) / static_cast<double>(lookups)
           : 0.0;
+  out.cache_io_errors = cache.io_errors;
+  out.cache_decode_failures = cache.decode_failures;
+  out.cache_prefetch_failures = cache.prefetch_failures;
+  out.cache_topic_invalidations = cache.topic_invalidations;
+  if (fault_state_->breaker != nullptr) {
+    const FailureDomainStats breaker = fault_state_->breaker->stats();
+    out.breaker_opens = breaker.opens;
+    out.breaker_probes = breaker.probes;
+    out.breaker_closes = breaker.closes;
+    out.breaker_rejections = breaker.rejections;
+  }
   return out;
 }
 

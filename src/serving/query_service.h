@@ -86,6 +86,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/statusor.h"
@@ -95,12 +96,41 @@
 #include "propagation/model.h"
 #include "sampling/solver_result.h"
 #include "sampling/wris_solver.h"
+#include "serving/failure_domain.h"
 #include "serving/lane_scheduler.h"
 #include "serving/service_request.h"
 #include "topics/query.h"
 #include "topics/tfidf.h"
 
 namespace kbtim {
+
+/// Fault-handling knobs: what the service does when the storage layer
+/// fails underneath it (as opposed to overload, which admission control
+/// and deadlines own).
+struct FailureHandlingOptions {
+  /// Per-topic circuit breakers: consecutive kIOError/kCorruption on one
+  /// keyword quarantine it (requests answer kUnavailable in O(1), no
+  /// disk), with half-open probes re-admitting it after backoff.
+  bool enable_failure_domains = true;
+  FailureDomainOptions breaker;
+
+  /// Extra attempts for a request that failed with a transient kIOError
+  /// (0 disables retrying). kCorruption is never retried: the cache has
+  /// already invalidated the topic and re-reading the same bytes cannot
+  /// help within one request's latency budget.
+  uint32_t io_retries = 2;
+
+  /// Backoff before the first retry, doubled per retry. 0 retries
+  /// immediately — the determinism suite runs that way so wall-clock
+  /// never enters the transcript.
+  double retry_backoff_ms = 5.0;
+
+  /// Multi-keyword degradation: when some keywords are quarantined or
+  /// identified as the culprits of a failure, re-solve over the healthy
+  /// remainder and return it flagged degraded=true instead of failing the
+  /// whole query. Disabled, any sick keyword fails the request.
+  bool partial_results = true;
+};
 
 /// Serving knobs (see file comment for the admission-control semantics).
 struct QueryServiceOptions {
@@ -129,6 +159,9 @@ struct QueryServiceOptions {
   /// num_threads here is the sampling parallelism INSIDE one slot's
   /// solver; cross-query parallelism comes from num_workers.
   OnlineSolverOptions wris;
+
+  /// Breaker / retry / degradation behavior under storage faults.
+  FailureHandlingOptions failure;
 };
 
 /// Point-in-time service counters. Latency percentiles and mean_queue_ms
@@ -193,6 +226,32 @@ struct ServiceStats {
   uint64_t cache_admission_bypasses = 0;
   uint64_t prefetches_issued = 0;
   double cache_hit_rate = 0.0;
+
+  /// ---- Fault-domain observability (PR 6) ----
+  /// Requests that FINALLY failed with each fault class (after retries
+  /// and degradation were exhausted; a retried-then-successful request
+  /// counts under retry_successes instead).
+  uint64_t io_error_failures = 0;
+  uint64_t corruption_failures = 0;
+  /// Transient-I/O retry attempts made on the worker path, and requests
+  /// that succeeded only thanks to at least one retry.
+  uint64_t transient_retries = 0;
+  uint64_t retry_successes = 0;
+  /// OK results served with degraded=true (some keywords dropped).
+  uint64_t degraded_results = 0;
+  /// Requests answered kUnavailable purely from quarantine state — shed
+  /// in O(1) without touching the engines or disk.
+  uint64_t quarantine_rejections = 0;
+  /// Circuit-breaker transition counters (FailureDomainTable roll-up).
+  uint64_t breaker_opens = 0;
+  uint64_t breaker_probes = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t breaker_rejections = 0;
+  /// KeywordCache fault counters at snapshot time.
+  uint64_t cache_io_errors = 0;
+  uint64_t cache_decode_failures = 0;
+  uint64_t cache_prefetch_failures = 0;
+  uint64_t cache_topic_invalidations = 0;
 };
 
 /// Multiplexes concurrent IRR/RR/WRIS queries over one KeywordCache.
@@ -307,6 +366,30 @@ class QueryService {
   Status CheckThetaBudget(const ServiceRequest& request) const;
   StatusOr<SeedSetResult> Dispatch(WorkerSlot& slot,
                                    const ServiceRequest& request);
+
+  /// Dispatch wrapped in the failure-domain policy: breaker admission
+  /// (quarantined keywords shed in O(1)), bounded retry with exponential
+  /// backoff on transient kIOError, and culprit-keyword degradation for
+  /// multi-keyword queries (see FailureHandlingOptions). The fast path —
+  /// no breaker, no retries — is a tail call into Dispatch.
+  StatusOr<SeedSetResult> DispatchResilient(WorkerSlot& slot,
+                                            const ServiceRequest& request);
+  /// Breaker admission for one request's keywords: splits them into
+  /// admitted and quarantined. No-op (all admitted) without a breaker.
+  void ScreenTopics(const std::vector<TopicId>& topics,
+                    std::vector<TopicId>* admitted,
+                    std::vector<TopicId>* quarantined);
+  /// Listener-observed fault count per topic (culprit identification:
+  /// snapshot before an engine attempt, diff after a failure).
+  std::vector<uint64_t> SnapshotTopicFaults(
+      const std::vector<TopicId>& topics) const;
+  /// Resolves breaker verdicts after a finished engine attempt: topics
+  /// whose fault count moved are the culprits (the cache listener already
+  /// recorded their failures); the rest record success when `ok` or when
+  /// they were read clean in a failed attempt. Returns the culprits.
+  std::vector<TopicId> ResolveAttempt(const std::vector<TopicId>& topics,
+                                      const std::vector<uint64_t>& before,
+                                      bool ok, bool blame_unattributed);
   /// Pushes one sample into the overall + per-lane windows. stats_mu_ held.
   void RecordLatencyLocked(double latency_ms, double queue_ms,
                            EngineLane lane);
@@ -317,11 +400,31 @@ class QueryService {
   /// submitted_at -> picked_at. Returns true when the request dropped.
   bool DropIfExpired(PendingRequest& pending);
 
+  /// Breaker + per-topic fault counts, fed by the KeywordCache failure
+  /// listener (which may fire from prefetch-pool threads, including after
+  /// this service unregistered — the listener captures this state by
+  /// shared_ptr, never `this`, so a straggling callback touches live
+  /// memory even mid-/post-destruction).
+  struct FaultDomainState {
+    std::unique_ptr<FailureDomainTable> breaker;  // null when disabled
+    mutable std::mutex mu;
+    std::unordered_map<TopicId, uint64_t> topic_faults;
+
+    void OnCacheFailure(TopicId topic, const Status& status) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++topic_faults[topic];
+      }
+      if (breaker != nullptr) breaker->RecordFailure(topic);
+    }
+  };
+
   const std::shared_ptr<KeywordCache> cache_;
   const QueryServiceOptions options_;
   uint32_t wris_worker_cap_ = 1;  // resolved max_wris_workers
   std::optional<IrrIndex> irr_;   // engaged when meta().has_irr
   std::optional<RrIndex> rr_;     // engaged when meta().has_rr
+  std::shared_ptr<FaultDomainState> fault_state_;
 
   mutable std::mutex mu_;  // queue + lifecycle state
   std::condition_variable work_ready_;

@@ -7,9 +7,26 @@
 
 #include <cstdio>
 
+#include "storage/fault_injector.h"
 #include "storage/io_counter.h"
 
 namespace kbtim {
+namespace {
+
+// fsyncs the directory containing `path` so a just-renamed entry survives
+// a crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<FileWriter>> FileWriter::Create(
     const std::string& path) {
@@ -18,13 +35,46 @@ StatusOr<std::unique_ptr<FileWriter>> FileWriter::Create(
   return std::unique_ptr<FileWriter>(new FileWriter(path, f));
 }
 
+StatusOr<std::unique_ptr<FileWriter>> FileWriter::CreateAtomic(
+    const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + tmp);
+  auto writer = std::unique_ptr<FileWriter>(new FileWriter(tmp, f));
+  writer->final_path_ = path;
+  return writer;
+}
+
 FileWriter::~FileWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    // An atomic writer abandoned before Close never publishes — and never
+    // leaves a torn temp file for a later opendir scan to trip over.
+    if (!final_path_.empty()) ::unlink(path_.c_str());
+  }
 }
 
 Status FileWriter::Append(std::string_view data) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("writer closed: " + path_);
+  }
+  if (FaultInjector::Enabled()) {
+    FaultInjector& injector = FaultInjector::Instance();
+    const FaultDecision decision =
+        injector.Consult(FaultOp::kWrite, path_, data.size());
+    if (!decision.status.ok()) return decision.status;
+    injector.ApplyLatency(decision);
+    if (decision.flip && !data.empty()) {
+      std::string corrupted(data);
+      corrupted[decision.flip_offset % corrupted.size()] ^=
+          static_cast<char>(decision.flip_mask);
+      if (std::fwrite(corrupted.data(), 1, corrupted.size(), file_) !=
+          corrupted.size()) {
+        return Status::IOError("short write: " + path_);
+      }
+      offset_ += corrupted.size();
+      return Status::OK();
+    }
   }
   if (!data.empty() &&
       std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
@@ -36,9 +86,34 @@ Status FileWriter::Append(std::string_view data) {
 
 Status FileWriter::Close() {
   if (file_ == nullptr) return Status::OK();
+  if (final_path_.empty()) {
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IOError("close failed: " + path_);
+    return Status::OK();
+  }
+  // Atomic publication: data fsync -> close -> rename -> dir fsync. Any
+  // failure before the rename leaves the destination untouched.
+  Status failed;
+  if (std::fflush(file_) != 0) {
+    failed = Status::IOError("flush failed: " + path_);
+  } else if (::fsync(::fileno(file_)) != 0) {
+    failed = Status::IOError("fsync failed: " + path_);
+  }
   const int rc = std::fclose(file_);
   file_ = nullptr;
-  if (rc != 0) return Status::IOError("close failed: " + path_);
+  if (failed.ok() && rc != 0) {
+    failed = Status::IOError("close failed: " + path_);
+  }
+  if (failed.ok() && ::rename(path_.c_str(), final_path_.c_str()) != 0) {
+    failed = Status::IOError("rename failed: " + path_ + " -> " +
+                             final_path_);
+  }
+  if (!failed.ok()) {
+    ::unlink(path_.c_str());
+    return failed;
+  }
+  SyncParentDir(final_path_);
   return Status::OK();
 }
 
@@ -66,8 +141,20 @@ RandomAccessFile::~RandomAccessFile() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status RandomAccessFile::Read(uint64_t offset, size_t n,
-                              std::string* out) const {
+Status RandomAccessFile::CheckMapBacked(uint64_t offset, size_t n) const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat failed: " + path_);
+  }
+  const auto current = static_cast<uint64_t>(st.st_size);
+  if (current < size_ && offset + n > current) {
+    return Status::IOError("file truncated under mapping: " + path_);
+  }
+  return Status::OK();
+}
+
+Status RandomAccessFile::ReadNoFault(uint64_t offset, size_t n,
+                                     std::string* out) const {
   // Overflow-safe: `offset + n` could wrap for corrupt directory offsets.
   if (n > size_ || offset > size_ - n) {
     return Status::OutOfRange("read past EOF: " + path_);
@@ -85,22 +172,82 @@ Status RandomAccessFile::Read(uint64_t offset, size_t n,
   return Status::OK();
 }
 
-StatusOr<std::string_view> RandomAccessFile::ReadView(uint64_t offset,
-                                                      size_t n) const {
+StatusOr<std::string_view> RandomAccessFile::ViewNoFault(uint64_t offset,
+                                                         size_t n) const {
   if (map_ == nullptr) {
     return Status::FailedPrecondition("file not mmapped: " + path_);
   }
   if (n > size_ || offset > size_ - n) {
     return Status::OutOfRange("read past EOF: " + path_);
   }
+  KBTIM_RETURN_IF_ERROR(CheckMapBacked(offset, n));
   IoCounter::RecordRead(n);
   return std::string_view(static_cast<const char*>(map_) + offset, n);
 }
 
+Status RandomAccessFile::Read(uint64_t offset, size_t n,
+                              std::string* out) const {
+  if (FaultInjector::Enabled()) {
+    FaultInjector& injector = FaultInjector::Instance();
+    const FaultDecision decision =
+        injector.Consult(FaultOp::kRead, path_, n);
+    if (!decision.status.ok()) return decision.status;
+    injector.ApplyLatency(decision);
+    if (decision.flip) {
+      KBTIM_RETURN_IF_ERROR(ReadNoFault(offset, n, out));
+      if (!out->empty()) {
+        (*out)[decision.flip_offset % out->size()] ^=
+            static_cast<char>(decision.flip_mask);
+      }
+      return Status::OK();
+    }
+  }
+  return ReadNoFault(offset, n, out);
+}
+
+StatusOr<std::string_view> RandomAccessFile::ReadView(uint64_t offset,
+                                                      size_t n) const {
+  if (FaultInjector::Enabled()) {
+    FaultInjector& injector = FaultInjector::Instance();
+    const FaultDecision decision =
+        injector.Consult(FaultOp::kRead, path_, n);
+    if (!decision.status.ok()) return decision.status;
+    injector.ApplyLatency(decision);
+    // A bit-flip cannot materialize in a read-only mapping; flips only
+    // take effect on copying paths (Read / ReadOrCopy). The fault is
+    // still counted so schedules stay aligned across access paths.
+  }
+  return ViewNoFault(offset, n);
+}
+
 StatusOr<std::string_view> RandomAccessFile::ReadOrCopy(
     uint64_t offset, size_t n, std::string* scratch) const {
-  if (map_ != nullptr) return ReadView(offset, n);
-  KBTIM_RETURN_IF_ERROR(Read(offset, n, scratch));
+  if (FaultInjector::Enabled()) {
+    FaultInjector& injector = FaultInjector::Instance();
+    const FaultDecision decision =
+        injector.Consult(FaultOp::kRead, path_, n);
+    if (!decision.status.ok()) return decision.status;
+    injector.ApplyLatency(decision);
+    if (decision.flip) {
+      // Force the copying path so the flip lands in a mutable buffer,
+      // never in the shared mapping other readers see.
+      KBTIM_RETURN_IF_ERROR(ReadNoFault(offset, n, scratch));
+      if (!scratch->empty()) {
+        (*scratch)[decision.flip_offset % scratch->size()] ^=
+            static_cast<char>(decision.flip_mask);
+      }
+      return std::string_view(*scratch);
+    }
+  }
+  if (map_ != nullptr) {
+    auto view = ViewNoFault(offset, n);
+    // A stale mapping (file truncated under us) degrades to pread, which
+    // reports a clean error for the missing range instead of a SIGBUS.
+    if (view.ok() || view.status().code() != StatusCode::kIOError) {
+      return view;
+    }
+  }
+  KBTIM_RETURN_IF_ERROR(ReadNoFault(offset, n, scratch));
   return std::string_view(*scratch);
 }
 

@@ -1,4 +1,10 @@
 // Counted file I/O primitives for the disk-based indexes.
+//
+// Fault seam: when FaultInjector::Enabled(), every logical op (Append,
+// Read, ReadView, ReadOrCopy) consults the process-global injector exactly
+// once and applies its decision — error statuses, payload bit-flips (on
+// copying paths only; a read-only mapping is never mutated), or latency.
+// Disabled, the seam costs one relaxed atomic load per op.
 #ifndef KBTIM_STORAGE_BLOCK_FILE_H_
 #define KBTIM_STORAGE_BLOCK_FILE_H_
 
@@ -18,6 +24,14 @@ class FileWriter {
   static StatusOr<std::unique_ptr<FileWriter>> Create(
       const std::string& path);
 
+  /// Crash-safe variant: writes to `<path>.tmp`; Close() fsyncs the data,
+  /// atomically renames the temp file over `path`, and fsyncs the parent
+  /// directory, so readers only ever observe the old file, no file, or
+  /// the complete new file — never a torn prefix. Destroying the writer
+  /// without a successful Close unlinks the temp file.
+  static StatusOr<std::unique_ptr<FileWriter>> CreateAtomic(
+      const std::string& path);
+
   ~FileWriter();
   FileWriter(const FileWriter&) = delete;
   FileWriter& operator=(const FileWriter&) = delete;
@@ -28,14 +42,17 @@ class FileWriter {
   /// Current file offset (== bytes written).
   uint64_t offset() const { return offset_; }
 
-  /// Flushes and closes; further Appends fail.
+  /// Flushes and closes; further Appends fail. For CreateAtomic writers
+  /// this is the publication point (fsync + rename + dir fsync); any
+  /// failure unlinks the temp file and leaves the destination untouched.
   Status Close();
 
  private:
   FileWriter(std::string path, std::FILE* file)
       : path_(std::move(path)), file_(file) {}
 
-  std::string path_;
+  std::string path_;        // the file being written (temp path if atomic)
+  std::string final_path_;  // atomic mode: rename target; empty otherwise
   std::FILE* file_;
   uint64_t offset_ = 0;
 };
@@ -48,9 +65,10 @@ class RandomAccessFile {
   /// Opens an existing file. When `prefer_mmap` is true the whole file is
   /// additionally mapped read-only; ReadView then serves zero-copy views.
   /// mmap failure (or an empty file) silently degrades to pread-only mode.
-  /// Caveat inherent to mmap: truncating the file while it is mapped turns
-  /// later view accesses into SIGBUS — index files are immutable once
-  /// written, so only external tampering can trigger this.
+  /// The mapped size is recorded at Open; if the file later shrinks under
+  /// the map (external truncation), ReadView fails closed with kIOError
+  /// instead of letting a view access SIGBUS, and ReadOrCopy degrades to
+  /// the pread path, which reports a clean error for the missing range.
   static StatusOr<std::unique_ptr<RandomAccessFile>> Open(
       const std::string& path, bool prefer_mmap = false);
 
@@ -64,11 +82,14 @@ class RandomAccessFile {
 
   /// Zero-copy read: returns a view of [offset, offset+n) into the mapping,
   /// valid for the lifetime of this file. FailedPrecondition when the file
-  /// is not mmapped (use ReadOrCopy for transparent fallback).
+  /// is not mmapped (use ReadOrCopy for transparent fallback); kIOError when
+  /// the file shrank under the map and the range is no longer backed.
   StatusOr<std::string_view> ReadView(uint64_t offset, size_t n) const;
 
   /// ReadView when mmapped, otherwise the copying Read into *scratch with
-  /// the returned view pointing at the scratch buffer.
+  /// the returned view pointing at the scratch buffer. Also takes the
+  /// copying path when the mapping is stale (truncated under us) or when
+  /// an injected bit-flip must materialize in a mutable buffer.
   StatusOr<std::string_view> ReadOrCopy(uint64_t offset, size_t n,
                                         std::string* scratch) const;
 
@@ -82,9 +103,19 @@ class RandomAccessFile {
   RandomAccessFile(std::string path, int fd, uint64_t size, void* map)
       : path_(std::move(path)), fd_(fd), size_(size), map_(map) {}
 
+  /// kIOError if the file has shrunk below [offset, offset+n) since Open —
+  /// accessing that range through the map would SIGBUS.
+  Status CheckMapBacked(uint64_t offset, size_t n) const;
+
+  // Fault-free primitives; the public wrappers consult the injector once
+  // and delegate here, so a fallback inside ReadOrCopy never double-counts
+  // an op against the fault schedule.
+  Status ReadNoFault(uint64_t offset, size_t n, std::string* out) const;
+  StatusOr<std::string_view> ViewNoFault(uint64_t offset, size_t n) const;
+
   std::string path_;
   int fd_;
-  uint64_t size_;
+  uint64_t size_;  // size at Open == mapped length when mmapped
   void* map_ = nullptr;  // read-only whole-file mapping, or nullptr
 };
 

@@ -1,0 +1,122 @@
+#include "storage/fault_injector.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace kbtim {
+namespace {
+
+// Armed flag lives outside the singleton so Enabled() is a single relaxed
+// load with no function-local-static guard on the hot path.
+std::atomic<bool> g_fault_injection_armed{false};
+
+// splitmix64: cheap, well-mixed stateless hash for (seed, rule, match)
+// keyed decisions. Stateless keying is what makes the random mode replay
+// exactly for an identical match sequence.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from a hash value.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+bool FaultInjector::Enabled() {
+  return g_fault_injection_armed.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rules_.reserve(plan.rules.size());
+  for (FaultRule& rule : plan.rules) {
+    RuleState state;
+    state.rule = std::move(rule);
+    rules_.push_back(std::move(state));
+  }
+  seed_ = plan.seed;
+  stats_ = FaultInjectorStats{};
+  g_fault_injection_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  g_fault_injection_armed.store(false, std::memory_order_relaxed);
+}
+
+FaultDecision FaultInjector::Consult(FaultOp op, const std::string& path,
+                                     size_t n) {
+  FaultDecision decision;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.consults;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    RuleState& state = rules_[i];
+    const FaultRule& rule = state.rule;
+    if (rule.op != op) continue;
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    const uint64_t match = state.matched++;
+    if (match < rule.first_op) continue;
+    if (rule.max_faults != 0 && state.fired >= rule.max_faults) continue;
+    if (rule.probability < 1.0) {
+      const uint64_t h = Mix64(seed_ ^ Mix64(i + 1) ^ Mix64(match));
+      if (ToUnit(h) >= rule.probability) continue;
+    }
+    ++state.fired;
+    switch (rule.kind) {
+      case FaultKind::kIOError:
+        ++stats_.io_errors;
+        decision.status =
+            Status::IOError("injected I/O error on " + path);
+        return decision;
+      case FaultKind::kShortRead:
+        ++stats_.short_reads;
+        decision.status =
+            Status::IOError("injected short read on " + path);
+        return decision;
+      case FaultKind::kBitFlip: {
+        ++stats_.bit_flips;
+        const uint64_t h = Mix64(seed_ ^ Mix64((i + 1) * 0x51ed) ^
+                                 Mix64(state.fired));
+        decision.flip = true;
+        decision.flip_offset = n == 0 ? 0 : h % n;
+        decision.flip_mask =
+            static_cast<uint8_t>(1u << ((h >> 17) & 7u));
+        if (decision.flip_mask == 0) decision.flip_mask = 1;
+        return decision;
+      }
+      case FaultKind::kLatency:
+        ++stats_.latencies;
+        decision.sleep_ms = rule.latency_ms;
+        return decision;
+    }
+  }
+  return decision;
+}
+
+void FaultInjector::ApplyLatency(const FaultDecision& decision) const {
+  if (decision.sleep_ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(decision.sleep_ms));
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace kbtim

@@ -1,0 +1,142 @@
+// Crash-safe index publication: every index file is written to a temp
+// path and atomically renamed into place on Close, so a build killed (or
+// failed) partway through leaves the directory either without the file or
+// with a COMPLETE generation of it — never a torn prefix, and never a
+// stray .tmp that a later open mis-parses.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "index/irr_index.h"
+#include "index/rr_index.h"
+#include "testing/scoped_fault_injection.h"
+
+namespace kbtim {
+namespace {
+
+using testing::ScopedFaultInjection;
+
+class IndexAtomicPublishTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_atomic_publish_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "atomic";
+    spec.graph.num_vertices = 600;
+    spec.graph.avg_degree = 4.0;
+    spec.graph.seed = 15;
+    spec.profiles.num_topics = 4;
+    spec.profiles.seed = 16;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+  }
+
+  void TearDown() override { if (::getenv("KEEP_DIR") == nullptr) std::filesystem::remove_all(dir_); }
+
+  IndexBuildOptions BuildOptions() const {
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 10;
+    opts.num_threads = 2;
+    opts.seed = 17;
+    opts.max_theta_per_keyword = 5000;
+    opts.opt_estimate.pilot_initial = 256;
+    return opts;
+  }
+
+  Status Build() {
+    IndexBuildOptions opts = BuildOptions();
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    return builder.Build(dir_).status();
+  }
+
+  size_t CountTmpFiles() const {
+    size_t n = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+      if (e.path().extension() == ".tmp") ++n;
+    }
+    return n;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(IndexAtomicPublishTest, FailedRebuildLeavesDirectoryLoadable) {
+  // Generation 1: a clean build, with golden query answers.
+  ASSERT_TRUE(Build().ok());
+  SeedSetResult golden_rr, golden_irr;
+  {
+    auto rr = RrIndex::Open(dir_);
+    auto irr = IrrIndex::Open(dir_);
+    ASSERT_TRUE(rr.ok() && irr.ok());
+    auto r = rr->Query(Query{{0, 1}, 6});
+    auto i = irr->Query(Query{{2, 3}, 6});
+    ASSERT_TRUE(r.ok() && i.ok());
+    golden_rr = std::move(*r);
+    golden_irr = std::move(*i);
+  }
+
+  // Generation 2: the same deterministic spec, killed mid-write — every
+  // Append from op 4 onward fails, so some files finish, some die with
+  // their temp file unpublished, and the meta rewrite never happens.
+  {
+    FaultPlan plan;
+    plan.rules.push_back({/*path_substring=*/"", FaultOp::kWrite,
+                          FaultKind::kIOError, /*first_op=*/4,
+                          /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    EXPECT_FALSE(Build().ok());
+  }
+
+  // The directory holds no torn files and no temp leftovers...
+  EXPECT_EQ(CountTmpFiles(), 0u);
+  // ...and still loads and answers exactly like generation 1: every
+  // published file is a complete generation-2 artifact (bit-identical
+  // build inputs), every unpublished one is untouched generation 1.
+  auto rr = RrIndex::Open(dir_);
+  auto irr = IrrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok()) << rr.status();
+  ASSERT_TRUE(irr.ok()) << irr.status();
+  auto r = rr->Query(Query{{0, 1}, 6});
+  auto i = irr->Query(Query{{2, 3}, 6});
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(i.ok()) << i.status();
+  EXPECT_EQ(golden_rr.seeds, r->seeds);
+  EXPECT_EQ(golden_irr.seeds, i->seeds);
+  ASSERT_DOUBLE_EQ(golden_rr.estimated_influence, r->estimated_influence);
+  ASSERT_DOUBLE_EQ(golden_irr.estimated_influence, i->estimated_influence);
+}
+
+TEST_F(IndexAtomicPublishTest, FirstBuildFailureLeavesCleanDirectory) {
+  // A first-ever build that dies must leave the directory with no meta
+  // (so opens fail with a clean NOT-an-index error) and no debris.
+  {
+    FaultPlan plan;
+    plan.rules.push_back({"", FaultOp::kWrite, FaultKind::kIOError,
+                          /*first_op=*/2, /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    EXPECT_FALSE(Build().ok());
+  }
+  EXPECT_EQ(CountTmpFiles(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(MetaFileName(dir_)));
+  EXPECT_FALSE(RrIndex::Open(dir_).ok());
+
+  // The directory is not wedged: a later clean build succeeds in place.
+  ASSERT_TRUE(Build().ok());
+  auto rr = RrIndex::Open(dir_);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_TRUE(rr->Query(Query{{0}, 4}).ok());
+}
+
+}  // namespace
+}  // namespace kbtim

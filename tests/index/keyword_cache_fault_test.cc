@@ -1,0 +1,246 @@
+// KeywordCache hardening under storage faults: failed decodes never admit
+// blocks, a corruption invalidates the topic's cached state, transient
+// I/O errors drop (and reopen) file handles without losing validated
+// blocks, prefetch-pool failures are surfaced and counted instead of
+// swallowed, and the failure listener reports every classified fault.
+#include "index/keyword_cache.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "index/irr_index.h"
+#include "index/rr_index.h"
+#include "storage/io_counter.h"
+#include "testing/scoped_fault_injection.h"
+
+namespace kbtim {
+namespace {
+
+using testing::ScopedFaultInjection;
+
+class KeywordCacheFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_kwcache_fault_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "kwfault";
+    spec.graph.num_vertices = 800;
+    spec.graph.avg_degree = 4.0;
+    spec.graph.num_communities = 4;
+    spec.graph.seed = 91;
+    spec.profiles.num_topics = 4;
+    spec.profiles.seed = 92;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 10;
+    opts.partition_size = 20;
+    opts.num_threads = 2;
+    opts.seed = 93;
+    opts.max_theta_per_keyword = 10000;
+    opts.opt_estimate.pilot_initial = 256;
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    ASSERT_TRUE(builder.Build(dir_).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Basename of topic `t`'s IRR file — the fault-rule path scope.
+  std::string IrrBasename(TopicId t) const {
+    return std::filesystem::path(IrrFileName(dir_, t)).filename().string();
+  }
+
+  static void ExpectSameResult(const SeedSetResult& a,
+                               const SeedSetResult& b) {
+    ASSERT_EQ(a.seeds, b.seeds);
+    ASSERT_DOUBLE_EQ(a.estimated_influence, b.estimated_influence);
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(KeywordCacheFaultTest, IoErrorFailsQueryThenHandleReopenRecovers) {
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+  const Query q{{0, 1}, 6};
+  auto baseline = irr->Query(q);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  (*cache)->DropBlocks();  // force the next query back to disk
+
+  {
+    FaultPlan plan;
+    plan.rules.push_back({IrrBasename(0), FaultOp::kRead,
+                          FaultKind::kIOError, 0, /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    auto failed = irr->Query(q);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.status().IsIOError()) << failed.status();
+  }
+  const KeywordCacheStats mid = (*cache)->stats();
+  EXPECT_GE(mid.io_errors, 1u);
+  EXPECT_EQ(mid.decode_failures, 0u);
+
+  // Injection off: the dropped handles reopen transparently and the
+  // query recovers with the exact fault-free answer.
+  auto recovered = irr->Query(q);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectSameResult(*baseline, *recovered);
+}
+
+TEST_F(KeywordCacheFaultTest, CorruptionInvalidatesTopicAndNeverPoisons) {
+  const Query q0{{0}, 6};
+  const Query q1{{1}, 6};
+  SeedSetResult baseline0, baseline1;
+  {
+    auto cache = KeywordCache::Create(dir_, {});
+    ASSERT_TRUE(cache.ok());
+    auto irr = IrrIndex::Open(*cache);
+    ASSERT_TRUE(irr.ok());
+    auto r0 = irr->Query(q0);
+    auto r1 = irr->Query(q1);
+    ASSERT_TRUE(r0.ok() && r1.ok());
+    baseline0 = std::move(*r0);
+    baseline1 = std::move(*r1);
+  }
+
+  // Mangle topic 0's file on disk (keep the pristine bytes around).
+  const std::string victim = IrrFileName(dir_, 0);
+  const std::string backup = victim + ".good";
+  std::filesystem::copy_file(victim, backup);
+  {
+    std::fstream f(victim,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(0);
+    f << "garbage where the preamble was";
+  }
+
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+  auto failed = irr->Query(q0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status();
+  const KeywordCacheStats mid = (*cache)->stats();
+  EXPECT_GE(mid.decode_failures, 1u);
+  EXPECT_GE(mid.topic_invalidations, 1u);
+
+  // The sick keyword is isolated: topic 1 answers exactly as before.
+  auto healthy = irr->Query(q1);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ExpectSameResult(baseline1, *healthy);
+
+  // Repair the file. The invalidation dropped every trace of the bad
+  // generation (handles included), so the same cache serves the pristine
+  // answer — nothing the failed decode touched was admitted.
+  std::filesystem::rename(backup, victim);
+  auto repaired = irr->Query(q0);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  ExpectSameResult(baseline0, *repaired);
+}
+
+TEST_F(KeywordCacheFaultTest, ExplicitInvalidateDropsTopicStateOnly) {
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+  const Query q{{0, 2}, 6};
+  auto baseline = irr->Query(q);
+  ASSERT_TRUE(baseline.ok());
+  (*cache)->WaitForPrefetches();
+
+  (*cache)->InvalidateTopic(0);
+  EXPECT_EQ((*cache)->stats().topic_invalidations, 1u);
+
+  // Topic 0 re-reads from disk; topic 2's blocks survived untouched.
+  const IoStats before = IoCounter::Snapshot();
+  auto warm = irr->Query(q);
+  ASSERT_TRUE(warm.ok());
+  const IoStats delta = IoCounter::Snapshot() - before;
+  EXPECT_GT(delta.read_ops, 0u);
+  ExpectSameResult(*baseline, *warm);
+}
+
+TEST_F(KeywordCacheFaultTest, PrefetchFailureIsCountedAndSurfaced) {
+  KeywordCacheOptions opts;
+  opts.prefetch_threads = 2;
+  auto cache = KeywordCache::Create(dir_, opts);
+  ASSERT_TRUE(cache.ok());
+  auto entry = (*cache)->GetIrrKeyword(0);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_GT((*entry)->num_partitions, 0u);
+
+  {
+    FaultPlan plan;
+    plan.rules.push_back({IrrBasename(0), FaultOp::kRead,
+                          FaultKind::kIOError, 0, /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    (*cache)->PrefetchIrrPartition(*entry, 0);
+    (*cache)->WaitForPrefetches();
+    const KeywordCacheStats stats = (*cache)->stats();
+    // The background failure was recorded, not swallowed: classified as
+    // an I/O error AND counted as a prefetch-path failure.
+    EXPECT_GE(stats.prefetch_failures, 1u);
+    EXPECT_GE(stats.io_errors, 1u);
+    // A foreground load while the fault persists fails cleanly too.
+    auto joined = (*cache)->GetIrrPartition(**entry, 0);
+    ASSERT_FALSE(joined.ok());
+    EXPECT_TRUE(joined.status().IsIOError());
+  }
+
+  // Injection off: the same entry loads the partition for real.
+  auto block = (*cache)->GetIrrPartition(**entry, 0);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_FALSE((*block)->users.empty());
+}
+
+TEST_F(KeywordCacheFaultTest, FailureListenerReportsClassifiedFaults) {
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+
+  std::mutex mu;
+  std::vector<std::pair<TopicId, StatusCode>> observed;
+  (*cache)->SetFailureListener([&](TopicId topic, const Status& status) {
+    std::lock_guard<std::mutex> lock(mu);
+    observed.emplace_back(topic, status.code());
+  });
+
+  {
+    FaultPlan plan;
+    plan.rules.push_back({IrrBasename(1), FaultOp::kRead,
+                          FaultKind::kIOError, 0, /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    ASSERT_FALSE(irr->Query(Query{{1}, 6}).ok());
+  }
+  (*cache)->SetFailureListener(nullptr);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(observed.empty());
+  for (const auto& [topic, code] : observed) {
+    EXPECT_EQ(topic, 1u);
+    EXPECT_EQ(code, StatusCode::kIOError);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -16,6 +16,8 @@
 #include "propagation/rr_sampler.h"
 #include "sampling/ris_solver.h"
 #include "sampling/wris_solver.h"
+#include "serving/query_service.h"
+#include "testing/scoped_fault_injection.h"
 #include "testing/scoped_skip_sampling.h"
 
 namespace kbtim {
@@ -245,6 +247,120 @@ TEST_F(DeterminismTest, IndexAnswersAreInvariantToCacheConfiguration) {
         ExpectIdentical(*want, *warm, std::string(config.name) + " warm");
       }
     }
+  }
+}
+
+TEST_F(DeterminismTest, FaultScheduleReplaysIdenticallyAcrossWorkerCounts) {
+  // PR 6 axis: a seeded fault schedule replayed against a serial request
+  // stream must produce the IDENTICAL per-query transcript (seeds,
+  // degradation, error codes) and the IDENTICAL fault counters no matter
+  // how many service workers exist. Requests are Execute()d one at a
+  // time, prefetching is off, and every backoff is 0, so wall-clock never
+  // enters the transcript — worker count may only change WHERE a request
+  // runs, never WHAT happens to it.
+  const std::string irr0 =
+      std::filesystem::path(IrrFileName(dir_, 0)).filename().string();
+  const std::string irr3 =
+      std::filesystem::path(IrrFileName(dir_, 3)).filename().string();
+
+  struct QueryOutcome {
+    StatusCode code;
+    std::vector<VertexId> seeds;
+    bool degraded;
+    std::vector<TopicId> dropped;
+
+    bool operator==(const QueryOutcome& other) const {
+      return code == other.code && seeds == other.seeds &&
+             degraded == other.degraded && dropped == other.dropped;
+    }
+  };
+  struct RunTranscript {
+    std::vector<QueryOutcome> outcomes;
+    uint64_t transient_retries, retry_successes, degraded_results;
+    uint64_t io_error_failures, quarantine_rejections;
+    uint64_t breaker_opens, breaker_probes, breaker_closes;
+    uint64_t cache_io_errors, injector_faults;
+  };
+
+  auto run = [&](uint32_t workers) -> RunTranscript {
+    FaultPlan plan;  // Arm() resets the per-rule op counters + coins
+    plan.seed = 606;
+    // A dead window early in keyword 0's stream, then recovery...
+    plan.rules.push_back({irr0, FaultOp::kRead, FaultKind::kIOError,
+                          /*first_op=*/2, /*max_faults=*/8, 1.0});
+    // ...and seeded flaky reads on keyword 3 for the whole run.
+    plan.rules.push_back({irr3, FaultOp::kRead, FaultKind::kIOError,
+                          0, /*max_faults=*/0, /*probability=*/0.5});
+    testing::ScopedFaultInjection inject(plan);
+
+    QueryServiceOptions opts;
+    opts.num_workers = workers;
+    opts.cache.prefetch_threads = 0;
+    opts.failure.retry_backoff_ms = 0.0;
+    opts.failure.breaker.backoff_ms = 0.0;
+    opts.failure.breaker.failure_threshold = 2;
+    auto service = QueryService::Create(dir_, opts);
+    EXPECT_TRUE(service.ok());
+
+    const std::vector<Query> stream = {
+        {{0}, 6},    {{0, 1}, 6}, {{3}, 8},    {{2, 3}, 6}, {{0}, 6},
+        {{3, 4}, 5}, {{1, 2}, 8}, {{0, 3}, 6}, {{3}, 8},    {{0}, 6},
+    };
+    RunTranscript transcript;
+    for (const Query& q : stream) {
+      ServiceRequest request;
+      request.query = q;
+      request.engine = QueryEngine::kIrr;
+      auto result = (*service)->Execute(std::move(request));
+      QueryOutcome outcome;
+      outcome.code = result.status().code();
+      if (result.ok()) {
+        outcome.seeds = result->seeds;
+        outcome.degraded = result->degraded;
+        outcome.dropped = result->dropped_keywords;
+      } else {
+        outcome.degraded = false;
+      }
+      transcript.outcomes.push_back(std::move(outcome));
+    }
+    const ServiceStats stats = (*service)->stats();
+    transcript.transient_retries = stats.transient_retries;
+    transcript.retry_successes = stats.retry_successes;
+    transcript.degraded_results = stats.degraded_results;
+    transcript.io_error_failures = stats.io_error_failures;
+    transcript.quarantine_rejections = stats.quarantine_rejections;
+    transcript.breaker_opens = stats.breaker_opens;
+    transcript.breaker_probes = stats.breaker_probes;
+    transcript.breaker_closes = stats.breaker_closes;
+    transcript.cache_io_errors = stats.cache_io_errors;
+    transcript.injector_faults =
+        FaultInjector::Instance().stats().total_faults();
+    return transcript;
+  };
+
+  const RunTranscript reference = run(1);
+  // The schedule genuinely fired and genuinely disrupted the stream.
+  ASSERT_GT(reference.injector_faults, 0u);
+  ASSERT_GT(reference.transient_retries, 0u);
+  for (uint32_t workers : {2u, 8u}) {
+    const RunTranscript got = run(workers);
+    const std::string label = "workers=" + std::to_string(workers);
+    ASSERT_EQ(reference.outcomes.size(), got.outcomes.size()) << label;
+    for (size_t i = 0; i < reference.outcomes.size(); ++i) {
+      EXPECT_TRUE(reference.outcomes[i] == got.outcomes[i])
+          << label << " query " << i;
+    }
+    EXPECT_EQ(reference.transient_retries, got.transient_retries) << label;
+    EXPECT_EQ(reference.retry_successes, got.retry_successes) << label;
+    EXPECT_EQ(reference.degraded_results, got.degraded_results) << label;
+    EXPECT_EQ(reference.io_error_failures, got.io_error_failures) << label;
+    EXPECT_EQ(reference.quarantine_rejections, got.quarantine_rejections)
+        << label;
+    EXPECT_EQ(reference.breaker_opens, got.breaker_opens) << label;
+    EXPECT_EQ(reference.breaker_probes, got.breaker_probes) << label;
+    EXPECT_EQ(reference.breaker_closes, got.breaker_closes) << label;
+    EXPECT_EQ(reference.cache_io_errors, got.cache_io_errors) << label;
+    EXPECT_EQ(reference.injector_faults, got.injector_faults) << label;
   }
 }
 

@@ -1,0 +1,170 @@
+// Per-topic circuit breakers: trip on consecutive faults, shed in O(1)
+// while open, re-admit via half-open probes, and back off exponentially
+// (with seeded jitter) on failed probes. backoff_ms = 0 turns the state
+// machine attempt-count-driven — the mode the determinism suite relies on.
+#include "serving/failure_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace kbtim {
+namespace {
+
+FailureDomainOptions ZeroBackoff(uint32_t threshold = 3) {
+  FailureDomainOptions opts;
+  opts.failure_threshold = threshold;
+  opts.backoff_ms = 0.0;  // tripped breakers are immediately probe-eligible
+  return opts;
+}
+
+TEST(FailureDomainTest, ClosedUntilThresholdConsecutiveFailures) {
+  FailureDomainTable table(ZeroBackoff(/*threshold=*/3));
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+  table.RecordFailure(0);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+  EXPECT_TRUE(table.Admit(0));
+  table.RecordFailure(0);  // third consecutive: trip
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+  EXPECT_EQ(table.stats().opens, 1u);
+}
+
+TEST(FailureDomainTest, SuccessResetsTheConsecutiveStreak) {
+  FailureDomainTable table(ZeroBackoff(3));
+  table.RecordFailure(0);
+  table.RecordFailure(0);
+  table.RecordSuccess(0);  // streak broken
+  table.RecordFailure(0);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+}
+
+TEST(FailureDomainTest, DomainsAreIndependent) {
+  FailureDomainTable table(ZeroBackoff(2));
+  table.RecordFailure(7);
+  table.RecordFailure(7);
+  EXPECT_EQ(table.state(7), BreakerState::kOpen);
+  // The sick topic never taxes its neighbours.
+  EXPECT_EQ(table.state(8), BreakerState::kClosed);
+  EXPECT_TRUE(table.Admit(8));
+}
+
+TEST(FailureDomainTest, OpenBreakerShedsUntilBackoffThenProbes) {
+  FailureDomainOptions opts;
+  opts.failure_threshold = 1;
+  opts.backoff_ms = 60.0;
+  opts.jitter_fraction = 0.0;
+  FailureDomainTable table(opts);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+  // Inside the backoff window: O(1) rejections, counted.
+  EXPECT_FALSE(table.Admit(0));
+  EXPECT_FALSE(table.Admit(0));
+  EXPECT_EQ(table.stats().rejections, 2u);
+  EXPECT_EQ(table.stats().probes, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  // Deadline passed: the next request becomes the half-open probe.
+  EXPECT_TRUE(table.Admit(0));
+  EXPECT_EQ(table.state(0), BreakerState::kHalfOpen);
+  EXPECT_EQ(table.stats().probes, 1u);
+}
+
+TEST(FailureDomainTest, HalfOpenAdmitsTrialsUntilAVerdict) {
+  FailureDomainTable table(ZeroBackoff(1));
+  table.RecordFailure(0);
+  ASSERT_TRUE(table.Admit(0));  // zero backoff: immediate probe
+  ASSERT_EQ(table.state(0), BreakerState::kHalfOpen);
+  // More admissions while the probe is in flight — never a stranded
+  // domain waiting on a verdict that a shed request can't deliver.
+  EXPECT_TRUE(table.Admit(0));
+  EXPECT_TRUE(table.Admit(0));
+  table.RecordSuccess(0);
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+  EXPECT_EQ(table.stats().closes, 1u);
+}
+
+TEST(FailureDomainTest, FailedProbeReopensWithDoubledBackoff) {
+  FailureDomainOptions opts;
+  opts.failure_threshold = 1;
+  opts.backoff_ms = 50.0;
+  opts.max_backoff_ms = 10000.0;
+  opts.jitter_fraction = 0.0;  // exact doubling for the assertion below
+  FailureDomainTable table(opts);
+
+  table.RecordFailure(0);  // open, backoff 50ms
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  ASSERT_TRUE(table.Admit(0));  // probe
+  table.RecordFailure(0);       // probe fails: reopen at 100ms
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+  EXPECT_EQ(table.stats().opens, 2u);
+  // 75ms later the doubled (100ms) window is still holding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(75));
+  EXPECT_FALSE(table.Admit(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(table.Admit(0));  // second probe after the full 100ms
+  table.RecordSuccess(0);
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+}
+
+TEST(FailureDomainTest, FailuresWhileOpenDoNotExtendTheWindow) {
+  FailureDomainOptions opts;
+  opts.failure_threshold = 1;
+  opts.backoff_ms = 60.0;
+  opts.jitter_fraction = 0.0;
+  FailureDomainTable table(opts);
+  table.RecordFailure(0);
+  // Stragglers (async prefetch failures, requests admitted pre-trip)
+  // report in while open: no new open transitions, no pushed-out probe.
+  table.RecordFailure(0);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.stats().opens, 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  EXPECT_TRUE(table.Admit(0));  // original deadline still stands
+}
+
+TEST(FailureDomainTest, ZeroBackoffIsAttemptCountDriven) {
+  // The determinism suite's mode: no wall-clock in any transition.
+  FailureDomainTable table(ZeroBackoff(2));
+  table.RecordFailure(0);
+  table.RecordFailure(0);
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+  EXPECT_TRUE(table.Admit(0));  // immediately probe-eligible
+  EXPECT_EQ(table.state(0), BreakerState::kHalfOpen);
+  table.RecordFailure(0);  // failed probe, still zero backoff
+  EXPECT_EQ(table.state(0), BreakerState::kOpen);
+  EXPECT_TRUE(table.Admit(0));
+  table.RecordSuccess(0);
+  EXPECT_EQ(table.state(0), BreakerState::kClosed);
+  const FailureDomainStats stats = table.stats();
+  EXPECT_EQ(stats.opens, 2u);
+  EXPECT_EQ(stats.probes, 2u);
+  EXPECT_EQ(stats.closes, 1u);
+  EXPECT_EQ(stats.rejections, 0u);
+}
+
+TEST(FailureDomainTest, JitterStaysWithinFractionAndReplays) {
+  // Two tables with the same seed replay identical jitter; the scaled
+  // backoff never leaves [1-f, 1+f] * base (observable via the window:
+  // after base*(1+f) elapses the breaker MUST admit, and stats replay).
+  FailureDomainOptions opts;
+  opts.failure_threshold = 1;
+  opts.backoff_ms = 20.0;
+  opts.jitter_fraction = 0.2;
+  opts.seed = 99;
+  for (int round = 0; round < 2; ++round) {
+    FailureDomainTable table(opts);
+    table.RecordFailure(3);
+    EXPECT_EQ(table.state(3), BreakerState::kOpen);
+    // 20ms * 1.2 = 24ms is the worst case; wait comfortably past it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    EXPECT_TRUE(table.Admit(3)) << "round " << round;
+    EXPECT_EQ(table.state(3), BreakerState::kHalfOpen);
+  }
+}
+
+}  // namespace
+}  // namespace kbtim

@@ -169,6 +169,82 @@ TEST_F(BlockFileTest, MmapReadMatchesPread) {
   EXPECT_EQ(copied, *view);
 }
 
+TEST_F(BlockFileTest, TruncationUnderMmapFailsClosed) {
+  // Regression: a file shrinking underneath its read-only mapping used to
+  // hand out views whose pages were no longer backed — touching them
+  // SIGBUSed the process. ReadView must fail closed with kIOError and
+  // ReadOrCopy must degrade to pread, which reports a clean error.
+  const std::string path = Path("trunc.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(std::string(8192, 't')).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(path, /*prefer_mmap=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->mmapped());
+  auto before = (*file)->ReadView(4000, 100);
+  ASSERT_TRUE(before.ok());
+
+  std::filesystem::resize_file(path, 100);
+
+  // Unbacked range: clean kIOError instead of a SIGBUS on first touch.
+  EXPECT_EQ((*file)->ReadView(4000, 100).status().code(),
+            StatusCode::kIOError);
+  // ReadOrCopy degrades to pread for the stale mapping; pread reports the
+  // missing range as an error rather than crashing.
+  std::string scratch;
+  EXPECT_FALSE((*file)->ReadOrCopy(4000, 100, &scratch).ok());
+  // The still-backed prefix keeps serving.
+  auto prefix = (*file)->ReadView(0, 50);
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(*prefix, std::string(50, 't'));
+}
+
+TEST_F(BlockFileTest, AtomicWriterPublishesOnlyOnClose) {
+  const std::string path = Path("atomic.dat");
+  auto writer = FileWriter::CreateAtomic(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("published whole").ok());
+  // Before Close: readers see no file at the destination, only the temp.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 15, &out).ok());
+  EXPECT_EQ(out, "published whole");
+}
+
+TEST_F(BlockFileTest, AbandonedAtomicWriterLeavesOldFileIntact) {
+  const std::string path = Path("kept.dat");
+  {
+    auto writer = FileWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("old generation").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  {
+    // A "crashed" rebuild: atomic writer destroyed without Close.
+    auto writer = FileWriter::CreateAtomic(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("torn new generation that never lan").ok());
+  }
+  // The old file survives byte-for-byte and no temp file is left for a
+  // directory scan to trip over.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->size(), 14u);
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 14, &out).ok());
+  EXPECT_EQ(out, "old generation");
+}
+
 TEST_F(BlockFileTest, EmptyAppendIsAllowed) {
   auto writer = FileWriter::Create(Path("j.dat"));
   ASSERT_TRUE(writer.ok());

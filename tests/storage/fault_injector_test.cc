@@ -1,0 +1,254 @@
+#include "storage/fault_injector.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "storage/block_file.h"
+#include "testing/scoped_fault_injection.h"
+
+namespace kbtim {
+namespace {
+
+using testing::ScopedFaultInjection;
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kbtim_fault_injector_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes `payload` (fault-free) and returns the path.
+  std::string WriteFile(const std::string& name,
+                        const std::string& payload) {
+    const std::string path = Path(name);
+    auto writer = FileWriter::Create(path);
+    EXPECT_TRUE(writer.ok());
+    EXPECT_TRUE((*writer)->Append(payload).ok());
+    EXPECT_TRUE((*writer)->Close().ok());
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FaultInjectorTest, DisarmedByDefaultAndZeroConsults) {
+  EXPECT_FALSE(FaultInjector::Enabled());
+  const std::string path = WriteFile("plain.dat", "untouched payload");
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 9, &out).ok());
+  EXPECT_EQ(out, "untouched");
+  // The disarmed seam never reached the injector.
+  EXPECT_EQ(FaultInjector::Instance().stats().consults, 0u);
+}
+
+TEST_F(FaultInjectorTest, OpCountWindowFiresExactly) {
+  const std::string path = WriteFile("window.dat", std::string(256, 'w'));
+  FaultPlan plan;
+  plan.rules.push_back({/*path_substring=*/"window.dat", FaultOp::kRead,
+                        FaultKind::kIOError, /*first_op=*/2,
+                        /*max_faults=*/2, /*probability=*/1.0});
+  ScopedFaultInjection inject(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  // Ops 0,1 pass; 2,3 fault; 4+ pass again.
+  EXPECT_TRUE((*file)->Read(0, 8, &out).ok());
+  EXPECT_TRUE((*file)->Read(8, 8, &out).ok());
+  EXPECT_TRUE((*file)->Read(16, 8, &out).IsIOError());
+  EXPECT_TRUE((*file)->Read(24, 8, &out).IsIOError());
+  EXPECT_TRUE((*file)->Read(32, 8, &out).ok());
+  EXPECT_TRUE((*file)->Read(40, 8, &out).ok());
+  const FaultInjectorStats stats = FaultInjector::Instance().stats();
+  EXPECT_EQ(stats.consults, 6u);
+  EXPECT_EQ(stats.io_errors, 2u);
+  EXPECT_EQ(stats.total_faults(), 2u);
+}
+
+TEST_F(FaultInjectorTest, PathScopingIsolatesFiles) {
+  const std::string sick = WriteFile("sick.dat", std::string(64, 's'));
+  const std::string healthy = WriteFile("healthy.dat", std::string(64, 'h'));
+  FaultPlan plan;
+  plan.rules.push_back({"sick.dat", FaultOp::kRead, FaultKind::kIOError,
+                        /*first_op=*/0, /*max_faults=*/0, 1.0});
+  ScopedFaultInjection inject(plan);
+  auto sick_file = RandomAccessFile::Open(sick);
+  auto healthy_file = RandomAccessFile::Open(healthy);
+  ASSERT_TRUE(sick_file.ok() && healthy_file.ok());
+  std::string out;
+  EXPECT_TRUE((*sick_file)->Read(0, 16, &out).IsIOError());
+  EXPECT_TRUE((*healthy_file)->Read(0, 16, &out).ok());
+  EXPECT_EQ(out, std::string(16, 'h'));
+}
+
+TEST_F(FaultInjectorTest, BitFlipCorruptsExactlyOneBitOfCopies) {
+  const std::string payload(128, '\0');
+  const std::string path = WriteFile("flip.dat", payload);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back({"flip.dat", FaultOp::kRead, FaultKind::kBitFlip,
+                        0, /*max_faults=*/1, 1.0});
+  ScopedFaultInjection inject(plan);
+  auto file = RandomAccessFile::Open(path, /*prefer_mmap=*/true);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 128, &out).ok());
+  // Exactly one bit differs from the all-zero payload.
+  int bits = 0;
+  for (char c : out) bits += __builtin_popcount(static_cast<uint8_t>(c));
+  EXPECT_EQ(bits, 1);
+  // The flip landed in the returned copy only; the backing file (and the
+  // shared mapping other readers see) is pristine.
+  ASSERT_TRUE((*file)->Read(0, 128, &out).ok());
+  EXPECT_EQ(out, payload);
+  auto view = (*file)->ReadView(0, 128);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(*view, payload);
+  EXPECT_EQ(FaultInjector::Instance().stats().bit_flips, 1u);
+}
+
+TEST_F(FaultInjectorTest, BitFlipOnReadOrCopyTakesCopyingPath) {
+  const std::string payload(64, 'p');
+  const std::string path = WriteFile("orcopy.dat", payload);
+  FaultPlan plan;
+  plan.rules.push_back({"orcopy.dat", FaultOp::kRead, FaultKind::kBitFlip,
+                        0, /*max_faults=*/1, 1.0});
+  ScopedFaultInjection inject(plan);
+  auto file = RandomAccessFile::Open(path, /*prefer_mmap=*/true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->mmapped());
+  std::string scratch;
+  auto view = (*file)->ReadOrCopy(0, 64, &scratch);
+  ASSERT_TRUE(view.ok());
+  // The flipped bytes live in scratch, not the mapping.
+  EXPECT_EQ(view->data(), scratch.data());
+  EXPECT_NE(*view, payload);
+  // Next op: no fault left, zero-copy view of the intact mapping.
+  auto clean = (*file)->ReadOrCopy(0, 64, &scratch);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, payload);
+}
+
+TEST_F(FaultInjectorTest, ShortReadSurfacesAsCleanIOError) {
+  const std::string path = WriteFile("short.dat", std::string(64, 't'));
+  FaultPlan plan;
+  plan.rules.push_back({"short.dat", FaultOp::kRead, FaultKind::kShortRead,
+                        0, /*max_faults=*/1, 1.0});
+  ScopedFaultInjection inject(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out = "sentinel";
+  const Status s = (*file)->Read(0, 32, &out);
+  EXPECT_TRUE(s.IsIOError());
+  // Never a silently truncated buffer — the op fails whole.
+  EXPECT_EQ(out, "sentinel");
+  EXPECT_EQ(FaultInjector::Instance().stats().short_reads, 1u);
+}
+
+TEST_F(FaultInjectorTest, LatencyFaultSucceeds) {
+  const std::string path = WriteFile("slow.dat", std::string(64, 'l'));
+  FaultPlan plan;
+  FaultRule rule{"slow.dat", FaultOp::kRead, FaultKind::kLatency,
+                 0, /*max_faults=*/1, 1.0};
+  rule.latency_ms = 1.0;
+  plan.rules.push_back(rule);
+  ScopedFaultInjection inject(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  EXPECT_TRUE((*file)->Read(0, 8, &out).ok());
+  EXPECT_EQ(out, std::string(8, 'l'));
+  EXPECT_EQ(FaultInjector::Instance().stats().latencies, 1u);
+}
+
+TEST_F(FaultInjectorTest, WriteFaultsFailAppendAndFlipPayloadOnDisk) {
+  FaultPlan plan;
+  plan.rules.push_back({"werr.dat", FaultOp::kWrite, FaultKind::kIOError,
+                        0, /*max_faults=*/1, 1.0});
+  plan.rules.push_back({"wflip.dat", FaultOp::kWrite, FaultKind::kBitFlip,
+                        0, /*max_faults=*/1, 1.0});
+  ScopedFaultInjection inject(plan);
+  {
+    auto writer = FileWriter::Create(Path("werr.dat"));
+    ASSERT_TRUE(writer.ok());
+    EXPECT_TRUE((*writer)->Append("refused").IsIOError());
+    EXPECT_TRUE((*writer)->Append("accepted").ok());  // fault budget spent
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  const std::string payload(32, '\0');
+  {
+    auto writer = FileWriter::Create(Path("wflip.dat"));
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append(payload).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto file = RandomAccessFile::Open(Path("wflip.dat"));
+  ASSERT_TRUE(file.ok());
+  FaultInjector::Instance().Disarm();
+  std::string out;
+  ASSERT_TRUE((*file)->Read(0, 32, &out).ok());
+  int bits = 0;
+  for (char c : out) bits += __builtin_popcount(static_cast<uint8_t>(c));
+  EXPECT_EQ(bits, 1);  // one bit of the written payload corrupted on disk
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticScheduleReplaysExactly) {
+  const std::string path = WriteFile("coin.dat", std::string(4096, 'c'));
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules.push_back({"coin.dat", FaultOp::kRead, FaultKind::kIOError,
+                        0, /*max_faults=*/0, /*probability=*/0.5});
+  auto run = [&] {
+    ScopedFaultInjection inject(plan);
+    auto file = RandomAccessFile::Open(path);
+    EXPECT_TRUE(file.ok());
+    std::vector<bool> outcomes;
+    std::string out;
+    for (int i = 0; i < 100; ++i) {
+      outcomes.push_back((*file)->Read(static_cast<uint64_t>(i) * 8, 8,
+                                       &out).ok());
+    }
+    return outcomes;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);  // seeded coins: identical replay
+  const size_t faults =
+      static_cast<size_t>(std::count(first.begin(), first.end(), false));
+  EXPECT_GT(faults, 20u);  // p=0.5 over 100 draws
+  EXPECT_LT(faults, 80u);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsInjectionStatsSurvive) {
+  const std::string path = WriteFile("off.dat", std::string(64, 'o'));
+  FaultPlan plan;
+  plan.rules.push_back({"off.dat", FaultOp::kRead, FaultKind::kIOError,
+                        0, 0, 1.0});
+  FaultInjector::Instance().Arm(plan);
+  auto file = RandomAccessFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  std::string out;
+  EXPECT_TRUE((*file)->Read(0, 8, &out).IsIOError());
+  FaultInjector::Instance().Disarm();
+  EXPECT_FALSE(FaultInjector::Enabled());
+  EXPECT_TRUE((*file)->Read(0, 8, &out).ok());
+  const FaultInjectorStats stats = FaultInjector::Instance().stats();
+  EXPECT_EQ(stats.io_errors, 1u);  // survives until the next Arm
+  EXPECT_EQ(stats.consults, 1u);   // the post-Disarm read never consulted
+}
+
+}  // namespace
+}  // namespace kbtim

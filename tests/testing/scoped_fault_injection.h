@@ -1,0 +1,31 @@
+// RAII pin for the process-global FaultInjector, shared by every test
+// that injects storage faults.
+#ifndef KBTIM_TESTS_TESTING_SCOPED_FAULT_INJECTION_H_
+#define KBTIM_TESTS_TESTING_SCOPED_FAULT_INJECTION_H_
+
+#include <utility>
+
+#include "storage/fault_injector.h"
+
+namespace kbtim {
+namespace testing {
+
+/// Arms the injector with `plan` for a scope and disarms on exit —
+/// including when a gtest ASSERT bails out of the test early, so a
+/// failed test can never leak live faults into later tests in the
+/// binary.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan) {
+    FaultInjector::Instance().Arm(std::move(plan));
+  }
+  ~ScopedFaultInjection() { FaultInjector::Instance().Disarm(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace testing
+}  // namespace kbtim
+
+#endif  // KBTIM_TESTS_TESTING_SCOPED_FAULT_INJECTION_H_
