@@ -105,8 +105,13 @@ inline StatusOr<std::string> EnsureIndex(const Environment& env,
                                          IndexBuildReport* report) {
   const std::string dir = CacheRoot() + "/" + tag;
   std::filesystem::create_directories(dir);
-  const bool cached =
-      !no_cache && std::filesystem::exists(MetaFileName(dir));
+  bool cached = !no_cache && std::filesystem::exists(MetaFileName(dir));
+  if (cached) {
+    // A cache dir left by an older binary may predate the current format
+    // (e.g. v1, no checksums); rebuild instead of benching stale bytes.
+    auto meta = ReadIndexMeta(MetaFileName(dir));
+    cached = meta.ok() && meta->format_version == kIndexFormatLatest;
+  }
   if (cached) {
     *report = IndexBuildReport{};
     return dir;

@@ -539,6 +539,135 @@ StatusOr<FaultPhaseResult> RunFaultPhase(const std::string& dir,
   return out;
 }
 
+struct BitFlipPhaseResult {
+  uint64_t burst_requests = 0;
+  uint64_t injected_flips = 0;   ///< kBitFlip faults actually fired.
+  uint64_t crc_detected = 0;     ///< Cache crc_failures delta (verify-on-read).
+  uint64_t ok_golden = 0;        ///< Clean, non-degraded, golden-equal.
+  uint64_t degraded = 0;         ///< Served minus quarantined keywords.
+  uint64_t failed_corruption = 0;  ///< kCorruption surfaced to the client.
+  uint64_t failed_other = 0;     ///< Breaker sheds etc. during the burst.
+  /// OK, NON-degraded answers that differ from the fault-free golden:
+  /// a flipped byte that sneaked through every checksum into a result.
+  /// The integrity invariant is exactly undetected_corruptions == 0.
+  uint64_t undetected_corruptions = 0;
+  bool recovered_golden = false;  ///< Post-disarm: every answer golden again.
+};
+
+/// Bit-flip burst: golden answers per (query, engine) first, then the
+/// same closed loop with every index file's reads randomly flipping one
+/// byte (cold cache, so the flips hit live payloads), scoring each OK
+/// answer against its golden. Before checksums a flipped-but-decodable
+/// payload silently changed answers; with the v2 format every flip is
+/// either caught by a CRC (failed/degraded/shed request) or never reaches
+/// a result — undetected_corruptions counts the leaks and must be 0.
+StatusOr<BitFlipPhaseResult> RunBitFlipPhase(
+    const std::string& dir, const std::vector<Query>& queries,
+    uint32_t clients, uint32_t workers, uint32_t iters) {
+  QueryServiceOptions options;
+  options.num_workers = workers;
+  options.max_pending = 4096;
+  options.failure.retry_backoff_ms = 1.0;
+  options.failure.breaker.backoff_ms = 10.0;
+  KBTIM_ASSIGN_OR_RETURN(std::unique_ptr<QueryService> service,
+                         QueryService::Create(dir, options));
+
+  std::vector<SeedSetResult> golden_irr(queries.size());
+  std::vector<SeedSetResult> golden_rr(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    KBTIM_ASSIGN_OR_RETURN(
+        golden_irr[i], service->Execute({queries[i], QueryEngine::kIrr}));
+    KBTIM_ASSIGN_OR_RETURN(
+        golden_rr[i], service->Execute({queries[i], QueryEngine::kRr}));
+  }
+  const auto same = [](const SeedSetResult& a, const SeedSetResult& b) {
+    return a.seeds == b.seeds &&
+           a.estimated_influence == b.estimated_influence;
+  };
+
+  BitFlipPhaseResult out;
+  const KeywordCacheStats pre_cache = service->cache()->stats();
+  {
+    FaultPlan plan;
+    plan.seed = 20260808;
+    plan.rules.push_back({"irr_", FaultOp::kRead, FaultKind::kBitFlip,
+                          /*first_op=*/0, /*max_faults=*/0,
+                          /*probability=*/0.05});
+    plan.rules.push_back({"rr_", FaultOp::kRead, FaultKind::kBitFlip,
+                          0, 0, 0.05});
+    plan.rules.push_back({"lists_", FaultOp::kRead, FaultKind::kBitFlip,
+                          0, 0, 0.05});
+    FaultInjector::Instance().Arm(plan);
+    service->cache()->DropBlocks();
+
+    std::atomic<uint64_t> ok_golden{0}, degraded{0}, failed_corruption{0},
+        failed_other{0}, undetected{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (uint32_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (uint32_t i = 0; i < iters; ++i) {
+          const size_t qi = (c + i) % queries.size();
+          const bool use_irr = (c + i) % 2 == 0;
+          ServiceRequest request;
+          request.query = queries[qi];
+          request.engine =
+              use_irr ? QueryEngine::kIrr : QueryEngine::kRr;
+          auto result = service->Execute(std::move(request));
+          if (!result.ok()) {
+            if (result.status().IsCorruption()) {
+              ++failed_corruption;
+            } else {
+              ++failed_other;
+            }
+          } else if (result->degraded) {
+            ++degraded;
+          } else if (same(*result,
+                          use_irr ? golden_irr[qi] : golden_rr[qi])) {
+            ++ok_golden;
+          } else {
+            ++undetected;
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    out.ok_golden = ok_golden.load();
+    out.degraded = degraded.load();
+    out.failed_corruption = failed_corruption.load();
+    out.failed_other = failed_other.load();
+    out.undetected_corruptions = undetected.load();
+    out.injected_flips = FaultInjector::Instance().stats().bit_flips;
+    FaultInjector::Instance().Disarm();
+  }
+  out.burst_requests = uint64_t{clients} * iters;
+  out.crc_detected =
+      service->cache()->stats().crc_failures - pre_cache.crc_failures;
+
+  // Recovery: injector off, drop suspect cache state, let half-open
+  // probes re-admit quarantined keywords, then require every (query,
+  // engine) pair to answer golden-equal again.
+  service->cache()->DropBlocks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Query& q : queries) {
+      (void)service->Execute({q, QueryEngine::kIrr});
+      (void)service->Execute({q, QueryEngine::kRr});
+    }
+  }
+  out.recovered_golden = true;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto irr = service->Execute({queries[i], QueryEngine::kIrr});
+    auto rr = service->Execute({queries[i], QueryEngine::kRr});
+    if (!irr.ok() || !rr.ok() || !same(*irr, golden_irr[i]) ||
+        !same(*rr, golden_rr[i])) {
+      out.recovered_golden = false;
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace kbtim
@@ -692,6 +821,21 @@ int main(int argc, char** argv) {
     have_faults = true;
   }
 
+  // Bit-flip phase: silent payload corruption vs the checksum layer.
+  BitFlipPhaseResult bitflip_phase;
+  bool have_bitflips = false;
+  if (!no_faults) {
+    auto result = RunBitFlipPhase(*dir, *queries, /*clients=*/4,
+                                  max_workers > 0 ? max_workers : 2,
+                                  std::max<uint32_t>(iters / 2, 8));
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    bitflip_phase = *result;
+    have_bitflips = true;
+  }
+
   // ---- Report -------------------------------------------------------------
   TablePrinter table({"clients", "workers", "qps", "p50_ms", "p90_ms",
                       "p99_ms", "warm_IOs"});
@@ -773,6 +917,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(fault_phase.breaker_closes),
         fault_phase.pre_p99_ms, fault_phase.post_p99_ms,
         fault_phase.recovery_ratio);
+  }
+  if (have_bitflips) {
+    std::printf(
+        "\nbit-flip phase: %llu requests with flipping reads (%llu flips "
+        "fired) -> %llu golden-ok, %llu degraded, %llu corruption-failed, "
+        "%llu shed; CRC detected %llu, UNDETECTED corruptions %llu, "
+        "post-disarm golden %s\n",
+        static_cast<unsigned long long>(bitflip_phase.burst_requests),
+        static_cast<unsigned long long>(bitflip_phase.injected_flips),
+        static_cast<unsigned long long>(bitflip_phase.ok_golden),
+        static_cast<unsigned long long>(bitflip_phase.degraded),
+        static_cast<unsigned long long>(bitflip_phase.failed_corruption),
+        static_cast<unsigned long long>(bitflip_phase.failed_other),
+        static_cast<unsigned long long>(bitflip_phase.crc_detected),
+        static_cast<unsigned long long>(
+            bitflip_phase.undetected_corruptions),
+        bitflip_phase.recovered_golden ? "OK" : "MISMATCH");
   }
 
   std::FILE* json = std::fopen("BENCH_serving.json", "w");
@@ -884,6 +1045,25 @@ int main(int argc, char** argv) {
         fault_phase.recovery_ratio,
         static_cast<unsigned long long>(fault_phase.post_failed));
   }
+  if (have_bitflips) {
+    std::fprintf(
+        json,
+        ",\n  \"bitflip_phase\": {\"burst_requests\": %llu, "
+        "\"injected_flips\": %llu, \"ok_golden\": %llu, "
+        "\"degraded\": %llu, \"failed_corruption\": %llu, "
+        "\"failed_other\": %llu, \"crc_detected\": %llu, "
+        "\"undetected_corruptions\": %llu, \"recovered_golden\": %s}",
+        static_cast<unsigned long long>(bitflip_phase.burst_requests),
+        static_cast<unsigned long long>(bitflip_phase.injected_flips),
+        static_cast<unsigned long long>(bitflip_phase.ok_golden),
+        static_cast<unsigned long long>(bitflip_phase.degraded),
+        static_cast<unsigned long long>(bitflip_phase.failed_corruption),
+        static_cast<unsigned long long>(bitflip_phase.failed_other),
+        static_cast<unsigned long long>(bitflip_phase.crc_detected),
+        static_cast<unsigned long long>(
+            bitflip_phase.undetected_corruptions),
+        bitflip_phase.recovered_golden ? "true" : "false");
+  }
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_serving.json\n");
@@ -968,6 +1148,35 @@ int main(int argc, char** argv) {
                    "FAIL: post-burst p99 %.3f ms exceeds 1.25x pre-burst "
                    "%.3f ms — fault state leaked into the warm path\n",
                    fault_phase.post_p99_ms, fault_phase.pre_p99_ms);
+      return 1;
+    }
+    // Integrity gate: with v2 checksums, flipped bytes may fail or degrade
+    // a request but must NEVER silently change a served answer.
+    if (bitflip_phase.injected_flips == 0) {
+      std::fprintf(stderr,
+                   "FAIL: the bit-flip burst flipped nothing — the "
+                   "integrity phase proved nothing\n");
+      return 1;
+    }
+    if (bitflip_phase.undetected_corruptions != 0) {
+      std::fprintf(
+          stderr,
+          "FAIL: %llu corrupted answers served as clean (checksums "
+          "missed flipped payload bytes)\n",
+          static_cast<unsigned long long>(
+              bitflip_phase.undetected_corruptions));
+      return 1;
+    }
+    if (bitflip_phase.crc_detected == 0) {
+      std::fprintf(stderr,
+                   "FAIL: flips fired but the cache CRC layer detected "
+                   "none of them\n");
+      return 1;
+    }
+    if (!bitflip_phase.recovered_golden) {
+      std::fprintf(stderr,
+                   "FAIL: answers did not return to golden after the "
+                   "bit-flip burst was disarmed\n");
       return 1;
     }
   }

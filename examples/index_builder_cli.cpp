@@ -2,13 +2,15 @@
 //
 //   index_builder_cli build <dir> [--preset news|twitter] [--topics N]
 //                     [--epsilon E] [--codec raw|varint|pfor] [--lt]
-//                     [--max-k K] [--delta D] [--threads T]
+//                     [--max-k K] [--delta D] [--threads T] [--scale S]
 //   index_builder_cli query <dir> --topics 0,3,7 --k 10 [--irr]
 //   index_builder_cli verify <dir>
 //
 // The build subcommand also writes the generated graph next to the index
-// (graph.bin) so later runs can inspect it; verify checks every structural
-// invariant of the on-disk format (see index/index_verifier.h).
+// (graph.bin) so later runs can inspect it; --scale shrinks the preset's
+// vertex count (min 1000) for smoke builds. verify checks every
+// structural invariant of the on-disk format plus, on v2 indexes, every
+// stored CRC32C (see index/index_verifier.h).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,7 +48,8 @@ int Usage() {
       "usage:\n"
       "  index_builder_cli build <dir> [--preset news|twitter]"
       " [--topics N] [--epsilon E] [--codec raw|varint|pfor] [--lt]\n"
-      "                    [--max-k K] [--delta D] [--threads T]\n"
+      "                    [--max-k K] [--delta D] [--threads T]"
+      " [--scale S]\n"
       "  index_builder_cli query <dir> --topics 0,3,7 --k 10 [--irr]\n"
       "  index_builder_cli verify <dir>\n");
   return 2;
@@ -65,6 +68,14 @@ int RunVerify(const char* dir) {
       static_cast<unsigned long long>(result->rr_sets_checked),
       static_cast<unsigned long long>(result->inverted_entries_checked),
       static_cast<unsigned long long>(result->partitions_checked));
+  if (result->format_version >= 2) {
+    std::printf("format v%u: %llu checksums verified\n",
+                result->format_version,
+                static_cast<unsigned long long>(result->checksums_verified));
+  } else {
+    std::printf("format v%u: pre-checksum index, checksum stage skipped\n",
+                result->format_version);
+  }
   return 0;
 }
 
@@ -80,6 +91,12 @@ int RunBuild(int argc, char** argv) {
                       std::string(preset) == "twitter")
                          ? DefaultTwitterSpec(num_topics)
                          : DefaultNewsSpec(num_topics);
+  if (const char* s = FlagValue(argc, argv, "--scale")) {
+    const double n =
+        static_cast<double>(spec.graph.num_vertices) * std::atof(s);
+    spec.graph.num_vertices =
+        static_cast<uint32_t>(n < 1000.0 ? 1000.0 : n);
+  }
   auto env_or = Environment::Create(spec);
   if (!env_or.ok()) {
     std::fprintf(stderr, "%s\n", env_or.status().ToString().c_str());

@@ -3,7 +3,9 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
+#include <string_view>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -13,14 +15,11 @@
 #include "sampling/theta_bounds.h"
 #include "sampling/vertex_sampler.h"
 #include "storage/block_file.h"
+#include "storage/crc32c.h"
 #include "storage/varint.h"
 
 namespace kbtim {
 namespace {
-
-constexpr char kRrMagic[4] = {'K', 'B', 'R', 'W'};
-constexpr char kListsMagic[4] = {'K', 'B', 'L', 'W'};
-constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
 
 void PutFixed32(std::string* dst, uint32_t v) {
   dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -44,46 +43,77 @@ struct KeywordArtifacts {
   uint64_t total_set_items = 0;
 };
 
+/// Masked CRC of one payload page (the last page may be short).
+uint32_t PageCrc(const std::string& payload, uint64_t page) {
+  const uint64_t begin = page * kRrCrcPageSize;
+  const uint64_t end =
+      std::min<uint64_t>(payload.size(), begin + kRrCrcPageSize);
+  return crc32c::Mask(crc32c::Value(payload.data() + begin, end - begin));
+}
+
 Status WriteRrFile(const std::string& path, TopicId topic,
                    const RrCollection& sets, CodecKind codec_kind,
-                   uint64_t* bytes_out) {
+                   uint32_t format_version, uint64_t* bytes_out,
+                   uint64_t* preamble_out) {
   const auto codec = MakeCodec(codec_kind);
   const uint64_t count = sets.size();
-  const uint64_t header_size = 4 + 4 + 8 + 1;
-  const uint64_t dir_size = (count + 1) * sizeof(uint64_t);
 
   std::string payload;
   std::vector<uint64_t> offsets;
   offsets.reserve(count + 1);
   std::vector<uint32_t> members;
   for (uint64_t i = 0; i < count; ++i) {
-    offsets.push_back(header_size + dir_size + payload.size());
+    offsets.push_back(payload.size());  // relative; rebased below
     const auto set = sets.Set(static_cast<RrId>(i));
     members.assign(set.begin(), set.end());
     EncodeIdList(std::move(members), *codec, &payload);
     members.clear();
   }
-  offsets.push_back(header_size + dir_size + payload.size());
+  offsets.push_back(payload.size());
+
+  const bool v2 = format_version >= kIndexFormatV2;
+  const uint64_t num_pages =
+      v2 ? (payload.size() + kRrCrcPageSize - 1) / kRrCrcPageSize : 0;
+  const uint64_t dir_size = (count + 1) * sizeof(uint64_t);
+  const uint64_t preamble =
+      v2 ? kRrHeaderSizeV2 + dir_size + 4 + num_pages * 4
+         : kRrHeaderSizeV1 + dir_size;
+  for (uint64_t& off : offsets) off += preamble;
 
   std::string header;
-  header.append(kRrMagic, 4);
+  header.append(v2 ? kRrMagicV2 : kRrMagicV1, 4);
   PutFixed32(&header, topic);
   PutFixed64(&header, count);
   header.push_back(static_cast<char>(codec_kind));
+  if (v2) {
+    PutFixed64(&header, num_pages);
+    PutFixed32(&header,
+               crc32c::Mask(crc32c::Value(header.data(), header.size())));
+  }
 
   KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
-  KBTIM_RETURN_IF_ERROR(writer->Append(
-      {reinterpret_cast<const char*>(offsets.data()),
-       offsets.size() * sizeof(uint64_t)}));
+  const std::string_view dir_bytes{
+      reinterpret_cast<const char*>(offsets.data()), dir_size};
+  KBTIM_RETURN_IF_ERROR(writer->Append(dir_bytes));
+  if (v2) {
+    std::string crcs;
+    PutFixed32(&crcs, crc32c::Mask(crc32c::Value(dir_bytes.data(),
+                                                 dir_bytes.size())));
+    for (uint64_t page = 0; page < num_pages; ++page) {
+      PutFixed32(&crcs, PageCrc(payload, page));
+    }
+    KBTIM_RETURN_IF_ERROR(writer->Append(crcs));
+  }
   KBTIM_RETURN_IF_ERROR(writer->Append(payload));
   *bytes_out = writer->offset();
+  *preamble_out = v2 ? preamble : 0;
   return writer->Close();
 }
 
 Status WriteListsFile(const std::string& path, TopicId topic,
                       const InvertedRrIndex& inverted, CodecKind codec_kind,
-                      uint64_t* bytes_out) {
+                      uint32_t format_version, uint64_t* bytes_out) {
   const auto codec = MakeCodec(codec_kind);
   uint64_t num_entries = 0;
   for (VertexId v = 0; v < inverted.num_vertices(); ++v) {
@@ -102,11 +132,20 @@ Status WriteListsFile(const std::string& path, TopicId topic,
     PutVarint64(&payload, tmp.size());
     payload += tmp;
   }
+  const bool v2 = format_version >= kIndexFormatV2;
   std::string header;
-  header.append(kListsMagic, 4);
+  header.append(v2 ? kListsMagicV2 : kListsMagicV1, 4);
   PutFixed32(&header, topic);
   PutFixed64(&header, num_entries);
   header.push_back(static_cast<char>(codec_kind));
+  if (v2) {
+    // The file is always read whole, so one payload CRC suffices; the
+    // header CRC also covers it.
+    PutFixed32(&header,
+               crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+    PutFixed32(&header,
+               crc32c::Mask(crc32c::Value(header.data(), header.size())));
+  }
 
   KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
@@ -118,7 +157,8 @@ Status WriteListsFile(const std::string& path, TopicId topic,
 Status WriteIrrFile(const std::string& path, TopicId topic,
                     const RrCollection& sets, const InvertedRrIndex& inverted,
                     uint32_t partition_size, CodecKind codec_kind,
-                    uint64_t* bytes_out, uint64_t* preamble_out) {
+                    uint32_t format_version, uint64_t* bytes_out,
+                    uint64_t* preamble_out) {
   const auto codec = MakeCodec(codec_kind);
   const uint64_t theta = sets.size();
 
@@ -206,21 +246,32 @@ Status WriteIrrFile(const std::string& path, TopicId topic,
   }
 
   // Header: magic | topic | num_users | num_partitions | delta | codec |
-  // theta (4+4+8+8+4+1+8 = 37 bytes).
+  // theta (4+4+8+8+4+1+8 = 37 bytes); v2 appends a masked header CRC.
+  const bool v2 = format_version >= kIndexFormatV2;
   std::string header;
-  header.append(kIrrMagic, 4);
+  header.append(v2 ? kIrrMagicV2 : kIrrMagicV1, 4);
   PutFixed32(&header, topic);
   PutFixed64(&header, users.size());
   PutFixed64(&header, num_partitions);
   PutFixed32(&header, delta);
   header.push_back(static_cast<char>(codec_kind));
   PutFixed64(&header, theta);
+  if (v2) {
+    PutFixed32(&header,
+               crc32c::Mask(crc32c::Value(header.data(), header.size())));
+  }
 
-  const uint64_t preamble =
-      header.size() + ip_buf.size() + dir.size() * 32;
+  const size_t entry_size = v2 ? kIrrDirEntrySizeV2 : kIrrDirEntrySizeV1;
+  // v2: the preamble ends with a masked CRC of everything before it.
+  const uint64_t preamble = header.size() + ip_buf.size() +
+                            dir.size() * entry_size + (v2 ? 4 : 0);
   std::string dir_buf;
-  dir_buf.reserve(dir.size() * 32);
+  dir_buf.reserve(dir.size() * entry_size);
   for (auto& info : dir) {
+    if (v2) {
+      info.crc = crc32c::Mask(
+          crc32c::Value(partitions.data() + info.offset, info.length));
+    }
     info.offset += preamble;
     PutFixed64(&dir_buf, info.offset);
     PutFixed64(&dir_buf, info.length);
@@ -228,16 +279,112 @@ Status WriteIrrFile(const std::string& path, TopicId topic,
     PutFixed32(&dir_buf, info.num_sets);
     PutFixed32(&dir_buf, info.max_list_len);
     PutFixed32(&dir_buf, info.min_list_len);
+    if (v2) PutFixed32(&dir_buf, info.crc);
   }
 
   KBTIM_ASSIGN_OR_RETURN(auto writer, FileWriter::CreateAtomic(path));
   KBTIM_RETURN_IF_ERROR(writer->Append(header));
   KBTIM_RETURN_IF_ERROR(writer->Append(ip_buf));
   KBTIM_RETURN_IF_ERROR(writer->Append(dir_buf));
+  if (v2) {
+    uint32_t pre_crc = crc32c::Value(header.data(), header.size());
+    pre_crc = crc32c::Extend(pre_crc, ip_buf.data(), ip_buf.size());
+    pre_crc = crc32c::Extend(pre_crc, dir_buf.data(), dir_buf.size());
+    std::string trailer;
+    PutFixed32(&trailer, crc32c::Mask(pre_crc));
+    KBTIM_RETURN_IF_ERROR(writer->Append(trailer));
+  }
   KBTIM_RETURN_IF_ERROR(writer->Append(partitions));
   *bytes_out = writer->offset();
   *preamble_out = preamble;
   return writer->Close();
+}
+
+/// Samples keyword `w` and writes its files. Deterministic in (options,
+/// graph, profiles): the RNG forks depend only on the seed and `w`, so a
+/// later single-topic rebuild reproduces the exact bytes.
+Status BuildOneKeyword(const Graph& graph, const TfIdfModel& tfidf,
+                       const IndexBuildOptions& options,
+                       const std::shared_ptr<const BucketedAdjacency>& adjacency,
+                       const std::string& dir, TopicId w,
+                       KeywordArtifacts* art) {
+  const ProfileStore& profiles = tfidf.profiles();
+  art->meta.tf_sum = profiles.TopicTfSum(w);
+  art->meta.phi = tfidf.PhiTopic(w);
+  if (art->meta.tf_sum <= 0.0) {
+    return Status::OK();  // empty topic: θ_w = 0, no files
+  }
+
+  KBTIM_ASSIGN_OR_RETURN(auto roots,
+                         WeightedVertexSampler::ForTopic(profiles, w));
+
+  // OPT^{w}_K (compact bound) or OPT^{w}_1 (conservative bound).
+  const uint32_t opt_k = options.bound == ThetaBoundKind::kCompact
+                             ? std::min(options.max_k, graph.num_vertices())
+                             : 1;
+  // Floor: sum of the top-opt_k tf values of this topic.
+  std::vector<double> tfs;
+  {
+    auto topic_tfs = profiles.TopicTfs(w);
+    tfs.assign(topic_tfs.begin(), topic_tfs.end());
+  }
+  const size_t topk = std::min<size_t>(opt_k, tfs.size());
+  std::partial_sort(tfs.begin(), tfs.begin() + topk, tfs.end(),
+                    std::greater<>());
+  double floor = 0.0;
+  for (size_t i = 0; i < topk; ++i) floor += tfs[i];
+
+  OptEstimateOptions oo = options.opt_estimate;
+  oo.k = opt_k;
+  oo.floor = floor;
+  oo.seed = options.seed ^ (0xC0FFEEULL + w);
+  auto sampler = MakeRrSampler(options.model, adjacency);
+  KBTIM_ASSIGN_OR_RETURN(const double opt_bound,
+                         EstimateOptLowerBound(graph, *sampler, roots, oo));
+  art->meta.opt_bound = opt_bound;
+
+  uint64_t theta = ThetaForKeyword(options.epsilon, art->meta.tf_sum,
+                                   graph.num_vertices(), options.max_k,
+                                   opt_bound);
+  theta = std::max<uint64_t>(theta, 1);
+  if (theta > options.max_theta_per_keyword) {
+    KBTIM_LOG(Warning) << "keyword " << w << ": theta " << theta
+                       << " clipped to " << options.max_theta_per_keyword;
+    theta = options.max_theta_per_keyword;
+  }
+  art->meta.theta = theta;
+
+  // Discriminative WRIS sampling: roots ~ ps(v, w).
+  Rng rng = Rng(options.seed).Fork(2 * w + 1);
+  RrCollection sets;
+  sets.Reserve(theta, theta * 4);
+  std::vector<VertexId> scratch;
+  for (uint64_t i = 0; i < theta; ++i) {
+    sampler->Sample(roots.Sample(rng), rng, &scratch);
+    std::sort(scratch.begin(), scratch.end());
+    sets.Add(scratch);
+  }
+  art->total_set_items = sets.total_items();
+
+  InvertedRrIndex inverted(sets, graph.num_vertices());
+  if (options.build_rr) {
+    KBTIM_RETURN_IF_ERROR(WriteRrFile(RrFileName(dir, w), w, sets,
+                                      options.codec, options.format_version,
+                                      &art->rr_bytes,
+                                      &art->meta.rr_preamble));
+    KBTIM_RETURN_IF_ERROR(WriteListsFile(ListsFileName(dir, w), w, inverted,
+                                         options.codec,
+                                         options.format_version,
+                                         &art->lists_bytes));
+  }
+  if (options.build_irr) {
+    KBTIM_RETURN_IF_ERROR(
+        WriteIrrFile(IrrFileName(dir, w), w, sets, inverted,
+                     options.partition_size, options.codec,
+                     options.format_version, &art->irr_bytes,
+                     &art->meta.irr_preamble));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -271,92 +418,13 @@ StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
   const auto adjacency =
       BucketedAdjacency::BuildShared(graph_, in_edge_weights_);
 
-  auto build_keyword = [&](TopicId w) {
-    KeywordArtifacts& art = artifacts[w];
-    art.meta.tf_sum = profiles.TopicTfSum(w);
-    art.meta.phi = tfidf_.PhiTopic(w);
-    if (art.meta.tf_sum <= 0.0) return;  // empty topic: θ_w = 0, no files
-
-    auto roots_or = WeightedVertexSampler::ForTopic(profiles, w);
-    if (!roots_or.ok()) {
-      statuses[w] = roots_or.status();
-      return;
-    }
-    const WeightedVertexSampler& roots = *roots_or;
-
-    // OPT^{w}_K (compact bound) or OPT^{w}_1 (conservative bound).
-    const uint32_t opt_k =
-        options_.bound == ThetaBoundKind::kCompact
-            ? std::min(options_.max_k, graph_.num_vertices())
-            : 1;
-    // Floor: sum of the top-opt_k tf values of this topic.
-    std::vector<double> tfs;
-    {
-      auto topic_tfs = profiles.TopicTfs(w);
-      tfs.assign(topic_tfs.begin(), topic_tfs.end());
-    }
-    const size_t topk = std::min<size_t>(opt_k, tfs.size());
-    std::partial_sort(tfs.begin(), tfs.begin() + topk, tfs.end(),
-                      std::greater<>());
-    double floor = 0.0;
-    for (size_t i = 0; i < topk; ++i) floor += tfs[i];
-
-    OptEstimateOptions oo = options_.opt_estimate;
-    oo.k = opt_k;
-    oo.floor = floor;
-    oo.seed = options_.seed ^ (0xC0FFEEULL + w);
-    auto sampler = MakeRrSampler(options_.model, adjacency);
-    auto opt_or = EstimateOptLowerBound(graph_, *sampler, roots, oo);
-    if (!opt_or.ok()) {
-      statuses[w] = opt_or.status();
-      return;
-    }
-    art.meta.opt_bound = *opt_or;
-
-    uint64_t theta =
-        ThetaForKeyword(options_.epsilon, art.meta.tf_sum,
-                        graph_.num_vertices(), options_.max_k, *opt_or);
-    theta = std::max<uint64_t>(theta, 1);
-    if (theta > options_.max_theta_per_keyword) {
-      KBTIM_LOG(Warning) << "keyword " << w << ": theta " << theta
-                         << " clipped to "
-                         << options_.max_theta_per_keyword;
-      theta = options_.max_theta_per_keyword;
-    }
-    art.meta.theta = theta;
-
-    // Discriminative WRIS sampling: roots ~ ps(v, w).
-    Rng rng = Rng(options_.seed).Fork(2 * w + 1);
-    RrCollection sets;
-    sets.Reserve(theta, theta * 4);
-    std::vector<VertexId> scratch;
-    for (uint64_t i = 0; i < theta; ++i) {
-      sampler->Sample(roots.Sample(rng), rng, &scratch);
-      std::sort(scratch.begin(), scratch.end());
-      sets.Add(scratch);
-    }
-    art.total_set_items = sets.total_items();
-
-    InvertedRrIndex inverted(sets, graph_.num_vertices());
-    if (options_.build_rr) {
-      statuses[w] = WriteRrFile(RrFileName(dir, w), w, sets, options_.codec,
-                                &art.rr_bytes);
-      if (!statuses[w].ok()) return;
-      statuses[w] = WriteListsFile(ListsFileName(dir, w), w, inverted,
-                                   options_.codec, &art.lists_bytes);
-      if (!statuses[w].ok()) return;
-    }
-    if (options_.build_irr) {
-      statuses[w] = WriteIrrFile(IrrFileName(dir, w), w, sets, inverted,
-                                 options_.partition_size, options_.codec,
-                                 &art.irr_bytes, &art.meta.irr_preamble);
-    }
-  };
-
   {
     ThreadPool pool(options_.num_threads);
     for (TopicId w = 0; w < num_topics; ++w) {
-      pool.Submit([&, w] { build_keyword(w); });
+      pool.Submit([&, w] {
+        statuses[w] = BuildOneKeyword(graph_, tfidf_, options_, adjacency,
+                                      dir, w, &artifacts[w]);
+      });
     }
     pool.Wait();
   }
@@ -365,6 +433,7 @@ StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
   }
 
   IndexMeta meta;
+  meta.format_version = options_.format_version;
   meta.model = options_.model;
   meta.codec = options_.codec;
   meta.bound = options_.bound;
@@ -399,6 +468,36 @@ StatusOr<IndexBuildReport> IndexBuilder::Build(const std::string& dir) {
                 static_cast<double>(report.total_theta);
   report.seconds = timer.ElapsedSeconds();
   return report;
+}
+
+Status IndexBuilder::RebuildTopic(const std::string& dir, TopicId topic) {
+  const uint32_t num_topics = tfidf_.profiles().num_topics();
+  if (topic >= num_topics) {
+    return Status::InvalidArgument("rebuild topic out of range");
+  }
+  const auto adjacency =
+      BucketedAdjacency::BuildShared(graph_, in_edge_weights_);
+  KeywordArtifacts art;
+  KBTIM_RETURN_IF_ERROR(BuildOneKeyword(graph_, tfidf_, options_, adjacency,
+                                        dir, topic, &art));
+  // The rebuilt files must agree with the published meta, or queries would
+  // read directory offsets that no longer match the bytes on disk. A
+  // mismatch means the builder was configured differently from the
+  // original build (options/seed drift) — surface it loudly.
+  auto meta_or = ReadIndexMeta(MetaFileName(dir));
+  if (meta_or.ok() && topic < meta_or->topics.size()) {
+    const auto& want = meta_or->topics[topic];
+    if (want.theta != art.meta.theta ||
+        want.irr_preamble != art.meta.irr_preamble ||
+        want.rr_preamble != art.meta.rr_preamble) {
+      return Status::Internal(
+          "topic rebuild diverged from index meta (theta " +
+          std::to_string(want.theta) + " -> " +
+          std::to_string(art.meta.theta) +
+          "); builder options do not match the original build");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace kbtim

@@ -60,6 +60,10 @@ struct IndexBuildOptions {
   bool build_rr = true;
   bool build_irr = true;
 
+  /// On-disk format version to write (kIndexFormatV1 for compatibility
+  /// testing, kIndexFormatV2 = checksummed, the default).
+  uint32_t format_version = kIndexFormatLatest;
+
   /// Pilot-estimation tuning (k / floor / seed overridden per keyword).
   OptEstimateOptions opt_estimate{};
 };
@@ -91,6 +95,16 @@ class IndexBuilder {
 
   /// Builds into `dir` (created if missing) and writes index_meta.kbm.
   StatusOr<IndexBuildReport> Build(const std::string& dir);
+
+  /// Re-derives and republishes exactly one keyword's files (rr_/lists_/
+  /// irr_<topic>.dat) into an existing index directory, via the same
+  /// atomic-rename publication as a full build. Sampling is seeded per
+  /// keyword (Rng(seed).Fork(2w+1)), so a rebuild with the original build
+  /// options reproduces the original files byte-for-byte and the existing
+  /// index_meta.kbm stays valid — this is the scrubber's repair path. If
+  /// the directory has a meta, the rebuilt θ/preambles are cross-checked
+  /// against it and a mismatch (wrong options/seed) is an error.
+  Status RebuildTopic(const std::string& dir, TopicId topic);
 
  private:
   const Graph& graph_;

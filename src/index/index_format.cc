@@ -4,13 +4,13 @@
 #include <cstring>
 
 #include "storage/block_file.h"
+#include "storage/crc32c.h"
 #include "storage/varint.h"
 
 namespace kbtim {
 namespace {
 
 constexpr char kMetaMagic[4] = {'K', 'B', 'I', 'X'};
-constexpr uint32_t kMetaVersion = 1;
 
 void PutFixed32(std::string* dst, uint32_t v) {
   dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -54,9 +54,13 @@ const char* ThetaBoundKindName(ThetaBoundKind kind) {
 }
 
 Status WriteIndexMeta(const IndexMeta& meta, const std::string& path) {
+  if (meta.format_version != kIndexFormatV1 &&
+      meta.format_version != kIndexFormatV2) {
+    return Status::InvalidArgument("unsupported meta format version");
+  }
   std::string buf;
   buf.append(kMetaMagic, 4);
-  PutFixed32(&buf, kMetaVersion);
+  PutFixed32(&buf, meta.format_version);
   buf.push_back(static_cast<char>(meta.model));
   buf.push_back(static_cast<char>(meta.codec));
   buf.push_back(static_cast<char>(meta.bound));
@@ -76,6 +80,12 @@ Status WriteIndexMeta(const IndexMeta& meta, const std::string& path) {
     PutDouble(&buf, t.phi);
     PutDouble(&buf, t.opt_bound);
     PutFixed64(&buf, t.irr_preamble);
+    if (meta.format_version >= kIndexFormatV2) {
+      PutFixed64(&buf, t.rr_preamble);
+    }
+  }
+  if (meta.format_version >= kIndexFormatV2) {
+    PutFixed32(&buf, crc32c::Mask(crc32c::Value(buf.data(), buf.size())));
   }
   // Meta is written last and published atomically: a directory either has
   // a complete, consistent meta or none at all.
@@ -95,11 +105,25 @@ StatusOr<IndexMeta> ReadIndexMeta(const std::string& path) {
   }
   p += 4;
   uint32_t version = 0;
-  if (!GetFixed32(&p, limit, &version) || version != kMetaVersion) {
+  if (!GetFixed32(&p, limit, &version) ||
+      (version != kIndexFormatV1 && version != kIndexFormatV2)) {
     return Status::Corruption("unsupported index meta version: " + path);
+  }
+  if (version >= kIndexFormatV2) {
+    // The file's last 4 bytes are a masked CRC over everything before it.
+    if (buf.size() < 12) return Status::Corruption("truncated meta: " + path);
+    limit -= 4;
+    uint32_t stored = 0;
+    std::memcpy(&stored, limit, sizeof(stored));
+    const uint32_t actual =
+        crc32c::Value(buf.data(), buf.size() - sizeof(stored));
+    if (crc32c::Unmask(stored) != actual) {
+      return Status::Corruption("index meta checksum mismatch: " + path);
+    }
   }
   if (p + 4 > limit) return Status::Corruption("truncated meta: " + path);
   IndexMeta meta;
+  meta.format_version = version;
   meta.model = static_cast<PropagationModel>(*p++);
   meta.codec = static_cast<CodecKind>(*p++);
   meta.bound = static_cast<ThetaBoundKind>(*p++);
@@ -117,6 +141,9 @@ StatusOr<IndexMeta> ReadIndexMeta(const std::string& path) {
     ok = GetFixed64(&p, limit, &t.theta) && GetDouble(&p, limit, &t.tf_sum) &&
          GetDouble(&p, limit, &t.phi) && GetDouble(&p, limit, &t.opt_bound) &&
          GetFixed64(&p, limit, &t.irr_preamble);
+    if (ok && version >= kIndexFormatV2) {
+      ok = GetFixed64(&p, limit, &t.rr_preamble);
+    }
     if (!ok) return Status::Corruption("truncated topic table: " + path);
   }
   return meta;

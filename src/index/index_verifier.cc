@@ -1,5 +1,6 @@
 #include "index/index_verifier.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
@@ -8,12 +9,14 @@
 #include "graph/graph.h"
 #include "index/index_format.h"
 #include "storage/block_file.h"
+#include "storage/crc32c.h"
 #include "storage/pfor_codec.h"
 #include "storage/varint.h"
 
 // NOTE: the verifier deliberately re-implements the file parsing instead of
 // reusing the query-path readers, so that a bug shared by writer and reader
-// cannot hide from it.
+// cannot hide from it. Only the CRC32C kernel itself is shared — it is
+// pinned by known-answer vectors in tests/storage/crc32c_test.cc.
 
 namespace kbtim {
 namespace {
@@ -30,6 +33,23 @@ Status Corrupt(const std::string& what, TopicId w) {
   return Status::Corruption(what + " (topic " + std::to_string(w) + ")");
 }
 
+uint32_t LoadFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+/// Recomputes one stored masked CRC32C; counts it when it matches.
+Status CheckCrc(const char* data, uint64_t n, uint32_t stored_masked,
+                const std::string& what, TopicId w,
+                IndexVerification* stats) {
+  if (crc32c::Mask(crc32c::Value(data, n)) != stored_masked) {
+    return Corrupt(what + " checksum mismatch", w);
+  }
+  ++stats->checksums_verified;
+  return Status::OK();
+}
+
 struct RrFileSummary {
   uint64_t membership_hash = 0;  // Σ hash(vertex, rr)
   uint64_t membership_count = 0;
@@ -42,31 +62,66 @@ Status VerifyRrFile(const std::string& path, const IndexMeta& meta,
   KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
   std::string buf;
   KBTIM_RETURN_IF_ERROR(file->Read(0, file->size(), &buf));
-  constexpr uint64_t kHeader = 17;
-  if (buf.size() < kHeader || std::memcmp(buf.data(), "KBRW", 4) != 0) {
+  bool v2 = false;
+  if (buf.size() >= 4 && std::memcmp(buf.data(), "KBR2", 4) == 0) {
+    v2 = true;
+  } else if (buf.size() < 4 || std::memcmp(buf.data(), "KBRW", 4) != 0) {
     return Corrupt("rr file bad magic", w);
   }
+  if (v2 != (meta.format_version >= 2)) {
+    return Corrupt("rr file format version disagrees with meta", w);
+  }
+  const uint64_t kHeader = v2 ? 29 : 17;
+  if (buf.size() < kHeader) return Corrupt("rr file header truncated", w);
   uint32_t topic = 0;
-  uint64_t count = 0;
+  uint64_t count = 0, num_pages = 0;
   std::memcpy(&topic, buf.data() + 4, 4);
   std::memcpy(&count, buf.data() + 8, 8);
   const auto codec_kind = static_cast<CodecKind>(buf[16]);
+  if (v2) {
+    std::memcpy(&num_pages, buf.data() + 17, 8);
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), 25, LoadFixed32(buf.data() + 25),
+                                   "rr header", w, stats));
+  }
   if (topic != w) return Corrupt("rr file topic mismatch", w);
   if (codec_kind != meta.codec) return Corrupt("rr file codec mismatch", w);
   if (count != meta.topics[w].theta) {
     return Corrupt("rr file count != theta_w", w);
   }
   const uint64_t dir_size = (count + 1) * sizeof(uint64_t);
-  if (buf.size() < kHeader + dir_size) {
+  const uint64_t preamble =
+      kHeader + dir_size + (v2 ? 4 + num_pages * 4 : 0);
+  if (buf.size() < preamble) {
     return Corrupt("rr file directory truncated", w);
   }
   std::vector<uint64_t> offsets(count + 1);
   std::memcpy(offsets.data(), buf.data() + kHeader, dir_size);
-  if (offsets[0] != kHeader + dir_size) {
+  if (offsets[0] != preamble) {
     return Corrupt("rr file payload does not start after directory", w);
   }
   if (offsets[count] != buf.size()) {
     return Corrupt("rr file directory does not end at EOF", w);
+  }
+  if (meta.topics[w].rr_preamble != (v2 ? preamble : 0)) {
+    return Corrupt("rr preamble length disagrees with meta", w);
+  }
+  if (v2) {
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data() + kHeader, dir_size,
+                                   LoadFixed32(buf.data() + kHeader + dir_size),
+                                   "rr directory", w, stats));
+    const uint64_t payload_size = buf.size() - preamble;
+    if (num_pages != (payload_size + kRrCrcPageSize - 1) / kRrCrcPageSize) {
+      return Corrupt("rr page count disagrees with payload size", w);
+    }
+    const char* crcs = buf.data() + kHeader + dir_size + 4;
+    for (uint64_t page = 0; page < num_pages; ++page) {
+      const uint64_t begin = page * kRrCrcPageSize;
+      const uint64_t end =
+          std::min<uint64_t>(payload_size, begin + kRrCrcPageSize);
+      KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data() + preamble + begin,
+                                     end - begin, LoadFixed32(crcs + page * 4),
+                                     "rr page", w, stats));
+    }
   }
   const auto codec = MakeCodec(codec_kind);
   std::vector<uint32_t> members;
@@ -109,10 +164,17 @@ Status VerifyListsFile(const std::string& path, const IndexMeta& meta,
   KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
   std::string buf;
   KBTIM_RETURN_IF_ERROR(file->Read(0, file->size(), &buf));
-  constexpr uint64_t kHeader = 17;
-  if (buf.size() < kHeader || std::memcmp(buf.data(), "KBLW", 4) != 0) {
+  bool v2 = false;
+  if (buf.size() >= 4 && std::memcmp(buf.data(), "KBL2", 4) == 0) {
+    v2 = true;
+  } else if (buf.size() < 4 || std::memcmp(buf.data(), "KBLW", 4) != 0) {
     return Corrupt("lists file bad magic", w);
   }
+  if (v2 != (meta.format_version >= 2)) {
+    return Corrupt("lists file format version disagrees with meta", w);
+  }
+  const uint64_t kHeader = v2 ? 25 : 17;
+  if (buf.size() < kHeader) return Corrupt("lists file header truncated", w);
   uint32_t topic = 0;
   uint64_t num_entries = 0;
   std::memcpy(&topic, buf.data() + 4, 4);
@@ -120,6 +182,13 @@ Status VerifyListsFile(const std::string& path, const IndexMeta& meta,
   const auto codec_kind = static_cast<CodecKind>(buf[16]);
   if (topic != w || codec_kind != meta.codec) {
     return Corrupt("lists file header mismatch", w);
+  }
+  if (v2) {
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), 21, LoadFixed32(buf.data() + 21),
+                                   "lists header", w, stats));
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data() + kHeader, buf.size() - kHeader,
+                                   LoadFixed32(buf.data() + 17),
+                                   "lists payload", w, stats));
   }
   const auto codec = MakeCodec(codec_kind);
   const char* p = buf.data() + kHeader;
@@ -171,9 +240,20 @@ Status VerifyIrrFile(const std::string& path, const IndexMeta& meta,
   KBTIM_ASSIGN_OR_RETURN(auto file, RandomAccessFile::Open(path));
   std::string buf;
   KBTIM_RETURN_IF_ERROR(file->Read(0, file->size(), &buf));
-  constexpr uint64_t kHeader = 37;
-  if (buf.size() < kHeader || std::memcmp(buf.data(), "KBIW", 4) != 0) {
+  bool v2 = false;
+  if (buf.size() >= 4 && std::memcmp(buf.data(), "KBI2", 4) == 0) {
+    v2 = true;
+  } else if (buf.size() < 4 || std::memcmp(buf.data(), "KBIW", 4) != 0) {
     return Corrupt("irr file bad magic", w);
+  }
+  if (v2 != (meta.format_version >= 2)) {
+    return Corrupt("irr file format version disagrees with meta", w);
+  }
+  const uint64_t kHeader = v2 ? 41 : 37;
+  if (buf.size() < kHeader) return Corrupt("irr file header truncated", w);
+  if (v2) {
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), 37, LoadFixed32(buf.data() + 37),
+                                   "irr header", w, stats));
   }
   uint32_t topic = 0, delta = 0;
   uint64_t num_users = 0, num_partitions = 0, theta = 0;
@@ -222,13 +302,16 @@ Status VerifyIrrFile(const std::string& path, const IndexMeta& meta,
     }
   }
 
-  // Partition directory.
+  // Partition directory (v2 entries carry a per-partition CRC and the
+  // preamble ends with a CRC of everything before it).
+  const uint64_t entry_size = v2 ? 36 : 32;
   if (meta.topics[w].irr_preamble !=
-      static_cast<uint64_t>(p - buf.data()) + num_partitions * 32) {
+      static_cast<uint64_t>(p - buf.data()) + num_partitions * entry_size +
+          (v2 ? 4 : 0)) {
     return Corrupt("irr preamble length disagrees with meta", w);
   }
   std::vector<IrrPartitionInfo> dir(num_partitions);
-  if (p + num_partitions * 32 > limit) {
+  if (p + num_partitions * entry_size + (v2 ? 4 : 0) > limit) {
     return Corrupt("irr directory truncated", w);
   }
   for (auto& info : dir) {
@@ -238,7 +321,13 @@ Status VerifyIrrFile(const std::string& path, const IndexMeta& meta,
     std::memcpy(&info.num_sets, p + 20, 4);
     std::memcpy(&info.max_list_len, p + 24, 4);
     std::memcpy(&info.min_list_len, p + 28, 4);
-    p += 32;
+    if (v2) info.crc = LoadFixed32(p + 32);
+    p += entry_size;
+  }
+  if (v2) {
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), p - buf.data(),
+                                   LoadFixed32(p), "irr preamble", w, stats));
+    p += 4;
   }
   uint64_t expected_offset = static_cast<uint64_t>(p - buf.data());
   uint64_t users_seen = 0, sets_seen = 0;
@@ -261,6 +350,10 @@ Status VerifyIrrFile(const std::string& path, const IndexMeta& meta,
       return Corrupt("irr partitions not ordered by list length", w);
     }
     prev_min_len = info.min_list_len;
+    if (v2) {
+      KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data() + info.offset, info.length,
+                                     info.crc, "irr partition", w, stats));
+    }
     const char* q = buf.data() + info.offset;
     const char* qlimit = q + info.length;
     // IL^p
@@ -342,6 +435,7 @@ Status VerifyIrrFile(const std::string& path, const IndexMeta& meta,
 StatusOr<IndexVerification> VerifyIndex(const std::string& dir) {
   KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
   IndexVerification stats;
+  stats.format_version = meta.format_version;
   for (TopicId w = 0; w < meta.num_topics; ++w) {
     if (meta.topics[w].theta == 0) continue;
     RrFileSummary rr_summary;

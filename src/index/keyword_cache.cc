@@ -4,18 +4,18 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/crc32c.h"
 #include "storage/decode_kernels.h"
 #include "storage/varint.h"
 
 namespace kbtim {
 namespace {
 
-constexpr char kIrrMagic[4] = {'K', 'B', 'I', 'W'};
-constexpr uint64_t kIrrHeaderSize = 4 + 4 + 8 + 8 + 4 + 1 + 8;
-constexpr char kRrMagic[4] = {'K', 'B', 'R', 'W'};
-constexpr char kListsMagic[4] = {'K', 'B', 'L', 'W'};
-constexpr uint64_t kRrHeaderSize = 4 + 4 + 8 + 1;
-constexpr uint64_t kListsHeaderSize = 4 + 4 + 8 + 1;
+uint32_t LoadFixed32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
 
 template <typename T>
 uint64_t VectorBytes(const std::vector<T>& v) {
@@ -139,8 +139,47 @@ std::span<const RrId> RrKeywordBlock::ListOf(VertexId v,
 StatusOr<std::shared_ptr<KeywordCache>> KeywordCache::Create(
     const std::string& dir, KeywordCacheOptions options) {
   KBTIM_ASSIGN_OR_RETURN(IndexMeta meta, ReadIndexMeta(MetaFileName(dir)));
+  if (meta.format_version < kIndexFormatV2) {
+    // Once per cache (i.e. per opened directory), not per read.
+    KBTIM_LOG(Warning) << "index " << dir << " is format v"
+                       << meta.format_version
+                       << " (pre-checksum); serving with checksums=off — "
+                          "rebuild to v" << kIndexFormatLatest
+                       << " for verify-on-read integrity";
+  }
   return std::shared_ptr<KeywordCache>(
       new KeywordCache(dir, std::move(meta), options));
+}
+
+Status KeywordCache::CheckCrcLocked(const char* data, size_t n,
+                                    uint32_t stored_masked, const char* what,
+                                    const std::string& path) {
+  ++stats_.crc_checks;
+  if (crc32c::Unmask(stored_masked) == crc32c::Value(data, n)) {
+    return Status::OK();
+  }
+  ++stats_.crc_failures;
+  return Status::Corruption(std::string(what) + " checksum mismatch: " +
+                            path);
+}
+
+Status KeywordCache::CheckCrc(const char* data, size_t n,
+                              uint32_t stored_masked, const char* what,
+                              const std::string& path) {
+  // Hash outside the lock (this may cover megabytes), account inside.
+  const bool match = crc32c::Unmask(stored_masked) == crc32c::Value(data, n);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.crc_checks;
+  if (match) return Status::OK();
+  ++stats_.crc_failures;
+  return Status::Corruption(std::string(what) + " checksum mismatch: " +
+                            path);
+}
+
+bool KeywordCache::RunOnPrefetchPool(std::function<void()> fn) {
+  if (prefetch_pool_ == nullptr) return false;
+  prefetch_pool_->Submit(std::move(fn));
+  return true;
 }
 
 KeywordCacheStats KeywordCache::stats() const {
@@ -318,23 +357,40 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::LoadIrrEntry(
     TopicId topic) {
   const std::string path = IrrFileName(dir_, topic);
   const IndexMeta::TopicMeta& tm = meta_.topics[topic];
+  const bool v2 = meta_.format_version >= kIndexFormatV2;
+  const uint64_t header_size = v2 ? kIrrHeaderSizeV2 : kIrrHeaderSizeV1;
+  const size_t entry_size = v2 ? kIrrDirEntrySizeV2 : kIrrDirEntrySizeV1;
   auto entry = std::make_shared<IrrKeywordEntry>();
   entry->topic = topic;
+  entry->checksummed = v2;
   KBTIM_ASSIGN_OR_RETURN(entry->file,
                          RandomAccessFile::Open(path, options_.use_mmap));
-  if (tm.irr_preamble < kIrrHeaderSize ||
+  if (tm.irr_preamble < header_size + (v2 ? 4 : 0) ||
       tm.irr_preamble > entry->file->size()) {
     return Status::Corruption("bad IRR preamble length: " + path);
   }
-  // Single logical read: header + IP map + partition directory.
+  // Single logical read: header + IP map + partition directory (+ the
+  // trailing preamble CRC in v2).
   std::string scratch;
   KBTIM_ASSIGN_OR_RETURN(std::string_view buf,
                          entry->file->ReadOrCopy(0, tm.irr_preamble,
                                                  &scratch));
   const char* p = buf.data();
   const char* limit = buf.data() + buf.size();
-  if (std::memcmp(p, kIrrMagic, 4) != 0) {
+  if (std::memcmp(p, v2 ? kIrrMagicV2 : kIrrMagicV1, 4) != 0) {
     return Status::Corruption("bad IRR magic: " + path);
+  }
+  if (v2) {
+    // Whole-preamble CRC first (covers header + IP + directory), so every
+    // byte the parse below trusts has been verified; then the header's
+    // own CRC (cheap, and localizes the error message).
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), buf.size() - 4,
+                                   LoadFixed32(limit - 4), "IRR preamble",
+                                   path));
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), kIrrHeaderSizeV1,
+                                   LoadFixed32(p + kIrrHeaderSizeV1),
+                                   "IRR header", path));
+    limit -= 4;
   }
   uint32_t file_topic = 0, delta = 0;
   std::memcpy(&file_topic, p + 4, 4);
@@ -343,17 +399,18 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::LoadIrrEntry(
   std::memcpy(&delta, p + 24, 4);
   entry->codec = static_cast<CodecKind>(p[28]);
   std::memcpy(&entry->theta_w, p + 29, 8);
-  p += kIrrHeaderSize;
+  p += header_size;
   if (file_topic != topic || entry->codec != meta_.codec) {
     return Status::Corruption("IRR header mismatch: " + path);
   }
 
   // Bound the raw counts against the preamble size before trusting them:
-  // each IP entry is >= 2 varint bytes and each directory entry 32 bytes,
-  // so corrupt huge counts fail here instead of overflowing / OOMing.
+  // each IP entry is >= 2 varint bytes and each directory entry is
+  // fixed-size, so corrupt huge counts fail here instead of overflowing /
+  // OOMing.
   const uint64_t remaining = static_cast<uint64_t>(limit - p);
   if (entry->num_users > remaining / 2 ||
-      entry->num_partitions > remaining / 32) {
+      entry->num_partitions > remaining / entry_size) {
     return Status::Corruption("IRR preamble counts exceed file: " + path);
   }
 
@@ -373,9 +430,10 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::LoadIrrEntry(
     entry->ip_first.push_back(first);
   }
 
-  // Partition directory (fixed 32-byte entries; num_partitions already
+  // Partition directory (fixed-size entries; num_partitions already
   // bounded above, so the multiply cannot wrap).
-  if (entry->num_partitions * 32 > static_cast<uint64_t>(limit - p)) {
+  if (entry->num_partitions * entry_size >
+      static_cast<uint64_t>(limit - p)) {
     return Status::Corruption("IRR directory truncated: " + path);
   }
   entry->directory.resize(entry->num_partitions);
@@ -386,7 +444,8 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::LoadIrrEntry(
     std::memcpy(&info.num_sets, p + 20, 4);
     std::memcpy(&info.max_list_len, p + 24, 4);
     std::memcpy(&info.min_list_len, p + 28, 4);
-    p += 32;
+    if (v2) std::memcpy(&info.crc, p + 32, 4);
+    p += entry_size;
   }
   return std::shared_ptr<const IrrKeywordEntry>(std::move(entry));
 }
@@ -523,6 +582,13 @@ KeywordCache::DecodeIrrPartition(const IrrKeywordEntry& entry,
   KBTIM_ASSIGN_OR_RETURN(
       std::string_view buf,
       entry.file->ReadOrCopy(info.offset, info.length, &scratch));
+  if (entry.checksummed) {
+    // Verify the exact bytes read before any decode touches them: a bit
+    // flip (in the file or injected on the read) becomes kCorruption
+    // here, never a silently-different seed set.
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), buf.size(), info.crc,
+                                   "IRR partition", entry.file->path()));
+  }
   const char* p = buf.data();
   const char* limit = buf.data() + buf.size();
   const auto codec = MakeCodec(entry.codec);
@@ -634,14 +700,71 @@ Status KeywordCache::EnsureRrEntryLocked(TopicId topic,
 Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
                                        uint64_t budget) {
   const std::string& path = entry->rr_file->path();
+  if (entry->offsets.empty() && meta_.format_version >= kIndexFormatV2) {
+    // v2 first touch: the meta records the preamble length, so ONE read
+    // covers header + full offset directory + directory CRC + page-CRC
+    // table, all verified before anything is trusted. (Same logical read
+    // count as the v1 first touch; later budget growth needs no
+    // directory tail reads at all.)
+    const uint64_t preamble = meta_.topics[entry->topic].rr_preamble;
+    const uint64_t file_size = entry->rr_file->size();
+    if (preamble < kRrHeaderSizeV2 + 12 || preamble > file_size) {
+      return Status::Corruption("bad RR preamble length: " + path);
+    }
+    std::string scratch;
+    KBTIM_ASSIGN_OR_RETURN(std::string_view head,
+                           entry->rr_file->ReadOrCopy(0, preamble,
+                                                      &scratch));
+    if (std::memcmp(head.data(), kRrMagicV2, 4) != 0) {
+      return Status::Corruption("bad RR file magic: " + path);
+    }
+    KBTIM_RETURN_IF_ERROR(CheckCrcLocked(head.data(), 25,
+                                         LoadFixed32(head.data() + 25),
+                                         "RR header", path));
+    uint32_t file_topic = 0;
+    uint64_t num_pages = 0;
+    std::memcpy(&file_topic, head.data() + 4, 4);
+    std::memcpy(&entry->count, head.data() + 8, 8);
+    const auto file_codec = static_cast<CodecKind>(head[16]);
+    std::memcpy(&num_pages, head.data() + 17, 8);
+    if (file_topic != entry->topic || file_codec != meta_.codec) {
+      return Status::Corruption("RR file header mismatch: " + path);
+    }
+    const uint64_t dir_size = (entry->count + 1) * sizeof(uint64_t);
+    if (preamble !=
+        kRrHeaderSizeV2 + dir_size + 4 + num_pages * sizeof(uint32_t)) {
+      return Status::Corruption("RR preamble layout mismatch: " + path);
+    }
+    const char* dir = head.data() + kRrHeaderSizeV2;
+    KBTIM_RETURN_IF_ERROR(CheckCrcLocked(dir, dir_size,
+                                         LoadFixed32(dir + dir_size),
+                                         "RR directory", path));
+    if (budget > entry->count) {
+      return Status::Corruption("RR budget exceeds stored sets: " + path);
+    }
+    entry->checksummed = true;
+    entry->offsets.resize(entry->count + 1);
+    std::memcpy(entry->offsets.data(), dir, dir_size);
+    if (entry->offsets.front() != preamble ||
+        entry->offsets.back() != file_size ||
+        num_pages != (file_size - preamble + kRrCrcPageSize - 1) /
+                         kRrCrcPageSize) {
+      return Status::Corruption("RR directory out of bounds: " + path);
+    }
+    entry->page_crcs.resize(num_pages);
+    std::memcpy(entry->page_crcs.data(), dir + dir_size + 4,
+                num_pages * sizeof(uint32_t));
+    return Status::OK();
+  }
   if (entry->offsets.empty()) {
-    // First touch: header + the needed directory prefix in one read.
+    // v1 first touch: header + the needed directory prefix in one read.
     const uint64_t dir_prefix = (budget + 1) * sizeof(uint64_t);
     std::string scratch;
     KBTIM_ASSIGN_OR_RETURN(
         std::string_view head,
-        entry->rr_file->ReadOrCopy(0, kRrHeaderSize + dir_prefix, &scratch));
-    if (std::memcmp(head.data(), kRrMagic, 4) != 0) {
+        entry->rr_file->ReadOrCopy(0, kRrHeaderSizeV1 + dir_prefix,
+                                   &scratch));
+    if (std::memcmp(head.data(), kRrMagicV1, 4) != 0) {
       return Status::Corruption("bad RR file magic: " + path);
     }
     uint32_t file_topic = 0;
@@ -655,7 +778,7 @@ Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
       return Status::Corruption("RR budget exceeds stored sets: " + path);
     }
     entry->offsets.resize(budget + 1);
-    std::memcpy(entry->offsets.data(), head.data() + kRrHeaderSize,
+    std::memcpy(entry->offsets.data(), head.data() + kRrHeaderSizeV1,
                 dir_prefix);
     return Status::OK();
   }
@@ -663,13 +786,14 @@ Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
     return Status::Corruption("RR budget exceeds stored sets: " + path);
   }
   if (entry->offsets.size() >= budget + 1) return Status::OK();
-  // Read only the missing directory tail.
+  // v1: read only the missing directory tail (the v2 branch above loads
+  // the complete directory on first touch and never gets here).
   const uint64_t have = entry->offsets.size();
   const uint64_t need = budget + 1 - have;
   std::string scratch;
   KBTIM_ASSIGN_OR_RETURN(
       std::string_view tail,
-      entry->rr_file->ReadOrCopy(kRrHeaderSize + have * sizeof(uint64_t),
+      entry->rr_file->ReadOrCopy(kRrHeaderSizeV1 + have * sizeof(uint64_t),
                                  need * sizeof(uint64_t), &scratch));
   entry->offsets.resize(budget + 1);
   std::memcpy(entry->offsets.data() + have, tail.data(), tail.size());
@@ -696,6 +820,8 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   std::shared_ptr<RandomAccessFile> lists_file;
   uint64_t epoch = 0;
   std::vector<uint64_t> offsets;  // local copy of entries [0, min_budget]
+  bool checksummed = false;
+  std::vector<uint32_t> page_crcs;  // pages covering the payload prefix
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = blocks_.find(key);
@@ -724,17 +850,58 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
     epoch = EpochLocked(topic);
     offsets.assign(entry->offsets.begin(),
                    entry->offsets.begin() + min_budget + 1);
+    checksummed = entry->checksummed;
+    if (checksummed) {
+      const uint64_t prefix = offsets[min_budget] - offsets[0];
+      const uint64_t pages =
+          (prefix + kRrCrcPageSize - 1) / kRrCrcPageSize;
+      page_crcs.assign(entry->page_crcs.begin(),
+                       entry->page_crcs.begin() + pages);
+    }
   }
 
   auto block = std::make_shared<RrKeywordBlock>();
   block->loaded_budget = min_budget;
 
-  // One contiguous read of the payload prefix.
+  // One contiguous read of the payload prefix. With checksums on, the
+  // read rounds up to the CRC page boundary (clamped to the payload end)
+  // so every touched page verifies against its stored CRC — still one
+  // logical read, so Table-6 I/O accounting is unchanged.
   const uint64_t base = offsets[0];
+  const uint64_t need_len = offsets[min_budget] - base;
+  uint64_t read_len = need_len;
+  if (checksummed) {
+    const uint64_t rounded =
+        (need_len + kRrCrcPageSize - 1) / kRrCrcPageSize * kRrCrcPageSize;
+    read_len = std::min<uint64_t>(rr_file->size() - base, rounded);
+  }
   std::string scratch;
-  KBTIM_ASSIGN_OR_RETURN(
-      std::string_view payload,
-      rr_file->ReadOrCopy(base, offsets[min_budget] - base, &scratch));
+  KBTIM_ASSIGN_OR_RETURN(std::string_view raw,
+                         rr_file->ReadOrCopy(base, read_len, &scratch));
+  if (checksummed) {
+    uint64_t bad_page = page_crcs.size();
+    for (uint64_t i = 0; i < page_crcs.size(); ++i) {
+      const uint64_t begin = i * kRrCrcPageSize;
+      const uint64_t end = std::min<uint64_t>(read_len,
+                                              begin + kRrCrcPageSize);
+      if (crc32c::Unmask(page_crcs[i]) !=
+          crc32c::Value(raw.data() + begin, end - begin)) {
+        bad_page = i;
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.crc_checks +=
+          bad_page < page_crcs.size() ? bad_page + 1 : page_crcs.size();
+      if (bad_page < page_crcs.size()) ++stats_.crc_failures;
+    }
+    if (bad_page < page_crcs.size()) {
+      return Status::Corruption("RR payload page checksum mismatch: " +
+                                rr_file->path());
+    }
+  }
+  const std::string_view payload = raw.substr(0, need_len);
   const auto codec = MakeCodec(meta_.codec);
   const bool fast_pfor =
       meta_.codec == CodecKind::kPfor && BatchDecodeEnabled();
@@ -757,9 +924,23 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   KBTIM_ASSIGN_OR_RETURN(
       std::string_view buf,
       lists_file->ReadOrCopy(0, lists_file->size(), &lists_scratch));
-  if (buf.size() < kListsHeaderSize ||
-      std::memcmp(buf.data(), kListsMagic, 4) != 0) {
+  const uint64_t lists_header =
+      checksummed ? kListsHeaderSizeV2 : kListsHeaderSizeV1;
+  if (buf.size() < lists_header ||
+      std::memcmp(buf.data(), checksummed ? kListsMagicV2 : kListsMagicV1,
+                  4) != 0) {
     return Status::Corruption("bad lists file magic: " + lists_path);
+  }
+  if (checksummed) {
+    // Header CRC covers the payload CRC field; the file is read whole,
+    // so one payload CRC covers everything after the header.
+    KBTIM_RETURN_IF_ERROR(CheckCrc(buf.data(), 21,
+                                   LoadFixed32(buf.data() + 21),
+                                   "lists header", lists_path));
+    KBTIM_RETURN_IF_ERROR(
+        CheckCrc(buf.data() + lists_header, buf.size() - lists_header,
+                 LoadFixed32(buf.data() + 17), "lists payload",
+                 lists_path));
   }
   uint32_t file_topic = 0;
   uint64_t num_entries = 0;
@@ -769,7 +950,7 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   if (file_topic != topic || file_codec != meta_.codec) {
     return Status::Corruption("lists file header mismatch: " + lists_path);
   }
-  const char* p = buf.data() + kListsHeaderSize;
+  const char* p = buf.data() + lists_header;
   const char* limit = buf.data() + buf.size();
   VertexId prev = 0;
   std::vector<uint32_t> ids;

@@ -126,6 +126,14 @@ struct KeywordCacheStats {
   uint64_t prefetch_failures = 0;
   /// InvalidateTopic calls (explicit or corruption-triggered).
   uint64_t topic_invalidations = 0;
+  /// CRC32C verifications performed before decode/admission (v2 indexes
+  /// only; a v1 directory serves with checksums off and never bumps this).
+  uint64_t crc_checks = 0;
+  /// CRC mismatches detected. Each one surfaces as kCorruption and so
+  /// also shows up in decode_failures + topic_invalidations — this
+  /// counter isolates *checksum-caught* corruption (e.g. bit flips) from
+  /// structural decode failures.
+  uint64_t crc_failures = 0;
 };
 
 /// Parsed preamble of one keyword's irr_<w>.dat: header fields, the IP
@@ -138,6 +146,8 @@ struct IrrKeywordEntry {
   uint64_t num_users = 0;
   uint64_t num_partitions = 0;
   uint64_t theta_w = 0;
+  /// v2 file: partition reads are CRC-verified before decode.
+  bool checksummed = false;
   std::vector<IrrPartitionInfo> directory;
 
   /// IP_w as flat sorted arrays: ip_vertex ascending, ip_first aligned.
@@ -286,6 +296,12 @@ class KeywordCache {
   using FailureListener = std::function<void(TopicId, const Status&)>;
   void SetFailureListener(FailureListener listener);
 
+  /// Runs `fn` on the cache-owned prefetch pool, returning false (without
+  /// running it) when the pool is disabled. The online scrubber schedules
+  /// its paced block verifications here so scrub work shares the pool's
+  /// concurrency bound with prefetches instead of adding threads.
+  bool RunOnPrefetchPool(std::function<void()> fn);
+
   /// Drops everything cached for `topic`: resident blocks, the parsed
   /// preamble, file handles (reopened on next access), in-flight prefetch
   /// registrations (joiners holding the future still get their result),
@@ -305,6 +321,10 @@ class KeywordCache {
     std::shared_ptr<RandomAccessFile> lists_file;
     uint64_t count = 0;  // θ_w stored in the file
     std::vector<uint64_t> offsets;  // directory prefix, offsets[0..n]
+    /// v2 file: payload reads verify against page_crcs before decode.
+    bool checksummed = false;
+    /// Masked per-page payload CRCs (v2; loaded with the directory).
+    std::vector<uint32_t> page_crcs;
   };
 
   /// Key of a block in the LRU: IRR partitions use (topic, partition);
@@ -374,6 +394,14 @@ class KeywordCache {
 
   /// Current invalidation epoch of `topic` (0 until first invalidation).
   uint64_t EpochLocked(TopicId topic) const;
+
+  /// Verifies `data` against a stored masked CRC, bumping crc_checks /
+  /// crc_failures. `what` + `path` label the kCorruption on mismatch.
+  /// CheckCrcLocked requires mu_; CheckCrc takes it.
+  Status CheckCrcLocked(const char* data, size_t n, uint32_t stored_masked,
+                        const char* what, const std::string& path);
+  Status CheckCrc(const char* data, size_t n, uint32_t stored_masked,
+                  const char* what, const std::string& path);
 
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> LoadIrrEntry(
       TopicId topic);

@@ -790,6 +790,8 @@ ServiceStats QueryService::stats() const {
   out.cache_decode_failures = cache.decode_failures;
   out.cache_prefetch_failures = cache.prefetch_failures;
   out.cache_topic_invalidations = cache.topic_invalidations;
+  out.cache_crc_checks = cache.crc_checks;
+  out.cache_crc_failures = cache.crc_failures;
   if (fault_state_->breaker != nullptr) {
     const FailureDomainStats breaker = fault_state_->breaker->stats();
     out.breaker_opens = breaker.opens;
@@ -797,7 +799,30 @@ ServiceStats QueryService::stats() const {
     out.breaker_closes = breaker.closes;
     out.breaker_rejections = breaker.rejections;
   }
+  std::function<IndexScrubberStats()> scrub_provider;
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_provider = scrub_stats_;
+  }
+  if (scrub_provider) {
+    const IndexScrubberStats scrub = scrub_provider();
+    out.scrub_blocks = scrub.blocks_scrubbed;
+    out.scrub_crc_failures = scrub.crc_failures;
+    out.scrub_quarantines = scrub.quarantines;
+    out.scrub_rebuilds = scrub.rebuilds;
+  }
   return out;
+}
+
+void QueryService::SetScrubStatsProvider(
+    std::function<IndexScrubberStats()> provider) {
+  std::lock_guard<std::mutex> lock(scrub_mu_);
+  scrub_stats_ = std::move(provider);
+}
+
+bool QueryService::TopicHealthy(TopicId topic) const {
+  if (fault_state_->breaker == nullptr) return true;
+  return fault_state_->breaker->state(topic) != BreakerState::kOpen;
 }
 
 }  // namespace kbtim

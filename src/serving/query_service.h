@@ -90,6 +90,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "index/index_scrubber.h"
 #include "index/irr_index.h"
 #include "index/keyword_cache.h"
 #include "index/rr_index.h"
@@ -252,6 +253,17 @@ struct ServiceStats {
   uint64_t cache_decode_failures = 0;
   uint64_t cache_prefetch_failures = 0;
   uint64_t cache_topic_invalidations = 0;
+
+  /// ---- Checksum integrity (PR 7) ----
+  /// Verify-on-read: stored CRC32C comparisons made by the shared cache
+  /// and how many caught corrupted bytes (counted before any decode ran).
+  uint64_t cache_crc_checks = 0;
+  uint64_t cache_crc_failures = 0;
+  /// Online scrubber roll-up (0 until SetScrubStatsProvider is wired).
+  uint64_t scrub_blocks = 0;        ///< CRC units verified in background.
+  uint64_t scrub_crc_failures = 0;  ///< Latent corruption detected.
+  uint64_t scrub_quarantines = 0;   ///< Topics renamed aside.
+  uint64_t scrub_rebuilds = 0;      ///< Topics rebuilt and re-verified.
 };
 
 /// Multiplexes concurrent IRR/RR/WRIS queries over one KeywordCache.
@@ -314,6 +326,17 @@ class QueryService {
 
   const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
   const IndexMeta& meta() const { return cache_->meta(); }
+
+  /// Wires an IndexScrubber's counters into stats() (scrub_* fields).
+  /// The provider must stay callable for the service's lifetime; pass
+  /// nullptr to unwire before tearing the scrubber down.
+  void SetScrubStatsProvider(std::function<IndexScrubberStats()> provider);
+
+  /// READ-ONLY breaker probe for the scrubber's admit hook: true when
+  /// `topic` may be touched (breaker disabled, or its state is not open).
+  /// Unlike FailureDomainTable::Admit this never consumes a half-open
+  /// probe, so polling it cannot perturb the breaker state machine.
+  bool TopicHealthy(TopicId topic) const;
 
   /// Latency samples retained per percentile window.
   static constexpr size_t kLatencyWindow = 4096;
@@ -436,6 +459,11 @@ class QueryService {
   size_t coalesce_waiters_ = 0;  // workers inside a batch window wait
   bool paused_ = false;
   bool shutdown_ = false;
+
+  /// Scrubber stats hook; own mutex so snapshotting it never nests with
+  /// the queue or stats locks.
+  mutable std::mutex scrub_mu_;
+  std::function<IndexScrubberStats()> scrub_stats_;
 
   mutable std::mutex stats_mu_;
   ServiceStats counters_;  // percentile/cache fields filled at snapshot

@@ -1,0 +1,69 @@
+#include "storage/crc32c.h"
+
+#include <cstring>
+
+namespace kbtim {
+namespace crc32c {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  uint32_t t[8][256];
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? kPoly ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = T();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+
+  // Byte-at-a-time until the pointer is 8-byte aligned.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xFFu];
+    --n;
+  }
+  // Slice-by-8: fold one 64-bit word per iteration. The memcpy load is
+  // little-endian; the table construction assumes it (x86-64/AArch64).
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    w ^= c;
+    c = tb.t[7][w & 0xFFu] ^ tb.t[6][(w >> 8) & 0xFFu] ^
+        tb.t[5][(w >> 16) & 0xFFu] ^ tb.t[4][(w >> 24) & 0xFFu] ^
+        tb.t[3][(w >> 32) & 0xFFu] ^ tb.t[2][(w >> 40) & 0xFFu] ^
+        tb.t[1][(w >> 48) & 0xFFu] ^ tb.t[0][(w >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    c = (c >> 8) ^ tb.t[0][(c ^ *p++) & 0xFFu];
+    --n;
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace crc32c
+}  // namespace kbtim

@@ -1,0 +1,43 @@
+// CRC32C (Castagnoli) checksums for the on-disk index formats.
+//
+// Software slice-by-8 kernel: eight 256-entry lookup tables let the inner
+// loop consume 8 bytes per iteration, which keeps verification well under
+// the decode cost of a block (the cold-path budget in BENCH_pipeline.json
+// allows <= 5% p50 regression from verify-on-read). Checksums are stored
+// *masked* (RocksDB idiom): rotating and offsetting the raw CRC prevents
+// the degenerate case where a file region that itself contains CRCs is
+// re-CRC'd to a fixed point.
+#ifndef KBTIM_STORAGE_CRC32C_H_
+#define KBTIM_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kbtim {
+namespace crc32c {
+
+/// Extends `crc` — the checksum of some preceding byte string A — with
+/// data[0, n), returning the checksum of the concatenation A + data.
+/// Extend(Extend(0, a), b) == Value(a + b).
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// Checksum of data[0, n).
+inline uint32_t Value(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+/// Masks a raw CRC for storage.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+/// Inverse of Mask.
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace kbtim
+
+#endif  // KBTIM_STORAGE_CRC32C_H_

@@ -1,0 +1,196 @@
+// Format-version compatibility: a v1 (pre-checksum) index built from the
+// same inputs as a v2 index serves byte-identical answers with identical
+// logical I/O — checksums change durability, never results or the
+// Table-6 read accounting. v-old files keep loading (warn-once,
+// checksums=off) and the verifier reports their version instead of
+// failing the checksum stage.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "index/index_format.h"
+#include "index/index_verifier.h"
+#include "index/irr_index.h"
+#include "index/keyword_cache.h"
+#include "index/rr_index.h"
+#include "storage/io_counter.h"
+
+namespace kbtim {
+namespace {
+
+class IndexFormatCompatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (std::filesystem::temp_directory_path() /
+             ("kbtim_fmt_compat_" + std::to_string(::getpid())))
+                .string();
+    v1_dir_ = root_ + "/v1";
+    v2_dir_ = root_ + "/v2";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(v1_dir_);
+    std::filesystem::create_directories(v2_dir_);
+
+    DatasetSpec spec;
+    spec.name = "compat";
+    spec.graph.num_vertices = 800;
+    spec.graph.avg_degree = 4.0;
+    spec.graph.num_communities = 4;
+    spec.graph.seed = 51;
+    spec.profiles.num_topics = 4;
+    spec.profiles.seed = 52;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 10;
+    opts.partition_size = 20;
+    opts.num_threads = 2;
+    opts.seed = 53;
+    opts.max_theta_per_keyword = 10000;
+    opts.opt_estimate.pilot_initial = 256;
+
+    opts.format_version = kIndexFormatV1;
+    {
+      IndexBuilder builder(env_->graph(), env_->tfidf(),
+                           env_->weights(opts.model), opts);
+      ASSERT_TRUE(builder.Build(v1_dir_).ok());
+    }
+    opts.format_version = kIndexFormatV2;
+    {
+      IndexBuilder builder(env_->graph(), env_->tfidf(),
+                           env_->weights(opts.model), opts);
+      ASSERT_TRUE(builder.Build(v2_dir_).ok());
+    }
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  static void ExpectSameResult(const SeedSetResult& a,
+                               const SeedSetResult& b) {
+    ASSERT_EQ(a.seeds, b.seeds);
+    ASSERT_DOUBLE_EQ(a.estimated_influence, b.estimated_influence);
+  }
+
+  std::string root_, v1_dir_, v2_dir_;
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(IndexFormatCompatTest, MetaReportsItsVersion) {
+  auto v1 = ReadIndexMeta(MetaFileName(v1_dir_));
+  auto v2 = ReadIndexMeta(MetaFileName(v2_dir_));
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(v1->format_version, kIndexFormatV1);
+  EXPECT_EQ(v2->format_version, kIndexFormatV2);
+  // v2 metas carry the RR preamble per topic; v1 metas predate it.
+  for (const auto& tm : v1->topics) EXPECT_EQ(tm.rr_preamble, 0u);
+  for (const auto& tm : v2->topics) {
+    if (tm.theta > 0) EXPECT_GT(tm.rr_preamble, 0u);
+  }
+}
+
+TEST_F(IndexFormatCompatTest, SameSeedSameAnswersAcrossVersions) {
+  auto c1 = KeywordCache::Create(v1_dir_, {});
+  auto c2 = KeywordCache::Create(v2_dir_, {});
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto irr1 = IrrIndex::Open(*c1);
+  auto irr2 = IrrIndex::Open(*c2);
+  auto rr1 = RrIndex::Open(*c1);
+  auto rr2 = RrIndex::Open(*c2);
+  ASSERT_TRUE(irr1.ok() && irr2.ok() && rr1.ok() && rr2.ok());
+
+  for (const Query& q :
+       {Query{{0}, 6}, Query{{1, 2}, 6}, Query{{0, 1, 2, 3}, 10}}) {
+    auto a = irr1->Query(q);
+    auto b = irr2->Query(q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ExpectSameResult(*a, *b);
+    auto c = rr1->Query(q);
+    auto d = rr2->Query(q);
+    ASSERT_TRUE(c.ok() && d.ok());
+    ExpectSameResult(*c, *d);
+  }
+  // The v1 cache never checked a checksum; the v2 cache verified every
+  // byte it read — for free in logical-I/O terms (next test).
+  EXPECT_EQ((*c1)->stats().crc_checks, 0u);
+  EXPECT_GT((*c2)->stats().crc_checks, 0u);
+  EXPECT_EQ((*c2)->stats().crc_failures, 0u);
+}
+
+TEST_F(IndexFormatCompatTest, ChecksumsAddNoLogicalReads) {
+  auto c1 = KeywordCache::Create(v1_dir_, {});
+  auto c2 = KeywordCache::Create(v2_dir_, {});
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto irr1 = IrrIndex::Open(*c1);
+  auto irr2 = IrrIndex::Open(*c2);
+  ASSERT_TRUE(irr1.ok() && irr2.ok());
+  const Query q{{0, 1}, 6};
+
+  // Each window closes with WaitForPrefetches so background reads land
+  // inside their own version's count instead of racing the snapshot.
+  const IoStats before1 = IoCounter::Snapshot();
+  ASSERT_TRUE(irr1->Query(q).ok());
+  (*c1)->WaitForPrefetches();
+  const IoStats cold1 = IoCounter::Snapshot() - before1;
+
+  const IoStats before2 = IoCounter::Snapshot();
+  ASSERT_TRUE(irr2->Query(q).ok());
+  (*c2)->WaitForPrefetches();
+  const IoStats cold2 = IoCounter::Snapshot() - before2;
+
+  // Verify-on-read hashes bytes already in memory: the cold read-op
+  // count is identical across versions.
+  EXPECT_EQ(cold1.read_ops, cold2.read_ops);
+
+  // And the warm path is untouched: zero logical reads on repeat, both
+  // versions.
+  const IoStats wbefore = IoCounter::Snapshot();
+  ASSERT_TRUE(irr1->Query(q).ok());
+  ASSERT_TRUE(irr2->Query(q).ok());
+  const IoStats warm = IoCounter::Snapshot() - wbefore;
+  EXPECT_EQ(warm.read_ops, 0u);
+}
+
+TEST_F(IndexFormatCompatTest, VerifierHandlesBothVersions) {
+  auto v1 = VerifyIndex(v1_dir_);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v1->format_version, kIndexFormatV1);
+  EXPECT_EQ(v1->checksums_verified, 0u);  // nothing stored to check
+
+  auto v2 = VerifyIndex(v2_dir_);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(v2->format_version, kIndexFormatV2);
+  EXPECT_GT(v2->checksums_verified, 0u);
+  // Same inputs, same structures — only the envelope differs.
+  EXPECT_EQ(v1->rr_sets_checked, v2->rr_sets_checked);
+  EXPECT_EQ(v1->inverted_entries_checked, v2->inverted_entries_checked);
+  EXPECT_EQ(v1->partitions_checked, v2->partitions_checked);
+}
+
+TEST_F(IndexFormatCompatTest, V2MetaChecksumCatchesTampering) {
+  // Flip one byte of the v2 meta: the whole-file CRC must refuse it.
+  const std::string meta_path = MetaFileName(v2_dir_);
+  const auto size = std::filesystem::file_size(meta_path);
+  {
+    std::fstream f(meta_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    char byte = 0;
+    f.seekg(static_cast<std::streamoff>(size / 2));
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(static_cast<std::streamoff>(size / 2));
+    f.write(&byte, 1);
+  }
+  auto meta = ReadIndexMeta(meta_path);
+  ASSERT_FALSE(meta.ok());
+  EXPECT_TRUE(meta.status().IsCorruption()) << meta.status();
+}
+
+}  // namespace
+}  // namespace kbtim

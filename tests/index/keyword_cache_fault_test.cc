@@ -212,6 +212,179 @@ TEST_F(KeywordCacheFaultTest, PrefetchFailureIsCountedAndSurfaced) {
   EXPECT_FALSE((*block)->users.empty());
 }
 
+TEST_F(KeywordCacheFaultTest, BitFlipEveryReadDetectedBeforeAdmission) {
+  const Query q0{{0}, 6};
+  const Query q1{{1}, 6};
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+  auto baseline0 = irr->Query(q0);
+  auto baseline1 = irr->Query(q1);
+  ASSERT_TRUE(baseline0.ok() && baseline1.ok());
+  (*cache)->DropBlocks();
+  (*cache)->InvalidateTopic(0);
+  (*cache)->InvalidateTopic(1);
+
+  {
+    FaultPlan plan;
+    plan.rules.push_back({IrrBasename(0), FaultOp::kRead,
+                          FaultKind::kBitFlip, 0, /*max_faults=*/0, 1.0});
+    ScopedFaultInjection inject(plan);
+    // Every read of topic 0's file returns one corrupted byte. The CRC
+    // layer must catch it BEFORE decode/admission: the query fails
+    // kCorruption instead of silently serving flipped bytes.
+    auto failed = irr->Query(q0);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.status().IsCorruption()) << failed.status();
+    ASSERT_GT(FaultInjector::Instance().stats().bit_flips, 0u);
+  }
+  const KeywordCacheStats mid = (*cache)->stats();
+  EXPECT_GE(mid.crc_checks, 1u);
+  EXPECT_GE(mid.crc_failures, 1u);
+  EXPECT_GE(mid.topic_invalidations, 1u);
+
+  // Nothing corrupted was admitted: both topics serve the pristine
+  // answers from the same cache once injection stops.
+  auto healthy = irr->Query(q1);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ExpectSameResult(*baseline1, *healthy);
+  auto recovered = irr->Query(q0);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  ExpectSameResult(*baseline0, *recovered);
+}
+
+// Windowed single-flip sweep: for every op index i, a fresh cold cache
+// runs the query with exactly one bit flip armed for read op i (any
+// file). Whatever op the flip lands on, the outcome must be one of:
+//   * the flip was consumed by the foreground path — the query fails
+//     kCorruption (never a silently different answer), or
+//   * the flip was consumed by a background prefetch — the CRC layer
+//     rejects the block there and the foreground answer, served from
+//     clean bytes, is golden-equal.
+// In both cases the cache counts a crc_failure: a flipped-but-decodable
+// payload silently reaching a result is the bug this sweep excludes.
+TEST_F(KeywordCacheFaultTest, BitFlipSweepNeverSilentlyChangesIrrResults) {
+  const Query q{{0, 1}, 6};
+  SeedSetResult golden;
+  {
+    auto cache = KeywordCache::Create(dir_, {});
+    ASSERT_TRUE(cache.ok());
+    auto irr = IrrIndex::Open(*cache);
+    ASSERT_TRUE(irr.ok());
+    auto r = irr->Query(q);
+    ASSERT_TRUE(r.ok());
+    golden = std::move(*r);
+  }
+  uint64_t fired_windows = 0;
+  for (uint64_t window = 0; window < 24; ++window) {
+    auto cache = KeywordCache::Create(dir_, {});
+    ASSERT_TRUE(cache.ok());
+    auto irr = IrrIndex::Open(*cache);
+    ASSERT_TRUE(irr.ok());
+    uint64_t flips = 0;
+    StatusOr<SeedSetResult> result = Status::Internal("unset");
+    {
+      FaultPlan plan;
+      plan.seed = 1000 + window;
+      plan.rules.push_back({"", FaultOp::kRead, FaultKind::kBitFlip,
+                            /*first_op=*/window, /*max_faults=*/1, 1.0});
+      ScopedFaultInjection inject(plan);
+      result = irr->Query(q);
+      (*cache)->WaitForPrefetches();
+      flips = FaultInjector::Instance().stats().bit_flips;
+    }
+    if (flips > 0) {
+      ++fired_windows;
+      EXPECT_GE((*cache)->stats().crc_failures, 1u)
+          << "window " << window << ": flipped byte admitted unchecked";
+      if (result.ok()) {
+        ExpectSameResult(golden, *result);  // flip hit a prefetch only
+      } else {
+        EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+      }
+    } else {
+      ASSERT_TRUE(result.ok()) << result.status();
+      ExpectSameResult(golden, *result);
+    }
+  }
+  EXPECT_GT(fired_windows, 0u);
+}
+
+TEST_F(KeywordCacheFaultTest, BitFlipSweepNeverSilentlyChangesRrResults) {
+  const Query q{{0, 1}, 6};
+  SeedSetResult golden;
+  {
+    auto cache = KeywordCache::Create(dir_, {});
+    ASSERT_TRUE(cache.ok());
+    auto rr = RrIndex::Open(*cache);
+    ASSERT_TRUE(rr.ok());
+    auto r = rr->Query(q);
+    ASSERT_TRUE(r.ok());
+    golden = std::move(*r);
+  }
+  uint64_t fired_windows = 0;
+  for (uint64_t window = 0; window < 24; ++window) {
+    auto cache = KeywordCache::Create(dir_, {});
+    ASSERT_TRUE(cache.ok());
+    auto rr = RrIndex::Open(*cache);
+    ASSERT_TRUE(rr.ok());
+    uint64_t flips = 0;
+    StatusOr<SeedSetResult> result = Status::Internal("unset");
+    {
+      FaultPlan plan;
+      plan.seed = 2000 + window;
+      plan.rules.push_back({"", FaultOp::kRead, FaultKind::kBitFlip,
+                            /*first_op=*/window, /*max_faults=*/1, 1.0});
+      ScopedFaultInjection inject(plan);
+      result = rr->Query(q);
+      (*cache)->WaitForPrefetches();
+      flips = FaultInjector::Instance().stats().bit_flips;
+    }
+    if (flips > 0) {
+      ++fired_windows;
+      EXPECT_GE((*cache)->stats().crc_failures, 1u)
+          << "window " << window << ": flipped byte admitted unchecked";
+      if (result.ok()) {
+        ExpectSameResult(golden, *result);  // flip hit a prefetch only
+      } else {
+        EXPECT_TRUE(result.status().IsCorruption()) << result.status();
+      }
+    } else {
+      ASSERT_TRUE(result.ok()) << result.status();
+      ExpectSameResult(golden, *result);
+    }
+  }
+  EXPECT_GT(fired_windows, 0u);
+}
+
+// Verify-on-read must stay free on the warm path: CRCs are checked when
+// bytes come off disk, never on cache hits, so a repeat query performs
+// zero logical reads exactly as it did before checksums existed.
+TEST_F(KeywordCacheFaultTest, WarmRepeatQueryStaysZeroReadOpsWithChecksums) {
+  auto cache = KeywordCache::Create(dir_, {});
+  ASSERT_TRUE(cache.ok());
+  auto irr = IrrIndex::Open(*cache);
+  ASSERT_TRUE(irr.ok());
+  const Query q{{0, 2}, 6};
+  auto cold = irr->Query(q);
+  ASSERT_TRUE(cold.ok());
+  (*cache)->WaitForPrefetches();
+  const KeywordCacheStats after_cold = (*cache)->stats();
+  EXPECT_GT(after_cold.crc_checks, 0u);  // the cold pass verified
+  EXPECT_EQ(after_cold.crc_failures, 0u);
+
+  const IoStats before = IoCounter::Snapshot();
+  auto warm = irr->Query(q);
+  ASSERT_TRUE(warm.ok());
+  const IoStats delta = IoCounter::Snapshot() - before;
+  EXPECT_EQ(delta.read_ops, 0u);
+  EXPECT_EQ(delta.read_bytes, 0u);
+  ExpectSameResult(*cold, *warm);
+  // No re-verification happened either.
+  EXPECT_EQ((*cache)->stats().crc_checks, after_cold.crc_checks);
+}
+
 TEST_F(KeywordCacheFaultTest, FailureListenerReportsClassifiedFaults) {
   auto cache = KeywordCache::Create(dir_, {});
   ASSERT_TRUE(cache.ok());
