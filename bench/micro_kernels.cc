@@ -150,9 +150,9 @@ class TempIndexFile {
     std::string chunk(1 << 16, '\0');
     for (size_t written = 0; written < bytes; written += chunk.size()) {
       for (auto& c : chunk) c = static_cast<char>(rng.NextU32Below(256));
-      (void)writer->Append(chunk);
+      KBTIM_IGNORE_STATUS(writer->Append(chunk));
     }
-    (void)writer->Close();
+    KBTIM_IGNORE_STATUS(writer->Close());
   }
   ~TempIndexFile() { std::filesystem::remove(path_); }
   const std::string& path() const { return path_; }
@@ -171,7 +171,7 @@ void BM_ReadPread(benchmark::State& state) {
   const uint64_t span = raf->size() - block;
   for (auto _ : state) {
     const uint64_t off = rng.NextU32Below(static_cast<uint32_t>(span));
-    (void)raf->Read(off, block, &buf);
+    KBTIM_IGNORE_STATUS(raf->Read(off, block, &buf));
     sink += static_cast<uint8_t>(buf[0]);
   }
   benchmark::DoNotOptimize(sink);

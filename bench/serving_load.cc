@@ -194,7 +194,7 @@ StatusOr<OpenLoopResult> RunOpenLoop(const std::string& dir,
     futures.push_back(service->Submit(std::move(request)));
   }
   service->Drain();
-  for (auto& future : futures) (void)future.get();
+  for (auto& future : futures) KBTIM_IGNORE_STATUS(future.get());
 
   const ServiceStats stats = service->stats();
   OpenLoopResult result;
@@ -522,8 +522,8 @@ StatusOr<FaultPhaseResult> RunFaultPhase(const std::string& dir,
   service->cache()->DropBlocks();
   for (int pass = 0; pass < 2; ++pass) {  // pass 1: probes; pass 2: warm
     for (const Query& q : queries) {
-      (void)service->Execute({q, QueryEngine::kIrr});
-      (void)service->Execute({q, QueryEngine::kRr});
+      KBTIM_IGNORE_STATUS(service->Execute({q, QueryEngine::kIrr}));
+      KBTIM_IGNORE_STATUS(service->Execute({q, QueryEngine::kRr}));
     }
   }
   service->cache()->WaitForPrefetches();
@@ -651,8 +651,8 @@ StatusOr<BitFlipPhaseResult> RunBitFlipPhase(
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   for (int pass = 0; pass < 2; ++pass) {
     for (const Query& q : queries) {
-      (void)service->Execute({q, QueryEngine::kIrr});
-      (void)service->Execute({q, QueryEngine::kRr});
+      KBTIM_IGNORE_STATUS(service->Execute({q, QueryEngine::kIrr}));
+      KBTIM_IGNORE_STATUS(service->Execute({q, QueryEngine::kRr}));
     }
   }
   out.recovered_golden = true;

@@ -3,13 +3,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace kbtim {
 namespace {
 
 std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
-std::mutex g_log_mutex;
+// Serializes the stderr write so concurrent log lines never interleave.
+Mutex g_log_mutex;
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -53,7 +55,7 @@ LogMessage::~LogMessage() {
       static_cast<int>(MinLogSeverity())) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

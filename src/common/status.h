@@ -33,7 +33,11 @@ const char* StatusCodeToString(StatusCode code);
 /// A Status is either OK or carries an error code plus a message.
 ///
 /// The OK status carries no allocation; error statuses own their message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status hides failures, so
+/// every call site must consume it — propagate (KBTIM_RETURN_IF_ERROR),
+/// branch on it, or discard explicitly with KBTIM_IGNORE_STATUS.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -108,6 +112,12 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+namespace status_internal {
+/// Sink for KBTIM_IGNORE_STATUS — consumes any [[nodiscard]] value.
+template <typename T>
+inline void IgnoreStatus(T&&) {}
+}  // namespace status_internal
+
 }  // namespace kbtim
 
 /// Propagates a non-OK Status to the caller.
@@ -116,5 +126,11 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
     ::kbtim::Status _kbtim_status = (expr);        \
     if (!_kbtim_status.ok()) return _kbtim_status; \
   } while (0)
+
+/// Deliberately discards a Status / StatusOr. Unlike a bare `(void)` cast
+/// this names the intent and is greppable; every use should carry a comment
+/// explaining why dropping the error is safe.
+#define KBTIM_IGNORE_STATUS(expr) \
+  ::kbtim::status_internal::IgnoreStatus(expr)
 
 #endif  // KBTIM_COMMON_STATUS_H_

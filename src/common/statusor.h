@@ -14,8 +14,11 @@ namespace kbtim {
 ///
 /// Accessing the value of a non-OK StatusOr is a programming error and
 /// aborts in debug builds.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped StatusOr is a
+/// swallowed error. Use KBTIM_IGNORE_STATUS for deliberate discards.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit conversion from an error Status. `status` must not be OK.
   StatusOr(Status status)  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,86 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to Clang's capability attributes when the compiler supports
+// them (clang with -Wthread-safety) and to nothing everywhere else, so the
+// annotated tree builds unchanged under GCC. The vocabulary follows the
+// Abseil / RocksDB convention:
+//
+//   * CAPABILITY("mutex")   — a class is a lockable capability (see Mutex).
+//   * SCOPED_CAPABILITY     — an RAII object that holds a capability for its
+//                             lifetime (see MutexLock).
+//   * GUARDED_BY(mu)        — reads and writes of this field require `mu`.
+//   * PT_GUARDED_BY(mu)     — the pointed-to data requires `mu`.
+//   * REQUIRES(mu)          — callers must hold `mu` (our `*Locked()`
+//                             helpers carry this).
+//   * EXCLUDES(mu)          — callers must NOT hold `mu`; this is how the
+//                             "stats_mu_ is never nested under mu_" rule
+//                             from PR 4 becomes a compile error.
+//   * ACQUIRE / RELEASE / TRY_ACQUIRE — lock transitions on functions.
+//   * ACQUIRED_BEFORE / ACQUIRED_AFTER — declared lock ordering (only
+//                             checked under -Wthread-safety-beta; we state
+//                             ordering with EXCLUDES instead, which the
+//                             stable analysis enforces).
+//
+// Misuse is rejected by the CI `static-analysis` job (clang build with
+// -Wthread-safety promoted to an error) and demonstrated by the
+// negative-compile suite in tests/static/.
+#ifndef KBTIM_COMMON_THREAD_ANNOTATIONS_H_
+#define KBTIM_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef KBTIM_THREAD_ANNOTATION_ATTRIBUTE__
+#define KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  KBTIM_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // KBTIM_COMMON_THREAD_ANNOTATIONS_H_

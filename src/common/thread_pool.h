@@ -3,13 +3,13 @@
 #ifndef KBTIM_COMMON_THREAD_POOL_H_
 #define KBTIM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace kbtim {
 
@@ -29,28 +29,29 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on the
   /// pool, blocking until every chunk is done. Runs inline when n is small
   /// or the pool has a single worker.
-  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn)
+      EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // written once in the constructor
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace kbtim

@@ -34,17 +34,17 @@ IndexScrubber::IndexScrubber(std::shared_ptr<KeywordCache> cache,
 IndexScrubber::~IndexScrubber() { Stop(); }
 
 void IndexScrubber::SetRebuilder(RebuildFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rebuild_ = std::move(fn);
 }
 
 void IndexScrubber::SetAdmitFn(AdmitFn fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   admit_ = std::move(fn);
 }
 
 IndexScrubberStats IndexScrubber::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -52,7 +52,7 @@ Status IndexScrubber::CheckCrc(const char* data, size_t n,
                                uint32_t stored_masked, const char* what,
                                const std::string& path) {
   const bool match = crc32c::Unmask(stored_masked) == crc32c::Value(data, n);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.blocks_scrubbed;
   stats_.bytes_scrubbed += n;
   if (match) return Status::OK();
@@ -206,7 +206,7 @@ Status IndexScrubber::ScrubTopic(TopicId topic) {
     return Status::InvalidArgument("scrub topic out of range");
   }
   if (meta.format_version < kIndexFormatV2) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.topics_skipped_unversioned;
     return Status::OK();
   }
@@ -214,11 +214,11 @@ Status IndexScrubber::ScrubTopic(TopicId topic) {
   if (tm.theta == 0) return Status::OK();  // empty topic: no files
   AdmitFn admit;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     admit = admit_;
   }
   if (admit && !admit(topic)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.topics_skipped_breaker;
     return Status::OK();
   }
@@ -244,7 +244,7 @@ Status IndexScrubber::ScrubTopic(TopicId topic) {
   }
 
   if (detected.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.topics_scrubbed;
     return Status::OK();
   }
@@ -258,7 +258,7 @@ Status IndexScrubber::QuarantineAndRebuild(TopicId topic) {
   namespace fs = std::filesystem;
   const std::string& dir = cache_->dir();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.quarantines;
   }
   for (const std::string& path :
@@ -278,7 +278,7 @@ Status IndexScrubber::QuarantineAndRebuild(TopicId topic) {
 
   RebuildFn rebuild;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rebuild = rebuild_;
   }
   if (!rebuild) {
@@ -289,7 +289,7 @@ Status IndexScrubber::QuarantineAndRebuild(TopicId topic) {
         std::to_string(topic) + ")");
   }
   if (Status s = rebuild(topic); !s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.rebuild_failures;
     return s;
   }
@@ -303,12 +303,12 @@ Status IndexScrubber::QuarantineAndRebuild(TopicId topic) {
   if (verify.ok() && meta.has_rr) verify = VerifyListsFile(topic);
   if (verify.ok() && meta.has_irr) verify = VerifyIrrFile(topic);
   if (!verify.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.rebuild_failures;
     return verify;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.rebuilds;
     ++stats_.topics_scrubbed;
   }
@@ -325,18 +325,19 @@ Status IndexScrubber::ScrubPass() {
       first_bad = s;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.passes;
   return first_bad;
 }
 
 void IndexScrubber::Start() {
+  MutexLock lock(&lifecycle_mu_);
   if (thread_.joinable()) return;
   stop_.store(false);
   thread_ = std::thread([this] {
     uint32_t rounds = 0;
     while (!stop_.load(std::memory_order_relaxed)) {
-      (void)ScrubPass();  // outcomes are in the counters
+      KBTIM_IGNORE_STATUS(ScrubPass());  // outcomes are in the counters
       if (options_.max_rounds != 0 && ++rounds >= options_.max_rounds) {
         break;
       }
@@ -354,6 +355,10 @@ void IndexScrubber::Start() {
 }
 
 void IndexScrubber::Stop() {
+  // stop_ flips under lifecycle_mu_ so a Stop that loses the race with a
+  // concurrent Start still stops the thread that Start just launched
+  // (ordering the store after Start's stop_.store(false)).
+  MutexLock lock(&lifecycle_mu_);
   stop_.store(true);
   if (thread_.joinable()) thread_.join();
 }

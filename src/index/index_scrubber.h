@@ -34,10 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
 #include "index/keyword_cache.h"
 
@@ -95,8 +95,8 @@ class IndexScrubber {
   IndexScrubber(const IndexScrubber&) = delete;
   IndexScrubber& operator=(const IndexScrubber&) = delete;
 
-  void SetRebuilder(RebuildFn fn);
-  void SetAdmitFn(AdmitFn fn);
+  void SetRebuilder(RebuildFn fn) EXCLUDES(mu_);
+  void SetAdmitFn(AdmitFn fn) EXCLUDES(mu_);
 
   /// Verifies every stored CRC of one topic's files. OK when clean,
   /// skipped, or detected-and-healed (quarantine + rebuild + re-verify
@@ -108,12 +108,13 @@ class IndexScrubber {
   /// status (after attempting the remaining topics).
   Status ScrubPass();
 
-  /// Launches the background thread (idempotent).
-  void Start();
+  /// Launches the background thread (idempotent, thread-safe: concurrent
+  /// Start/Stop calls serialize on lifecycle_mu_).
+  void Start() EXCLUDES(lifecycle_mu_);
   /// Stops and joins it (idempotent; also called by the destructor).
-  void Stop();
+  void Stop() EXCLUDES(lifecycle_mu_);
 
-  IndexScrubberStats stats() const;
+  IndexScrubberStats stats() const EXCLUDES(mu_);
 
  private:
   /// Reads + CRC-checks one file, counting each verified unit. The
@@ -137,13 +138,18 @@ class IndexScrubber {
   const std::shared_ptr<KeywordCache> cache_;
   const IndexScrubberOptions options_;
 
-  mutable std::mutex mu_;
-  IndexScrubberStats stats_;
-  RebuildFn rebuild_;
-  AdmitFn admit_;
+  mutable Mutex mu_;
+  IndexScrubberStats stats_ GUARDED_BY(mu_);
+  RebuildFn rebuild_ GUARDED_BY(mu_);
+  AdmitFn admit_ GUARDED_BY(mu_);
 
   std::atomic<bool> stop_{false};
-  std::thread thread_;
+
+  /// Guards the background thread's lifecycle. Separate from mu_ because
+  /// Stop() joins while holding it and the scrub thread takes mu_ for
+  /// stats — joining under mu_ would deadlock.
+  Mutex lifecycle_mu_;
+  std::thread thread_ GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace kbtim

@@ -168,7 +168,7 @@ Status KeywordCache::CheckCrc(const char* data, size_t n,
                               const std::string& path) {
   // Hash outside the lock (this may cover megabytes), account inside.
   const bool match = crc32c::Unmask(stored_masked) == crc32c::Value(data, n);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.crc_checks;
   if (match) return Status::OK();
   ++stats_.crc_failures;
@@ -183,7 +183,7 @@ bool KeywordCache::RunOnPrefetchPool(std::function<void()> fn) {
 }
 
 KeywordCacheStats KeywordCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -191,14 +191,14 @@ void KeywordCache::DropBlocks() {
   // Land in-flight prefetches first so none resurrects a block after the
   // clear (benchmarks rely on DropBlocks giving a truly cold block cache).
   WaitForPrefetches();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   blocks_.clear();
   lru_.clear();
   stats_.bytes_cached = 0;
 }
 
 void KeywordCache::SetFailureListener(FailureListener listener) {
-  std::lock_guard<std::mutex> lock(listener_mu_);
+  MutexLock lock(&listener_mu_);
   failure_listener_ = std::move(listener);
 }
 
@@ -208,7 +208,7 @@ uint64_t KeywordCache::EpochLocked(TopicId topic) const {
 }
 
 void KeywordCache::InvalidateTopic(TopicId topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++topic_epoch_[topic];
   ++stats_.topic_invalidations;
   for (auto it = blocks_.begin(); it != blocks_.end();) {
@@ -239,12 +239,12 @@ void KeywordCache::InvalidateTopic(TopicId topic) {
 void KeywordCache::RecordTopicFailure(TopicId topic, const Status& status) {
   if (status.code() == StatusCode::kCorruption) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++stats_.decode_failures;
     }
     InvalidateTopic(topic);
   } else if (status.code() == StatusCode::kIOError) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.io_errors;
     irr_entries_.erase(topic);
     rr_entries_.erase(topic);
@@ -253,7 +253,7 @@ void KeywordCache::RecordTopicFailure(TopicId topic, const Status& status) {
   }
   FailureListener listener;
   {
-    std::lock_guard<std::mutex> lock(listener_mu_);
+    MutexLock lock(&listener_mu_);
     listener = failure_listener_;
   }
   if (listener) listener(topic, status);
@@ -262,7 +262,7 @@ void KeywordCache::RecordTopicFailure(TopicId topic, const Status& status) {
 void KeywordCache::WaitForPrefetches() {
   std::vector<IrrBlockFuture> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     pending.reserve(inflight_.size());
     for (const auto& [key, future] : inflight_) pending.push_back(future);
   }
@@ -307,7 +307,7 @@ std::shared_ptr<const void> KeywordCache::InsertBlockIfFresh(
     const BlockKey& key, std::shared_ptr<const void> block, uint64_t bytes,
     uint64_t epoch) {
   if (options_.block_cache_bytes == 0) return block;  // caching disabled
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (EpochLocked(key.topic) != epoch) {
     // The topic was invalidated while this block was decoding; it read
     // through a pre-invalidation handle, so serve it to the caller but
@@ -337,7 +337,7 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::GetIrrKeyword(
     return Status::InvalidArgument("topic id out of range");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = irr_entries_.find(topic);
     if (it != irr_entries_.end()) return it->second;
   }
@@ -347,7 +347,7 @@ StatusOr<std::shared_ptr<const IrrKeywordEntry>> KeywordCache::GetIrrKeyword(
     RecordTopicFailure(topic, loaded.status());
     return loaded.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto [it, inserted] = irr_entries_.emplace(topic, *loaded);
   if (inserted) ++stats_.preamble_loads;
   return it->second;  // the first loader's entry if we raced
@@ -460,7 +460,7 @@ KeywordCache::GetIrrPartition(const IrrKeywordEntry& entry,
   IrrBlockFuture inflight;
   uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = blocks_.find(key);
     if (it != blocks_.end()) {
       ++stats_.hits;
@@ -505,7 +505,7 @@ void KeywordCache::PrefetchIrrPartition(
     // Cheap warm-path exit BEFORE building the task: resident, in-flight
     // or admission-bypassed partitions (the common cases on repeat
     // queries) cost one lock round-trip and no allocation.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (blocks_.count(key) != 0 || inflight_.count(key) != 0 ||
         uncacheable_.count(key) != 0) {
       return;
@@ -525,7 +525,7 @@ void KeywordCache::PrefetchIrrPartition(
           // prefetch was scheduled (epoch moved) is never re-admitted.
           bool admitted = true;
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             if (EpochLocked(key.topic) == epoch) {
               const auto it = blocks_.find(key);
               if (it != blocks_.end()) {
@@ -550,7 +550,7 @@ void KeywordCache::PrefetchIrrPartition(
           // future. Count it and run the same failure-domain reaction as
           // a foreground failure; joiners still observe the status.
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&mu_);
             ++stats_.prefetch_failures;
             inflight_.erase(key);
           }
@@ -561,7 +561,7 @@ void KeywordCache::PrefetchIrrPartition(
   {
     // Re-check under the lock: another thread may have landed or started
     // this partition (or invalidated the topic) while the task was built.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (blocks_.count(key) != 0 || inflight_.count(key) != 0 ||
         EpochLocked(key.topic) != epoch) {
       return;
@@ -697,7 +697,7 @@ Status KeywordCache::EnsureRrEntryLocked(TopicId topic,
   return Status::OK();
 }
 
-Status KeywordCache::ExtendRrDirectory(RrKeywordEntry* entry,
+Status KeywordCache::ExtendRrDirectoryLocked(RrKeywordEntry* entry,
                                        uint64_t budget) {
   const std::string& path = entry->rr_file->path();
   if (entry->offsets.empty() && meta_.format_version >= kIndexFormatV2) {
@@ -823,7 +823,7 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   bool checksummed = false;
   std::vector<uint32_t> page_crcs;  // pages covering the payload prefix
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = blocks_.find(key);
     if (it != blocks_.end()) {
       auto block =
@@ -842,7 +842,7 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
     // so a cold keyword never stalls warm queries on other topics.
     RrKeywordEntry* entry = nullptr;
     KBTIM_RETURN_IF_ERROR(EnsureRrEntryLocked(topic, &entry));
-    KBTIM_RETURN_IF_ERROR(ExtendRrDirectory(entry, min_budget));
+    KBTIM_RETURN_IF_ERROR(ExtendRrDirectoryLocked(entry, min_budget));
     // Shared handle copies stay valid unlocked even if InvalidateTopic
     // erases the entry (and drops its references) mid-decode.
     rr_file = entry->rr_file;
@@ -891,7 +891,7 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.crc_checks +=
           bad_page < page_crcs.size() ? bad_page + 1 : page_crcs.size();
       if (bad_page < page_crcs.size()) ++stats_.crc_failures;
@@ -990,7 +990,7 @@ KeywordCache::GetRrKeywordImpl(TopicId topic, uint64_t min_budget) {
   if (options_.block_cache_bytes == 0) {
     return std::shared_ptr<const RrKeywordBlock>(std::move(block));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (EpochLocked(topic) != epoch) {
     // Invalidated while decoding: serve the caller, never re-admit.
     return std::shared_ptr<const RrKeywordBlock>(std::move(block));

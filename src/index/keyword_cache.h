@@ -56,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "coverage/rr_collection.h"
@@ -194,7 +195,9 @@ struct IrrPartitionBlock {
   /// Members of set_ids[s], decoding IR^p on first use (corruption
   /// degrades to empty spans; status-checked paths use EnsureMembers).
   std::span<const VertexId> SetMembers(size_t s) const {
-    (void)EnsureMembers();
+    // Corruption intentionally degrades to empty spans here; callers that
+    // need the error call EnsureMembers() themselves first.
+    KBTIM_IGNORE_STATUS(EnsureMembers());
     if (set_offsets.size() != set_ids.size() + 1) return {};
     return {set_members.data() + set_offsets[s],
             set_members.data() + set_offsets[s + 1]};
@@ -257,36 +260,36 @@ class KeywordCache {
 
   /// The parsed IRR preamble of `topic` (opened + parsed on first use).
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> GetIrrKeyword(
-      TopicId topic);
+      TopicId topic) EXCLUDES(mu_);
 
   /// Decoded partition `partition` of `entry`'s keyword, from cache, from
   /// an in-flight prefetch (waits for it instead of re-decoding), or from
   /// disk. The returned block stays valid while the caller holds it.
   StatusOr<std::shared_ptr<const IrrPartitionBlock>> GetIrrPartition(
-      const IrrKeywordEntry& entry, uint64_t partition);
+      const IrrKeywordEntry& entry, uint64_t partition) EXCLUDES(mu_);
 
   /// Schedules a background read + decode of `entry`'s partition so a
   /// later GetIrrPartition overlaps with the caller's compute. No-op when
   /// the partition is resident, already in flight, out of range, or
   /// prefetching/caching is disabled. `entry` is retained by the task.
   void PrefetchIrrPartition(std::shared_ptr<const IrrKeywordEntry> entry,
-                            uint64_t partition);
+                            uint64_t partition) EXCLUDES(mu_);
 
   /// Blocks until every scheduled prefetch has landed. Benchmarks and
   /// tests call this to make I/O-counting windows deterministic.
-  void WaitForPrefetches();
+  void WaitForPrefetches() EXCLUDES(mu_);
 
   /// Decoded R_w prefix + inverted lists of `topic` covering at least
   /// `min_budget` RR sets.
   StatusOr<std::shared_ptr<const RrKeywordBlock>> GetRrKeyword(
-      TopicId topic, uint64_t min_budget);
+      TopicId topic, uint64_t min_budget) EXCLUDES(mu_);
 
   /// Current counters.
-  KeywordCacheStats stats() const;
+  KeywordCacheStats stats() const EXCLUDES(mu_);
 
   /// Drops every cached block (entries/handles survive). Mainly for tests
   /// and for benchmarks that need a cold block cache.
-  void DropBlocks();
+  void DropBlocks() EXCLUDES(mu_);
 
   /// Failure-domain hook: called once per recorded kIOError/kCorruption,
   /// outside the cache lock, possibly from a prefetch-pool thread. The
@@ -294,7 +297,7 @@ class KeywordCache {
   /// the cache from the listener. Pass nullptr to unsubscribe — REQUIRED
   /// before the subscriber is destroyed.
   using FailureListener = std::function<void(TopicId, const Status&)>;
-  void SetFailureListener(FailureListener listener);
+  void SetFailureListener(FailureListener listener) EXCLUDES(listener_mu_);
 
   /// Runs `fn` on the cache-owned prefetch pool, returning false (without
   /// running it) when the pool is disabled. The online scrubber schedules
@@ -308,7 +311,7 @@ class KeywordCache {
   /// and the uncacheable memo. Bumps the topic's epoch so a decode that
   /// raced the invalidation can never re-admit a stale block. Called
   /// internally on the first kCorruption; public for tests and operators.
-  void InvalidateTopic(TopicId topic);
+  void InvalidateTopic(TopicId topic) EXCLUDES(mu_);
 
  private:
   /// Mutable per-topic RR state: file handles plus the offset-directory
@@ -375,72 +378,83 @@ class KeywordCache {
   /// or the admission policy bypassed it).
   std::shared_ptr<const void> InsertBlockIfFresh(
       const BlockKey& key, std::shared_ptr<const void> block,
-      uint64_t bytes, uint64_t epoch);
+      uint64_t bytes, uint64_t epoch) EXCLUDES(mu_);
   /// Evicts to fit, then records the block under `key`. mu_ must be held
   /// and `key` must not be present.
   void InsertBlockLocked(const BlockKey& key,
-                         std::shared_ptr<const void> block, uint64_t bytes);
+                         std::shared_ptr<const void> block, uint64_t bytes)
+      REQUIRES(mu_);
   /// Removes `key`'s block (if present), fixing byte accounting. mu_ held.
-  void EraseBlockLocked(const BlockKey& key);
-  void TouchLocked(BlockSlot& slot);
-  void EvictToFitLocked(uint64_t incoming_bytes);
+  void EraseBlockLocked(const BlockKey& key) REQUIRES(mu_);
+  void TouchLocked(BlockSlot& slot) REQUIRES(mu_);
+  void EvictToFitLocked(uint64_t incoming_bytes) REQUIRES(mu_);
 
   /// Classifies a failed read/decode on `topic`'s files and reacts:
   /// kCorruption → full InvalidateTopic (a bad payload may have siblings);
   /// kIOError → drop the topic's file handles so the next access reopens
   /// fresh descriptors (cached blocks are validated decodes and survive).
   /// Other codes are ignored. Notifies the failure listener outside mu_.
-  void RecordTopicFailure(TopicId topic, const Status& status);
+  void RecordTopicFailure(TopicId topic, const Status& status)
+      EXCLUDES(mu_, listener_mu_);
 
   /// Current invalidation epoch of `topic` (0 until first invalidation).
-  uint64_t EpochLocked(TopicId topic) const;
+  uint64_t EpochLocked(TopicId topic) const REQUIRES(mu_);
 
   /// Verifies `data` against a stored masked CRC, bumping crc_checks /
   /// crc_failures. `what` + `path` label the kCorruption on mismatch.
   /// CheckCrcLocked requires mu_; CheckCrc takes it.
   Status CheckCrcLocked(const char* data, size_t n, uint32_t stored_masked,
-                        const char* what, const std::string& path);
+                        const char* what, const std::string& path)
+      REQUIRES(mu_);
   Status CheckCrc(const char* data, size_t n, uint32_t stored_masked,
-                  const char* what, const std::string& path);
+                  const char* what, const std::string& path) EXCLUDES(mu_);
 
   StatusOr<std::shared_ptr<const IrrKeywordEntry>> LoadIrrEntry(
-      TopicId topic);
+      TopicId topic) EXCLUDES(mu_);
   /// The read + decode of one partition (no cache bookkeeping); runs on
   /// foreground misses and on the prefetch pool.
   StatusOr<std::shared_ptr<const IrrPartitionBlock>> DecodeIrrPartition(
-      const IrrKeywordEntry& entry, uint64_t partition);
-  Status EnsureRrEntryLocked(TopicId topic, RrKeywordEntry** entry);
-  Status ExtendRrDirectory(RrKeywordEntry* entry, uint64_t budget);
+      const IrrKeywordEntry& entry, uint64_t partition) EXCLUDES(mu_);
+  Status EnsureRrEntryLocked(TopicId topic, RrKeywordEntry** entry)
+      REQUIRES(mu_);
+  /// Extends the directory prefix; does file I/O while mu_ stays held (a
+  /// deliberate design choice: the directory read is one small pread and
+  /// extending is rare once warm).
+  Status ExtendRrDirectoryLocked(RrKeywordEntry* entry, uint64_t budget)
+      REQUIRES(mu_);
   /// GetRrKeyword body; the public wrapper records failures.
   StatusOr<std::shared_ptr<const RrKeywordBlock>> GetRrKeywordImpl(
-      TopicId topic, uint64_t min_budget);
+      TopicId topic, uint64_t min_budget) EXCLUDES(mu_);
 
   const std::string dir_;
   const IndexMeta meta_;
   const KeywordCacheOptions options_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::unordered_map<TopicId, std::shared_ptr<const IrrKeywordEntry>>
-      irr_entries_;
-  std::unordered_map<TopicId, RrKeywordEntry> rr_entries_;
-  std::unordered_map<BlockKey, BlockSlot, BlockKeyHash> blocks_;
-  std::list<BlockKey> lru_;  // front = most recently used
+      irr_entries_ GUARDED_BY(mu_);
+  std::unordered_map<TopicId, RrKeywordEntry> rr_entries_ GUARDED_BY(mu_);
+  std::unordered_map<BlockKey, BlockSlot, BlockKeyHash> blocks_
+      GUARDED_BY(mu_);
+  std::list<BlockKey> lru_ GUARDED_BY(mu_);  // front = most recently used
   /// Prefetches in flight: lets foreground misses join a background
   /// decode instead of duplicating it. Erased (under mu_, after the block
   /// landed in blocks_) by the task itself.
-  std::unordered_map<BlockKey, IrrBlockFuture, BlockKeyHash> inflight_;
+  std::unordered_map<BlockKey, IrrBlockFuture, BlockKeyHash> inflight_
+      GUARDED_BY(mu_);
   /// Partitions the admission policy refused: prefetching them again
   /// would decode into the void every round, so the window skips them.
-  std::unordered_map<BlockKey, bool, BlockKeyHash> uncacheable_;
+  std::unordered_map<BlockKey, bool, BlockKeyHash> uncacheable_
+      GUARDED_BY(mu_);
   /// Bumped by InvalidateTopic; decodes capture the epoch before reading
   /// and only admit their block if it has not moved since.
-  std::unordered_map<TopicId, uint64_t> topic_epoch_;
-  KeywordCacheStats stats_;
+  std::unordered_map<TopicId, uint64_t> topic_epoch_ GUARDED_BY(mu_);
+  KeywordCacheStats stats_ GUARDED_BY(mu_);
 
   /// Listener state has its own mutex: the listener runs outside mu_ (it
   /// may take the subscriber's locks) and may be swapped concurrently.
-  mutable std::mutex listener_mu_;
-  FailureListener failure_listener_;
+  mutable Mutex listener_mu_;
+  FailureListener failure_listener_ GUARDED_BY(listener_mu_);
 
   /// MUST remain the last member: its destructor runs first and drains
   /// queued prefetch decodes while every field they touch is still alive.

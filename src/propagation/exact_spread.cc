@@ -13,7 +13,7 @@ struct LiveEdge {
 };
 
 // Forward reachability weight from `seeds` over the live edges.
-double ReachedWeight(const Graph& graph, std::span<const VertexId> seeds,
+double ReachedWeight(std::span<const VertexId> seeds,
                      const std::vector<std::vector<VertexId>>& live_out,
                      std::span<const double> vertex_weight,
                      std::vector<char>* visited,
@@ -37,7 +37,6 @@ double ReachedWeight(const Graph& graph, std::span<const VertexId> seeds,
       total += vertex_weight.empty() ? 1.0 : vertex_weight[v];
     }
   }
-  (void)graph;
   return total;
 }
 
@@ -75,8 +74,8 @@ StatusOr<double> ExactIc(const Graph& graph,
       if (live) live_out[edges[i].src].push_back(edges[i].dst);
     }
     if (prob == 0.0) continue;
-    expectation += prob * ReachedWeight(graph, seeds, live_out,
-                                        vertex_weight, &visited, &stack);
+    expectation += prob * ReachedWeight(seeds, live_out, vertex_weight,
+                                        &visited, &stack);
   }
   return expectation;
 }
@@ -116,8 +115,8 @@ StatusOr<double> ExactLt(const Graph& graph,
           }
         }
         expectation +=
-            prefix_prob[n] * ReachedWeight(graph, seeds, live_out,
-                                           vertex_weight, &visited, &stack);
+            prefix_prob[n] * ReachedWeight(seeds, live_out, vertex_weight,
+                                           &visited, &stack);
       }
       // backtrack
       do {

@@ -52,7 +52,7 @@ StatusOr<SeedSetResult> WrisSolver::Solve(const Query& query,
                                           uint64_t max_theta_override) const {
   KBTIM_RETURN_IF_ERROR(
       ValidateQuery(query, graph_, tfidf_.profiles().num_topics()));
-  std::lock_guard<std::mutex> solve_lock(solve_mu_);
+  MutexLock solve_lock(&solve_mu_);
   WallTimer total_timer;
 
   // One SparsePhi evaluation feeds both the root distribution and the

@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "coverage/flat_celf.h"
@@ -82,7 +82,8 @@ class WrisSolver {
   /// capped θ weakens the (1 − 1/e − ε) guarantee exactly as the global
   /// clip does; the applied θ is reported in stats.theta either way.
   StatusOr<SeedSetResult> Solve(const Query& query,
-                                uint64_t max_theta_override = 0) const;
+                                uint64_t max_theta_override = 0) const
+      EXCLUDES(solve_mu_);
 
   const OnlineSolverOptions& options() const { return options_; }
 
@@ -107,12 +108,19 @@ class WrisSolver {
   /// slot; see bucketed_adjacency.h).
   std::shared_ptr<const BucketedAdjacency> adjacency_;
 
-  /// Query-stream state reused across Solve calls (guarded by solve_mu_).
-  mutable std::mutex solve_mu_;
+  /// Query-stream state reused across Solve calls. solve_mu_ serializes
+  /// Solve; sets_ and cover_ws_ are touched only by the Solve thread under
+  /// it. slots_ and pool_ are logically owned by the same critical section
+  /// but cannot carry GUARDED_BY: each slot is handed to exactly one pool
+  /// worker per solve (synchronized by ThreadPool Submit/Wait, which the
+  /// analysis cannot see), and the workers run without solve_mu_.
+  mutable Mutex solve_mu_;
   mutable std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   mutable std::vector<SamplerSlot> slots_;
-  mutable RrCollection sets_;  // merged RR sets of the current query
-  mutable CoverageWorkspace cover_ws_;  // flat CELF seed-selection scratch
+  /// Merged RR sets of the current query.
+  mutable RrCollection sets_ GUARDED_BY(solve_mu_);
+  /// Flat CELF seed-selection scratch.
+  mutable CoverageWorkspace cover_ws_ GUARDED_BY(solve_mu_);
 };
 
 }  // namespace kbtim

@@ -28,7 +28,7 @@ double FailureDomainTable::NextBackoffLocked(double base_ms) {
 }
 
 bool FailureDomainTable::Admit(TopicId topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = domains_.find(topic);
   if (it == domains_.end()) return true;  // never failed: closed
   Domain& d = it->second;
@@ -57,7 +57,7 @@ bool FailureDomainTable::Admit(TopicId topic) {
 }
 
 void FailureDomainTable::RecordSuccess(TopicId topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.successes_recorded;
   auto it = domains_.find(topic);
   if (it == domains_.end()) return;
@@ -75,7 +75,7 @@ void FailureDomainTable::RecordSuccess(TopicId topic) {
 }
 
 void FailureDomainTable::RecordFailure(TopicId topic) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.failures_recorded;
   Domain& d = domains_[topic];
   switch (d.state) {
@@ -104,13 +104,13 @@ void FailureDomainTable::RecordFailure(TopicId topic) {
 }
 
 BreakerState FailureDomainTable::state(TopicId topic) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = domains_.find(topic);
   return it == domains_.end() ? BreakerState::kClosed : it->second.state;
 }
 
 FailureDomainStats FailureDomainTable::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -22,9 +22,9 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "topics/vocabulary.h"
 
@@ -72,20 +72,20 @@ class FailureDomainTable {
   /// answers false until the backoff deadline, then flips to half-open;
   /// half-open admits requests as trials until one reports an outcome
   /// (success closes, failure reopens with doubled backoff).
-  bool Admit(TopicId topic);
+  bool Admit(TopicId topic) EXCLUDES(mu_);
 
   /// Probe or regular success: half-open -> closed; closed resets the
   /// consecutive-failure streak.
-  void RecordSuccess(TopicId topic);
+  void RecordSuccess(TopicId topic) EXCLUDES(mu_);
 
   /// A kIOError/kCorruption on `topic` (only record those — overload and
   /// validation errors are not fault-domain signals). Trips the breaker
   /// at `failure_threshold` consecutive failures; fails a half-open probe
   /// back to open with doubled backoff.
-  void RecordFailure(TopicId topic);
+  void RecordFailure(TopicId topic) EXCLUDES(mu_);
 
-  BreakerState state(TopicId topic) const;
-  FailureDomainStats stats() const;
+  BreakerState state(TopicId topic) const EXCLUDES(mu_);
+  FailureDomainStats stats() const EXCLUDES(mu_);
 
  private:
   struct Domain {
@@ -96,13 +96,13 @@ class FailureDomainTable {
   };
 
   /// Jittered next backoff (deterministic: seeded counter hash).
-  double NextBackoffLocked(double base_ms);
+  double NextBackoffLocked(double base_ms) REQUIRES(mu_);
 
   const FailureDomainOptions options_;
-  mutable std::mutex mu_;
-  std::unordered_map<TopicId, Domain> domains_;
-  FailureDomainStats stats_;
-  uint64_t jitter_counter_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<TopicId, Domain> domains_ GUARDED_BY(mu_);
+  FailureDomainStats stats_ GUARDED_BY(mu_);
+  uint64_t jitter_counter_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace kbtim

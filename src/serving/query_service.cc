@@ -112,11 +112,11 @@ QueryService::~QueryService() {
   cache_->SetFailureListener(nullptr);
   std::deque<PendingRequest> orphaned;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
     orphaned = scheduler_.DrainAll();
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (PendingRequest& pending : orphaned) {
     pending.promise.set_value(
         Status::Unavailable("query service shutting down"));
@@ -141,7 +141,7 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
   // once it is pushed a worker may finish it at any moment, and stats()
   // must never observe completed > submitted. A rejection compensates.
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(&stats_mu_);
     ++counters_.submitted;
   }
   enum class Rejection { kNone, kShutdown, kQueueFull };
@@ -149,7 +149,7 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
   size_t depth = 0;
   bool wake_all = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_) {
       rejection = Rejection::kShutdown;
     } else if (scheduler_.size() >= options_.max_pending) {
@@ -164,7 +164,7 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
   }
   if (rejection != Rejection::kNone) {
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(&stats_mu_);
       --counters_.submitted;
       if (rejection == Rejection::kQueueFull) ++counters_.admission_drops;
     }
@@ -176,13 +176,13 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
     return future;
   }
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(&stats_mu_);
     counters_.queue_peak = std::max<uint64_t>(counters_.queue_peak, depth);
   }
   if (wake_all) {
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   } else {
-    work_ready_.notify_one();
+    work_ready_.NotifyOne();
   }
   return future;
 }
@@ -196,8 +196,7 @@ bool QueryService::WrisAllowedLocked() const {
   return wris_in_flight_ < wris_worker_cap_;
 }
 
-void QueryService::CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
-                                        const PendingRequest& head,
+void QueryService::CollectRrBatchLocked(const PendingRequest& head,
                                         std::vector<PendingRequest>& mates) {
   const SchedulerOptions& sched = scheduler_.options();
   if (sched.mode != SchedulingMode::kLanes || sched.rr_max_batch <= 1) {
@@ -223,7 +222,7 @@ void QueryService::CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
               sched.rr_batch_window_ms));
   ++coalesce_waiters_;
   while (!shutdown_ && mates.size() < max_mates) {
-    if (work_ready_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (work_ready_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
       break;
     }
     if (shutdown_) break;
@@ -235,7 +234,7 @@ void QueryService::CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
     // A notification this wait swallowed might have been meant for an
     // idle worker; hand it on when non-batchable work is runnable.
     if (scheduler_.HasEligible(WrisAllowedLocked())) {
-      work_ready_.notify_one();
+      work_ready_.NotifyOne();
     }
   }
   --coalesce_waiters_;
@@ -248,11 +247,12 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
     std::vector<PendingRequest> mates;
     bool is_wris = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] {
-        return shutdown_ || (RunnableLocked() &&
-                             scheduler_.HasEligible(WrisAllowedLocked()));
-      });
+      MutexLock lock(&mu_);
+      while (!shutdown_ &&
+             !(RunnableLocked() &&
+               scheduler_.HasEligible(WrisAllowedLocked()))) {
+        work_ready_.Wait(&mu_);
+      }
       if (shutdown_) return;
       std::optional<PendingRequest> popped =
           scheduler_.Pop(WrisAllowedLocked());
@@ -263,7 +263,7 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
       ++in_flight_;
       if (is_wris) ++wris_in_flight_;
       if (pending.request.engine == QueryEngine::kRr) {
-        CollectRrBatchLocked(lock, pending, mates);
+        CollectRrBatchLocked(pending, mates);
       }
     }
 
@@ -281,7 +281,7 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
 
     bool wris_slot_freed = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       // Engine time only (deadline drops excluded): this is the per-class
       // cost signal the auto-tuned deficit charge derives from.
       if (executed) scheduler_.RecordServiceTime(lane, exec_ms);
@@ -290,11 +290,11 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
         --wris_in_flight_;
         wris_slot_freed = scheduler_.lane_size(EngineLane::kSlow) > 0;
       }
-      if (scheduler_.empty() && in_flight_ == 0) idle_.notify_all();
+      if (scheduler_.empty() && in_flight_ == 0) idle_.NotifyAll();
     }
     // Freeing a WRIS reservation may unblock workers that found no
     // eligible work while the cap was reached.
-    if (wris_slot_freed) work_ready_.notify_all();
+    if (wris_slot_freed) work_ready_.NotifyAll();
   }
 }
 
@@ -308,7 +308,7 @@ bool QueryService::DropIfExpired(PendingRequest& pending) {
     // Dropped requests still spent their queue time as far as the client
     // is concerned: they land in the latency windows so overload
     // percentiles include what was shed.
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(&stats_mu_);
     ++counters_.deadline_drops;
     RecordLatencyLocked(queue_ms, queue_ms, LaneOf(pending.request.engine));
   }
@@ -372,7 +372,7 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
     if (admitted.empty() ||
         (!quarantined.empty() && !options_.failure.partial_results)) {
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(&stats_mu_);
         ++counters_.quarantine_rejections;
       }
       StatusOr<SeedSetResult> failure{Status::Unavailable(
@@ -430,7 +430,7 @@ bool QueryService::ProcessRrBatch(PendingRequest head,
     live[i].promise.set_value(std::move(result));
   }
   if (live.size() >= 2) {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    MutexLock stats_lock(&stats_mu_);
     ++counters_.rr_batches;
     counters_.rr_batched_queries += live.size();
   }
@@ -508,7 +508,7 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
       // Shed in O(1): quarantine verdicts cost one hash lookup per
       // keyword, never disk (the chaos suite asserts a zero IoCounter
       // delta on this path).
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(&stats_mu_);
       ++counters_.quarantine_rejections;
       return Status::Unavailable(
           admitted.empty()
@@ -525,7 +525,7 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
       ResolveAttempt(attempt.query.topics, before, /*ok=*/true,
                      /*blame_unattributed=*/false);
       if (retries_left < fh.io_retries) {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(&stats_mu_);
         ++counters_.retry_successes;
       }
       if (!dropped.empty()) {
@@ -547,7 +547,7 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
       // bytes cannot succeed within this request's latency budget.
       --retries_left;
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(&stats_mu_);
         ++counters_.transient_retries;
       }
       if (backoff_ms > 0.0) {
@@ -599,7 +599,7 @@ std::vector<uint64_t> QueryService::SnapshotTopicFaults(
     const std::vector<TopicId>& topics) const {
   std::vector<uint64_t> counts;
   counts.reserve(topics.size());
-  std::lock_guard<std::mutex> lock(fault_state_->mu);
+  MutexLock lock(&fault_state_->mu);
   for (TopicId topic : topics) {
     const auto it = fault_state_->topic_faults.find(topic);
     counts.push_back(it == fault_state_->topic_faults.end() ? 0
@@ -653,7 +653,7 @@ void QueryService::RecordLatencyLocked(double latency_ms, double queue_ms,
 void QueryService::RecordOutcome(const ServiceRequest& request,
                                  const StatusOr<SeedSetResult>& result,
                                  double latency_ms, double queue_ms) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   RecordLatencyLocked(latency_ms, queue_ms, LaneOf(request.engine));
   if (!result.ok()) {
     ++counters_.failed;
@@ -676,32 +676,33 @@ void QueryService::RecordOutcome(const ServiceRequest& request,
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++draining_;
   // Wake workers that went to sleep on a pause: while this drain waits
   // they run the queue down even on a Pause()d service
   // (drain-through-pause), then honor the pause again.
-  work_ready_.notify_all();
-  idle_.wait(lock,
-             [this] { return scheduler_.empty() && in_flight_ == 0; });
+  work_ready_.NotifyAll();
+  while (!(scheduler_.empty() && in_flight_ == 0)) {
+    idle_.Wait(&mu_);
+  }
   --draining_;
 }
 
 void QueryService::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   paused_ = true;
 }
 
 void QueryService::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     paused_ = false;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
 }
 
 void QueryService::ResetLatencyWindow() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   latency_.next = 0;
   latency_.total = 0;
   for (LatencyWindowState& lane : lane_latency_) {
@@ -712,7 +713,7 @@ void QueryService::ResetLatencyWindow() {
 }
 
 size_t QueryService::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return scheduler_.size();
 }
 
@@ -723,7 +724,7 @@ ServiceStats QueryService::stats() const {
   double queue_sum = 0.0;
   uint64_t finished = 0;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     out = counters_;
     const size_t n = static_cast<size_t>(
         std::min<uint64_t>(latency_.total, kLatencyWindow));
@@ -767,7 +768,7 @@ ServiceStats QueryService::stats() const {
   {
     // Scheduler counters live under the queue mutex; never nested with
     // stats_mu_.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.wris_deferrals = scheduler_.wris_deferrals();
     out.wris_cost_effective = scheduler_.EffectiveWrisCost();
     out.fast_service_ewma_ms =
@@ -801,7 +802,7 @@ ServiceStats QueryService::stats() const {
   }
   std::function<IndexScrubberStats()> scrub_provider;
   {
-    std::lock_guard<std::mutex> lock(scrub_mu_);
+    MutexLock lock(&scrub_mu_);
     scrub_provider = scrub_stats_;
   }
   if (scrub_provider) {
@@ -816,7 +817,7 @@ ServiceStats QueryService::stats() const {
 
 void QueryService::SetScrubStatsProvider(
     std::function<IndexScrubberStats()> provider) {
-  std::lock_guard<std::mutex> lock(scrub_mu_);
+  MutexLock lock(&scrub_mu_);
   scrub_stats_ = std::move(provider);
 }
 

@@ -77,18 +77,17 @@
 #define KBTIM_SERVING_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/statusor.h"
 #include "index/index_scrubber.h"
 #include "index/irr_index.h"
@@ -299,30 +298,34 @@ class QueryService {
   /// Enqueues a request. The future resolves to the seed set or to the
   /// admission/deadline/engine error. Queue-full rejection resolves the
   /// future immediately (Unavailable) and counts an admission drop.
-  std::future<StatusOr<SeedSetResult>> Submit(ServiceRequest request);
+  std::future<StatusOr<SeedSetResult>> Submit(ServiceRequest request)
+      EXCLUDES(mu_, stats_mu_);
 
   /// Submit + wait: the closed-loop client call.
-  StatusOr<SeedSetResult> Execute(ServiceRequest request);
+  StatusOr<SeedSetResult> Execute(ServiceRequest request)
+      EXCLUDES(mu_, stats_mu_);
 
   /// Blocks until the queue is empty and no worker is mid-query. Drains
   /// through a Pause(): paused workers execute queued requests while any
   /// Drain waits, then pause again (see the Drain-vs-Pause file comment).
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Stops dequeuing (queued + new requests wait); Resume() restarts.
   /// A concurrent Drain() overrides the pause until it returns.
-  void Pause();
-  void Resume();
+  void Pause() EXCLUDES(mu_);
+  void Resume() EXCLUDES(mu_);
 
   /// Requests queued but not yet started.
-  size_t pending() const;
+  size_t pending() const EXCLUDES(mu_);
 
-  ServiceStats stats() const;
+  /// Takes stats_mu_, mu_ and scrub_mu_ strictly in sequence — never
+  /// nested (the PR 4 lock-order contract, now annotation-enforced).
+  ServiceStats stats() const EXCLUDES(mu_, stats_mu_, scrub_mu_);
 
   /// Clears the latency/queue-wait windows, overall and per lane
   /// (lifetime counters survive), so percentiles cover only what follows
   /// — call after a warm-up pass.
-  void ResetLatencyWindow();
+  void ResetLatencyWindow() EXCLUDES(stats_mu_);
 
   const std::shared_ptr<KeywordCache>& cache() const { return cache_; }
   const IndexMeta& meta() const { return cache_->meta(); }
@@ -330,7 +333,8 @@ class QueryService {
   /// Wires an IndexScrubber's counters into stats() (scrub_* fields).
   /// The provider must stay callable for the service's lifetime; pass
   /// nullptr to unwire before tearing the scrubber down.
-  void SetScrubStatsProvider(std::function<IndexScrubberStats()> provider);
+  void SetScrubStatsProvider(std::function<IndexScrubberStats()> provider)
+      EXCLUDES(scrub_mu_);
 
   /// READ-ONLY breaker probe for the scrubber's admit hook: true when
   /// `topic` may be touched (breaker disabled, or its state is not open).
@@ -359,29 +363,34 @@ class QueryService {
                QueryServiceOptions options);
 
   void StartWorkers(std::optional<OnlineBackend> online);
-  void WorkerLoop(uint32_t slot_id);
+  void WorkerLoop(uint32_t slot_id) EXCLUDES(mu_, stats_mu_);
 
   /// True when workers may dequeue: not paused, or a Drain is waiting.
-  bool RunnableLocked() const { return !paused_ || draining_ > 0; }
+  bool RunnableLocked() const REQUIRES(mu_) {
+    return !paused_ || draining_ > 0;
+  }
   /// True when a WRIS pickup fits under the reservation cap. mu_ held.
-  bool WrisAllowedLocked() const;
+  bool WrisAllowedLocked() const REQUIRES(mu_);
 
   /// Collects overlapping queued kRr requests for a just-popped head,
-  /// optionally waiting rr_batch_window_ms for more arrivals. mu_ held
-  /// via `lock`; in_flight_ is bumped for every mate taken.
-  void CollectRrBatchLocked(std::unique_lock<std::mutex>& lock,
-                            const PendingRequest& head,
-                            std::vector<PendingRequest>& mates);
+  /// optionally waiting rr_batch_window_ms for more arrivals (mu_ is
+  /// released while waiting, as with any CondVar wait); in_flight_ is
+  /// bumped for every mate taken.
+  void CollectRrBatchLocked(const PendingRequest& head,
+                            std::vector<PendingRequest>& mates)
+      REQUIRES(mu_);
 
   /// Executes one non-coalesced request end to end (deadline check,
   /// dispatch, stats, promise). Returns true when an engine actually ran
   /// (false = deadline drop), so only real service times feed the
   /// scheduler's cost EWMA.
-  bool ProcessSingle(WorkerSlot& slot, PendingRequest pending);
+  bool ProcessSingle(WorkerSlot& slot, PendingRequest pending)
+      EXCLUDES(mu_, stats_mu_);
   /// Executes a coalesced kRr batch: per-request deadline/θ screening,
   /// one RrIndex::BatchQuery, per-query promise fan-out. Returns true
   /// when the batch reached the engine.
-  bool ProcessRrBatch(PendingRequest head, std::vector<PendingRequest> mates);
+  bool ProcessRrBatch(PendingRequest head, std::vector<PendingRequest> mates)
+      EXCLUDES(mu_, stats_mu_);
 
   /// kRr engine availability, shared by the single and batched paths.
   Status CheckRrAvailable() const;
@@ -415,13 +424,16 @@ class QueryService {
                                       bool ok, bool blame_unattributed);
   /// Pushes one sample into the overall + per-lane windows. stats_mu_ held.
   void RecordLatencyLocked(double latency_ms, double queue_ms,
-                           EngineLane lane);
+                           EngineLane lane) REQUIRES(stats_mu_);
+  /// EXCLUDES(mu_): the PR 4 rule — outcome accounting takes stats_mu_,
+  /// which must never nest under the queue lock.
   void RecordOutcome(const ServiceRequest& request,
                      const StatusOr<SeedSetResult>& result,
-                     double latency_ms, double queue_ms);
+                     double latency_ms, double queue_ms)
+      EXCLUDES(mu_, stats_mu_);
   /// Resolves a deadline-expired request (stats + promise), judged
   /// submitted_at -> picked_at. Returns true when the request dropped.
-  bool DropIfExpired(PendingRequest& pending);
+  bool DropIfExpired(PendingRequest& pending) EXCLUDES(mu_, stats_mu_);
 
   /// Breaker + per-topic fault counts, fed by the KeywordCache failure
   /// listener (which may fire from prefetch-pool threads, including after
@@ -430,12 +442,12 @@ class QueryService {
   /// memory even mid-/post-destruction).
   struct FaultDomainState {
     std::unique_ptr<FailureDomainTable> breaker;  // null when disabled
-    mutable std::mutex mu;
-    std::unordered_map<TopicId, uint64_t> topic_faults;
+    mutable Mutex mu;
+    std::unordered_map<TopicId, uint64_t> topic_faults GUARDED_BY(mu);
 
-    void OnCacheFailure(TopicId topic, const Status& status) {
+    void OnCacheFailure(TopicId topic, const Status& status) EXCLUDES(mu) {
       {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         ++topic_faults[topic];
       }
       if (breaker != nullptr) breaker->RecordFailure(topic);
@@ -449,27 +461,32 @@ class QueryService {
   std::optional<RrIndex> rr_;     // engaged when meta().has_rr
   std::shared_ptr<FaultDomainState> fault_state_;
 
-  mutable std::mutex mu_;  // queue + lifecycle state
-  std::condition_variable work_ready_;
-  std::condition_variable idle_;  // Drain(): queue empty && none in flight
-  LaneScheduler scheduler_;
-  size_t in_flight_ = 0;
-  size_t wris_in_flight_ = 0;
-  int draining_ = 0;           // Drains currently waiting (drain-through-pause)
-  size_t coalesce_waiters_ = 0;  // workers inside a batch window wait
-  bool paused_ = false;
-  bool shutdown_ = false;
+  mutable Mutex mu_;  // queue + lifecycle state
+  CondVar work_ready_;
+  CondVar idle_;  // Drain(): queue empty && none in flight
+  /// LaneScheduler is not itself thread-safe; guarding the member makes
+  /// "QueryService drives it under its queue mutex" compiler-checked.
+  LaneScheduler scheduler_ GUARDED_BY(mu_);
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  size_t wris_in_flight_ GUARDED_BY(mu_) = 0;
+  /// Drains currently waiting (drain-through-pause).
+  int draining_ GUARDED_BY(mu_) = 0;
+  /// Workers inside a batch window wait.
+  size_t coalesce_waiters_ GUARDED_BY(mu_) = 0;
+  bool paused_ GUARDED_BY(mu_) = false;
+  bool shutdown_ GUARDED_BY(mu_) = false;
 
   /// Scrubber stats hook; own mutex so snapshotting it never nests with
   /// the queue or stats locks.
-  mutable std::mutex scrub_mu_;
-  std::function<IndexScrubberStats()> scrub_stats_;
+  mutable Mutex scrub_mu_;
+  std::function<IndexScrubberStats()> scrub_stats_ GUARDED_BY(scrub_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServiceStats counters_;  // percentile/cache fields filled at snapshot
-  LatencyWindowState latency_;                      // overall
-  LatencyWindowState lane_latency_[kNumLanes];      // per lane
-  double queue_ms_sum_ = 0.0;
+  mutable Mutex stats_mu_;
+  /// Percentile/cache fields filled at snapshot.
+  ServiceStats counters_ GUARDED_BY(stats_mu_);
+  LatencyWindowState latency_ GUARDED_BY(stats_mu_);  // overall
+  LatencyWindowState lane_latency_[kNumLanes] GUARDED_BY(stats_mu_);
+  double queue_ms_sum_ GUARDED_BY(stats_mu_) = 0.0;
 
   std::vector<WorkerSlot> slots_;
   std::vector<std::thread> workers_;

@@ -39,7 +39,7 @@ bool FaultInjector::Enabled() {
 }
 
 void FaultInjector::Arm(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
   rules_.reserve(plan.rules.size());
   for (FaultRule& rule : plan.rules) {
@@ -59,7 +59,7 @@ void FaultInjector::Disarm() {
 FaultDecision FaultInjector::Consult(FaultOp op, const std::string& path,
                                      size_t n) {
   FaultDecision decision;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++stats_.consults;
   for (size_t i = 0; i < rules_.size(); ++i) {
     RuleState& state = rules_[i];
@@ -115,7 +115,7 @@ void FaultInjector::ApplyLatency(const FaultDecision& decision) const {
 }
 
 FaultInjectorStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -33,10 +33,10 @@
 #define KBTIM_STORAGE_FAULT_INJECTOR_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace kbtim {
@@ -116,18 +116,19 @@ class FaultInjector {
   static bool Enabled();
 
   /// Installs `plan`, resets rule counters + stats, enables injection.
-  void Arm(FaultPlan plan);
+  void Arm(FaultPlan plan) EXCLUDES(mu_);
 
   /// Disables injection (stats survive until the next Arm).
   void Disarm();
 
   /// Decides what happens to one logical op. Only call when Enabled().
-  FaultDecision Consult(FaultOp op, const std::string& path, size_t n);
+  FaultDecision Consult(FaultOp op, const std::string& path, size_t n)
+      EXCLUDES(mu_);
 
   /// Convenience for callers that want the sleep applied here.
   void ApplyLatency(const FaultDecision& decision) const;
 
-  FaultInjectorStats stats() const;
+  FaultInjectorStats stats() const EXCLUDES(mu_);
 
  private:
   FaultInjector() = default;
@@ -138,10 +139,10 @@ class FaultInjector {
     uint64_t fired = 0;    ///< Faults this rule has injected.
   };
 
-  mutable std::mutex mu_;
-  std::vector<RuleState> rules_;
-  uint64_t seed_ = 1;
-  FaultInjectorStats stats_;
+  mutable Mutex mu_;
+  std::vector<RuleState> rules_ GUARDED_BY(mu_);
+  uint64_t seed_ GUARDED_BY(mu_) = 1;
+  FaultInjectorStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace kbtim

@@ -1,0 +1,65 @@
+// Positive control for the negative-compile suite: correct use of every
+// annotation pattern the codebase relies on must be ACCEPTED under
+// -Werror=thread-safety and -Werror=unused-result. If this case fails,
+// the WILL_FAIL cases prove nothing.
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace {
+
+kbtim::Status DoWork() { return kbtim::Status::OK(); }
+
+class Service {
+ public:
+  void Submit(int value) EXCLUDES(mu_) {
+    kbtim::MutexLock lock(&mu_);
+    queue_depth_ += value;
+    PublishLocked();
+    work_ready_.NotifyOne();
+  }
+
+  void WaitForWork() EXCLUDES(mu_) {
+    kbtim::MutexLock lock(&mu_);
+    while (queue_depth_ == 0) work_ready_.Wait(&mu_);
+    --queue_depth_;
+  }
+
+  // The PR 4 lock-order contract pattern: the stats path takes its own
+  // mutex and is never entered with the queue lock held.
+  void RecordOutcome() EXCLUDES(mu_, stats_mu_) {
+    kbtim::MutexLock lock(&stats_mu_);
+    ++completed_;
+  }
+
+  bool TryBump() EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    ++queue_depth_;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void PublishLocked() REQUIRES(mu_) { published_ = queue_depth_; }
+
+  kbtim::Mutex mu_;
+  kbtim::CondVar work_ready_;
+  int queue_depth_ GUARDED_BY(mu_) = 0;
+  int published_ GUARDED_BY(mu_) = 0;
+
+  kbtim::Mutex stats_mu_;
+  unsigned long completed_ GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Service service;
+  service.Submit(1);
+  service.WaitForWork();
+  service.RecordOutcome();
+  if (!service.TryBump()) return 1;
+  kbtim::Status status = DoWork();
+  if (!status.ok()) return 1;
+  KBTIM_IGNORE_STATUS(DoWork());
+  return 0;
+}

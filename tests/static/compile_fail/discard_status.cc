@@ -1,0 +1,16 @@
+// MUST NOT COMPILE (any compiler, -Werror=unused-result): silently
+// dropping a Status. The escape hatch for deliberate discards is
+// KBTIM_IGNORE_STATUS (see common/status.h), which annotations_ok.cc
+// proves still compiles.
+#include "common/status.h"
+
+namespace {
+
+kbtim::Status DoWork() { return kbtim::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  DoWork();  // error: Status is [[nodiscard]]
+  return 0;
+}

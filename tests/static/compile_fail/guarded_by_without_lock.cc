@@ -1,0 +1,24 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): writing a GUARDED_BY
+// field without holding its mutex.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // error: writing value_ requires holding mu_
+  }
+
+ private:
+  kbtim::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): calling a *Locked()
+// helper annotated REQUIRES(mu_) without holding mu_ — the contract every
+// internal helper in keyword_cache / query_service / failure_domain now
+// carries.
+#include "common/mutex.h"
+
+namespace {
+
+class Table {
+ public:
+  void Rebalance() {
+    CompactLocked();  // error: requires holding mu_
+  }
+
+ private:
+  void CompactLocked() REQUIRES(mu_) { ++generation_; }
+
+  kbtim::Mutex mu_;
+  int generation_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table table;
+  table.Rebalance();
+  return 0;
+}

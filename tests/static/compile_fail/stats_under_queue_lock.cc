@@ -1,0 +1,36 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): nesting the stats
+// mutex under the queue mutex. This replicates QueryService's PR 4
+// lock-order contract — "stats_mu_ is never nested under mu_" — which the
+// EXCLUDES annotations turn from a comment into a compile error.
+#include "common/mutex.h"
+
+namespace {
+
+class Service {
+ public:
+  void CompleteRequest() EXCLUDES(mu_) {
+    kbtim::MutexLock lock(&mu_);
+    --in_flight_;
+    RecordOutcome();  // error: RecordOutcome requires mu_ NOT held
+  }
+
+ private:
+  void RecordOutcome() EXCLUDES(mu_, stats_mu_) {
+    kbtim::MutexLock lock(&stats_mu_);
+    ++completed_;
+  }
+
+  kbtim::Mutex mu_;
+  int in_flight_ GUARDED_BY(mu_) = 0;
+
+  kbtim::Mutex stats_mu_;
+  unsigned long completed_ GUARDED_BY(stats_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Service service;
+  service.CompleteRequest();
+  return 0;
+}
