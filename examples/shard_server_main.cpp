@@ -1,0 +1,64 @@
+// Standalone shard process: one index directory served over TCP.
+//
+// The chaos bench (bench/net_serving.cc) forks a fleet of these, kills
+// one mid-burst with SIGKILL, restarts it, and asserts the router's
+// recovery contract — so this binary is deliberately boring: open, serve,
+// exit on SIGTERM/SIGINT.
+//
+// Usage: ./build/example_shard_server_main --dir <index_dir> [--port N]
+//        [--workers N]
+// Prints "LISTENING <port>" on stdout once ready (the parent parses it).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "net/shard_server.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kbtim;
+  std::string dir;
+  net::ShardServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.service.num_workers =
+          static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --dir <index_dir> [--port N] [--workers N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  auto server = net::ShardServer::Start(dir, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "shard start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::printf("LISTENING %u\n", (*server)->port());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}

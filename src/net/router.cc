@@ -1,0 +1,326 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <future>
+#include <unordered_map>
+#include <utility>
+
+#include "index/rr_greedy.h"
+
+namespace kbtim {
+namespace net {
+namespace {
+
+// splitmix64 finalizer — the repo's standard stateless mixer (see
+// fault_injector.cc, failure_domain.cc).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Rendezvous score of (topic, shard): each shard draws an independent
+/// hash per keyword; the top-r draws are the keyword's replicas. Stable
+/// under fleet resize — removing a shard remaps only its own keywords.
+uint64_t RendezvousScore(TopicId topic, uint32_t shard) {
+  return Mix64((static_cast<uint64_t>(topic) << 32) | (shard + 1));
+}
+
+}  // namespace
+
+Router::Router(std::vector<ShardAddress> shards, RouterOptions options,
+               IndexMeta meta)
+    : shards_(std::move(shards)),
+      options_(std::move(options)),
+      meta_(std::move(meta)),
+      breakers_(options_.breaker) {
+  MutexLock lock(&mu_);
+  idle_clients_.resize(shards_.size());
+}
+
+StatusOr<std::unique_ptr<Router>> Router::Create(
+    std::vector<ShardAddress> shards, RouterOptions options) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  options.replication_factor = std::max<uint32_t>(
+      1, std::min<uint32_t>(options.replication_factor,
+                            static_cast<uint32_t>(shards.size())));
+  // Any reachable shard can ship the meta — the fleet serves one index
+  // directory (a cold standby shard is acceptable at construction time).
+  Status last = Status::OK();
+  for (const ShardAddress& addr : shards) {
+    ShardClient client(addr.host, addr.port, options.client);
+    StatusOr<IndexMeta> meta = client.FetchMeta();
+    if (meta.ok()) {
+      if (!meta->has_rr) {
+        return Status::FailedPrecondition(
+            "shard index has no RR structures (router gathers RR blocks)");
+      }
+      return std::unique_ptr<Router>(new Router(
+          std::move(shards), std::move(options), std::move(*meta)));
+    }
+    last = meta.status();
+  }
+  return Status::Unavailable("no shard reachable for meta: " +
+                             last.message());
+}
+
+std::vector<uint32_t> Router::ReplicasOf(TopicId topic) const {
+  std::vector<uint32_t> order(shards_.size());
+  for (uint32_t s = 0; s < order.size(); ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [topic](uint32_t a, uint32_t b) {
+    const uint64_t sa = RendezvousScore(topic, a);
+    const uint64_t sb = RendezvousScore(topic, b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  order.resize(options_.replication_factor);
+  return order;
+}
+
+BreakerState Router::ShardState(uint32_t shard) const {
+  return breakers_.state(static_cast<TopicId>(shard));
+}
+
+std::unique_ptr<ShardClient> Router::AcquireClient(uint32_t shard) {
+  {
+    MutexLock lock(&mu_);
+    auto& idle = idle_clients_[shard];
+    if (!idle.empty()) {
+      std::unique_ptr<ShardClient> client = std::move(idle.back());
+      idle.pop_back();
+      return client;
+    }
+  }
+  return std::make_unique<ShardClient>(shards_[shard].host,
+                                       shards_[shard].port, options_.client);
+}
+
+void Router::ReleaseClient(uint32_t shard,
+                           std::unique_ptr<ShardClient> client) {
+  MutexLock lock(&mu_);
+  idle_clients_[shard].push_back(std::move(client));
+}
+
+void Router::GatherBlocks(std::vector<TopicFetch>& work) {
+  for (uint32_t round = 0;; ++round) {
+    // Pick each unresolved keyword's next ADMITTED replica; breaker-open
+    // replicas are consumed in O(1) — the fast shed, no timeout paid.
+    std::unordered_map<uint32_t, std::vector<size_t>> groups;
+    uint64_t sheds = 0;
+    for (size_t i = 0; i < work.size(); ++i) {
+      TopicFetch& tf = work[i];
+      if (tf.block != nullptr) continue;
+      while (tf.next_replica < tf.replicas.size()) {
+        const uint32_t shard = tf.replicas[tf.next_replica];
+        if (breakers_.Admit(static_cast<TopicId>(shard))) {
+          groups[shard].push_back(i);
+          break;
+        }
+        ++tf.next_replica;  // open breaker: this replica is spent
+        ++sheds;
+      }
+    }
+    if (sheds > 0) {
+      MutexLock lock(&stats_mu_);
+      counters_.breaker_sheds += sheds;
+    }
+    if (groups.empty()) return;  // everything gathered or exhausted
+
+    {
+      MutexLock lock(&stats_mu_);
+      counters_.scatter_rpcs += groups.size();
+      if (round > 0) counters_.hedged_rpcs += groups.size();
+    }
+
+    // One fetch RPC per shard, in parallel; each carries the per-attempt
+    // wire deadline so a backlogged shard sheds it at dequeue instead of
+    // serving a result the router has already given up on.
+    struct GroupResult {
+      uint32_t shard = 0;
+      std::vector<size_t> indices;
+      StatusOr<RrFetchResult> result{Status::Unavailable("unset")};
+      bool transport_failed = false;
+    };
+    std::vector<std::future<GroupResult>> futures;
+    futures.reserve(groups.size());
+    for (auto& [shard, indices] : groups) {
+      RrFetchRequest request;
+      request.request_deadline_ms = options_.attempt_timeout_ms;
+      for (size_t i : indices) {
+        request.topics.push_back(work[i].topic);
+        request.budgets.push_back(work[i].budget);
+      }
+      futures.push_back(std::async(
+          std::launch::async,
+          [this, shard = shard, indices = std::move(indices),
+           request = std::move(request)]() mutable {
+            GroupResult gr;
+            gr.shard = shard;
+            gr.indices = std::move(indices);
+            std::unique_ptr<ShardClient> client = AcquireClient(shard);
+            gr.result = client->FetchRr(request, &gr.transport_failed);
+            ReleaseClient(shard, std::move(client));
+            return gr;
+          }));
+    }
+
+    for (std::future<GroupResult>& future : futures) {
+      GroupResult gr = future.get();
+      if (gr.result.ok()) {
+        breakers_.RecordSuccess(static_cast<TopicId>(gr.shard));
+        const RrFetchResult& res = *gr.result;
+        for (size_t j = 0; j < gr.indices.size(); ++j) {
+          TopicFetch& tf = work[gr.indices[j]];
+          if (j < res.blocks.size() && res.blocks[j] != nullptr) {
+            tf.block = res.blocks[j];
+          } else {
+            // Shard-side drop (its breaker or storage failed the topic):
+            // the shard is alive, but THIS keyword needs another replica.
+            ++tf.next_replica;
+          }
+        }
+        continue;
+      }
+      if (gr.transport_failed) {
+        // One breaker verdict per failed RPC: consecutive verdicts trip
+        // the shard's domain open and future rounds shed in O(1).
+        breakers_.RecordFailure(static_cast<TopicId>(gr.shard));
+        MutexLock lock(&stats_mu_);
+        ++counters_.transport_failures;
+      }
+      // Transport loss or an application-level refusal (queue full,
+      // deadline): either way these keywords hedge to their next replica.
+      for (size_t i : gr.indices) ++work[i].next_replica;
+    }
+    // Every unresolved keyword either gained a block or consumed a
+    // replica this round, and replicas are finite: the loop terminates.
+  }
+}
+
+StatusOr<SeedSetResult> Router::Query(const kbtim::Query& query) {
+  {
+    MutexLock lock(&stats_mu_);
+    ++counters_.queries;
+  }
+  const auto fail = [this](Status status) -> StatusOr<SeedSetResult> {
+    MutexLock lock(&stats_mu_);
+    ++counters_.failed_queries;
+    return status;
+  };
+
+  StatusOr<QueryBudget> budget = ComputeQueryBudget(meta_, query);
+  if (!budget.ok()) return fail(budget.status());
+
+  // Scatter: one gather entry per keyword with a nonzero budget (zero-
+  // budget keywords carry no index mass — the in-process path skips
+  // loading them too, which the byte-equality contract depends on).
+  std::vector<TopicFetch> work;
+  for (const auto& [topic, tw] : budget->per_keyword) {
+    if (tw == 0) continue;
+    TopicFetch tf;
+    tf.topic = topic;
+    tf.budget = tw;
+    tf.replicas = ReplicasOf(topic);
+    work.push_back(std::move(tf));
+  }
+  GatherBlocks(work);
+
+  std::unordered_map<TopicId, std::shared_ptr<const RrKeywordBlock>> blocks;
+  std::vector<TopicId> dropped;
+  for (TopicFetch& tf : work) {
+    if (tf.block != nullptr) {
+      blocks.emplace(tf.topic, std::move(tf.block));
+    } else {
+      dropped.push_back(tf.topic);
+    }
+  }
+
+  // Culprit-diff degradation: drop the unservable keywords, recompute the
+  // budget over the survivors, and refetch any block the new (larger)
+  // θ^Q outgrew. The keyword set strictly shrinks per pass, so this
+  // terminates; the result is the SAME answer RrIndex::Query gives the
+  // reduced query.
+  kbtim::Query effective = query;
+  QueryBudget effective_budget = std::move(*budget);
+  while (!dropped.empty()) {
+    std::vector<TopicId> reduced;
+    for (TopicId t : effective.topics) {
+      if (std::find(dropped.begin(), dropped.end(), t) == dropped.end()) {
+        reduced.push_back(t);
+      }
+    }
+    if (reduced.empty()) {
+      return fail(Status::Unavailable(
+          "every query keyword was dropped (no shard could serve them)"));
+    }
+    effective.topics = std::move(reduced);
+    StatusOr<QueryBudget> recomputed = ComputeQueryBudget(meta_, effective);
+    if (!recomputed.ok()) return fail(recomputed.status());
+    effective_budget = std::move(*recomputed);
+
+    std::vector<TopicFetch> refetch;
+    for (const auto& [topic, tw] : effective_budget.per_keyword) {
+      if (tw == 0) continue;
+      auto it = blocks.find(topic);
+      if (it != blocks.end() && it->second->loaded_budget >= tw) continue;
+      TopicFetch tf;
+      tf.topic = topic;
+      tf.budget = tw;
+      tf.replicas = ReplicasOf(topic);
+      refetch.push_back(std::move(tf));
+    }
+    if (refetch.empty()) break;
+    {
+      MutexLock lock(&stats_mu_);
+      ++counters_.refetch_rounds;
+    }
+    GatherBlocks(refetch);
+    bool newly_dropped = false;
+    for (TopicFetch& tf : refetch) {
+      if (tf.block != nullptr) {
+        blocks[tf.topic] = std::move(tf.block);
+      } else {
+        dropped.push_back(tf.topic);
+        blocks.erase(tf.topic);
+        newly_dropped = true;
+      }
+    }
+    if (!newly_dropped) break;
+  }
+
+  SeedSetResult result = RunRrGreedy(effective, effective_budget, blocks,
+                                     meta_.num_vertices);
+  if (!dropped.empty()) {
+    result.degraded = true;
+    result.dropped_keywords = dropped;
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    if (dropped.empty()) {
+      ++counters_.full_answers;
+    } else {
+      ++counters_.degraded_answers;
+      counters_.keywords_dropped += dropped.size();
+    }
+  }
+  return result;
+}
+
+RouterStats Router::stats() const {
+  RouterStats out;
+  {
+    MutexLock lock(&stats_mu_);
+    out = counters_;
+  }
+  const FailureDomainStats breaker = breakers_.stats();
+  out.breaker_opens = breaker.opens;
+  out.breaker_probes = breaker.probes;
+  out.breaker_closes = breaker.closes;
+  out.breaker_rejections = breaker.rejections;
+  return out;
+}
+
+}  // namespace net
+}  // namespace kbtim

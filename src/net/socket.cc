@@ -1,0 +1,253 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "storage/fault_injector.h"
+
+namespace kbtim {
+namespace net {
+namespace {
+
+Status Errno(const std::string& what, const std::string& peer) {
+  return Status::IOError(what + " " + peer + ": " + ::strerror(errno));
+}
+
+/// Consults the armed injector for one socket op. Returns non-OK when the
+/// op must fail; applies kLatency sleeps inline.
+Status ConsultFault(FaultOp op, const std::string& peer, size_t n) {
+  if (!FaultInjector::Enabled()) return Status::OK();
+  FaultInjector& injector = FaultInjector::Instance();
+  const FaultDecision decision = injector.Consult(op, peer, n);
+  if (decision.sleep_ms > 0.0) injector.ApplyLatency(decision);
+  // kBitFlip is a storage concept; on the wire the frame CRC turns any
+  // corruption into a detected transport failure, so socket rules should
+  // use kIOError/kShortRead/kLatency. A flip decision degrades to success.
+  return decision.status;
+}
+
+Status WaitWritable(int fd, double timeout_ms, const std::string& peer,
+                    const char* what) {
+  struct pollfd pfd = {fd, POLLOUT, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc < 0) return Errno(what, peer);
+  if (rc == 0) {
+    return Status::IOError(std::string(what) + " timeout " + peer);
+  }
+  return Status::OK();
+}
+
+Status WaitReadable(int fd, double timeout_ms, const std::string& peer,
+                    const char* what) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc < 0) return Errno(what, peer);
+  if (rc == 0) {
+    return Status::IOError(std::string(what) + " timeout " + peer);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), peer_(std::move(other.peer_)) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    peer_ = std::move(other.peer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::Adopt(int fd, std::string peer) {
+  Socket s;
+  s.fd_ = fd;
+  s.peer_ = std::move(peer);
+  return s;
+}
+
+StatusOr<Socket> Socket::Connect(const std::string& host, uint16_t port,
+                                 double timeout_ms) {
+  const std::string peer = host + ":" + std::to_string(port);
+  KBTIM_RETURN_IF_ERROR(ConsultFault(FaultOp::kConnect, peer, 0));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket", peer);
+  Socket s = Adopt(fd, peer);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+
+  // Non-blocking connect + poll bounds the handshake; the fd then goes
+  // back to blocking mode (per-op timeouts come from poll, not O_NONBLOCK).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) return Errno("connect", peer);
+  if (rc != 0) {
+    KBTIM_RETURN_IF_ERROR(WaitWritable(fd, timeout_ms, peer, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      return Errno("connect", peer);
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+Status Socket::SendAll(const void* data, size_t n, double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("send on closed socket");
+  KBTIM_RETURN_IF_ERROR(ConsultFault(FaultOp::kNetWrite, peer_, n));
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    KBTIM_RETURN_IF_ERROR(WaitWritable(fd_, timeout_ms, peer_, "send"));
+    // MSG_NOSIGNAL: a peer that died mid-send must surface EPIPE, not
+    // SIGPIPE the whole process (the chaos bench kills shards mid-burst).
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("send", peer_);
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status Socket::RecvAll(void* out, size_t n, double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("recv on closed socket");
+  KBTIM_RETURN_IF_ERROR(ConsultFault(FaultOp::kNetRead, peer_, n));
+  char* p = static_cast<char*>(out);
+  size_t got = 0;
+  while (got < n) {
+    KBTIM_RETURN_IF_ERROR(WaitReadable(fd_, timeout_ms, peer_, "recv"));
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv", peer_);
+    }
+    if (rc == 0) {
+      return Status::IOError("peer closed mid-message " + peer_);
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> Socket::PollReadable(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("poll on closed socket");
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc < 0) return Errno("poll", peer_);
+  return rc > 0;
+}
+
+ServerSocket::ServerSocket(ServerSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServerSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<ServerSocket> ServerSocket::Listen(uint16_t port) {
+  const std::string label = "127.0.0.1:" + std::to_string(port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket", label);
+  ServerSocket s;
+  s.fd_ = fd;
+
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind", label);
+  }
+  if (::listen(fd, 64) != 0) return Errno("listen", label);
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname", label);
+  }
+  s.port_ = ntohs(addr.sin_port);
+  return s;
+}
+
+StatusOr<Socket> ServerSocket::Accept(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed socket");
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (rc < 0) return Errno("accept poll", "listener");
+  if (rc == 0) return Status::DeadlineExceeded("no connection within timeout");
+
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  const int conn =
+      ::accept(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  if (conn < 0) return Errno("accept", "listener");
+  char buf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket::Adopt(
+      conn, std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port)));
+}
+
+}  // namespace net
+}  // namespace kbtim

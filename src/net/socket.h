@@ -1,0 +1,100 @@
+// Minimal RAII TCP sockets for the serving tier: blocking semantics with
+// explicit timeouts (poll-based), whole-message SendAll/RecvAll, and
+// fault-injection hooks on every socket op.
+//
+// Fault injection: when the process-global FaultInjector is armed, each
+// logical op — Connect, SendAll, RecvAll — consults it once with the
+// socket's peer label "host:port" as the path, under FaultOp::kConnect /
+// kNetWrite / kNetRead. kIOError and kShortRead fail the op (the fd is
+// left in an undefined state and callers must close/reconnect, exactly as
+// with a real peer crash); kLatency sleeps before the op. That lets the
+// chaos suites drive "connect refused", "read timeout", "torn response"
+// through the SAME deterministic plan machinery the storage layer uses.
+//
+// These sockets are intentionally not a general networking library: one
+// blocking request/response conversation per connection, no TLS, IPv4
+// loopback-first (the serving tier fronts co-located shard processes).
+#ifndef KBTIM_NET_SOCKET_H_
+#define KBTIM_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace kbtim {
+namespace net {
+
+/// One connected TCP stream. Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port with a bounded three-way handshake. kIOError
+  /// on refusal/timeout (transient from the caller's perspective).
+  static StatusOr<Socket> Connect(const std::string& host, uint16_t port,
+                                  double timeout_ms);
+
+  /// Writes all n bytes or fails. A peer that stops draining past
+  /// timeout_ms surfaces kIOError ("send timeout").
+  Status SendAll(const void* data, size_t n, double timeout_ms);
+
+  /// Reads exactly n bytes or fails. EOF mid-message is kIOError ("peer
+  /// closed"), a stall past timeout_ms is kIOError ("recv timeout").
+  Status RecvAll(void* out, size_t n, double timeout_ms);
+
+  /// True when a recv would not block (data or EOF pending). Lets a
+  /// server handler interleave short waits with its stop-flag check
+  /// instead of parking a full io timeout on a quiet connection.
+  StatusOr<bool> PollReadable(double timeout_ms);
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+  /// "host:port" — the fault-injection path and log label.
+  const std::string& peer() const { return peer_; }
+
+  /// Adopts an already-connected fd (server accept path).
+  static Socket Adopt(int fd, std::string peer);
+
+ private:
+  int fd_ = -1;
+  std::string peer_;
+};
+
+/// A listening TCP socket. Port 0 binds a kernel-assigned port; port()
+/// reports the actual one (tests and the bench harness rely on this).
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+  ServerSocket(ServerSocket&& other) noexcept;
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds and listens on 127.0.0.1:port (SO_REUSEADDR set).
+  static StatusOr<ServerSocket> Listen(uint16_t port);
+
+  /// Waits up to timeout_ms for a connection. kDeadlineExceeded when none
+  /// arrives (the accept loop uses this to poll its stop flag).
+  StatusOr<Socket> Accept(double timeout_ms);
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace kbtim
+
+#endif  // KBTIM_NET_SOCKET_H_

@@ -136,6 +136,39 @@ std::optional<PendingRequest> LaneScheduler::Pop(bool wris_allowed) {
   }
 }
 
+void LaneScheduler::Park(PendingRequest pending) {
+  parked_.push_back(std::move(pending));
+  ++size_;
+}
+
+size_t LaneScheduler::PromoteReady(std::chrono::steady_clock::time_point now) {
+  size_t promoted = 0;
+  for (size_t i = 0; i < parked_.size();) {
+    if (parked_[i].not_before > now) {
+      ++i;
+      continue;
+    }
+    PendingRequest ready = std::move(parked_[i]);
+    parked_[i] = std::move(parked_.back());
+    parked_.pop_back();
+    --size_;  // Push re-counts it
+    Push(std::move(ready));
+    ++promoted;
+  }
+  return promoted;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+LaneScheduler::NextNotBefore() const {
+  std::optional<std::chrono::steady_clock::time_point> next;
+  for (const PendingRequest& pending : parked_) {
+    if (!next.has_value() || pending.not_before < *next) {
+      next = pending.not_before;
+    }
+  }
+  return next;
+}
+
 std::vector<PendingRequest> LaneScheduler::PopRrBatchMates(
     const Query& head, size_t max_mates) {
   std::vector<PendingRequest> mates;
@@ -144,7 +177,8 @@ std::vector<PendingRequest> LaneScheduler::PopRrBatchMates(
   for (auto& queue : fast.by_priority) {
     for (auto it = queue.begin();
          it != queue.end() && mates.size() < max_mates;) {
-      if (it->request.engine == QueryEngine::kRr &&
+      if (it->kind == RequestKind::kSolve &&
+          it->request.engine == QueryEngine::kRr &&
           KeywordsOverlap(head, it->request.query)) {
         mates.push_back(std::move(*it));
         it = queue.erase(it);
@@ -161,6 +195,10 @@ std::vector<PendingRequest> LaneScheduler::PopRrBatchMates(
 
 std::deque<PendingRequest> LaneScheduler::DrainAll() {
   std::deque<PendingRequest> drained;
+  for (PendingRequest& pending : parked_) {
+    drained.push_back(std::move(pending));
+  }
+  parked_.clear();
   for (Lane& lane : lanes_) {
     for (auto& queue : lane.by_priority) {
       for (PendingRequest& pending : queue) {

@@ -102,6 +102,26 @@ struct PendingRequest {
   /// picked request (e.g. an open batch window) never expires it.
   std::chrono::steady_clock::time_point picked_at;
   double deadline_ms = 0.0;  // resolved against the service default
+
+  /// Solve or RR-block fetch. Fetches carry their payload in `fetch` and
+  /// resolve `fetch_promise` instead of `promise` (request.engine is set
+  /// to kRr so lane routing and batching predicates stay uniform).
+  RequestKind kind = RequestKind::kSolve;
+  RrFetchRequest fetch;
+  std::promise<StatusOr<RrFetchResult>> fetch_promise;
+
+  /// Absolute end-to-end expiry (request_deadline_ms resolved at Submit);
+  /// a request picked past it is dropped at dequeue.
+  std::optional<std::chrono::steady_clock::time_point> expires_at;
+
+  /// Retry-with-backoff state (see LaneScheduler::Park): a transiently
+  /// failed request is re-queued with a not-before time instead of
+  /// blocking its worker slot in a sleep. The accumulated retry state
+  /// rides along so the next pickup resumes where the attempt left off.
+  std::chrono::steady_clock::time_point not_before{};
+  uint32_t retries_used = 0;
+  double next_backoff_ms = 0.0;
+  std::vector<TopicId> dropped_so_far;
 };
 
 /// The lane/priority/deficit queue structure. Externally synchronized.
@@ -126,7 +146,24 @@ class LaneScheduler {
   std::vector<PendingRequest> PopRrBatchMates(const Query& head,
                                               size_t max_mates);
 
-  /// Removes everything (shutdown: the service fails each promise).
+  /// Parks a request until `pending.not_before` passes (retry backoff
+  /// without a sleeping worker). Parked requests count toward size() —
+  /// they are still owed a resolution — but are not eligible until
+  /// PromoteReady moves them back into their lane.
+  void Park(PendingRequest pending);
+
+  /// Moves parked requests whose not_before has passed into their lanes.
+  /// Returns how many were promoted.
+  size_t PromoteReady(std::chrono::steady_clock::time_point now);
+
+  /// Earliest not_before among parked requests (nullopt when none) — the
+  /// worker wait loop's timed-wait deadline.
+  std::optional<std::chrono::steady_clock::time_point> NextNotBefore() const;
+
+  size_t parked_size() const { return parked_.size(); }
+
+  /// Removes everything (shutdown: the service fails each promise),
+  /// parked requests included.
   std::deque<PendingRequest> DrainAll();
 
   size_t size() const { return size_; }
@@ -163,6 +200,8 @@ class LaneScheduler {
 
   SchedulerOptions options_;
   std::array<Lane, kNumLanes> lanes_;
+  /// Requests waiting out a retry backoff (unordered; promotion scans).
+  std::vector<PendingRequest> parked_;
   size_t cursor_ = 0;  // lane the deficit pickup examines first
   size_t size_ = 0;
   uint64_t wris_deferrals_ = 0;

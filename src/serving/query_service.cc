@@ -14,6 +14,11 @@ double MillisSince(std::chrono::steady_clock::time_point start,
   return std::chrono::duration<double, std::milli>(now - start).count();
 }
 
+std::chrono::steady_clock::duration MillisDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
 }  // namespace
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
@@ -118,10 +123,18 @@ QueryService::~QueryService() {
   }
   work_ready_.NotifyAll();
   for (PendingRequest& pending : orphaned) {
-    pending.promise.set_value(
-        Status::Unavailable("query service shutting down"));
+    ResolvePending(pending,
+                   Status::Unavailable("query service shutting down"));
   }
   for (std::thread& worker : workers_) worker.join();
+}
+
+void QueryService::ResolvePending(PendingRequest& pending, Status status) {
+  if (pending.kind == RequestKind::kFetchRr) {
+    pending.fetch_promise.set_value(std::move(status));
+  } else {
+    pending.promise.set_value(std::move(status));
+  }
 }
 
 std::future<StatusOr<SeedSetResult>> QueryService::Submit(
@@ -135,6 +148,10 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
   pending.deadline_ms = pending.request.queue_deadline_ms > 0
                             ? pending.request.queue_deadline_ms
                             : options_.default_queue_deadline_ms;
+  if (pending.request.request_deadline_ms > 0) {
+    pending.expires_at = pending.submitted_at +
+                         MillisDuration(pending.request.request_deadline_ms);
+  }
   std::future<StatusOr<SeedSetResult>> future =
       pending.promise.get_future();
   // Count the submission BEFORE the request becomes visible to workers:
@@ -189,6 +206,96 @@ std::future<StatusOr<SeedSetResult>> QueryService::Submit(
 
 StatusOr<SeedSetResult> QueryService::Execute(ServiceRequest request) {
   return Submit(std::move(request)).get();
+}
+
+std::future<StatusOr<RrFetchResult>> QueryService::SubmitFetch(
+    RrFetchRequest request) {
+  PendingRequest pending;
+  pending.kind = RequestKind::kFetchRr;
+  pending.fetch = std::move(request);
+  // Fast-lane routing and the batching predicates key off the engine.
+  pending.request.engine = QueryEngine::kRr;
+  pending.request.priority = pending.fetch.priority;
+  pending.submitted_at = std::chrono::steady_clock::now();
+  pending.deadline_ms = pending.fetch.queue_deadline_ms > 0
+                            ? pending.fetch.queue_deadline_ms
+                            : options_.default_queue_deadline_ms;
+  if (pending.fetch.request_deadline_ms > 0) {
+    pending.expires_at = pending.submitted_at +
+                         MillisDuration(pending.fetch.request_deadline_ms);
+  }
+  std::future<StatusOr<RrFetchResult>> future =
+      pending.fetch_promise.get_future();
+  // Shape validation before the queue: a malformed fetch never costs a
+  // worker slot.
+  Status invalid;
+  if (pending.fetch.topics.size() != pending.fetch.budgets.size() ||
+      pending.fetch.topics.empty()) {
+    invalid = Status::InvalidArgument(
+        "fetch topics and budgets must align and be non-empty");
+  } else if (!meta().has_rr) {
+    invalid = Status::FailedPrecondition(
+        "index directory has no RR structures: " + cache_->dir());
+  } else {
+    for (TopicId topic : pending.fetch.topics) {
+      if (topic >= meta().num_topics) {
+        invalid = Status::InvalidArgument(
+            "fetch topic " + std::to_string(topic) + " out of range");
+        break;
+      }
+    }
+  }
+  if (!invalid.ok()) {
+    pending.fetch_promise.set_value(std::move(invalid));
+    return future;
+  }
+  {
+    MutexLock stats_lock(&stats_mu_);
+    ++counters_.submitted;
+  }
+  enum class Rejection { kNone, kShutdown, kQueueFull };
+  Rejection rejection = Rejection::kNone;
+  size_t depth = 0;
+  bool wake_all = false;
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      rejection = Rejection::kShutdown;
+    } else if (scheduler_.size() >= options_.max_pending) {
+      rejection = Rejection::kQueueFull;
+    } else {
+      scheduler_.Push(std::move(pending));
+      depth = scheduler_.size();
+      wake_all = coalesce_waiters_ > 0;
+    }
+  }
+  if (rejection != Rejection::kNone) {
+    {
+      MutexLock stats_lock(&stats_mu_);
+      --counters_.submitted;
+      if (rejection == Rejection::kQueueFull) ++counters_.admission_drops;
+    }
+    pending.fetch_promise.set_value(Status::Unavailable(
+        rejection == Rejection::kShutdown
+            ? "query service shutting down"
+            : "query service queue full (" +
+                  std::to_string(options_.max_pending) + " pending)"));
+    return future;
+  }
+  {
+    MutexLock stats_lock(&stats_mu_);
+    counters_.queue_peak = std::max<uint64_t>(counters_.queue_peak, depth);
+  }
+  if (wake_all) {
+    work_ready_.NotifyAll();
+  } else {
+    work_ready_.NotifyOne();
+  }
+  return future;
+}
+
+StatusOr<RrFetchResult> QueryService::ExecuteFetch(RrFetchRequest request) {
+  return SubmitFetch(std::move(request)).get();
 }
 
 bool QueryService::WrisAllowedLocked() const {
@@ -248,21 +355,35 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
     bool is_wris = false;
     {
       MutexLock lock(&mu_);
-      while (!shutdown_ &&
-             !(RunnableLocked() &&
-               scheduler_.HasEligible(WrisAllowedLocked()))) {
-        work_ready_.Wait(&mu_);
+      for (;;) {
+        if (shutdown_) return;
+        // Parked backoff retries come back into their lanes here; when
+        // only parked work exists the wait below is timed so a worker
+        // wakes exactly when the earliest not-before passes.
+        scheduler_.PromoteReady(std::chrono::steady_clock::now());
+        if (RunnableLocked() &&
+            scheduler_.HasEligible(WrisAllowedLocked())) {
+          break;
+        }
+        const std::optional<std::chrono::steady_clock::time_point> parked =
+            scheduler_.NextNotBefore();
+        if (parked.has_value() && RunnableLocked()) {
+          work_ready_.WaitUntil(&mu_, *parked);
+        } else {
+          work_ready_.Wait(&mu_);
+        }
       }
-      if (shutdown_) return;
       std::optional<PendingRequest> popped =
           scheduler_.Pop(WrisAllowedLocked());
       if (!popped.has_value()) continue;
       pending = std::move(*popped);
       pending.picked_at = std::chrono::steady_clock::now();
-      is_wris = pending.request.engine == QueryEngine::kWris;
+      is_wris = pending.kind == RequestKind::kSolve &&
+                pending.request.engine == QueryEngine::kWris;
       ++in_flight_;
       if (is_wris) ++wris_in_flight_;
-      if (pending.request.engine == QueryEngine::kRr) {
+      if (pending.kind == RequestKind::kSolve &&
+          pending.request.engine == QueryEngine::kRr) {
         CollectRrBatchLocked(pending, mates);
       }
     }
@@ -271,7 +392,9 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
     const EngineLane lane = LaneOf(pending.request.engine);
     const auto exec_start = std::chrono::steady_clock::now();
     bool executed;
-    if (taken > 0) {
+    if (pending.kind == RequestKind::kFetchRr) {
+      executed = ProcessFetch(std::move(pending));
+    } else if (taken > 0) {
       executed = ProcessRrBatch(std::move(pending), std::move(mates));
     } else {
       executed = ProcessSingle(slot, std::move(pending));
@@ -301,20 +424,34 @@ void QueryService::WorkerLoop(uint32_t slot_id) {
 bool QueryService::DropIfExpired(PendingRequest& pending) {
   const double queue_ms =
       MillisSince(pending.submitted_at, pending.picked_at);
-  if (pending.deadline_ms <= 0 || queue_ms <= pending.deadline_ms) {
-    return false;
-  }
+  // End-to-end expiry first: the caller (e.g. a remote router) has
+  // already given up on this request, so computing its answer would only
+  // burn the worker slot.
+  const bool wire_expired =
+      pending.expires_at.has_value() && pending.picked_at > *pending.expires_at;
+  const bool queue_expired =
+      pending.deadline_ms > 0 && queue_ms > pending.deadline_ms;
+  if (!wire_expired && !queue_expired) return false;
   {
     // Dropped requests still spent their queue time as far as the client
     // is concerned: they land in the latency windows so overload
     // percentiles include what was shed.
     MutexLock stats_lock(&stats_mu_);
-    ++counters_.deadline_drops;
+    if (wire_expired) {
+      ++counters_.deadline_expired_at_dequeue;
+    } else {
+      ++counters_.deadline_drops;
+    }
     RecordLatencyLocked(queue_ms, queue_ms, LaneOf(pending.request.engine));
   }
-  pending.promise.set_value(Status::DeadlineExceeded(
-      "queued " + std::to_string(queue_ms) + " ms past the " +
-      std::to_string(pending.deadline_ms) + " ms deadline"));
+  ResolvePending(
+      pending,
+      Status::DeadlineExceeded(
+          wire_expired
+              ? "request deadline expired before dequeue (" +
+                    std::to_string(queue_ms) + " ms queued)"
+              : "queued " + std::to_string(queue_ms) + " ms past the " +
+                    std::to_string(pending.deadline_ms) + " ms deadline"));
   return true;
 }
 
@@ -322,11 +459,58 @@ bool QueryService::ProcessSingle(WorkerSlot& slot, PendingRequest pending) {
   if (DropIfExpired(pending)) return false;
   const double queue_ms =
       MillisSince(pending.submitted_at, pending.picked_at);
-  StatusOr<SeedSetResult> result = DispatchResilient(slot, pending.request);
+  StatusOr<SeedSetResult> result{
+      Status::Internal("dispatch left the result unset")};
+  if (!DispatchResilient(slot, pending, &result)) {
+    // Re-queued for a backoff retry: the promise travels with it, and the
+    // outcome is recorded by whichever pickup finishes it. The engine DID
+    // run (and fail), so the service-time sample still counts.
+    return true;
+  }
   const double latency_ms =
       MillisSince(pending.submitted_at, std::chrono::steady_clock::now());
   RecordOutcome(pending.request, result, latency_ms, queue_ms);
   pending.promise.set_value(std::move(result));
+  return true;
+}
+
+bool QueryService::ProcessFetch(PendingRequest pending) {
+  if (DropIfExpired(pending)) return false;
+  const double queue_ms =
+      MillisSince(pending.submitted_at, pending.picked_at);
+  const RrFetchRequest& fetch = pending.fetch;
+  RrFetchResult out;
+  out.blocks.assign(fetch.topics.size(), nullptr);
+  FailureDomainTable* breaker = fault_state_->breaker.get();
+  for (size_t i = 0; i < fetch.topics.size(); ++i) {
+    const TopicId topic = fetch.topics[i];
+    if (fetch.budgets[i] == 0) continue;  // no index mass: nothing to ship
+    if (breaker != nullptr && !breaker->Admit(topic)) {
+      // Quarantined keyword: shed in O(1), the router hedges or degrades.
+      out.dropped.push_back(topic);
+      continue;
+    }
+    StatusOr<std::shared_ptr<const RrKeywordBlock>> block =
+        cache_->GetRrKeyword(topic, fetch.budgets[i]);
+    if (block.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess(topic);
+      out.blocks[i] = std::move(*block);
+    } else {
+      // The cache already classified the failure (handles dropped /
+      // topic invalidated) and its listener recorded it against the
+      // breaker; the fetch answer just marks the keyword dropped.
+      out.dropped.push_back(topic);
+    }
+  }
+  {
+    MutexLock stats_lock(&stats_mu_);
+    ++counters_.rr_fetches;
+    ++counters_.completed;
+    RecordLatencyLocked(
+        MillisSince(pending.submitted_at, std::chrono::steady_clock::now()),
+        queue_ms, EngineLane::kFast);
+  }
+  pending.fetch_promise.set_value(std::move(out));
   return true;
 }
 
@@ -485,20 +669,29 @@ StatusOr<SeedSetResult> QueryService::Dispatch(
   return Status::Internal("unknown query engine");
 }
 
-StatusOr<SeedSetResult> QueryService::DispatchResilient(
-    WorkerSlot& slot, const ServiceRequest& request) {
+bool QueryService::DispatchResilient(WorkerSlot& slot,
+                                     PendingRequest& pending,
+                                     StatusOr<SeedSetResult>* out) {
   const FailureHandlingOptions& fh = options_.failure;
+  const ServiceRequest& request = pending.request;
   // WRIS samples in memory — there is no storage underneath to fault. And
   // a service with every failure feature off keeps the bare dispatch path.
   if (request.engine == QueryEngine::kWris ||
       (fault_state_->breaker == nullptr && fh.io_retries == 0 &&
        !fh.partial_results)) {
-    return Dispatch(slot, request);
+    *out = Dispatch(slot, request);
+    return true;
   }
+  // Resume any retry state a previous pickup parked with the request: the
+  // already-shrunken keyword set lives in pending.request, the keywords it
+  // shed in dropped_so_far, and the consumed retry budget in retries_used.
   ServiceRequest attempt = request;
-  std::vector<TopicId> dropped;
-  uint32_t retries_left = fh.io_retries;
-  double backoff_ms = fh.retry_backoff_ms;
+  std::vector<TopicId> dropped = std::move(pending.dropped_so_far);
+  uint32_t retries_left = fh.io_retries > pending.retries_used
+                              ? fh.io_retries - pending.retries_used
+                              : 0;
+  double backoff_ms = pending.retries_used == 0 ? fh.retry_backoff_ms
+                                                : pending.next_backoff_ms;
   for (;;) {
     std::vector<TopicId> admitted;
     std::vector<TopicId> quarantined;
@@ -508,12 +701,15 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
       // Shed in O(1): quarantine verdicts cost one hash lookup per
       // keyword, never disk (the chaos suite asserts a zero IoCounter
       // delta on this path).
-      MutexLock stats_lock(&stats_mu_);
-      ++counters_.quarantine_rejections;
-      return Status::Unavailable(
+      {
+        MutexLock stats_lock(&stats_mu_);
+        ++counters_.quarantine_rejections;
+      }
+      *out = Status::Unavailable(
           admitted.empty()
               ? "all query keywords are quarantined (circuit open)"
               : "a query keyword is quarantined (circuit open)");
+      return true;
     }
     dropped.insert(dropped.end(), quarantined.begin(), quarantined.end());
     attempt.query.topics = std::move(admitted);
@@ -524,7 +720,7 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
     if (result.ok()) {
       ResolveAttempt(attempt.query.topics, before, /*ok=*/true,
                      /*blame_unattributed=*/false);
-      if (retries_left < fh.io_retries) {
+      if (retries_left < fh.io_retries || pending.retries_used > 0) {
         MutexLock stats_lock(&stats_mu_);
         ++counters_.retry_successes;
       }
@@ -532,13 +728,15 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
         result->degraded = true;
         result->dropped_keywords = std::move(dropped);
       }
-      return result;
+      *out = std::move(result);
+      return true;
     }
     const StatusCode code = result.status().code();
     if (code != StatusCode::kIOError && code != StatusCode::kCorruption) {
       // Overload, validation and budget failures are not fault-domain
       // signals: no breaker verdicts, no retries, fail as before PR 6.
-      return result;
+      *out = std::move(result);
+      return true;
     }
     if (code == StatusCode::kIOError && retries_left > 0) {
       // Transient read failure: the cache dropped the topic's file
@@ -551,9 +749,16 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
         ++counters_.transient_retries;
       }
       if (backoff_ms > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
-        backoff_ms *= 2.0;
+        // Park the request with a not-before time instead of sleeping in
+        // this worker slot: a burst of retrying requests used to idle the
+        // whole pool for their combined backoff. Retry state rides on the
+        // request; the next pickup resumes it with a fresh fault snapshot.
+        pending.retries_used = fh.io_retries - retries_left;
+        pending.next_backoff_ms = backoff_ms * 2.0;
+        pending.dropped_so_far = std::move(dropped);
+        pending.request.query.topics = std::move(attempt.query.topics);
+        RequeueWithBackoff(std::move(pending), backoff_ms);
+        return false;
       }
       continue;  // same keyword set, fresh fault snapshot next round
     }
@@ -564,7 +769,8 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
                        /*blame_unattributed=*/true);
     if (!fh.partial_results ||
         culprits.size() >= attempt.query.topics.size()) {
-      return result;
+      *out = std::move(result);
+      return true;
     }
     std::vector<TopicId> healthy;
     healthy.reserve(attempt.query.topics.size() - culprits.size());
@@ -574,12 +780,43 @@ StatusOr<SeedSetResult> QueryService::DispatchResilient(
         healthy.push_back(topic);
       }
     }
-    if (healthy.empty()) return result;
+    if (healthy.empty()) {
+      *out = std::move(result);
+      return true;
+    }
     dropped.insert(dropped.end(), culprits.begin(), culprits.end());
     attempt.query.topics = std::move(healthy);
     // Loop: the keyword set strictly shrinks every degradation pass, so
     // the walk ends after at most |topics| rounds.
   }
+}
+
+void QueryService::RequeueWithBackoff(PendingRequest pending,
+                                      double backoff_ms) {
+  pending.not_before =
+      std::chrono::steady_clock::now() + MillisDuration(backoff_ms);
+  bool parked = false;
+  {
+    MutexLock lock(&mu_);
+    if (!shutdown_) {
+      scheduler_.Park(std::move(pending));
+      parked = true;
+    }
+  }
+  if (!parked) {
+    // Shutdown raced the retry; the request was still in flight from the
+    // destructor's point of view, so resolve it here.
+    ResolvePending(pending,
+                   Status::Unavailable("query service shutting down"));
+    return;
+  }
+  {
+    MutexLock stats_lock(&stats_mu_);
+    ++counters_.retry_requeues;
+  }
+  // Every worker recomputes its timed wait against the new earliest
+  // not-before (NotifyOne could wake one that immediately sleeps forever).
+  work_ready_.NotifyAll();
 }
 
 void QueryService::ScreenTopics(const std::vector<TopicId>& topics,

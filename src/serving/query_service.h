@@ -177,6 +177,10 @@ struct ServiceStats {
   uint64_t failed = 0;           ///< Finished with an engine error.
   uint64_t admission_drops = 0;  ///< Rejected at Submit (queue full).
   uint64_t deadline_drops = 0;   ///< Expired in queue before starting.
+  /// Requests whose END-TO-END deadline (request_deadline_ms, e.g. the
+  /// router's wire-propagated budget) had already passed when a worker
+  /// dequeued them: the caller gave up, so the answer is never computed.
+  uint64_t deadline_expired_at_dequeue = 0;
   uint64_t queue_peak = 0;       ///< High-water mark of pending requests.
 
   uint64_t irr_queries = 0;   ///< Completed per engine.
@@ -237,6 +241,12 @@ struct ServiceStats {
   /// that succeeded only thanks to at least one retry.
   uint64_t transient_retries = 0;
   uint64_t retry_successes = 0;
+  /// Retrying requests re-queued with a not-before time instead of
+  /// holding their worker slot through the backoff sleep (PR 10 fix: a
+  /// burst of retrying requests used to idle the whole pool).
+  uint64_t retry_requeues = 0;
+  /// RR-block fetches served to remote routers (RequestKind::kFetchRr).
+  uint64_t rr_fetches = 0;
   /// OK results served with degraded=true (some keywords dropped).
   uint64_t degraded_results = 0;
   /// Requests answered kUnavailable purely from quarantine state — shed
@@ -303,6 +313,17 @@ class QueryService {
 
   /// Submit + wait: the closed-loop client call.
   StatusOr<SeedSetResult> Execute(ServiceRequest request)
+      EXCLUDES(mu_, stats_mu_);
+
+  /// Enqueues an RR-block fetch (the network scatter-gather unit; see
+  /// RrFetchRequest). Rides the fast lane with the same admission
+  /// control, deadline shedding and per-keyword breaker screening as a
+  /// query, but returns the raw blocks instead of running the greedy.
+  std::future<StatusOr<RrFetchResult>> SubmitFetch(RrFetchRequest request)
+      EXCLUDES(mu_, stats_mu_);
+
+  /// SubmitFetch + wait.
+  StatusOr<RrFetchResult> ExecuteFetch(RrFetchRequest request)
       EXCLUDES(mu_, stats_mu_);
 
   /// Blocks until the queue is empty and no worker is mid-query. Drains
@@ -386,6 +407,9 @@ class QueryService {
   /// scheduler's cost EWMA.
   bool ProcessSingle(WorkerSlot& slot, PendingRequest pending)
       EXCLUDES(mu_, stats_mu_);
+  /// Executes one RR-block fetch: deadline check, per-keyword breaker
+  /// screening, cache loads, per-topic drop bookkeeping, promise.
+  bool ProcessFetch(PendingRequest pending) EXCLUDES(mu_, stats_mu_);
   /// Executes a coalesced kRr batch: per-request deadline/θ screening,
   /// one RrIndex::BatchQuery, per-query promise fan-out. Returns true
   /// when the batch reached the engine.
@@ -400,12 +424,21 @@ class QueryService {
                                    const ServiceRequest& request);
 
   /// Dispatch wrapped in the failure-domain policy: breaker admission
-  /// (quarantined keywords shed in O(1)), bounded retry with exponential
-  /// backoff on transient kIOError, and culprit-keyword degradation for
-  /// multi-keyword queries (see FailureHandlingOptions). The fast path —
-  /// no breaker, no retries — is a tail call into Dispatch.
-  StatusOr<SeedSetResult> DispatchResilient(WorkerSlot& slot,
-                                            const ServiceRequest& request);
+  /// (quarantined keywords shed in O(1)), bounded retry on transient
+  /// kIOError, and culprit-keyword degradation for multi-keyword queries
+  /// (see FailureHandlingOptions). The fast path — no breaker, no
+  /// retries — is a tail call into Dispatch. Returns true with `*out`
+  /// resolved, or FALSE when the request was re-queued for a backoff
+  /// retry (retry state stashed on `pending`; the caller must neither
+  /// resolve the promise nor record an outcome). With backoff 0 retries
+  /// stay inline, so deterministic suites never see a requeue.
+  bool DispatchResilient(WorkerSlot& slot, PendingRequest& pending,
+                         StatusOr<SeedSetResult>* out)
+      EXCLUDES(mu_, stats_mu_);
+  /// Parks `pending` on the scheduler with not_before = now + backoff_ms
+  /// (counted in retry_requeues); resolves it Unavailable on shutdown.
+  void RequeueWithBackoff(PendingRequest pending, double backoff_ms)
+      EXCLUDES(mu_, stats_mu_);
   /// Breaker admission for one request's keywords: splits them into
   /// admitted and quarantined. No-op (all admitted) without a breaker.
   void ScreenTopics(const std::vector<TopicId>& topics,
@@ -431,9 +464,13 @@ class QueryService {
                      const StatusOr<SeedSetResult>& result,
                      double latency_ms, double queue_ms)
       EXCLUDES(mu_, stats_mu_);
-  /// Resolves a deadline-expired request (stats + promise), judged
-  /// submitted_at -> picked_at. Returns true when the request dropped.
+  /// Resolves a deadline-expired request (stats + promise). Queue-wait
+  /// deadlines are judged submitted_at -> picked_at; the end-to-end
+  /// expires_at is judged against picked_at (deadline_expired_at_dequeue).
+  /// Returns true when the request dropped.
   bool DropIfExpired(PendingRequest& pending) EXCLUDES(mu_, stats_mu_);
+  /// Resolves whichever promise `pending`'s kind owns with `status`.
+  static void ResolvePending(PendingRequest& pending, Status status);
 
   /// Breaker + per-topic fault counts, fed by the KeywordCache failure
   /// listener (which may fire from prefetch-pool threads, including after

@@ -6,8 +6,11 @@
 #define KBTIM_SERVING_SERVICE_REQUEST_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "index/irr_index.h"
+#include "index/keyword_cache.h"
 #include "topics/query.h"
 
 namespace kbtim {
@@ -63,6 +66,45 @@ struct ServiceRequest {
   /// Per-request θ budget; 0 = unlimited. Index engines reject queries
   /// whose θ^Q exceeds it, WRIS clamps (see query_service.h).
   uint64_t max_theta = 0;
+
+  /// End-to-end deadline in milliseconds, measured from Submit; 0 = none.
+  /// Unlike queue_deadline_ms (a queue-WAIT budget), this is the total
+  /// budget the CALLER still has — the network router propagates its
+  /// remaining per-attempt budget here, and a shard that dequeues an
+  /// already-expired request drops it instead of burning a worker slot
+  /// computing an answer nobody reads (deadline_expired_at_dequeue).
+  double request_deadline_ms = 0.0;
+};
+
+/// What a queued PendingRequest asks the worker to do: solve a query, or
+/// serve the raw per-keyword RR blocks a remote Router gathers (PR 10).
+/// Fetches ride the fast lane with full admission control, deadline-at-
+/// dequeue shedding and per-keyword breaker screening, but skip the
+/// greedy — the router runs it once, over blocks from every shard.
+enum class RequestKind : uint8_t {
+  kSolve = 0,
+  kFetchRr = 1,
+};
+
+/// One per-keyword RR block fetch (the network scatter-gather unit).
+struct RrFetchRequest {
+  /// Requested keywords and their minimum RR budgets, aligned.
+  std::vector<TopicId> topics;
+  std::vector<uint64_t> budgets;
+
+  RequestPriority priority = RequestPriority::kNormal;
+  double queue_deadline_ms = 0.0;    ///< As ServiceRequest.
+  double request_deadline_ms = 0.0;  ///< As ServiceRequest.
+};
+
+/// Fetch outcome. A topic the shard could not serve — breaker-quarantined
+/// or failed with kIOError/kCorruption after the cache's own handling —
+/// comes back as a null block and a dropped entry instead of failing the
+/// whole fetch; the router decides whether to hedge or degrade.
+struct RrFetchResult {
+  /// Aligned with the request's topics; null = dropped.
+  std::vector<std::shared_ptr<const RrKeywordBlock>> blocks;
+  std::vector<TopicId> dropped;
 };
 
 }  // namespace kbtim

@@ -41,10 +41,15 @@
 
 namespace kbtim {
 
-/// Which direction of I/O a rule applies to.
+/// Which direction of I/O a rule applies to. File ops are consulted by the
+/// storage primitives; socket ops by src/net's Socket (the "path" of a
+/// socket op is its peer label "host:port", so rules scope to one shard).
 enum class FaultOp : uint8_t {
-  kRead = 0,   ///< RandomAccessFile::Read / ReadView / ReadOrCopy.
-  kWrite = 1,  ///< FileWriter::Append.
+  kRead = 0,      ///< RandomAccessFile::Read / ReadView / ReadOrCopy.
+  kWrite = 1,     ///< FileWriter::Append.
+  kConnect = 2,   ///< Socket::Connect (TCP connect + handshake).
+  kNetRead = 3,   ///< Socket::RecvAll.
+  kNetWrite = 4,  ///< Socket::SendAll.
 };
 
 /// What happens when a rule fires (see file comment for semantics).

@@ -1,0 +1,161 @@
+// Socket layer: loopback round trips, dead-peer semantics, and the
+// FaultInjector hooks on connect/read/write — the deterministic levers
+// the router chaos suites pull instead of real network weather.
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/timer.h"
+#include "storage/fault_injector.h"
+#include "testing/scoped_fault_injection.h"
+
+namespace kbtim {
+namespace net {
+namespace {
+
+using testing::ScopedFaultInjection;
+
+/// One-shot echo peer: accepts one connection, echoes `n` bytes back.
+void EchoOnce(ServerSocket* listener, size_t n) {
+  auto conn = listener->Accept(2000.0);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  std::string buf(n, '\0');
+  ASSERT_TRUE(conn->RecvAll(buf.data(), n, 2000.0).ok());
+  ASSERT_TRUE(conn->SendAll(buf.data(), n, 2000.0).ok());
+}
+
+TEST(Socket, LoopbackEchoRoundTrip) {
+  auto listener = ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  ASSERT_GT(listener->port(), 0);
+  std::thread peer(EchoOnce, &*listener, 5);
+
+  auto conn = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(conn->SendAll("hello", 5, 1000.0).ok());
+  std::string echo(5, '\0');
+  ASSERT_TRUE(conn->RecvAll(echo.data(), 5, 1000.0).ok());
+  EXPECT_EQ(echo, "hello");
+  peer.join();
+}
+
+TEST(Socket, ConnectToDeadPortIsIOError) {
+  // Bind-then-close: the port was just free, so connect gets RST, not a
+  // timeout.
+  uint16_t dead_port = 0;
+  {
+    auto listener = ServerSocket::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  auto conn = Socket::Connect("127.0.0.1", dead_port, 500.0);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kIOError);
+}
+
+TEST(Socket, PeerCloseMidMessageIsIOError) {
+  auto listener = ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread peer([&listener] {
+    auto conn = listener->Accept(2000.0);
+    ASSERT_TRUE(conn.ok());
+    // Send half a message, then die (the bench's SIGKILL shape).
+    ASSERT_TRUE(conn->SendAll("hal", 3, 1000.0).ok());
+  });
+  auto conn = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_TRUE(conn.ok());
+  std::string buf(8, '\0');
+  const Status s = conn->RecvAll(buf.data(), buf.size(), 2000.0);
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s;
+  peer.join();
+}
+
+TEST(SocketFault, InjectedConnectFailureScopedByPeer) {
+  auto listener = ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::string peer_label =
+      "127.0.0.1:" + std::to_string(listener->port());
+
+  FaultPlan plan;
+  plan.rules.push_back({peer_label, FaultOp::kConnect, FaultKind::kIOError,
+                        /*first_op=*/0, /*max_faults=*/1});
+  ScopedFaultInjection faults(std::move(plan));
+
+  // First connect hits the injected fault — no SYN ever leaves.
+  auto failed = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+
+  // The window is one op wide: the retry succeeds for real.
+  std::thread peer(EchoOnce, &*listener, 2);
+  auto conn = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  ASSERT_TRUE(conn->SendAll("ok", 2, 1000.0).ok());
+  std::string echo(2, '\0');
+  ASSERT_TRUE(conn->RecvAll(echo.data(), 2, 1000.0).ok());
+  peer.join();
+
+  EXPECT_EQ(FaultInjector::Instance().stats().io_errors, 1u);
+}
+
+TEST(SocketFault, InjectedReadWriteAndShortRead) {
+  auto listener = ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::string peer_label =
+      "127.0.0.1:" + std::to_string(listener->port());
+
+  FaultPlan plan;
+  // Ops 0: send fails; op 0 of reads: torn read.
+  plan.rules.push_back({peer_label, FaultOp::kNetWrite, FaultKind::kIOError,
+                        0, 1});
+  plan.rules.push_back({peer_label, FaultOp::kNetRead, FaultKind::kShortRead,
+                        0, 1});
+  ScopedFaultInjection faults(std::move(plan));
+
+  std::thread peer(EchoOnce, &*listener, 3);
+  auto conn = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+
+  EXPECT_EQ(conn->SendAll("abc", 3, 1000.0).code(), StatusCode::kIOError);
+  // Second send passes through to the real socket.
+  ASSERT_TRUE(conn->SendAll("abc", 3, 1000.0).ok());
+
+  std::string buf(3, '\0');
+  const Status torn = conn->RecvAll(buf.data(), 3, 1000.0);
+  EXPECT_EQ(torn.code(), StatusCode::kIOError);
+  EXPECT_NE(torn.message().find("short read"), std::string::npos) << torn;
+  ASSERT_TRUE(conn->RecvAll(buf.data(), 3, 2000.0).ok());
+  EXPECT_EQ(buf, "abc");
+  peer.join();
+}
+
+TEST(SocketFault, InjectedLatencyDelaysButSucceeds) {
+  auto listener = ServerSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::string peer_label =
+      "127.0.0.1:" + std::to_string(listener->port());
+
+  FaultPlan plan;
+  FaultRule rule{peer_label, FaultOp::kNetWrite, FaultKind::kLatency, 0, 1};
+  rule.latency_ms = 50.0;
+  plan.rules.push_back(rule);
+  ScopedFaultInjection faults(std::move(plan));
+
+  std::thread peer(EchoOnce, &*listener, 2);
+  auto conn = Socket::Connect("127.0.0.1", listener->port(), 1000.0);
+  ASSERT_TRUE(conn.ok());
+  WallTimer timer;
+  ASSERT_TRUE(conn->SendAll("hi", 2, 1000.0).ok());
+  EXPECT_GE(timer.ElapsedSeconds(), 0.045);
+  std::string echo(2, '\0');
+  ASSERT_TRUE(conn->RecvAll(echo.data(), 2, 1000.0).ok());
+  peer.join();
+  EXPECT_EQ(FaultInjector::Instance().stats().latencies, 1u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace kbtim

@@ -1,0 +1,206 @@
+// Backoff without hostage workers: a retry that must wait re-QUEUES the
+// request with a not-before time (retry_requeues) instead of sleeping in
+// the worker slot, other requests run during the backoff window, expired
+// requests are shed at dequeue (deadline_expired_at_dequeue), and the
+// in-process RR block fetch path (rr_fetches) serves the router's
+// scatter-gather unit.
+#include "serving/query_service.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "common/timer.h"
+#include "expr/workload.h"
+#include "index/index_builder.h"
+#include "testing/scoped_fault_injection.h"
+
+namespace kbtim {
+namespace {
+
+using testing::ScopedFaultInjection;
+
+class RetryRequeueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("kbtim_retry_requeue_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    DatasetSpec spec;
+    spec.name = "requeue";
+    spec.graph.num_vertices = 1000;
+    spec.graph.avg_degree = 5.0;
+    spec.graph.num_communities = 5;
+    spec.graph.seed = 91;
+    spec.profiles.num_topics = 5;
+    spec.profiles.seed = 92;
+    auto env = Environment::Create(spec);
+    ASSERT_TRUE(env.ok());
+    env_ = std::move(*env);
+
+    IndexBuildOptions opts;
+    opts.epsilon = 0.5;
+    opts.max_k = 12;
+    opts.partition_size = 20;
+    opts.num_threads = 2;
+    opts.seed = 93;
+    opts.max_theta_per_keyword = 20000;
+    opts.opt_estimate.pilot_initial = 512;
+    IndexBuilder builder(env_->graph(), env_->tfidf(),
+                         env_->weights(opts.model), opts);
+    ASSERT_TRUE(builder.Build(dir_).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string IrrBasename(TopicId t) const {
+    return std::filesystem::path(IrrFileName(dir_, t)).filename().string();
+  }
+
+  static ServiceRequest Irr(std::vector<TopicId> topics, uint32_t k = 6) {
+    ServiceRequest request;
+    request.query = Query{std::move(topics), k};
+    request.engine = QueryEngine::kIrr;
+    return request;
+  }
+
+  std::string dir_;
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(RetryRequeueTest, BackoffRequeuesInsteadOfBlockingTheWorker) {
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.cache.prefetch_threads = 0;
+  opts.failure.io_retries = 2;
+  opts.failure.retry_backoff_ms = 5.0;  // nonzero => the requeue path
+  opts.failure.breaker.backoff_ms = 0.0;
+  auto service = QueryService::Create(dir_, opts);
+  ASSERT_TRUE(service.ok());
+  auto golden = (*service)->Execute(Irr({0}));
+  ASSERT_TRUE(golden.ok()) << golden.status();
+  (*service)->cache()->DropBlocks();
+
+  {
+    FaultPlan plan;  // exactly one fault: attempt 1 dies, the retry lands
+    plan.rules.push_back({IrrBasename(0), FaultOp::kRead,
+                          FaultKind::kIOError, 0, /*max_faults=*/1, 1.0});
+    ScopedFaultInjection inject(plan);
+    auto retried = (*service)->Execute(Irr({0}));
+    ASSERT_TRUE(retried.ok()) << retried.status();
+    EXPECT_FALSE(retried->degraded);
+    EXPECT_EQ(retried->seeds, golden->seeds);
+    EXPECT_DOUBLE_EQ(retried->estimated_influence,
+                     golden->estimated_influence);
+  }
+
+  const ServiceStats stats = (*service)->stats();
+  // The faulted attempt was re-QUEUED with a not-before time — the worker
+  // slot was never parked in a sleep.
+  EXPECT_GE(stats.retry_requeues, 1u);
+  EXPECT_GE(stats.transient_retries, 1u);
+  EXPECT_GE(stats.retry_successes, 1u);
+  EXPECT_EQ(stats.io_error_failures, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(RetryRequeueTest, OtherRequestsRunDuringTheBackoffWindow) {
+  QueryServiceOptions opts;
+  opts.num_workers = 1;  // ONE worker: a sleeping retry would serialize
+  opts.cache.prefetch_threads = 0;
+  opts.failure.io_retries = 2;
+  opts.failure.retry_backoff_ms = 1000.0;  // long window, easy to observe
+  opts.failure.breaker.backoff_ms = 0.0;
+  auto service = QueryService::Create(dir_, opts);
+  ASSERT_TRUE(service.ok());
+  // Warm both topics, then force topic 0 back to disk for the fault.
+  ASSERT_TRUE((*service)->Execute(Irr({0})).ok());
+  auto golden1 = (*service)->Execute(Irr({1}));
+  ASSERT_TRUE(golden1.ok());
+  (*service)->cache()->DropBlocks();
+
+  FaultPlan plan;
+  plan.rules.push_back({IrrBasename(0), FaultOp::kRead, FaultKind::kIOError,
+                        0, /*max_faults=*/1, 1.0});
+  ScopedFaultInjection inject(plan);
+
+  // Request A hits the fault and parks for a full second. Request B,
+  // submitted behind it, must complete DURING that window on the same
+  // single worker — proof the backoff isn't holding the slot.
+  auto future_a = (*service)->Submit(Irr({0}));
+  WallTimer timer;
+  auto b = (*service)->Execute(Irr({1}));
+  const double b_seconds = timer.ElapsedSeconds();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(b->seeds, golden1->seeds);
+  EXPECT_LT(b_seconds, 0.8) << "request B waited out A's backoff";
+
+  auto a = future_a.get();
+  ASSERT_TRUE(a.ok()) << a.status();
+  const ServiceStats stats = (*service)->stats();
+  EXPECT_GE(stats.retry_requeues, 1u);
+  EXPECT_GE(stats.retry_successes, 1u);
+}
+
+TEST_F(RetryRequeueTest, ExpiredRequestShedAtDequeue) {
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.cache.prefetch_threads = 0;
+  opts.start_paused = true;  // the request ages in the queue
+  auto service = QueryService::Create(dir_, opts);
+  ASSERT_TRUE(service.ok());
+
+  ServiceRequest stale = Irr({0});
+  stale.request_deadline_ms = 20.0;
+  auto future = (*service)->Submit(std::move(stale));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  (*service)->Resume();
+
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+      << result.status();
+  const ServiceStats stats = (*service)->stats();
+  EXPECT_EQ(stats.deadline_expired_at_dequeue, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // A fresh request with the same deadline sails through a live service.
+  ServiceRequest fresh = Irr({0});
+  fresh.request_deadline_ms = 10000.0;
+  auto ok = (*service)->Execute(std::move(fresh));
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+TEST_F(RetryRequeueTest, InProcessRrFetchServesBlocksAtBudget) {
+  QueryServiceOptions opts;
+  opts.num_workers = 1;
+  opts.cache.prefetch_threads = 0;
+  auto service = QueryService::Create(dir_, opts);
+  ASSERT_TRUE(service.ok());
+  const IndexMeta& meta = (*service)->meta();
+  ASSERT_TRUE(meta.has_rr);
+
+  RrFetchRequest fetch;
+  for (TopicId t = 0; t < meta.num_topics; ++t) {
+    if (meta.topics[t].theta == 0) continue;
+    fetch.topics.push_back(t);
+    fetch.budgets.push_back(std::min<uint64_t>(meta.topics[t].theta, 32));
+  }
+  ASSERT_FALSE(fetch.topics.empty());
+  auto result = (*service)->ExecuteFetch(fetch);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->blocks.size(), fetch.topics.size());
+  EXPECT_TRUE(result->dropped.empty());
+  for (size_t i = 0; i < result->blocks.size(); ++i) {
+    ASSERT_NE(result->blocks[i], nullptr);
+    EXPECT_GE(result->blocks[i]->loaded_budget, fetch.budgets[i]);
+  }
+  EXPECT_EQ((*service)->stats().rr_fetches, 1u);
+}
+
+}  // namespace
+}  // namespace kbtim
